@@ -1,0 +1,91 @@
+//! Criterion benches of the simulator substrate itself: instruction
+//! throughput of the issue engine and the memory hierarchy, plus the
+//! native (host) stencil executor for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hstencil_bench::runner::workload_2d;
+use hstencil_core::{native, presets, Grid2d};
+use lx2_isa::{Inst, Program, RowMask, VReg, ZaReg};
+use lx2_sim::{Machine, MachineConfig};
+
+/// Raw engine throughput on a compute-only instruction mix.
+fn bench_engine_throughput(c: &mut Criterion) {
+    let cfg = MachineConfig::lx2();
+    let program: Program = (0..10_000u64)
+        .map(|k| match k % 3 {
+            0 => Inst::Fmopa {
+                za: ZaReg::new((k % 4) as usize),
+                vn: VReg::new(0),
+                vm: VReg::new(1),
+                mask: RowMask::ALL,
+            },
+            1 => Inst::Fmla {
+                vd: VReg::new(2 + (k % 8) as usize),
+                vn: VReg::new(30),
+                vm: VReg::new(31),
+            },
+            _ => Inst::Ext {
+                vd: VReg::new(10 + (k % 4) as usize),
+                vn: VReg::new(30),
+                vm: VReg::new(31),
+                shift: 2,
+            },
+        })
+        .collect();
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(program.len() as u64));
+    group.bench_function("compute_mix_10k", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&cfg);
+            m.execute(&program).unwrap();
+            m.elapsed_cycles()
+        })
+    });
+    group.finish();
+}
+
+/// Memory hierarchy throughput on a streaming load pattern.
+fn bench_hierarchy_stream(c: &mut Criterion) {
+    let cfg = MachineConfig::lx2();
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(8192));
+    group.bench_function("stream_loads_8k", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&cfg);
+            let region = m.alloc(8192 * 8, 8);
+            let program: Program = (0..8192u64)
+                .map(|k| Inst::Ld1d {
+                    vd: VReg::new((k % 16) as usize),
+                    addr: region.base + k * 8,
+                })
+                .collect();
+            m.execute(&program).unwrap();
+            m.elapsed_cycles()
+        })
+    });
+    group.finish();
+}
+
+/// The host-native executor at a production-ish size.
+fn bench_native_executor(c: &mut Criterion) {
+    let spec = presets::box2d25p();
+    let grid = workload_2d(512, 512, 2, 42);
+    let mut out = Grid2d::zeros(512, 512, 2);
+    let mut group = c.benchmark_group("native");
+    group.throughput(Throughput::Elements(512 * 512));
+    group.bench_function("box2d25p_512", |b| {
+        b.iter(|| native::apply_2d(&spec, &grid, &mut out))
+    });
+    group.bench_function("box2d25p_512_par2", |b| {
+        b.iter(|| native::apply_2d_parallel(&spec, &grid, &mut out, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_throughput,
+    bench_hierarchy_stream,
+    bench_native_executor
+);
+criterion_main!(benches);

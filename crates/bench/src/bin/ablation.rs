@@ -1,0 +1,163 @@
+//! Ablation sweeps over HStencil's design parameters — the knobs
+//! DESIGN.md calls out: register blocks (§3.1.2), the scheduling and
+//! replacement switches (§3.2), prefetch distance and Y-block size
+//! (§3.3 / Algorithm 2's partition).
+//!
+//! ```sh
+//! cargo run --release -p hstencil-bench --bin ablation
+//! ```
+
+use hstencil_bench::fmt::{f2, Table};
+use hstencil_bench::runner::workload_2d;
+use hstencil_core::{presets, Method, StencilPlan};
+use lx2_sim::MachineConfig;
+
+fn cycles(plan: StencilPlan, n: usize, r: usize) -> u64 {
+    let grid = workload_2d(n, n, r, 42);
+    plan.warmup(if n <= 256 { 1 } else { 0 })
+        .verify(n <= 256)
+        .run_2d(&MachineConfig::lx2(), &grid)
+        .expect("ablation run")
+        .report
+        .cycles()
+}
+
+fn reg_blocks_sweep() -> Table {
+    let spec = presets::box2d25p();
+    let mut t = Table::new("Ablation: register blocks (multi-register kernel, §3.1.2)").header(&[
+        "reg_blocks",
+        "cycles @128",
+        "speedup vs rb=1",
+    ]);
+    let base = cycles(
+        StencilPlan::new(&spec, Method::HStencil).reg_blocks(1),
+        128,
+        2,
+    );
+    for rb in 1..=4usize {
+        let c = cycles(
+            StencilPlan::new(&spec, Method::HStencil).reg_blocks(rb),
+            128,
+            2,
+        );
+        t.row(vec![
+            rb.to_string(),
+            c.to_string(),
+            format!("{}x", f2(base as f64 / c as f64)),
+        ]);
+    }
+    t
+}
+
+fn switch_matrix() -> Table {
+    let spec = presets::star2d9p();
+    let mut t = Table::new("Ablation: scheduling x replacement x prefetch (star2d9p @128)")
+        .header(&["sched", "repl", "prefetch", "cycles", "vs all-off"]);
+    let base = cycles(
+        StencilPlan::new(&spec, Method::HStencil)
+            .scheduling(false)
+            .replacement(false)
+            .prefetch(false),
+        128,
+        2,
+    );
+    for sched in [false, true] {
+        for repl in [false, true] {
+            for pf in [false, true] {
+                let c = cycles(
+                    StencilPlan::new(&spec, Method::HStencil)
+                        .scheduling(sched)
+                        .replacement(repl)
+                        .prefetch(pf),
+                    128,
+                    2,
+                );
+                t.row(vec![
+                    sched.to_string(),
+                    repl.to_string(),
+                    pf.to_string(),
+                    c.to_string(),
+                    format!("{}x", f2(base as f64 / c as f64)),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+fn prefetch_dist_sweep() -> Table {
+    let spec = presets::box2d25p();
+    let mut t = Table::new("Ablation: prefetch distance (rows ahead) on 2048x2048").header(&[
+        "distance",
+        "cycles",
+        "vs no prefetch",
+    ]);
+    let base = cycles(
+        StencilPlan::new(&spec, Method::HStencil).prefetch(false),
+        2048,
+        2,
+    );
+    t.row(vec!["off".into(), base.to_string(), "1.00x".into()]);
+    for dist in [1usize, 2, 4, 6, 8] {
+        let c = cycles(
+            StencilPlan::new(&spec, Method::HStencil)
+                .prefetch(true)
+                .prefetch_dist(dist),
+            2048,
+            2,
+        );
+        t.row(vec![
+            dist.to_string(),
+            c.to_string(),
+            format!("{}x", f2(base as f64 / c as f64)),
+        ]);
+    }
+    t
+}
+
+fn hand_vs_auto_schedule() -> Table {
+    let spec = presets::star2d9p();
+    let mut t = Table::new("Ablation: hand-written interleave vs automatic list scheduler")
+        .header(&["variant", "cycles @128", "vs phased"]);
+    let phased = cycles(
+        StencilPlan::new(&spec, Method::HStencil)
+            .scheduling(false)
+            .replacement(false),
+        128,
+        2,
+    );
+    let hand = cycles(StencilPlan::new(&spec, Method::HStencil), 128, 2);
+    let auto = cycles(
+        StencilPlan::new(&spec, Method::HStencil)
+            .scheduling(false)
+            .replacement(false)
+            .auto_schedule(true),
+        128,
+        2,
+    );
+    let both = cycles(
+        StencilPlan::new(&spec, Method::HStencil).auto_schedule(true),
+        128,
+        2,
+    );
+    for (label, c) in [
+        ("phased (no scheduling)", phased),
+        ("auto list scheduler", auto),
+        ("hand interleave (paper)", hand),
+        ("hand + auto", both),
+    ] {
+        t.row(vec![
+            label.into(),
+            c.to_string(),
+            format!("{}x", f2(phased as f64 / c as f64)),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    reg_blocks_sweep().emit("ablation_reg_blocks");
+    switch_matrix().emit("ablation_switches");
+    prefetch_dist_sweep().emit("ablation_prefetch_dist");
+    hand_vs_auto_schedule().emit("ablation_auto_schedule");
+}

@@ -1,0 +1,43 @@
+//! Runs every experiment in DESIGN.md §4 and archives the tables under
+//! `results/`. Set `HSTENCIL_QUICK=1` for a fast smoke pass.
+use hstencil_bench::experiments as ex;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let stamp = |name: &str| {
+        eprintln!("[{:8.1?}] finished {name}", t0.elapsed());
+    };
+    let t = ex::fig03_ilp::run_all();
+    t[0].emit("fig03a_ilp_throughput");
+    t[1].emit("fig03b_ilp_overlap");
+    stamp("fig03");
+    ex::tab01_utilization::table().emit("tab01_utilization");
+    stamp("tab01");
+    ex::tab02_ipc::table().emit("tab02_ipc");
+    stamp("tab02");
+    ex::tab05_instr_ratio::table().emit("tab05_instr_ratio");
+    stamp("tab05");
+    let t = ex::fig12_incache::run_all();
+    t[0].emit("fig12_incache_2d");
+    t[1].emit("fig12_incache_3d");
+    stamp("fig12");
+    let t = ex::fig13_breakdown::run_all();
+    t[0].emit("fig13a_breakdown_star");
+    t[1].emit("fig13b_breakdown_box");
+    stamp("fig13");
+    ex::fig14_ipc::table().emit("fig14_ipc");
+    stamp("fig14");
+    ex::tab03_cache_hit::table().emit("tab03_cache_hit");
+    stamp("tab03");
+    ex::fig15_outofcache::table().emit("fig15_outofcache");
+    stamp("fig15");
+    ex::tab07_prefetch_cache::table().emit("tab07_prefetch_cache");
+    stamp("tab07");
+    ex::fig16_scaling::table().emit("fig16_scaling");
+    stamp("fig16");
+    ex::fig17_m4_incache::table().emit("fig17_m4_incache");
+    stamp("fig17");
+    ex::fig18_m4_outofcache::table().emit("fig18_m4_outofcache");
+    stamp("fig18");
+    eprintln!("all experiments done in {:?}", t0.elapsed());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (matrix/vector ILP microbenchmarks).
+fn main() {
+    let tables = hstencil_bench::experiments::fig03_ilp::run_all();
+    tables[0].emit("fig03a_ilp_throughput");
+    tables[1].emit("fig03b_ilp_overlap");
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (in-cache speedups, 2-D and 3-D suites).
+fn main() {
+    let tables = hstencil_bench::experiments::fig12_incache::run_all();
+    tables[0].emit("fig12_incache_2d");
+    tables[1].emit("fig12_incache_3d");
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 13 (optimization breakdown on r=2 stencils).
+fn main() {
+    let tables = hstencil_bench::experiments::fig13_breakdown::run_all();
+    tables[0].emit("fig13a_breakdown_star");
+    tables[1].emit("fig13b_breakdown_box");
+}

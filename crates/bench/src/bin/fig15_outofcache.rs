@@ -1,0 +1,4 @@
+//! Regenerates Figure 15 (out-of-cache speedups with/without prefetch).
+fn main() {
+    hstencil_bench::experiments::fig15_outofcache::table().emit("fig15_outofcache");
+}

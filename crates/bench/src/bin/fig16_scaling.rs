@@ -1,0 +1,4 @@
+//! Regenerates Figure 16 (multi-core scaling, Box-2D9P).
+fn main() {
+    hstencil_bench::experiments::fig16_scaling::table().emit("fig16_scaling");
+}

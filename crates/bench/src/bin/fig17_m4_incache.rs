@@ -1,0 +1,4 @@
+//! Regenerates Figure 17 (Apple M4 in-cache speedups).
+fn main() {
+    hstencil_bench::experiments::fig17_m4_incache::table().emit("fig17_m4_incache");
+}

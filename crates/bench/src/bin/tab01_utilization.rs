@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (matrix-unit utilization).
+fn main() {
+    hstencil_bench::experiments::tab01_utilization::table().emit("tab01_utilization");
+}

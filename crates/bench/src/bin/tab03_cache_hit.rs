@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (L1 hit rates on out-of-cache stencils).
+fn main() {
+    hstencil_bench::experiments::tab03_cache_hit::table().emit("tab03_cache_hit");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 5 (matrix/vector instruction-cycle split).
+fn main() {
+    hstencil_bench::experiments::tab05_instr_ratio::table().emit("tab05_instr_ratio");
+}

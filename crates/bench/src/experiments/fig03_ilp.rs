@@ -1,0 +1,132 @@
+//! Figure 3 — matrix/vector instruction-level-parallelism microbenchmarks.
+//!
+//! (a) Outer-product throughput versus the number of independent tile
+//!     accumulators: peak is reached at four or more (the FMOPA
+//!     accumulate latency).
+//! (b) Overlapped versus isolated execution of outer products and vector
+//!     MLA: co-issue on distinct pipes approaches
+//!     `max(T_matrix, T_vector)` instead of the sum (paper: up to 1.5×).
+
+use crate::fmt::{f2, Table};
+use lx2_isa::{Inst, Program, RowMask, VReg, ZaReg};
+use lx2_sim::{Machine, MachineConfig};
+
+/// Cycles to run `program` on a fresh machine.
+fn run(cfg: &MachineConfig, program: &Program) -> u64 {
+    let mut m = Machine::new(cfg);
+    m.execute(program).expect("microbenchmark must execute");
+    m.elapsed_cycles()
+}
+
+fn fmopa(tile: usize) -> Inst {
+    Inst::Fmopa {
+        za: ZaReg::new(tile),
+        vn: VReg::new(0),
+        vm: VReg::new(1),
+        mask: RowMask::ALL,
+    }
+}
+
+fn fmla(acc: usize) -> Inst {
+    Inst::Fmla {
+        vd: VReg::new(2 + acc),
+        vn: VReg::new(30),
+        vm: VReg::new(31),
+    }
+}
+
+/// Figure 3a: throughput scaling with independent tiles.
+pub fn throughput_table(cfg: &MachineConfig) -> Table {
+    let mut t = Table::new("Figure 3a: FMOPA throughput vs independent tiles (LX2)").header(&[
+        "tiles",
+        "cycles",
+        "FMOPA/cycle",
+        "of peak",
+    ]);
+    let reps = 1024u64;
+    for tiles in 1..=8usize {
+        let program: Program = (0..reps).map(|k| fmopa(k as usize % tiles)).collect();
+        let cycles = run(cfg, &program);
+        let per_cycle = reps as f64 / cycles as f64;
+        t.row(vec![
+            tiles.to_string(),
+            cycles.to_string(),
+            f2(per_cycle),
+            f2(per_cycle / cfg.matrix_units as f64),
+        ]);
+    }
+    t
+}
+
+/// Figure 3b: isolated vs overlapped matrix+vector execution.
+pub fn overlap_table(cfg: &MachineConfig) -> Table {
+    let mut t = Table::new("Figure 3b: isolated vs overlapped matrix+vector (LX2)").header(&[
+        "workload",
+        "cycles",
+        "speedup vs isolated",
+    ]);
+    let reps = 1024u64;
+    let matrix: Program = (0..reps).map(|k| fmopa(k as usize % 4)).collect();
+    let vector: Program = (0..reps).map(|k| fmla(k as usize % 8)).collect();
+    let interleaved: Program = (0..reps)
+        .flat_map(|k| [fmopa(k as usize % 4), fmla(k as usize % 8)])
+        .collect();
+
+    let tm = run(cfg, &matrix);
+    let tv = run(cfg, &vector);
+    let ti = run(cfg, &interleaved);
+    let isolated = tm + tv;
+    t.row(vec!["matrix only".into(), tm.to_string(), String::new()]);
+    t.row(vec!["vector only".into(), tv.to_string(), String::new()]);
+    t.row(vec!["isolated (sum)".into(), isolated.to_string(), f2(1.0)]);
+    t.row(vec![
+        "interleaved".into(),
+        ti.to_string(),
+        format!("{}x", f2(isolated as f64 / ti as f64)),
+    ]);
+    t
+}
+
+/// Runs both parts.
+pub fn run_all() -> Vec<Table> {
+    let cfg = MachineConfig::lx2();
+    vec![throughput_table(&cfg), overlap_table(&cfg)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_needs_four_tiles() {
+        let cfg = MachineConfig::lx2();
+        let reps = 512u64;
+        let cycles = |tiles: usize| {
+            let p: Program = (0..reps).map(|k| fmopa(k as usize % tiles)).collect();
+            run(&cfg, &p)
+        };
+        let one = cycles(1);
+        let four = cycles(4);
+        let eight = cycles(8);
+        // Single-tile chains serialize at the FMOPA latency; four tiles
+        // reach ~1/cycle; more tiles add nothing (paper Figure 3a).
+        assert!(one >= 35 * four / 10, "1 tile {one} vs 4 tiles {four}");
+        assert!(eight as f64 >= four as f64 * 0.9);
+        assert!(four <= reps + 16);
+    }
+
+    #[test]
+    fn overlap_reaches_at_least_1_5x() {
+        let cfg = MachineConfig::lx2();
+        let reps = 512u64;
+        let m: Program = (0..reps).map(|k| fmopa(k as usize % 4)).collect();
+        let v: Program = (0..reps).map(|k| fmla(k as usize % 8)).collect();
+        let i: Program = (0..reps)
+            .flat_map(|k| [fmopa(k as usize % 4), fmla(k as usize % 8)])
+            .collect();
+        let isolated = run(&cfg, &m) + run(&cfg, &v);
+        let inter = run(&cfg, &i);
+        let speedup = isolated as f64 / inter as f64;
+        assert!(speedup >= 1.5, "overlap speedup only {speedup:.2}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 12 — in-cache performance of HStencil versus matrix/vector
+//! methods on 128×128 micro kernels, normalized to auto-vectorization.
+//!
+//! Covers the 2-D star/box suite (r = 1..3), Heat-2D and the 3-D suite
+//! (3-D runs as weighted accumulation over 2-D planes, §5.2.1).
+
+use crate::fmt::{f2, Table};
+use crate::runner::{dump_json, geomean, run_method, workload_3d};
+use hstencil_core::{presets, Method, StencilPlan};
+use lx2_sim::MachineConfig;
+
+const METHODS: [Method; 3] = [Method::VectorOnly, Method::MatrixOnly, Method::HStencil];
+
+/// 2-D part of the figure.
+pub fn table_2d() -> Table {
+    let cfg = MachineConfig::lx2();
+    let mut t = Table::new("Figure 12 (2-D): in-cache speedups over auto, 128x128").header(&[
+        "stencil",
+        "Vector-only",
+        "Matrix-only",
+        "HStencil",
+    ]);
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); METHODS.len()];
+    let mut json = Vec::new();
+    for spec in presets::suite_2d() {
+        let auto = run_method(&cfg, &spec, Method::Auto, 128, 1, 1);
+        let mut row = vec![spec.name().to_string()];
+        for (k, &m) in METHODS.iter().enumerate() {
+            let rep = run_method(&cfg, &spec, m, 128, 1, 1);
+            let s = rep.speedup_over(&auto);
+            per_method[k].push(s);
+            row.push(format!("{}x", f2(s)));
+            json.push((format!("{}/{}", spec.name(), m.label()), rep));
+        }
+        json.push((format!("{}/Auto", spec.name()), auto));
+        t.row(row);
+    }
+    dump_json("fig12_incache_2d", &json);
+    let mut row = vec!["geomean".to_string()];
+    for sp in &per_method {
+        row.push(format!("{}x", f2(geomean(sp))));
+    }
+    t.row(row);
+    t
+}
+
+/// 3-D part of the figure (4 planes of 96×96 — sized to stay in cache
+/// like the 2-D micro kernels).
+pub fn table_3d() -> Table {
+    let cfg = MachineConfig::lx2();
+    let mut t = Table::new("Figure 12 (3-D): in-cache speedups over auto, 4x96x96").header(&[
+        "stencil",
+        "Vector-only",
+        "Matrix-only",
+        "HStencil",
+    ]);
+    for spec in presets::suite_3d() {
+        let grid = workload_3d(4, 96, 96, spec.radius(), 42);
+        let run = |m: Method| {
+            StencilPlan::new(&spec, m)
+                .warmup(1)
+                .run_3d(&cfg, &grid)
+                .unwrap_or_else(|e| panic!("{m} on {}: {e}", spec.name()))
+                .report
+        };
+        let auto = run(Method::Auto);
+        let mut row = vec![spec.name().to_string()];
+        for &m in &METHODS {
+            row.push(format!("{}x", f2(run(m).speedup_over(&auto))));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Both parts.
+pub fn run_all() -> Vec<Table> {
+    vec![table_2d(), table_3d()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hstencil_beats_matrix_only_and_auto_in_cache() {
+        // The headline ordering of Figure 12 for the r=2 kernels.
+        let cfg = MachineConfig::lx2();
+        for spec in [presets::star2d9p(), presets::box2d25p()] {
+            let auto = run_method(&cfg, &spec, Method::Auto, 128, 1, 1);
+            let matrix = run_method(&cfg, &spec, Method::MatrixOnly, 128, 1, 1);
+            let h = run_method(&cfg, &spec, Method::HStencil, 128, 1, 1);
+            assert!(
+                h.cycles() < matrix.cycles(),
+                "{}: HStencil {} vs matrix {}",
+                spec.name(),
+                h.cycles(),
+                matrix.cycles()
+            );
+            assert!(h.cycles() < auto.cycles());
+        }
+    }
+}

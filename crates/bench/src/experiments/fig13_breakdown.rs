@@ -1,0 +1,83 @@
+//! Figure 13 — performance breakdown of the HStencil optimizations on
+//! r = 2 2-D stencils: Mat-ortho, Mat-only, the hybrid micro kernel
+//! without fine-grained scheduling, and the full kernel with it.
+
+use crate::fmt::{f2, BarChart, Table};
+use crate::runner::{run_method, run_method_opts};
+use hstencil_core::{presets, Method, StencilSpec};
+use lx2_sim::MachineConfig;
+
+fn breakdown(spec: &StencilSpec, include_ortho: bool) -> Table {
+    let cfg = MachineConfig::lx2();
+    let mut t = Table::new(format!(
+        "Figure 13: breakdown for {} (128x128, speedup vs auto)",
+        spec.name()
+    ))
+    .header(&["variant", "speedup"]);
+    let mut chart =
+        BarChart::new(format!("Figure 13 ({}): speedup vs auto", spec.name())).reference(1.0);
+    let auto = run_method(&cfg, spec, Method::Auto, 128, 1, 1);
+    let mut add = |label: &str, cycles: u64| {
+        let s = auto.cycles() as f64 / cycles as f64;
+        chart.bar(label, s);
+        t.row(vec![label.into(), format!("{}x", f2(s))]);
+    };
+    if include_ortho {
+        add(
+            "Mat-ortho",
+            run_method(&cfg, spec, Method::MatrixOrtho, 128, 1, 1).cycles(),
+        );
+    }
+    add(
+        "Mat-only",
+        run_method(&cfg, spec, Method::MatrixOnly, 128, 1, 1).cycles(),
+    );
+    add(
+        "HStencil w/o scheduling",
+        run_method_opts(&cfg, spec, Method::HStencil, 128, 1, 1, Some(false), None).cycles(),
+    );
+    add(
+        "HStencil w/ scheduling",
+        run_method_opts(&cfg, spec, Method::HStencil, 128, 1, 1, Some(true), None).cycles(),
+    );
+    chart.emit(&format!("fig13_{}", spec.name()));
+    t
+}
+
+/// Star (13a) and box (13b) breakdowns.
+pub fn run_all() -> Vec<Table> {
+    vec![
+        breakdown(&presets::star2d9p(), true),
+        breakdown(&presets::box2d25p(), false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_ordering_matches_figure_13() {
+        let cfg = MachineConfig::lx2();
+        let spec = presets::star2d9p();
+        let ortho = run_method(&cfg, &spec, Method::MatrixOrtho, 128, 1, 1).cycles();
+        let auto = run_method(&cfg, &spec, Method::Auto, 128, 1, 1).cycles();
+        let matrix = run_method(&cfg, &spec, Method::MatrixOnly, 128, 1, 1).cycles();
+        let unsched =
+            run_method_opts(&cfg, &spec, Method::HStencil, 128, 1, 1, Some(false), None).cycles();
+        let sched =
+            run_method_opts(&cfg, &spec, Method::HStencil, 128, 1, 1, Some(true), None).cycles();
+        // Mat-ortho loses to auto; matrix-only beats auto; the hybrid
+        // kernel beats matrix-only; scheduling improves it further.
+        assert!(ortho > auto, "ortho {ortho} should lose to auto {auto}");
+        assert!(matrix < auto);
+        assert!(
+            unsched < matrix,
+            "micro kernel {unsched} vs matrix {matrix}"
+        );
+        assert!(
+            sched < unsched,
+            "scheduling must help: {sched} vs {unsched}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 16 — multi-core scaling of a Box-2D9P stencil on 8192×8192,
+//! 1 to 32 cores (paper: HStencil 12.91 GStencil/s at 32 cores vs 7.76
+//! matrix-only and 7.14 vector-only).
+
+use crate::fmt::{f2, Table};
+use crate::runner::workload_2d;
+use hstencil_core::{presets, run_multicore, Method, StencilPlan};
+use lx2_sim::MachineConfig;
+
+/// Problem size (quick mode shrinks it to keep smoke runs fast).
+fn size() -> usize {
+    if super::quick() {
+        1024
+    } else {
+        8192
+    }
+}
+
+/// Builds the scaling table.
+pub fn table() -> Table {
+    let cfg = MachineConfig::lx2();
+    let spec = presets::box2d9p();
+    let n = size();
+    let grid = workload_2d(n, n, spec.radius(), 42);
+    let mut t = Table::new(format!(
+        "Figure 16: scaling Box-2D9P at {n}x{n} (GStencil/s)"
+    ))
+    .header(&["cores", "Vector-only", "Matrix-only", "HStencil"]);
+    for cores in super::core_counts() {
+        let mut row = vec![cores.to_string()];
+        for method in [Method::VectorOnly, Method::MatrixOnly, Method::HStencil] {
+            let plan = StencilPlan::new(&spec, method).warmup(0);
+            let (_, rep) = run_multicore(&plan, &spec, &cfg, &grid, cores)
+                .unwrap_or_else(|e| panic!("{method} at {cores} cores: {e}"));
+            row.push(f2(rep.gstencil_per_s()));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hstencil_scales_and_leads_at_high_core_counts() {
+        let cfg = MachineConfig::lx2();
+        let spec = presets::box2d9p();
+        let grid = workload_2d(512, 512, 1, 42);
+        let gs = |method: Method, cores: usize| {
+            let plan = StencilPlan::new(&spec, method).warmup(0);
+            run_multicore(&plan, &spec, &cfg, &grid, cores)
+                .unwrap()
+                .1
+                .gstencil_per_s()
+        };
+        let h1 = gs(Method::HStencil, 1);
+        let h8 = gs(Method::HStencil, 8);
+        let m8 = gs(Method::MatrixOnly, 8);
+        let v8 = gs(Method::VectorOnly, 8);
+        assert!(h8 > 2.0 * h1, "HStencil should scale: {h1:.2} -> {h8:.2}");
+        assert!(
+            h8 > m8 && h8 > v8,
+            "HStencil must lead: h={h8:.2} m={m8:.2} v={v8:.2}"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 18 — out-of-cache speedups over auto on Apple M4: the base
+//! kernel, plus instruction scheduling, plus spatial prefetch (paper:
+//! +30% from scheduling, +20% from prefetch on average).
+
+use crate::fmt::{f2, Table};
+use crate::runner::{run_method, run_method_opts};
+use hstencil_core::{presets, Method};
+use lx2_sim::MachineConfig;
+
+/// Builds the M4 out-of-cache table (r = 2 box).
+pub fn table() -> Table {
+    let cfg = MachineConfig::apple_m4();
+    let spec = presets::box2d25p();
+    let mut t = Table::new("Figure 18: out-of-cache speedups over auto on Apple M4 (box2d25p)")
+        .header(&["size", "HStencil base", "+scheduling", "+sched+prefetch"]);
+    for n in super::out_of_cache_sizes() {
+        let auto = run_method(&cfg, &spec, Method::Auto, n, 1, 0);
+        let base = run_method_opts(
+            &cfg,
+            &spec,
+            Method::HStencil,
+            n,
+            1,
+            0,
+            Some(false),
+            Some(false),
+        );
+        let sched = run_method_opts(
+            &cfg,
+            &spec,
+            Method::HStencil,
+            n,
+            1,
+            0,
+            Some(true),
+            Some(false),
+        );
+        let full = run_method_opts(
+            &cfg,
+            &spec,
+            Method::HStencil,
+            n,
+            1,
+            0,
+            Some(true),
+            Some(true),
+        );
+        t.row(vec![
+            format!("{n}x{n}"),
+            format!("{}x", f2(base.speedup_over(&auto))),
+            format!("{}x", f2(sched.speedup_over(&auto))),
+            format!("{}x", f2(full.speedup_over(&auto))),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m4_scheduling_helps() {
+        let cfg = MachineConfig::apple_m4();
+        let spec = presets::box2d25p();
+        let base = run_method_opts(
+            &cfg,
+            &spec,
+            Method::HStencil,
+            1024,
+            1,
+            0,
+            Some(false),
+            Some(false),
+        );
+        let sched = run_method_opts(
+            &cfg,
+            &spec,
+            Method::HStencil,
+            1024,
+            1,
+            0,
+            Some(true),
+            Some(false),
+        );
+        assert!(sched.cycles() < base.cycles(), "scheduling must help on M4");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "4096² simulation; run with --release")]
+    fn m4_prefetch_helps_beyond_l2() {
+        // Spatial prefetch pays once the strips overflow M4's 4 MiB L2
+        // (paper Figure 18's out-of-cache regime).
+        let cfg = MachineConfig::apple_m4();
+        let spec = presets::box2d25p();
+        let sched = run_method_opts(
+            &cfg,
+            &spec,
+            Method::HStencil,
+            4096,
+            1,
+            0,
+            Some(true),
+            Some(false),
+        );
+        let full = run_method_opts(
+            &cfg,
+            &spec,
+            Method::HStencil,
+            4096,
+            1,
+            0,
+            Some(true),
+            Some(true),
+        );
+        assert!(
+            full.cycles() < sched.cycles(),
+            "prefetch must help at 4096: {} vs {}",
+            full.cycles(),
+            sched.cycles()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! One module per paper artifact (DESIGN.md §4 experiment index).
+//!
+//! Every experiment returns [`crate::Table`]s that mirror the paper's
+//! figure/table structure; binaries print them and archive the text under
+//! `results/`. Set `HSTENCIL_QUICK=1` to cap the out-of-cache sizes and
+//! core counts for smoke runs.
+
+pub mod fig03_ilp;
+pub mod fig12_incache;
+pub mod fig13_breakdown;
+pub mod fig14_ipc;
+pub mod fig15_outofcache;
+pub mod fig16_scaling;
+pub mod fig17_m4_incache;
+pub mod fig18_m4_outofcache;
+pub mod tab01_utilization;
+pub mod tab02_ipc;
+pub mod tab03_cache_hit;
+pub mod tab05_instr_ratio;
+pub mod tab07_prefetch_cache;
+
+/// Whether quick mode is active (smaller out-of-cache sweeps).
+pub fn quick() -> bool {
+    std::env::var("HSTENCIL_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Out-of-cache matrix sizes (paper: 1024–8192).
+pub fn out_of_cache_sizes() -> Vec<usize> {
+    if quick() {
+        vec![1024, 2048]
+    } else {
+        vec![1024, 2048, 4096, 8192]
+    }
+}
+
+/// Core counts for the scaling study (paper: 1–32).
+pub fn core_counts() -> Vec<usize> {
+    if quick() {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    }
+}

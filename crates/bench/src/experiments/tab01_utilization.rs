@@ -1,0 +1,48 @@
+//! Table 1 — matrix-unit utilization of single-register methods.
+//!
+//! Utilization = structurally useful MAC slots / provisioned MAC slots
+//! (64 per outer product), measured dynamically on in-cache runs with
+//! `reg_blocks = 1` (the paper's "single-register" qualifier).
+
+use crate::fmt::{pct, Table};
+use hstencil_core::{analysis, presets, Method};
+use lx2_sim::MachineConfig;
+
+/// Builds the utilization table (paper values shown for reference).
+pub fn table() -> Table {
+    let cfg = MachineConfig::lx2();
+    let mut t = Table::new("Table 1: matrix-unit utilization (single-register)")
+        .header(&["method", "measured", "paper"]);
+    let util = |spec: &hstencil_core::StencilSpec, m: Method| {
+        analysis::matrix_utilization(spec, m, &cfg, 1)
+            .expect("analysis run must succeed")
+            .expect("method uses outer products")
+    };
+    t.row(vec![
+        "Outer-axis (Box)".into(),
+        pct(util(&presets::box2d25p(), Method::MatrixOnly)),
+        "41.7%".into(),
+    ]);
+    t.row(vec![
+        "Outer-axis (Star)".into(),
+        pct(util(&presets::star2d9p(), Method::MatrixOnly)),
+        "18.3%".into(),
+    ]);
+    t.row(vec![
+        "Outer&inner-axis (Star)".into(),
+        pct(util(&presets::star2d9p(), Method::MatrixOrtho)),
+        "41.7%".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_three_rows() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+    }
+}

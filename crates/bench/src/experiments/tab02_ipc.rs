@@ -1,0 +1,39 @@
+//! Table 2 — instructions per cycle of vector-only vs matrix-only.
+//!
+//! The motivation table: matrix instructions have lower instruction
+//! throughput than vector instructions, leaving headroom an interleaved
+//! hybrid can claim (paper values: vector 1.75, matrix 1.46, ideal 3.00).
+
+use crate::fmt::{f2, Table};
+use crate::runner::run_method;
+use hstencil_core::{presets, Method};
+use lx2_sim::MachineConfig;
+
+/// Builds the IPC table on the r = 2 box workload at 128².
+pub fn table() -> Table {
+    let cfg = MachineConfig::lx2();
+    let spec = presets::box2d25p();
+    let mut t = Table::new("Table 2: instructions per cycle (box2d25p, 128x128)")
+        .header(&["method", "IPC", "paper"]);
+    let vec_ipc = run_method(&cfg, &spec, Method::VectorOnly, 128, 1, 1).ipc();
+    let mat_ipc = run_method(&cfg, &spec, Method::MatrixOnly, 128, 1, 1).ipc();
+    t.row(vec!["Vector-only".into(), f2(vec_ipc), "1.75".into()]);
+    t.row(vec!["Matrix-only".into(), f2(mat_ipc), "1.46".into()]);
+    t.row(vec!["Ideal".into(), "3.00".into(), "3.00".into()]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_ipc_exceeds_matrix_ipc() {
+        // The paper's motivating asymmetry (Table 2).
+        let cfg = MachineConfig::lx2();
+        let spec = presets::box2d25p();
+        let v = run_method(&cfg, &spec, Method::VectorOnly, 128, 1, 1).ipc();
+        let m = run_method(&cfg, &spec, Method::MatrixOnly, 128, 1, 1).ipc();
+        assert!(v > m, "vector IPC {v:.2} must exceed matrix IPC {m:.2}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Table 5 — matrix / vector instruction-cycle ratios per tile.
+//!
+//! Shows why §3.2.1 replacement exists: the matrix-only method never
+//! touches the vector pipe, while the hybrid star kernel is vector-heavy
+//! (paper: "Matrix Star & Box 40/0", "Matrix-Vector Star 16/48",
+//! "Matrix-Vector Box 40/32").
+
+use crate::fmt::{f2, Table};
+use hstencil_core::{analysis, presets, Method};
+use lx2_sim::MachineConfig;
+
+/// Builds the cycle-ratio table.
+pub fn table() -> Table {
+    let cfg = MachineConfig::lx2();
+    let mut t = Table::new("Table 5: matrix / vector occupancy cycles per 8x32 tile").header(&[
+        "method",
+        "matrix",
+        "vector",
+        "paper (m/v)",
+    ]);
+    let pc = |spec: &hstencil_core::StencilSpec, m: Method| {
+        analysis::pipe_cycles(spec, m, &cfg, 4).expect("analysis run must succeed")
+    };
+    let mstar = pc(&presets::star2d9p(), Method::MatrixOnly);
+    let mbox = pc(&presets::box2d25p(), Method::MatrixOnly);
+    let hstar = pc(&presets::star2d9p(), Method::HStencil);
+    let hbox = pc(&presets::box2d25p(), Method::HStencil);
+    t.row(vec![
+        "Matrix Star".into(),
+        f2(mstar.matrix),
+        f2(mstar.vector),
+        "40 / 0".into(),
+    ]);
+    t.row(vec![
+        "Matrix Box".into(),
+        f2(mbox.matrix),
+        f2(mbox.vector),
+        "40 / 0".into(),
+    ]);
+    t.row(vec![
+        "Matrix-Vector Star".into(),
+        f2(hstar.matrix),
+        f2(hstar.vector),
+        "16 / 48".into(),
+    ]);
+    t.row(vec![
+        "Matrix-Vector Box".into(),
+        f2(hbox.matrix),
+        f2(hbox.vector),
+        "40 / 32".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_star_is_vector_heavier_than_hybrid_box() {
+        let cfg = MachineConfig::lx2();
+        let hstar = analysis::pipe_cycles(&presets::star2d9p(), Method::HStencil, &cfg, 4).unwrap();
+        let hbox = analysis::pipe_cycles(&presets::box2d25p(), Method::HStencil, &cfg, 4).unwrap();
+        // Star offloads its inner axis to the vector pipe; box keeps the
+        // matrix pipe dominant (Table 5's contrast).
+        let star_ratio = hstar.vector / hstar.matrix.max(1e-9);
+        let box_ratio = hbox.vector / hbox.matrix.max(1e-9);
+        assert!(
+            star_ratio > box_ratio,
+            "star v/m {star_ratio:.2} vs box {box_ratio:.2}"
+        );
+    }
+}

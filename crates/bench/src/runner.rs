@@ -1,0 +1,145 @@
+//! Workload construction and method execution shared by all experiments.
+
+use hstencil_core::{Grid2d, Grid3d, Method, RunReport, StencilPlan, StencilSpec};
+use lx2_sim::MachineConfig;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random grid used by every experiment (values in
+/// `[-1, 1)`, never exactly zero so useful-MAC counting stays structural).
+pub fn workload_2d(h: usize, w: usize, halo: usize, seed: u64) -> Grid2d {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Grid2d::from_fn(h, w, halo, |_, _| loop {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if v != 0.0 {
+            break v;
+        }
+    })
+}
+
+/// Deterministic random 3-D grid.
+pub fn workload_3d(d: usize, h: usize, w: usize, halo: usize, seed: u64) -> Grid3d {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Grid3d::from_fn(d, h, w, halo, |_, _, _| rng.gen_range(-1.0..1.0))
+}
+
+/// Runs one method on a square 2-D workload and returns its report.
+///
+/// `sweeps`/`warmup` control the timed window; verification runs for
+/// in-cache sizes only (the scalar reference over 8192² per method would
+/// dominate the harness runtime).
+pub fn run_method(
+    cfg: &MachineConfig,
+    spec: &StencilSpec,
+    method: Method,
+    n: usize,
+    sweeps: usize,
+    warmup: usize,
+) -> RunReport {
+    let grid = workload_2d(n, n, spec.radius(), 42);
+    let verify = n <= 256;
+    let plan = StencilPlan::new(spec, method)
+        .sweeps(sweeps)
+        .warmup(warmup)
+        .verify(verify);
+    match plan.run_2d(cfg, &grid) {
+        Ok(out) => out.report,
+        Err(e) => panic!("{method} on {} {n}x{n}: {e}", spec.name()),
+    }
+}
+
+/// Runs one method with explicit option overrides (breakdown studies).
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_opts(
+    cfg: &MachineConfig,
+    spec: &StencilSpec,
+    method: Method,
+    n: usize,
+    sweeps: usize,
+    warmup: usize,
+    scheduling: Option<bool>,
+    prefetch: Option<bool>,
+) -> RunReport {
+    let grid = workload_2d(n, n, spec.radius(), 42);
+    let mut plan = StencilPlan::new(spec, method)
+        .sweeps(sweeps)
+        .warmup(warmup)
+        .verify(n <= 256);
+    if let Some(s) = scheduling {
+        plan = plan.scheduling(s).replacement(s);
+    }
+    if let Some(p) = prefetch {
+        plan = plan.prefetch(p);
+    }
+    match plan.run_2d(cfg, &grid) {
+        Ok(out) => out.report,
+        Err(e) => panic!("{method} on {} {n}x{n}: {e}", spec.name()),
+    }
+}
+
+/// Serializes labelled run reports as JSON under `results/<id>.json`,
+/// next to the text tables — machine-readable output for downstream
+/// plotting (the artifact's `plot.py` role).
+pub fn dump_json(id: &str, entries: &[(String, RunReport)]) {
+    #[derive(serde::Serialize)]
+    struct Entry<'a> {
+        label: &'a str,
+        #[serde(flatten)]
+        report: &'a RunReport,
+        cycles: u64,
+        ipc: f64,
+        gstencil_per_s: f64,
+        l1_load_hit_rate: f64,
+    }
+    let rows: Vec<Entry> = entries
+        .iter()
+        .map(|(label, r)| Entry {
+            label,
+            report: r,
+            cycles: r.cycles(),
+            ipc: r.ipc(),
+            gstencil_per_s: r.gstencil_per_s(),
+            l1_load_hit_rate: r.l1_load_hit_rate(),
+        })
+        .collect();
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(text) = serde_json::to_string_pretty(&rows) {
+            let _ = std::fs::write(format!("results/{id}.json"), text);
+        }
+    }
+}
+
+/// Geometric mean of a slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hstencil_core::presets;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = workload_2d(16, 16, 2, 7);
+        let b = workload_2d(16, 16, 2, 7);
+        assert_eq!(a.max_interior_diff(&b), 0.0);
+        let c = workload_2d(16, 16, 2, 8);
+        assert!(a.max_interior_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn run_method_verifies_small_sizes() {
+        let cfg = MachineConfig::lx2();
+        let r = run_method(&cfg, &presets::star2d5p(), Method::HStencil, 64, 1, 0);
+        assert!(r.cycles() > 0);
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

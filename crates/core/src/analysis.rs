@@ -1,0 +1,214 @@
+//! Static and dynamic analyses behind the paper's Tables 1, 2 and 5.
+
+use crate::error::PlanError;
+use crate::grid::Grid2d;
+use crate::method::Method;
+use crate::plan::StencilPlan;
+use crate::report::RunReport;
+use crate::stencil::StencilSpec;
+use lx2_isa::PipeClass;
+use lx2_sim::MachineConfig;
+
+/// Matrix-unit utilization of a method on a stencil (Table 1): useful MAC
+/// slots over provisioned MAC slots (64 per outer product), measured by
+/// running the kernel on a small random in-cache grid.
+pub fn matrix_utilization(
+    spec: &StencilSpec,
+    method: Method,
+    cfg: &MachineConfig,
+    reg_blocks: usize,
+) -> Result<Option<f64>, PlanError> {
+    let report = small_run(spec, method, cfg, reg_blocks)?;
+    Ok(report.matrix_utilization())
+}
+
+/// Per-pipe occupancy cycles of a method on a stencil (Table 5), per
+/// output tile of `8 × 8·reg_blocks` points.
+#[derive(Clone, Copy, Debug)]
+pub struct PipeCycles {
+    /// Matrix-pipe occupancy cycles per tile.
+    pub matrix: f64,
+    /// Vector-pipe occupancy cycles per tile (normalized by unit count).
+    pub vector: f64,
+    /// Load-pipe occupancy cycles per tile.
+    pub load: f64,
+    /// Store-pipe occupancy cycles per tile.
+    pub store: f64,
+}
+
+/// Measures the matrix/vector instruction-cycle split (Table 5).
+pub fn pipe_cycles(
+    spec: &StencilSpec,
+    method: Method,
+    cfg: &MachineConfig,
+    reg_blocks: usize,
+) -> Result<PipeCycles, PlanError> {
+    let report = small_run(spec, method, cfg, reg_blocks)?;
+    let tiles = report.points as f64 / (8.0 * 8.0 * reg_blocks as f64);
+    let busy = |c: PipeClass, units: usize| {
+        report.counters.pipe_busy_cycles(c) as f64 / units as f64 / tiles
+    };
+    Ok(PipeCycles {
+        matrix: busy(PipeClass::Matrix, cfg.matrix_units),
+        vector: busy(PipeClass::VectorFp, cfg.vector_units),
+        load: busy(PipeClass::Load, cfg.load_units),
+        store: busy(PipeClass::Store, cfg.store_units),
+    })
+}
+
+/// Runs a method on a small in-cache grid and returns the report
+/// (shared helper for the analysis tables).
+pub fn small_run(
+    spec: &StencilSpec,
+    method: Method,
+    cfg: &MachineConfig,
+    reg_blocks: usize,
+) -> Result<RunReport, PlanError> {
+    assert_eq!(spec.dims(), 2, "analysis helpers use 2-D stencils");
+    let grid = Grid2d::from_fn(64, 64, spec.radius(), |i, j| {
+        // Nonzero everywhere so structural zeros dominate the useful-MAC
+        // count.
+        1.0 + 0.001 * ((i * 131 + j * 37) % 251) as f64
+    });
+    let out = StencilPlan::new(spec, method)
+        .reg_blocks(reg_blocks)
+        .verify(true)
+        .run_2d(cfg, &grid)?;
+    Ok(out.report)
+}
+
+/// Roofline placement of a run: achieved flops versus the compute and
+/// memory ceilings of the machine.
+#[derive(Clone, Copy, Debug)]
+pub struct Roofline {
+    /// FLOP per DRAM byte actually moved.
+    pub arithmetic_intensity: f64,
+    /// Achieved FP64 GFLOP/s.
+    pub achieved_gflops: f64,
+    /// Compute ceiling (matrix + vector peak) in GFLOP/s.
+    pub compute_ceiling_gflops: f64,
+    /// Memory ceiling at this intensity in GFLOP/s.
+    pub memory_ceiling_gflops: f64,
+}
+
+impl Roofline {
+    /// Whether the run sits under the memory roof (bandwidth-bound
+    /// region) rather than the compute roof.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_ceiling_gflops < self.compute_ceiling_gflops
+    }
+
+    /// Fraction of the applicable roof actually achieved.
+    pub fn efficiency(&self) -> f64 {
+        let roof = self.memory_ceiling_gflops.min(self.compute_ceiling_gflops);
+        if roof == 0.0 {
+            0.0
+        } else {
+            self.achieved_gflops / roof
+        }
+    }
+}
+
+/// Places a run report on the machine's roofline.
+pub fn roofline(report: &RunReport, cfg: &MachineConfig) -> Roofline {
+    let dram_bytes = report.counters.mem.dram_bytes(cfg.l1.line_bytes).max(1) as f64;
+    let flops = report.counters.flops as f64;
+    let intensity = flops / dram_bytes;
+    let compute =
+        (cfg.matrix_peak_flops_per_cycle() + cfg.vector_peak_flops_per_cycle()) * cfg.freq_ghz;
+    let bw_gbytes = cfg.dram_bw_bytes_per_cycle * cfg.freq_ghz;
+    Roofline {
+        arithmetic_intensity: intensity,
+        achieved_gflops: report.gflops(),
+        compute_ceiling_gflops: compute,
+        memory_ceiling_gflops: intensity * bw_gbytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::presets;
+
+    #[test]
+    fn box_utilization_exceeds_star_outer_axis() {
+        // Table 1: outer-axis box ≈ 41.7%, outer-axis star < 20%.
+        let cfg = MachineConfig::lx2();
+        let ubox = matrix_utilization(&presets::box2d25p(), Method::MatrixOnly, &cfg, 1)
+            .unwrap()
+            .unwrap();
+        let ustar = matrix_utilization(&presets::star2d9p(), Method::MatrixOnly, &cfg, 1)
+            .unwrap()
+            .unwrap();
+        assert!(ubox > 0.30 && ubox < 0.55, "box utilization {ubox}");
+        assert!(ustar < 0.25, "star utilization {ustar}");
+        assert!(ubox > ustar * 1.5);
+    }
+
+    #[test]
+    fn ortho_recovers_star_utilization() {
+        // Table 1: outer&inner-axis star ≈ outer-axis box.
+        let cfg = MachineConfig::lx2();
+        let uortho = matrix_utilization(&presets::star2d9p(), Method::MatrixOrtho, &cfg, 1)
+            .unwrap()
+            .unwrap();
+        let ustar = matrix_utilization(&presets::star2d9p(), Method::MatrixOnly, &cfg, 1)
+            .unwrap()
+            .unwrap();
+        assert!(uortho > ustar, "ortho {uortho} vs outer-axis {ustar}");
+    }
+
+    #[test]
+    fn matrix_only_uses_no_vector_pipe() {
+        // Table 5: "Matrix Star & Box: 40 / 0".
+        let cfg = MachineConfig::lx2();
+        let pc = pipe_cycles(&presets::box2d25p(), Method::MatrixOnly, &cfg, 4).unwrap();
+        assert_eq!(pc.vector, 0.0);
+        assert!(pc.matrix > 0.0);
+    }
+
+    #[test]
+    fn roofline_in_cache_is_compute_side() {
+        let cfg = MachineConfig::lx2();
+        let rep = small_run(&presets::box2d25p(), Method::HStencil, &cfg, 4).unwrap();
+        let r = roofline(&rep, &cfg);
+        // A warm 64x64 run barely touches DRAM: very high intensity.
+        assert!(
+            r.arithmetic_intensity > 10.0,
+            "intensity {}",
+            r.arithmetic_intensity
+        );
+        assert!(!r.memory_bound());
+        assert!(r.achieved_gflops > 0.0);
+        assert!(r.efficiency() > 0.0 && r.efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn roofline_out_of_cache_drops_intensity() {
+        let cfg = MachineConfig::lx2();
+        let grid = Grid2d::from_fn(1024, 1024, 2, |i, j| ((i + j) % 17) as f64);
+        let spec = presets::box2d25p();
+        let rep = StencilPlan::new(&spec, Method::HStencil)
+            .warmup(0)
+            .run_2d(&cfg, &grid)
+            .unwrap()
+            .report;
+        let r = roofline(&rep, &cfg);
+        // One cold sweep moves the whole grid: intensity near
+        // flops/point / bytes/point = 50 / ~16-40.
+        assert!(
+            r.arithmetic_intensity < 10.0,
+            "intensity {}",
+            r.arithmetic_intensity
+        );
+    }
+
+    #[test]
+    fn hybrid_star_uses_both_pipes() {
+        // Table 5: "Matrix-Vector Star: 16 / 48" — vector-heavy.
+        let cfg = MachineConfig::lx2();
+        let pc = pipe_cycles(&presets::star2d9p(), Method::HStencil, &cfg, 4).unwrap();
+        assert!(pc.matrix > 0.0);
+        assert!(pc.vector > 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for plan construction and execution.
+
+use lx2_sim::SimError;
+use std::fmt;
+
+/// Errors raised while building or running a stencil plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// The grid is smaller than one tile in some dimension.
+    GridTooSmall {
+        /// Required minimum interior size per dimension.
+        min: usize,
+        /// Offending dimension size.
+        got: usize,
+    },
+    /// The stencil radius exceeds what tile kernels support.
+    RadiusTooLarge {
+        /// Requested radius.
+        radius: usize,
+        /// Maximum supported radius.
+        max: usize,
+    },
+    /// The chosen method cannot run on the chosen machine (e.g. an
+    /// expert vector-MLA method on Apple M4's streaming mode).
+    MethodUnsupported {
+        /// Method name.
+        method: &'static str,
+        /// Machine name.
+        machine: &'static str,
+        /// Why it is unsupported.
+        reason: &'static str,
+    },
+    /// The simulated output did not match the scalar reference.
+    VerificationFailed {
+        /// First mismatching interior row.
+        i: usize,
+        /// First mismatching interior column.
+        j: usize,
+        /// Expected (reference) value.
+        expected: f64,
+        /// Simulated value.
+        got: f64,
+    },
+    /// The functional simulator raised an error.
+    Sim(SimError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::GridTooSmall { min, got } => {
+                write!(
+                    f,
+                    "grid dimension {got} below the per-tile minimum of {min}"
+                )
+            }
+            PlanError::RadiusTooLarge { radius, max } => {
+                write!(f, "stencil radius {radius} exceeds supported maximum {max}")
+            }
+            PlanError::MethodUnsupported {
+                method,
+                machine,
+                reason,
+            } => {
+                write!(f, "method {method} is unsupported on {machine}: {reason}")
+            }
+            PlanError::VerificationFailed {
+                i,
+                j,
+                expected,
+                got,
+            } => write!(
+                f,
+                "verification failed at interior ({i},{j}): expected {expected}, got {got}"
+            ),
+            PlanError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<SimError> for PlanError {
+    fn from(e: SimError) -> Self {
+        PlanError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e = PlanError::GridTooSmall { min: 8, got: 4 };
+        assert!(e.to_string().contains("below"));
+        let e: PlanError = SimError::BadTileRow { row: 9 }.into();
+        assert!(matches!(e, PlanError::Sim(_)));
+    }
+}

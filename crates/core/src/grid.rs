@@ -1,0 +1,354 @@
+//! Padded 2-D and 3-D grids.
+//!
+//! Grids carry a halo of `halo` cells on every side (boundary values read
+//! by the stencil but never written), and are laid out so the interior
+//! origin of every row is aligned to a vector boundary — kernels can then
+//! use aligned `LD1D` for block loads and `EXT` for shifts.
+
+use lx2_isa::VLEN;
+
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// A 2-D grid with halo padding and vector-aligned rows.
+///
+/// ```
+/// use hstencil_core::Grid2d;
+/// let g = Grid2d::from_fn(8, 8, 1, |i, j| (i * 10 + j) as f64);
+/// assert_eq!(g.at(2, 3), 23.0);
+/// assert_eq!(g.at(-1, -1), -11.0); // halo coordinates are valid
+/// assert_eq!(g.stride() % 8, 0);   // rows are vector aligned
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid2d {
+    h: usize,
+    w: usize,
+    halo: usize,
+    stride: usize,
+    left: usize,
+    data: Vec<f64>,
+}
+
+impl Grid2d {
+    /// Builds a zeroed grid with interior `h x w` and halo width `halo`.
+    pub fn zeros(h: usize, w: usize, halo: usize) -> Self {
+        let left = round_up(halo, VLEN);
+        let stride = round_up(left + w + halo, VLEN);
+        let rows = h + 2 * halo;
+        Grid2d {
+            h,
+            w,
+            halo,
+            stride,
+            left,
+            data: vec![0.0; rows * stride],
+        }
+    }
+
+    /// Builds a grid by evaluating `f(i, j)` over interior *and* halo
+    /// cells (`i, j` may be negative or exceed the interior).
+    pub fn from_fn(
+        h: usize,
+        w: usize,
+        halo: usize,
+        mut f: impl FnMut(isize, isize) -> f64,
+    ) -> Self {
+        let mut g = Grid2d::zeros(h, w, halo);
+        let r = halo as isize;
+        for i in -r..(h as isize + r) {
+            for j in -r..(w as isize + r) {
+                let v = f(i, j);
+                g.set(i, j, v);
+            }
+        }
+        g
+    }
+
+    /// Interior height.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Interior width.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Halo width.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Row stride in elements of the padded layout.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Flat offset of interior cell `(0, 0)` within [`Grid2d::raw`].
+    pub fn origin(&self) -> usize {
+        self.halo * self.stride + self.left
+    }
+
+    /// Flat index of interior cell `(i, j)`; halo coordinates allowed.
+    #[inline]
+    pub fn index(&self, i: isize, j: isize) -> usize {
+        debug_assert!(i >= -(self.halo as isize) && i < (self.h + self.halo) as isize);
+        debug_assert!(j >= -(self.halo as isize) && j < (self.w + self.halo) as isize);
+        (self.origin() as isize + i * self.stride as isize + j) as usize
+    }
+
+    /// Value at `(i, j)` (halo coordinates allowed).
+    #[inline]
+    pub fn at(&self, i: isize, j: isize) -> f64 {
+        self.data[self.index(i, j)]
+    }
+
+    /// Sets the value at `(i, j)` (halo coordinates allowed).
+    #[inline]
+    pub fn set(&mut self, i: isize, j: isize, v: f64) {
+        let idx = self.index(i, j);
+        self.data[idx] = v;
+    }
+
+    /// The full padded backing array.
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the padded backing array.
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Maximum absolute interior difference against another grid of the
+    /// same interior shape.
+    pub fn max_interior_diff(&self, other: &Grid2d) -> f64 {
+        assert_eq!((self.h, self.w), (other.h, other.w));
+        let mut worst: f64 = 0.0;
+        for i in 0..self.h as isize {
+            for j in 0..self.w as isize {
+                worst = worst.max((self.at(i, j) - other.at(i, j)).abs());
+            }
+        }
+        worst
+    }
+
+    /// First interior cell whose difference exceeds `tol`, if any.
+    pub fn first_mismatch(&self, other: &Grid2d, tol: f64) -> Option<(usize, usize, f64, f64)> {
+        assert_eq!((self.h, self.w), (other.h, other.w));
+        for i in 0..self.h as isize {
+            for j in 0..self.w as isize {
+                let (a, b) = (self.at(i, j), other.at(i, j));
+                if (a - b).abs() > tol * (1.0 + a.abs().max(b.abs())) {
+                    return Some((i as usize, j as usize, a, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A 3-D grid (`d` planes of `h x w`) with halo padding on every side.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid3d {
+    d: usize,
+    h: usize,
+    w: usize,
+    halo: usize,
+    stride: usize,
+    left: usize,
+    plane_stride: usize,
+    data: Vec<f64>,
+}
+
+impl Grid3d {
+    /// Builds a zeroed grid with interior `d x h x w` and halo `halo`.
+    pub fn zeros(d: usize, h: usize, w: usize, halo: usize) -> Self {
+        let left = round_up(halo, VLEN);
+        let stride = round_up(left + w + halo, VLEN);
+        let rows = h + 2 * halo;
+        let plane_stride = rows * stride;
+        let planes = d + 2 * halo;
+        Grid3d {
+            d,
+            h,
+            w,
+            halo,
+            stride,
+            left,
+            plane_stride,
+            data: vec![0.0; planes * plane_stride],
+        }
+    }
+
+    /// Builds a grid by evaluating `f(k, i, j)` over interior and halo.
+    pub fn from_fn(
+        d: usize,
+        h: usize,
+        w: usize,
+        halo: usize,
+        mut f: impl FnMut(isize, isize, isize) -> f64,
+    ) -> Self {
+        let mut g = Grid3d::zeros(d, h, w, halo);
+        let r = halo as isize;
+        for k in -r..(d as isize + r) {
+            for i in -r..(h as isize + r) {
+                for j in -r..(w as isize + r) {
+                    let v = f(k, i, j);
+                    g.set(k, i, j, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Interior depth (number of planes).
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Interior height.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Interior width.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Halo width.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Row stride in elements.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Plane stride in elements.
+    pub fn plane_stride(&self) -> usize {
+        self.plane_stride
+    }
+
+    /// Flat offset of interior cell `(0, 0, 0)`.
+    pub fn origin(&self) -> usize {
+        self.halo * self.plane_stride + self.halo * self.stride + self.left
+    }
+
+    /// Flat index of `(k, i, j)` (halo coordinates allowed).
+    #[inline]
+    pub fn index(&self, k: isize, i: isize, j: isize) -> usize {
+        (self.origin() as isize + k * self.plane_stride as isize + i * self.stride as isize + j)
+            as usize
+    }
+
+    /// Value at `(k, i, j)`.
+    #[inline]
+    pub fn at(&self, k: isize, i: isize, j: isize) -> f64 {
+        self.data[self.index(k, i, j)]
+    }
+
+    /// Sets the value at `(k, i, j)`.
+    #[inline]
+    pub fn set(&mut self, k: isize, i: isize, j: isize, v: f64) {
+        let idx = self.index(k, i, j);
+        self.data[idx] = v;
+    }
+
+    /// The full padded backing array.
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the padded backing array.
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Maximum absolute interior difference against another grid.
+    pub fn max_interior_diff(&self, other: &Grid3d) -> f64 {
+        assert_eq!((self.d, self.h, self.w), (other.d, other.h, other.w));
+        let mut worst: f64 = 0.0;
+        for k in 0..self.d as isize {
+            for i in 0..self.h as isize {
+                for j in 0..self.w as isize {
+                    worst = worst.max((self.at(k, i, j) - other.at(k, i, j)).abs());
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_origin_is_vector_aligned() {
+        for halo in 1..=3 {
+            for w in [8usize, 24, 64, 100] {
+                let g = Grid2d::zeros(16, w, halo);
+                assert_eq!(g.origin() % VLEN, 0, "halo {halo} w {w}");
+                assert_eq!(g.stride() % VLEN, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_fit_with_right_halo() {
+        let g = Grid2d::zeros(8, 100, 3);
+        // Access to the extreme halo corners must be in bounds.
+        let _ = g.at(-3, -3);
+        let _ = g.at(10, 102);
+    }
+
+    #[test]
+    fn from_fn_covers_halo() {
+        let g = Grid2d::from_fn(8, 8, 2, |i, j| (i * 100 + j) as f64);
+        assert_eq!(g.at(-2, -2), -202.0);
+        assert_eq!(g.at(9, 9), 909.0);
+        assert_eq!(g.at(0, 0), 0.0);
+        assert_eq!(g.at(3, 4), 304.0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut g = Grid2d::zeros(8, 8, 1);
+        g.set(3, 5, 2.5);
+        assert_eq!(g.at(3, 5), 2.5);
+        g.set(-1, 8, 7.0);
+        assert_eq!(g.at(-1, 8), 7.0);
+    }
+
+    #[test]
+    fn max_diff_and_mismatch() {
+        let a = Grid2d::from_fn(4, 4, 1, |i, j| (i + j) as f64);
+        let mut b = a.clone();
+        assert_eq!(a.max_interior_diff(&b), 0.0);
+        assert!(a.first_mismatch(&b, 1e-12).is_none());
+        b.set(2, 3, 100.0);
+        assert!(a.max_interior_diff(&b) > 90.0);
+        let (i, j, _, _) = a.first_mismatch(&b, 1e-9).unwrap();
+        assert_eq!((i, j), (2, 3));
+    }
+
+    #[test]
+    fn grid3d_layout() {
+        let g = Grid3d::zeros(4, 8, 16, 2);
+        assert_eq!(g.origin() % VLEN, 0);
+        assert_eq!(g.plane_stride() % VLEN, 0);
+        let _ = g.at(-2, -2, -2);
+        let _ = g.at(5, 9, 17);
+    }
+
+    #[test]
+    fn grid3d_from_fn() {
+        let g = Grid3d::from_fn(3, 3, 3, 1, |k, i, j| (k * 10000 + i * 100 + j) as f64);
+        assert_eq!(g.at(2, 1, 0), 20100.0);
+        assert_eq!(g.at(-1, -1, -1), -10101.0);
+    }
+}

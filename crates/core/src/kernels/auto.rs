@@ -1,0 +1,174 @@
+//! Compiler auto-vectorization stand-in (the paper's `Auto` baseline).
+//!
+//! Models what `-O3` emits for the scalar gather loop: per output vector,
+//! one unaligned load per tap feeding a single multiply-accumulate chain,
+//! with a modest 2-way unroll standing in for the out-of-order window of
+//! the real core. No `EXT` reuse, no software pipelining, no prefetch.
+//!
+//! On Apple M4 the baseline is NEON (non-streaming mode, 128-bit = 2 f64
+//! lanes): the kernel then advances `lanes` columns per step with
+//! overlapping full-width operations, which reproduces the 4× instruction
+//! inflation of the narrow baseline while remaining functionally exact
+//! (overlapped stores rewrite identical values).
+
+use super::{emit_pipelined, Kernel, KernelCtx, Pair, Traversal};
+use crate::error::PlanError;
+use lx2_isa::{Inst, Program, VReg, VLEN};
+use lx2_sim::Machine;
+
+const ACC0: usize = 0; // v0..v7: accumulators for the unroll lanes
+const SCRATCH: usize = 8; // v8..v19: rotating unaligned-load scratch
+const PACKS: usize = 24; // packed coefficients
+
+/// The auto-vectorization baseline kernel.
+pub struct AutoKernel {
+    /// Effective vector width of the baseline ISA (8 on LX2 SVE-512,
+    /// 2 on Apple M4 NEON).
+    lanes: usize,
+    /// Independent accumulator chains (stand-in for the OoO window).
+    unroll: usize,
+    taps: Vec<(usize, i64, i64, VReg, u8)>,
+}
+
+impl AutoKernel {
+    /// Creates the baseline kernel for a machine whose baseline vector
+    /// width is `lanes` f64 elements sustaining `unroll` chains.
+    pub fn new(lanes: usize, unroll: usize) -> Self {
+        assert!((1..=VLEN).contains(&lanes));
+        assert!((1..=SCRATCH).contains(&unroll));
+        AutoKernel {
+            lanes,
+            unroll,
+            taps: Vec::new(),
+        }
+    }
+}
+
+impl Kernel for AutoKernel {
+    fn name(&self) -> &'static str {
+        "auto-vectorized"
+    }
+
+    fn setup(&mut self, ctx: &KernelCtx, mach: &mut Machine) -> Result<(), PlanError> {
+        self.taps.clear();
+        let mut coeffs = Vec::new();
+        for (pi, plane) in ctx.planes.iter().enumerate() {
+            let r = plane.table.radius() as isize;
+            for di in -r..=r {
+                for dj in -r..=r {
+                    let c = plane.table.at(di, dj);
+                    if c != 0.0 {
+                        let idx = coeffs.len();
+                        assert!(idx < 7 * VLEN, "too many taps for the pack registers");
+                        coeffs.push(c);
+                        self.taps.push((
+                            pi,
+                            di as i64,
+                            dj as i64,
+                            VReg::new(PACKS + idx / VLEN),
+                            (idx % VLEN) as u8,
+                        ));
+                    }
+                }
+            }
+        }
+        let mut prologue = Program::new();
+        for (p, chunk) in coeffs.chunks(VLEN).enumerate() {
+            let mut padded = [0.0; VLEN];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            let base = super::alloc_const(mach, &padded)?;
+            prologue.push(Inst::Ld1d {
+                vd: VReg::new(PACKS + p),
+                addr: base,
+            });
+        }
+        mach.execute(&prologue)?;
+        Ok(())
+    }
+
+    fn traversal(&self) -> Traversal {
+        // Compiler output sweeps whole rows: `for i { for j }`.
+        Traversal::RowMajor
+    }
+
+    fn tile_cols(&self, ctx: &KernelCtx) -> usize {
+        ctx.w.max(VLEN)
+    }
+
+    fn emit_tile(&mut self, ctx: &KernelCtx, i0: usize, j0: usize, prog: &mut Program) {
+        let (i0, j0) = (i0 as i64, j0 as i64);
+        let cols = self.tile_cols(ctx) as i64;
+        // Column starts: every `lanes` columns, with the final start
+        // clamped so the 8-wide operations exactly cover the tile.
+        let mut starts: Vec<i64> = (0..=(cols - VLEN as i64)).step_by(self.lanes).collect();
+        if *starts.last().unwrap() != cols - VLEN as i64 {
+            starts.push(cols - VLEN as i64);
+        }
+
+        for p in 0..VLEN as i64 {
+            let i = i0 + p;
+            // Modest unroll: `unroll` column starts share the instruction
+            // stream with independent accumulators; loads run two taps
+            // ahead of their MLA (standing in for the real core's
+            // out-of-order window). The single-chain-per-lane MLA
+            // dependence — the thing the compiler cannot remove — stays.
+            for group in starts.chunks(self.unroll) {
+                for (u, _) in group.iter().enumerate() {
+                    prog.push(Inst::DupImm {
+                        vd: VReg::new(ACC0 + u),
+                        imm: 0.0,
+                    });
+                }
+                let mut rot = 0usize;
+                let mut pairs: Vec<Pair> = Vec::with_capacity(self.taps.len() * group.len());
+                for &(plane_idx, di, dj, pack, lane) in &self.taps {
+                    let plane = &ctx.planes[plane_idx];
+                    for (u, &j) in group.iter().enumerate() {
+                        let scratch = VReg::new(SCRATCH + (rot % 12));
+                        rot += 1;
+                        pairs.push((
+                            [
+                                Some(Inst::Ld1d {
+                                    vd: scratch,
+                                    addr: ctx.a(plane, i + di, j0 + j + dj),
+                                }),
+                                None,
+                                None,
+                            ],
+                            Inst::FmlaIdx {
+                                vd: VReg::new(ACC0 + u),
+                                vn: scratch,
+                                vm: pack,
+                                idx: lane,
+                            },
+                        ));
+                    }
+                }
+                emit_pipelined(&pairs, 8, prog);
+                for (u, &j) in group.iter().enumerate() {
+                    prog.push(Inst::St1d {
+                        vs: VReg::new(ACC0 + u),
+                        addr: ctx.b(i, j0 + j),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_bounds() {
+        let _ = AutoKernel::new(2, 8);
+        let _ = AutoKernel::new(8, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lanes_panics() {
+        let _ = AutoKernel::new(0, 3);
+    }
+}

@@ -1,0 +1,807 @@
+//! The HStencil hybrid micro kernel with **in-place accumulation**
+//! (paper Algorithm 2, Figure 8).
+//!
+//! Per input row `ii` the kernel:
+//!
+//! 1. computes the *outer-axis* part with outer products — one FMOPA per
+//!    dense coefficient column, coefficients loaded pre-shifted from ramp
+//!    tables;
+//! 2. computes the *inner-axis* part of the centre output row with vector
+//!    MLA (`FMLA` with packed coefficients over `EXT`-shifted inputs);
+//! 3. folds the vector partial sum into the matrix tile **in place** with
+//!    a single outer product against a unit coefficient vector — the
+//!    accumulation trick of §3.1.1 that replaces the naive method's
+//!    store/reload round-trip;
+//! 4. stores tile rows as soon as their last contribution lands (store
+//!    scattering, §3.2.2).
+//!
+//! The same table-driven emitter covers star, box, Heat-2D and 3-D
+//! stencils (3-D = accumulation over `2r+1` input planes): columns with
+//! two or more nonzero coefficients go to the matrix unit, single-centre
+//! columns become vector MLA terms — with the §3.2.1 *replacement* pass
+//! optionally rolling some MLA terms back to single-row outer products
+//! and converting some `EXT` concatenations to unaligned loads until the
+//! vector, matrix and load pipes are balanced.
+
+use super::{
+    alloc_const, emit_pipelined, ramp_addr, ramp_values, window_mask, Kernel, KernelCtx, Pair,
+    StepLists,
+};
+use crate::error::PlanError;
+use lx2_isa::{Inst, MemKind, Program, RowMask, VReg, ZaReg, VLEN};
+use lx2_sim::Machine;
+
+// Register map (see kernels/mod.rs docs).
+const REG1: usize = 0; // v0..v3: per-block vector accumulators
+const ABLK0: usize = 4; // v4..v9: data blocks, bank 0 (indices -1..=rb)
+const ABLK1: usize = 10; // v10..v15: data blocks, bank 1
+const COFV: usize = 16; // v16..v19: rotating coefficient-column registers
+const SCRATCH_M: usize = 20; // v20..v22: shifted-data scratch, matrix stream
+const SCRATCH_V: usize = 29; // v29..v31: shifted-data scratch, vector stream
+const ROLLBACK: usize = 23; // v23: rolled-back term coefficient dup
+const CPACK: usize = 24; // v24..v27: per-plane packed MLA coefficients
+const ONES: usize = 28; // v28: all-ones (in-place accumulation vector)
+
+/// Maximum MLA terms rolled back to outer products per plane.
+const MAX_ROLLBACK: usize = 1;
+
+#[derive(Clone, Debug)]
+struct MatrixCol {
+    dj: i64,
+    /// Ramp table base (stores the *reversed* column: lane `C + di` holds
+    /// `c[-di]`, so a load at `ramp_addr(base, t)` puts `c[t - p]` in lane
+    /// `p` — the scatter-form coefficient for tile row `p`).
+    ramp: u64,
+    /// Largest |di| with a nonzero coefficient (for the row-window mask).
+    extent: usize,
+}
+
+#[derive(Clone, Debug)]
+struct PlanePlan {
+    matrix_cols: Vec<MatrixCol>,
+    /// Inner-axis MLA terms `(dj, lane in cpack)` after rollback.
+    vector_terms: Vec<(i64, u8)>,
+    /// Terms rolled back to single-row outer products `(dj, dup reg)`.
+    rollback_terms: Vec<(i64, VReg)>,
+    /// Packed MLA coefficients register, if any vector terms remain.
+    cpack: Option<VReg>,
+    /// Shift offsets resolved to unaligned loads instead of EXT.
+    shifts_as_loads: Vec<i64>,
+}
+
+impl PlanePlan {
+    fn shift_is_load(&self, dj: i64) -> bool {
+        self.shifts_as_loads.contains(&dj)
+    }
+
+    fn needs_edges(&self) -> bool {
+        let ext_shift = |dj: &i64| *dj != 0 && !self.shift_is_load(*dj);
+        self.matrix_cols.iter().map(|c| &c.dj).any(ext_shift)
+            || self.vector_terms.iter().map(|(dj, _)| dj).any(ext_shift)
+            || self.rollback_terms.iter().map(|(dj, _)| dj).any(ext_shift)
+    }
+}
+
+/// The HStencil in-place accumulation kernel.
+pub struct InplaceKernel {
+    plans: Vec<PlanePlan>,
+    rb: usize,
+    r: usize,
+    /// Whether streaming-mode vector FMLA exists on the target machine.
+    use_fmla: bool,
+    /// STOP mode: route every column to the matrix unit and every shift
+    /// to an unaligned load — the state-of-the-art matrix-only method the
+    /// paper compares against (zero vector instructions, Table 5).
+    force_matrix: bool,
+    lists: StepLists,
+}
+
+impl InplaceKernel {
+    /// Creates the kernel; `use_fmla` must reflect the target machine
+    /// (`MachineConfig::allow_vector_fmla`).
+    pub fn new(use_fmla: bool) -> Self {
+        InplaceKernel {
+            plans: Vec::new(),
+            rb: 1,
+            r: 1,
+            use_fmla,
+            force_matrix: false,
+            lists: StepLists::default(),
+        }
+    }
+
+    /// Creates the STOP (matrix-only, outer-axis) configuration.
+    pub fn new_stop() -> Self {
+        InplaceKernel {
+            plans: Vec::new(),
+            rb: 1,
+            r: 1,
+            use_fmla: false,
+            force_matrix: true,
+            lists: StepLists::default(),
+        }
+    }
+
+    fn bank(step: usize) -> usize {
+        if step.is_multiple_of(2) {
+            ABLK0
+        } else {
+            ABLK1
+        }
+    }
+
+    /// Data-block register for block index `b` in `-1..=rb` within a bank.
+    fn ablk(bank: usize, b: i64) -> VReg {
+        VReg::new((bank as i64 + b + 1) as usize)
+    }
+
+    /// Estimate per-tile pipe occupancy (cycles) for a candidate
+    /// replacement configuration; used by the §3.2.1 balancer.
+    #[allow(clippy::too_many_arguments)]
+    fn config_cost(
+        r: usize,
+        rb: usize,
+        n_matrix_cols: usize,
+        n_vector: usize,
+        n_rollback: usize,
+        shift_djs_ext: usize,
+        shift_djs_load: usize,
+        planes: usize,
+    ) -> f64 {
+        let steps = (VLEN + 2 * r) as f64 * planes as f64;
+        let center = VLEN as f64 * planes as f64;
+        let rbf = rb as f64;
+        // Matrix pipe: vertical FMOPAs + rollback FMOPAs + accumulate FMOPA.
+        let matrix = steps * n_matrix_cols as f64 * rbf
+            + center * n_rollback as f64 * rbf
+            + if n_vector > 0 { center * rbf } else { 0.0 };
+        // Vector pipe: EXT shifts + MLA chain + accumulator zeroing.
+        let ext_ops = steps.min(center) * shift_djs_ext as f64 * rbf;
+        let vector = ext_ops
+            + if n_vector > 0 {
+                center * (n_vector as f64 + 1.0) * rbf
+            } else {
+                0.0
+            };
+        // Load pipes: data + ramps + shift loads (unaligned: two slots
+        // each) + prefetches; store pipe: one per row.
+        let loads = steps * (rbf + 2.0)
+            + steps * n_matrix_cols as f64
+            + steps.min(center) * shift_djs_load as f64 * rbf * 2.0
+            + steps * (rbf + 1.0); // prefetch hints share the load pipes
+        let stores = VLEN as f64 * rbf;
+        (matrix / 1.0)
+            .max(vector / 2.0)
+            .max(loads / 2.0)
+            .max(stores / 1.0)
+    }
+
+    fn plan_plane(
+        &self,
+        table: &crate::table::CoeffTable,
+        plane_idx: usize,
+        replacement: bool,
+        mach: &mut Machine,
+        prologue: &mut Program,
+        next_rollback_reg: &mut usize,
+    ) -> Result<PlanePlan, PlanError> {
+        let (mcols, vterms) = if self.force_matrix {
+            (table.active_columns(), Vec::new())
+        } else {
+            table.split_matrix_vector()
+        };
+        let mcols: Vec<i64> = mcols.into_iter().map(|d| d as i64).collect();
+        let vterms: Vec<(i64, f64)> = vterms.into_iter().map(|(d, c)| (d as i64, c)).collect();
+        assert!(
+            self.use_fmla || vterms.is_empty(),
+            "vector MLA terms require streaming FMLA; route star stencils to the M4 kernel"
+        );
+
+        // Decide rollback count K and EXT→LD conversions by brute force
+        // over the (tiny) configuration space.
+        let all_shift_djs: Vec<i64> = {
+            let mut v: Vec<i64> = mcols
+                .iter()
+                .copied()
+                .chain(vterms.iter().map(|&(dj, _)| dj))
+                .filter(|&dj| dj != 0)
+                .collect();
+            v.sort_by_key(|d| std::cmp::Reverse(d.abs()));
+            v.dedup();
+            v
+        };
+        let (mut best_k, mut best_loads, mut best_cost) = (0usize, 0usize, f64::INFINITY);
+        let k_max = if replacement {
+            vterms.len().min(MAX_ROLLBACK)
+        } else {
+            0
+        };
+        let l_max = if replacement { all_shift_djs.len() } else { 0 };
+        for k in 0..=k_max {
+            for l in 0..=l_max {
+                let cost = Self::config_cost(
+                    self.r,
+                    self.rb,
+                    mcols.len(),
+                    vterms.len() - k,
+                    k,
+                    all_shift_djs.len() - l,
+                    l,
+                    1,
+                );
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_k = k;
+                    best_loads = l;
+                }
+            }
+        }
+
+        // Rollback the largest-|dj| terms first (they are the EXT-costliest).
+        let mut vterms_sorted = vterms.clone();
+        vterms_sorted.sort_by_key(|&(dj, _)| std::cmp::Reverse(dj.abs()));
+        let mut rollback_terms = Vec::new();
+        for &(dj, c) in vterms_sorted.iter().take(best_k) {
+            assert!(
+                *next_rollback_reg < CPACK,
+                "rollback register budget exceeded"
+            );
+            let reg = VReg::new(*next_rollback_reg);
+            *next_rollback_reg += 1;
+            prologue.push(Inst::DupImm { vd: reg, imm: c });
+            rollback_terms.push((dj, reg));
+        }
+        let remaining: Vec<(i64, f64)> = vterms
+            .iter()
+            .copied()
+            .filter(|&(dj, _)| !rollback_terms.iter().any(|&(rd, _)| rd == dj))
+            .collect();
+
+        // Pack remaining MLA coefficients into one register.
+        let cpack = if remaining.is_empty() {
+            None
+        } else {
+            assert!(remaining.len() <= VLEN, "too many MLA terms for one pack");
+            assert!(CPACK + plane_idx < ONES, "coefficient pack budget exceeded");
+            let mut packed = vec![0.0; VLEN];
+            for (lane, &(_, c)) in remaining.iter().enumerate() {
+                packed[lane] = c;
+            }
+            let base = alloc_const(mach, &packed)?;
+            let reg = VReg::new(CPACK + plane_idx);
+            prologue.push(Inst::Ld1d {
+                vd: reg,
+                addr: base,
+            });
+            Some(reg)
+        };
+        let vector_terms: Vec<(i64, u8)> = remaining
+            .iter()
+            .enumerate()
+            .map(|(lane, &(dj, _))| (dj, lane as u8))
+            .collect();
+
+        // Ramp tables for matrix columns (reversed for scatter form).
+        let mut matrix_cols = Vec::new();
+        for &dj in &mcols {
+            let col = table.column(dj as isize);
+            let reversed: Vec<(isize, f64)> = col.iter().map(|&(di, c)| (-di, c)).collect();
+            let ramp = alloc_const(mach, &ramp_values(&reversed))?;
+            let extent = col
+                .iter()
+                .map(|&(di, _)| di.unsigned_abs())
+                .max()
+                .unwrap_or(0);
+            matrix_cols.push(MatrixCol { dj, ramp, extent });
+        }
+
+        // STOP performs every shifted access as an unaligned load — it has
+        // no vector-pipe cooperation at all.
+        let shifts_as_loads: Vec<i64> = if self.force_matrix {
+            all_shift_djs
+        } else {
+            all_shift_djs.into_iter().take(best_loads).collect()
+        };
+        Ok(PlanePlan {
+            matrix_cols,
+            vector_terms,
+            rollback_terms,
+            cpack,
+            shifts_as_loads,
+        })
+    }
+
+    /// Builds the shifted-data producer for `(plane, dj, block)`: returns
+    /// the register the consumer should read plus the producer instruction
+    /// (None when `dj == 0`, where the aligned block register is used
+    /// directly).
+    ///
+    /// `scratch_base` selects a stream-private scratch trio; the matrix
+    /// and vector streams are interleaved by the scheduler, so they must
+    /// never share scratch registers. Rotation over three registers keeps
+    /// software-pipelined producers (lookahead ≤ 2) hazard-free.
+    #[allow(clippy::too_many_arguments)]
+    fn shift_producer(
+        ctx: &KernelCtx,
+        plan: &PlanePlan,
+        plane: &super::Plane,
+        bank: usize,
+        ii: i64,
+        jb: i64,
+        dj: i64,
+        scratch_base: usize,
+        scratch_rot: &mut usize,
+        b: i64,
+    ) -> (VReg, Option<Inst>) {
+        if dj == 0 {
+            return (Self::ablk(bank, b), None);
+        }
+        let dst = VReg::new(scratch_base + (*scratch_rot % 3));
+        *scratch_rot += 1;
+        let inst = if plan.shift_is_load(dj) {
+            Inst::Ld1d {
+                vd: dst,
+                addr: ctx.a(plane, ii, jb + dj),
+            }
+        } else if dj > 0 {
+            Inst::Ext {
+                vd: dst,
+                vn: Self::ablk(bank, b),
+                vm: Self::ablk(bank, b + 1),
+                shift: dj as u8,
+            }
+        } else {
+            Inst::Ext {
+                vd: dst,
+                vn: Self::ablk(bank, b - 1),
+                vm: Self::ablk(bank, b),
+                shift: (VLEN as i64 + dj) as u8,
+            }
+        };
+        (dst, Some(inst))
+    }
+
+    /// Decode a plane-step index into `(input row ii, plane index)`.
+    fn decode(&self, ctx: &KernelCtx, i0: i64, step: usize) -> (i64, usize) {
+        let nplanes = ctx.planes.len();
+        let ii = i0 - self.r as i64 + (step / nplanes) as i64;
+        (ii, step % nplanes)
+    }
+
+    fn plane_active(&self, pi: usize) -> bool {
+        let p = &self.plans[pi];
+        !(p.matrix_cols.is_empty() && p.vector_terms.is_empty() && p.rollback_terms.is_empty())
+    }
+
+    /// Whether plane `pi` contributes anything at tile-row offset `t`
+    /// (center-only planes are idle outside the centre window, so their
+    /// edge steps need no loads at all).
+    fn step_has_work(&self, pi: usize, t: i64) -> bool {
+        let p = &self.plans[pi];
+        let centre = (0..VLEN as i64).contains(&t);
+        p.matrix_cols
+            .iter()
+            .any(|c| window_mask(t, c.extent) != RowMask::NONE)
+            || (centre && !(p.vector_terms.is_empty() && p.rollback_terms.is_empty()))
+    }
+
+    /// Queue the prep (loads + prefetch) for plane-step `step`.
+    fn queue_prep(&mut self, ctx: &KernelCtx, i0: i64, j0: i64, step: usize) {
+        let r = self.r as i64;
+        let (ii, pi) = self.decode(ctx, i0, step);
+        if ii > i0 + VLEN as i64 - 1 + r {
+            return;
+        }
+        let bank = Self::bank(step);
+        if self.plane_active(pi) && self.step_has_work(pi, ii - i0) {
+            let plane = &ctx.planes[pi];
+            let needs_edges = self.plans[pi].needs_edges();
+            let lo = if needs_edges { -1 } else { 0 };
+            let hi = if needs_edges {
+                self.rb as i64
+            } else {
+                self.rb as i64 - 1
+            };
+            for b in lo..=hi {
+                self.lists.prep.push(Inst::Ld1d {
+                    vd: Self::ablk(bank, b),
+                    addr: ctx.a(plane, ii, j0 + VLEN as i64 * b),
+                });
+            }
+            if ctx.opts.prefetch {
+                // Prefetch the input rows the pipeline will need shortly
+                // (Algorithm 3 line 4) — covering the *entire* loaded
+                // range including the edge blocks: the right edge is the
+                // first touch of the next strip's lines, the one access
+                // the hardware prefetcher can never anticipate.
+                let pf_row = ii + ctx.opts.prefetch_dist as i64;
+                if pf_row <= ctx.h as i64 - 1 + r {
+                    for b in lo..=hi {
+                        self.lists.prep.push(Inst::Prfm {
+                            addr: ctx.a(plane, pf_row, j0 + VLEN as i64 * b),
+                            kind: MemKind::Read,
+                        });
+                    }
+                }
+            }
+        }
+        if ctx.opts.prefetch && pi == 0 {
+            // Prefetch the destination row written `prefetch_dist` steps
+            // from now (Algorithm 3 line 6), within the current tile's
+            // store window.
+            let target = ii - r + ctx.opts.prefetch_dist as i64;
+            if (0..VLEN as i64).contains(&(target - i0)) {
+                for b in 0..self.rb as i64 {
+                    self.lists.prep.push(Inst::Prfm {
+                        addr: ctx.b(target, j0 + VLEN as i64 * b),
+                        kind: MemKind::Write,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Queue the compute work for plane-step `step`.
+    ///
+    /// Both streams are emitted as producer/consumer pairs: with
+    /// scheduling enabled, producers (coefficient-ramp loads and shifted
+    /// data) run two pairs ahead of their consumers so the in-order
+    /// pipeline never waits on them; without scheduling, pairs are
+    /// adjacent and every producer latency is exposed.
+    fn queue_compute(&mut self, ctx: &KernelCtx, i0: i64, j0: i64, step: usize) {
+        let (ii, pi) = self.decode(ctx, i0, step);
+        if !self.plane_active(pi) {
+            return;
+        }
+        let t = ii - i0;
+        let bank = Self::bank(step);
+        let mut scratch_m = 0usize;
+        let mut scratch_v = 0usize;
+        let plane = &ctx.planes[pi];
+        let plan = &self.plans[pi];
+        // Producer lookahead is part of writing a competent kernel (STOP
+        // and the micro kernel both have it); the `scheduling` switch
+        // controls the cross-stream interleave and store scattering.
+        let lookahead = 2;
+        let rb = self.rb as i64;
+
+        // Matrix stream: vertical columns + rolled-back terms.
+        let active_cols: Vec<&MatrixCol> = plan
+            .matrix_cols
+            .iter()
+            .filter(|c| window_mask(t, c.extent) != RowMask::NONE)
+            .collect();
+        let mut pairs: Vec<Pair> = Vec::with_capacity(active_cols.len() * self.rb + 8);
+        for (ci, col) in active_cols.iter().enumerate() {
+            let mask = window_mask(t, col.extent);
+            let cofv = VReg::new(COFV + ci % 4);
+            for b in 0..rb {
+                let (data, shift) = Self::shift_producer(
+                    ctx,
+                    plan,
+                    plane,
+                    bank,
+                    ii,
+                    j0 + VLEN as i64 * b,
+                    col.dj,
+                    SCRATCH_M,
+                    &mut scratch_m,
+                    b,
+                );
+                // The coefficient ramp load rides as a producer of the
+                // column's first pair (and the *next* column's ramp rides
+                // the second pair, giving it nearly a full column of lead).
+                let ramp_cur = (ci == 0 && b == 0).then(|| Inst::Ld1d {
+                    vd: cofv,
+                    addr: ramp_addr(col.ramp, t),
+                });
+                let ramp_next = (b == rb.min(2) - 1 && ci + 1 < active_cols.len()).then(|| {
+                    let next = active_cols[ci + 1];
+                    Inst::Ld1d {
+                        vd: VReg::new(COFV + (ci + 1) % 4),
+                        addr: ramp_addr(next.ramp, t),
+                    }
+                });
+                pairs.push((
+                    [ramp_cur, ramp_next, shift],
+                    Inst::Fmopa {
+                        za: ZaReg::new(b as usize),
+                        vn: cofv,
+                        vm: data,
+                        mask,
+                    },
+                ));
+            }
+        }
+        if (0..VLEN as i64).contains(&t) {
+            for &(dj, creg) in &plan.rollback_terms {
+                for b in 0..rb {
+                    let (data, shift) = Self::shift_producer(
+                        ctx,
+                        plan,
+                        plane,
+                        bank,
+                        ii,
+                        j0 + VLEN as i64 * b,
+                        dj,
+                        SCRATCH_M,
+                        &mut scratch_m,
+                        b,
+                    );
+                    pairs.push((
+                        [None, None, shift],
+                        Inst::Fmopa {
+                            za: ZaReg::new(b as usize),
+                            vn: creg,
+                            vm: data,
+                            mask: RowMask::single(t as usize),
+                        },
+                    ));
+                }
+            }
+        }
+        emit_pipelined(&pairs, lookahead, &mut self.lists.matrix);
+
+        // Vector stream: centre-row MLA chain plus in-place accumulation.
+        if (0..VLEN as i64).contains(&t) && !plan.vector_terms.is_empty() {
+            let cpack = plan.cpack.expect("vector terms imply a pack");
+            for b in 0..self.rb {
+                self.lists.vector.push(Inst::DupImm {
+                    vd: VReg::new(REG1 + b),
+                    imm: 0.0,
+                });
+            }
+            // k-major across blocks so the FMLA chains interleave.
+            let mut vpairs: Vec<Pair> = Vec::with_capacity(plan.vector_terms.len() * self.rb);
+            for &(dj, lane) in &plan.vector_terms {
+                for b in 0..rb {
+                    let (data, shift) = Self::shift_producer(
+                        ctx,
+                        plan,
+                        plane,
+                        bank,
+                        ii,
+                        j0 + VLEN as i64 * b,
+                        dj,
+                        SCRATCH_V,
+                        &mut scratch_v,
+                        b,
+                    );
+                    vpairs.push((
+                        [None, None, shift],
+                        Inst::FmlaIdx {
+                            vd: VReg::new(REG1 + b as usize),
+                            vn: data,
+                            vm: cpack,
+                            idx: lane,
+                        },
+                    ));
+                }
+            }
+            emit_pipelined(&vpairs, lookahead, &mut self.lists.vector);
+            // In-place accumulation: one outer product folds the vector
+            // partial sums into the tile (Figure 8).
+            for b in 0..self.rb {
+                self.lists.vector.push(Inst::Fmopa {
+                    za: ZaReg::new(b),
+                    vn: VReg::new(ONES),
+                    vm: VReg::new(REG1 + b),
+                    mask: RowMask::single(t as usize),
+                });
+            }
+        }
+    }
+
+    /// Queue the stores of the row completed by plane-step `step` (only
+    /// the last plane of an input row completes one).
+    fn queue_stores(&mut self, ctx: &KernelCtx, i0: i64, j0: i64, step: usize) {
+        let (ii, pi) = self.decode(ctx, i0, step);
+        if pi != ctx.planes.len() - 1 {
+            return;
+        }
+        let p = (ii - i0) - self.r as i64;
+        if (0..VLEN as i64).contains(&p) {
+            for b in 0..self.rb as i64 {
+                self.lists.stores.push(Inst::StZaRow {
+                    za: ZaReg::new(b as usize),
+                    row: p as u8,
+                    addr: ctx.b(i0 + p, j0 + VLEN as i64 * b),
+                });
+            }
+        }
+    }
+}
+
+impl Kernel for InplaceKernel {
+    fn name(&self) -> &'static str {
+        if self.force_matrix {
+            "matrix-only-stop"
+        } else {
+            "hstencil-inplace"
+        }
+    }
+
+    fn setup(&mut self, ctx: &KernelCtx, mach: &mut Machine) -> Result<(), PlanError> {
+        self.r = ctx.radius;
+        self.rb = ctx.reg_blocks();
+        let mut prologue = Program::new();
+        prologue.push(Inst::DupImm {
+            vd: VReg::new(ONES),
+            imm: 1.0,
+        });
+        let mut rollback_reg = ROLLBACK;
+        self.plans.clear();
+        let plans: Result<Vec<_>, _> = ctx
+            .planes
+            .iter()
+            .enumerate()
+            .map(|(pi, plane)| {
+                self.plan_plane(
+                    &plane.table,
+                    pi,
+                    ctx.opts.replacement,
+                    mach,
+                    &mut prologue,
+                    &mut rollback_reg,
+                )
+            })
+            .collect();
+        self.plans = plans?;
+        mach.execute(&prologue)?;
+        Ok(())
+    }
+
+    fn tile_cols(&self, ctx: &KernelCtx) -> usize {
+        ctx.reg_blocks() * VLEN
+    }
+
+    fn emit_tile(&mut self, ctx: &KernelCtx, i0: usize, j0: usize, prog: &mut Program) {
+        let (i0, j0) = (i0 as i64, j0 as i64);
+        let scheduled = ctx.opts.scheduling;
+        let nsteps = (VLEN + 2 * self.r) * ctx.planes.len();
+
+        for b in 0..self.rb {
+            prog.push(Inst::ZeroZa {
+                za: ZaReg::new(b),
+                mask: RowMask::ALL,
+            });
+        }
+
+        if scheduled {
+            // Software pipeline: prep(0) up front, then compute(s) merged
+            // with prep(s+1); a completed row's store is queued one step
+            // late so it lands after every contribution in program order.
+            self.queue_prep(ctx, i0, j0, 0);
+            self.lists.flush_phased(prog);
+            for s in 0..nsteps {
+                self.queue_prep(ctx, i0, j0, s + 1);
+                self.queue_compute(ctx, i0, j0, s);
+                if s > 0 {
+                    self.queue_stores(ctx, i0, j0, s - 1);
+                }
+                self.lists.flush_scheduled(prog);
+            }
+            self.queue_stores(ctx, i0, j0, nsteps - 1);
+            self.lists.flush_phased(prog);
+        } else {
+            // Naive order: per-step loads then compute; all stores batched
+            // at the end of the tile (the burst §3.2.2 eliminates).
+            let mut pending_stores = Vec::new();
+            for s in 0..nsteps {
+                self.queue_prep(ctx, i0, j0, s);
+                // Without scheduling the kernel is single-banked: compute
+                // reads what prep just loaded (load-use stalls included).
+                self.queue_compute(ctx, i0, j0, s);
+                self.queue_stores(ctx, i0, j0, s);
+                pending_stores.append(&mut self.lists.stores);
+                self.lists.flush_phased(prog);
+            }
+            for st in pending_stores {
+                prog.push(st);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::presets;
+    use crate::table::CoeffTable;
+
+    #[test]
+    fn star_plane_splits_matrix_and_vector() {
+        let spec = presets::star2d9p();
+        let mut mach = Machine::new(&lx2_sim::MachineConfig::lx2());
+        let mut k = InplaceKernel::new(true);
+        k.r = 2;
+        k.rb = 4;
+        let mut prologue = Program::new();
+        let mut reg = ROLLBACK;
+        let plan = k
+            .plan_plane(
+                &spec.plane_table_2d(),
+                0,
+                false,
+                &mut mach,
+                &mut prologue,
+                &mut reg,
+            )
+            .unwrap();
+        assert_eq!(plan.matrix_cols.len(), 1);
+        assert_eq!(plan.matrix_cols[0].dj, 0);
+        assert_eq!(plan.vector_terms.len(), 4);
+        assert!(plan.rollback_terms.is_empty());
+        assert!(plan.cpack.is_some());
+    }
+
+    #[test]
+    fn replacement_rolls_back_star_terms() {
+        let spec = presets::star2d9p();
+        let mut mach = Machine::new(&lx2_sim::MachineConfig::lx2());
+        let mut k = InplaceKernel::new(true);
+        k.r = 2;
+        k.rb = 4;
+        let mut prologue = Program::new();
+        let mut reg = ROLLBACK;
+        let plan = k
+            .plan_plane(
+                &spec.plane_table_2d(),
+                0,
+                true,
+                &mut mach,
+                &mut prologue,
+                &mut reg,
+            )
+            .unwrap();
+        // The star kernel is vector-bound without replacement (Table 5);
+        // the balancer must offload vector-pipe work somewhere — either by
+        // rolling MLA terms back to outer products or by converting EXT
+        // concatenations to loads.
+        assert!(
+            !plan.rollback_terms.is_empty() || !plan.shifts_as_loads.is_empty(),
+            "expected some §3.2.1 replacement to fire"
+        );
+        assert!(plan.rollback_terms.len() <= MAX_ROLLBACK);
+    }
+
+    #[test]
+    fn box_plane_is_matrix_only() {
+        let spec = presets::box2d25p();
+        let mut mach = Machine::new(&lx2_sim::MachineConfig::lx2());
+        let mut k = InplaceKernel::new(true);
+        k.r = 2;
+        k.rb = 4;
+        let mut prologue = Program::new();
+        let mut reg = ROLLBACK;
+        let plan = k
+            .plan_plane(
+                &spec.plane_table_2d(),
+                0,
+                true,
+                &mut mach,
+                &mut prologue,
+                &mut reg,
+            )
+            .unwrap();
+        assert_eq!(plan.matrix_cols.len(), 5);
+        assert!(plan.vector_terms.is_empty());
+        assert!(plan.cpack.is_none());
+    }
+
+    #[test]
+    fn zero_table_emits_nothing() {
+        let table = CoeffTable::new(1, vec![0.0; 9]);
+        let mut mach = Machine::new(&lx2_sim::MachineConfig::lx2());
+        let mut k = InplaceKernel::new(true);
+        k.r = 1;
+        k.rb = 1;
+        let mut prologue = Program::new();
+        let mut reg = ROLLBACK;
+        let plan = k
+            .plan_plane(&table, 0, true, &mut mach, &mut prologue, &mut reg)
+            .unwrap();
+        assert!(plan.matrix_cols.is_empty());
+        assert!(plan.vector_terms.is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Apple M4 star-stencil kernel (paper §4).
+//!
+//! M4's streaming mode has no vector FMLA, so the inner-axis arm runs on
+//! the matrix unit's multi-vector MLA ("M-MLA", [`lx2_isa::Inst::Fmlag`])
+//! which updates the even/odd row groups of a tile from groups of four
+//! vector registers. Because M-MLA fragments the tile-row layout, the
+//! in-place accumulation trick is architecturally infeasible (§4.1): the
+//! kernel reverts to the naive combine — vertical arm in `za0`, horizontal
+//! arm in `za1`, then per-row tile-to-vector moves, an add, and a store.
+//!
+//! Vector `EXT` remains available and is used for positive shifts;
+//! negative shifts use unaligned loads (§4.2's load/EXT balance).
+
+use super::{alloc_const, ramp_addr, ramp_values, window_mask, Kernel, KernelCtx, StepLists};
+use crate::error::PlanError;
+use lx2_isa::{Inst, MemKind, Program, RowMask, VReg, ZaReg, VLEN};
+use lx2_sim::Machine;
+
+const COMBINE0: usize = 0; // v0..v5: combine row pairs (3-deep rotation)
+const VEDGE: usize = 2; // v2..v3: vertical edge-row data rotation (pre-combine)
+const COFV: usize = 4; // v4..v5: coefficient rotation (pre-combine)
+const CPACK: usize = 7; // v7: packed horizontal coefficients
+const ROWS: usize = 8; // v8..v15: current block rows 0..7
+const ROWS_R: usize = 16; // v16..v23: right-neighbour block rows
+const SHIFT_EVEN: usize = 24; // v24..v27: shifted even rows (M-MLA group)
+const SHIFT_ODD: usize = 28; // v28..v31: shifted odd rows (M-MLA group)
+
+const ZA_V: usize = 0; // vertical accumulator tile
+const ZA_H: usize = 1; // horizontal accumulator tile
+
+/// The Apple M4 star kernel.
+pub struct M4StarKernel {
+    vertical_ramp: u64,
+    vertical_extent: usize,
+    hterms: Vec<(i64, u8)>,
+    r: usize,
+    lists: StepLists,
+}
+
+impl M4StarKernel {
+    /// Creates an empty kernel (populated by `setup`).
+    pub fn new() -> Self {
+        M4StarKernel {
+            vertical_ramp: 0,
+            vertical_extent: 0,
+            hterms: Vec::new(),
+            r: 1,
+            lists: StepLists::default(),
+        }
+    }
+}
+
+impl Default for M4StarKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel for M4StarKernel {
+    fn name(&self) -> &'static str {
+        "hstencil-m4-star"
+    }
+
+    fn setup(&mut self, ctx: &KernelCtx, mach: &mut Machine) -> Result<(), PlanError> {
+        if ctx.planes.len() != 1 {
+            return Err(PlanError::MethodUnsupported {
+                method: "hstencil-m4-star",
+                machine: "Apple M4",
+                reason: "the M4 star kernel currently supports 2-D stencils only",
+            });
+        }
+        self.r = ctx.radius;
+        let table = &ctx.planes[0].table;
+        let r = table.radius() as isize;
+        for dj in -r..=r {
+            if dj == 0 {
+                continue;
+            }
+            let col = table.column(dj);
+            if !(col.is_empty() || (col.len() == 1 && col[0].0 == 0)) {
+                return Err(PlanError::MethodUnsupported {
+                    method: "hstencil-m4-star",
+                    machine: "Apple M4",
+                    reason: "M-MLA horizontal arm requires star-shaped tables",
+                });
+            }
+        }
+        let vcol = table.column(0);
+        let reversed: Vec<(isize, f64)> = vcol.iter().map(|&(di, c)| (-di, c)).collect();
+        self.vertical_ramp = alloc_const(mach, &ramp_values(&reversed))?;
+        self.vertical_extent = vcol
+            .iter()
+            .map(|&(di, _)| di.unsigned_abs())
+            .max()
+            .unwrap_or(0);
+
+        let hterms: Vec<(i64, f64)> = (-r..=r)
+            .filter(|&dj| dj != 0)
+            .filter_map(|dj| {
+                let c = table.at(0, dj);
+                (c != 0.0).then_some((dj as i64, c))
+            })
+            .collect();
+        assert!(hterms.len() <= VLEN);
+        let mut packed = vec![0.0; VLEN];
+        for (lane, &(_, c)) in hterms.iter().enumerate() {
+            packed[lane] = c;
+        }
+        let base = alloc_const(mach, &packed)?;
+        let mut prologue = Program::new();
+        prologue.push(Inst::Ld1d {
+            vd: VReg::new(CPACK),
+            addr: base,
+        });
+        mach.execute(&prologue)?;
+        self.hterms = hterms
+            .iter()
+            .enumerate()
+            .map(|(l, &(dj, _))| (dj, l as u8))
+            .collect();
+        Ok(())
+    }
+
+    fn tile_cols(&self, _ctx: &KernelCtx) -> usize {
+        // Eight row registers must stay live for the M-MLA groups, so the
+        // M4 kernel works one column block at a time.
+        VLEN
+    }
+
+    fn emit_tile(&mut self, ctx: &KernelCtx, i0: usize, j0: usize, prog: &mut Program) {
+        let (i0, j0) = (i0 as i64, j0 as i64);
+        let r = self.r as i64;
+        let plane = &ctx.planes[0];
+        prog.push(Inst::ZeroZa {
+            za: ZaReg::new(ZA_V),
+            mask: RowMask::ALL,
+        });
+        prog.push(Inst::ZeroZa {
+            za: ZaReg::new(ZA_H),
+            mask: RowMask::ALL,
+        });
+
+        // Resident rows of the current and right-neighbour blocks.
+        for p in 0..VLEN as i64 {
+            self.lists.prep.push(Inst::Ld1d {
+                vd: VReg::new(ROWS + p as usize),
+                addr: ctx.a(plane, i0 + p, j0),
+            });
+            if self.hterms.iter().any(|&(dj, _)| dj > 0) {
+                self.lists.prep.push(Inst::Ld1d {
+                    vd: VReg::new(ROWS_R + p as usize),
+                    addr: ctx.a(plane, i0 + p, j0 + VLEN as i64),
+                });
+            }
+        }
+        if ctx.opts.prefetch {
+            for p in 0..VLEN as i64 {
+                let pf = i0 + p + ctx.opts.prefetch_dist as i64 * VLEN as i64;
+                if pf <= ctx.h as i64 - 1 + r {
+                    self.lists.prep.push(Inst::Prfm {
+                        addr: ctx.a(plane, pf, j0),
+                        kind: MemKind::Read,
+                    });
+                }
+                self.lists.prep.push(Inst::Prfm {
+                    addr: ctx.b(i0 + p, j0),
+                    kind: MemKind::Write,
+                });
+            }
+        }
+
+        // The resident-row loads feed both arms, so they must precede the
+        // merged compute streams in program order.
+        let prep = std::mem::take(&mut self.lists.prep);
+        for inst in prep {
+            prog.push(inst);
+        }
+
+        // Vertical arm: outer-axis outer products into ZA_V.
+        let mut cof_rot = 0usize;
+        let mut edge_rot = 0usize;
+        for ii in (i0 - r)..=(i0 + VLEN as i64 - 1 + r) {
+            let t = ii - i0;
+            let mask = window_mask(t, self.vertical_extent);
+            if mask == RowMask::NONE {
+                continue;
+            }
+            let cofv = VReg::new(COFV + (cof_rot % 2));
+            cof_rot += 1;
+            self.lists.matrix.push(Inst::Ld1d {
+                vd: cofv,
+                addr: ramp_addr(self.vertical_ramp, t),
+            });
+            let data = if (0..VLEN as i64).contains(&t) {
+                VReg::new(ROWS + t as usize)
+            } else {
+                let dst = VReg::new(VEDGE + (edge_rot % 2));
+                edge_rot += 1;
+                self.lists.matrix.push(Inst::Ld1d {
+                    vd: dst,
+                    addr: ctx.a(plane, ii, j0),
+                });
+                dst
+            };
+            self.lists.matrix.push(Inst::Fmopa {
+                za: ZaReg::new(ZA_V),
+                vn: cofv,
+                vm: data,
+                mask,
+            });
+        }
+
+        // Horizontal arm: per shift, build the even/odd shifted groups and
+        // run two M-MLA instructions into ZA_H.
+        for &(dj, lane) in &self.hterms.clone() {
+            for p in 0..VLEN {
+                let dst = if p % 2 == 0 {
+                    VReg::new(SHIFT_EVEN + p / 2)
+                } else {
+                    VReg::new(SHIFT_ODD + p / 2)
+                };
+                if dj > 0 {
+                    self.lists.vector.push(Inst::Ext {
+                        vd: dst,
+                        vn: VReg::new(ROWS + p),
+                        vm: VReg::new(ROWS_R + p),
+                        shift: dj as u8,
+                    });
+                } else {
+                    self.lists.vector.push(Inst::Ld1d {
+                        vd: dst,
+                        addr: ctx.a(plane, i0 + p as i64, j0 + dj),
+                    });
+                }
+            }
+            self.lists.vector.push(Inst::Fmlag {
+                za: ZaReg::new(ZA_H),
+                half: 0,
+                vn0: VReg::new(SHIFT_EVEN),
+                vm: VReg::new(CPACK),
+                idx: lane,
+            });
+            self.lists.vector.push(Inst::Fmlag {
+                za: ZaReg::new(ZA_H),
+                half: 1,
+                vn0: VReg::new(SHIFT_ODD),
+                vm: VReg::new(CPACK),
+                idx: lane,
+            });
+        }
+
+        self.lists.flush(prog, ctx.opts.scheduling);
+
+        // Naive combine (in-place accumulation is infeasible on M4): move
+        // both tiles' rows out, add, store. The transfers are software
+        // pipelined two rows deep so the MOVA latency overlaps the adds
+        // and stores of earlier rows.
+        let pair = |p: usize| {
+            let lo = COMBINE0 + 2 * (p % 3);
+            (VReg::new(lo), VReg::new(lo + 1))
+        };
+        let movas = |p: usize| {
+            let (a, b) = pair(p);
+            [
+                Inst::MovaToVec {
+                    vd: a,
+                    za: ZaReg::new(ZA_V),
+                    row: p as u8,
+                },
+                Inst::MovaToVec {
+                    vd: b,
+                    za: ZaReg::new(ZA_H),
+                    row: p as u8,
+                },
+            ]
+        };
+        prog.extend(movas(0));
+        prog.extend(movas(1));
+        for p in 0..VLEN {
+            if p + 2 < VLEN {
+                prog.extend(movas(p + 2));
+            }
+            let (a, b) = pair(p);
+            prog.push(Inst::Fadd {
+                vd: a,
+                vn: a,
+                vm: b,
+            });
+            prog.push(Inst::St1d {
+                vs: a,
+                addr: ctx.b(i0 + p as i64, j0),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::Plane;
+    use crate::stencil::presets;
+    use lx2_sim::MachineConfig;
+
+    fn ctx_for(spec: &crate::stencil::StencilSpec) -> KernelCtx {
+        KernelCtx {
+            h: 16,
+            w: 32,
+            stride: 48,
+            b0: 0,
+            planes: vec![Plane {
+                base: 0,
+                table: spec.plane_table_2d(),
+            }],
+            radius: spec.radius(),
+            opts: Default::default(),
+        }
+    }
+
+    #[test]
+    fn star_setup_succeeds() {
+        let mut mach = Machine::new(&MachineConfig::apple_m4());
+        let mut k = M4StarKernel::new();
+        k.setup(&ctx_for(&presets::star2d9p()), &mut mach).unwrap();
+        assert_eq!(k.hterms.len(), 4);
+    }
+
+    #[test]
+    fn box_is_rejected() {
+        let mut mach = Machine::new(&MachineConfig::apple_m4());
+        let mut k = M4StarKernel::new();
+        let err = k.setup(&ctx_for(&presets::box2d9p()), &mut mach);
+        assert!(matches!(err, Err(PlanError::MethodUnsupported { .. })));
+    }
+}

@@ -1,0 +1,477 @@
+//! Kernel builders: one module per stencil method.
+//!
+//! A kernel builder turns a stencil specification into machine programs,
+//! one tile at a time. All builders share the conventions defined here:
+//!
+//! * The grid lives in simulated machine memory with row stride
+//!   `ctx.stride`; `ctx.planes` lists the input planes contributing to the
+//!   current output plane (one for 2-D, `2r+1` for 3-D) together with
+//!   their coefficient tables.
+//! * Tiles are `VLEN` rows by `VLEN * reg_blocks` columns; remainders are
+//!   handled by the plan with overlapped (idempotent) tiles.
+//! * Shifted *coefficient column* vectors come from 32-element **ramp
+//!   tables** in machine memory: loading at `base + RAMP_CENTER - t`
+//!   yields the column placed so lane `p` holds `c[p - t]`.
+//! * Scheduled emission interleaves *prep* (next-step loads + prefetches),
+//!   *matrix*, *vector* and *store* streams in a round-robin weighted by
+//!   the machine's pipe widths; phased (unscheduled) emission concatenates
+//!   them, exposing load-use latency and store bursts — the contrast the
+//!   paper's Figure 13 measures.
+
+pub mod auto;
+pub mod inplace;
+pub mod m4star;
+pub mod naive_hybrid;
+pub mod ortho;
+pub mod vector;
+
+use crate::error::PlanError;
+use crate::table::CoeffTable;
+use lx2_isa::{Inst, Program, RowMask, VLEN};
+use lx2_sim::Machine;
+
+/// Maximum supported stencil radius (the tile has `VLEN` rows; kernels
+/// need `2r + 1 <= VLEN`).
+pub const MAX_RADIUS: usize = 3;
+
+/// Length of a coefficient ramp table.
+pub const RAMP_LEN: usize = 32;
+/// Lane of the ramp table holding the `di = 0` coefficient.
+pub const RAMP_CENTER: i64 = 16;
+
+/// One input plane: where it lives and how it is weighted.
+#[derive(Clone, Debug)]
+pub struct Plane {
+    /// Machine address of the plane's interior `(0, 0)` element.
+    pub base: u64,
+    /// The plane's coefficient table.
+    pub table: CoeffTable,
+}
+
+/// Tunable execution options (paper §3.1–§3.3 features as switches).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelOptions {
+    /// Fine-grained matrix/vector/load/store interleaving (§3.2.2).
+    pub scheduling: bool,
+    /// Vector-instruction replacement: MLA→FMOPA partial rollback and
+    /// EXT→LD rebalancing (§3.2.1).
+    pub replacement: bool,
+    /// Spatial prefetch insertion (§3.3, Algorithm 3).
+    pub prefetch: bool,
+    /// Tile register blocks unrolled along `j` (multi-register kernel,
+    /// §3.1.2). Clamped by the plan to the grid width.
+    pub reg_blocks: usize,
+    /// How many rows ahead input prefetches run.
+    pub prefetch_dist: usize,
+    /// Y-extent of one strip-major block (Algorithm 2's `Ystart..Yend`
+    /// partition): bounds the strip working set so it stays cache-sized.
+    pub y_block: usize,
+    /// Post-process every emitted tile with the automatic list scheduler
+    /// (`lx2_isa::sched`) instead of relying solely on the hand-written
+    /// interleave — an ablation of §3.2.2 against a compiler-style pass.
+    pub auto_schedule: bool,
+}
+
+impl Default for KernelOptions {
+    fn default() -> Self {
+        KernelOptions {
+            scheduling: true,
+            replacement: true,
+            prefetch: true,
+            reg_blocks: 4,
+            prefetch_dist: 4,
+            y_block: 256,
+            auto_schedule: false,
+        }
+    }
+}
+
+impl KernelOptions {
+    /// All optimizations off (micro-kernel only).
+    pub fn baseline() -> Self {
+        KernelOptions {
+            scheduling: false,
+            replacement: false,
+            prefetch: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything a kernel needs to know about the workload.
+#[derive(Clone, Debug)]
+pub struct KernelCtx {
+    /// Interior height of the output plane.
+    pub h: usize,
+    /// Interior width.
+    pub w: usize,
+    /// Row stride in elements (identical for all planes and the output).
+    pub stride: u64,
+    /// Machine address of the output plane's interior `(0, 0)`.
+    pub b0: u64,
+    /// Input planes (one for 2-D).
+    pub planes: Vec<Plane>,
+    /// Stencil radius.
+    pub radius: usize,
+    /// Options.
+    pub opts: KernelOptions,
+}
+
+impl KernelCtx {
+    /// Address of input element `(i, j)` of `plane` (halo coords allowed).
+    #[inline]
+    pub fn a(&self, plane: &Plane, i: i64, j: i64) -> u64 {
+        (plane.base as i64 + i * self.stride as i64 + j) as u64
+    }
+
+    /// Address of output element `(i, j)`.
+    #[inline]
+    pub fn b(&self, i: i64, j: i64) -> u64 {
+        (self.b0 as i64 + i * self.stride as i64 + j) as u64
+    }
+
+    /// Effective register blocks (clamped to the grid width).
+    pub fn reg_blocks(&self) -> usize {
+        self.opts.reg_blocks.clamp(1, (self.w / VLEN).max(1)).min(4)
+    }
+}
+
+/// Grid traversal order of a kernel.
+///
+/// Vector-wise methods sweep full rows (1-D streams the hardware
+/// prefetcher loves); matrix-wise methods tile along the X axis and sweep
+/// rows *within* each strip (paper §2.3.3's "2-D access pattern"), which
+/// breaks the 1-D streams — the asymmetry behind Table 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Traversal {
+    /// `for i { for j }` with full-width row sweeps.
+    RowMajor,
+    /// `for j-strip { for i }` — X-axis loop tiling.
+    StripMajor,
+}
+
+/// A stencil kernel builder.
+pub trait Kernel {
+    /// Kernel name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The traversal order this kernel's loop nest uses.
+    fn traversal(&self) -> Traversal {
+        Traversal::StripMajor
+    }
+
+    /// One-time setup: allocate constant tables in machine memory and run
+    /// the prologue (coefficient register initialization).
+    fn setup(&mut self, ctx: &KernelCtx, mach: &mut Machine) -> Result<(), PlanError>;
+
+    /// Columns covered by one `emit_tile` call.
+    fn tile_cols(&self, ctx: &KernelCtx) -> usize;
+
+    /// Rows covered by one `emit_tile` call.
+    fn tile_rows(&self, _ctx: &KernelCtx) -> usize {
+        VLEN
+    }
+
+    /// Emits the program for the tile whose interior top-left corner is
+    /// `(i0, j0)`.
+    fn emit_tile(&mut self, ctx: &KernelCtx, i0: usize, j0: usize, prog: &mut Program);
+}
+
+/// Builds the 32-element ramp table for a coefficient column: entry
+/// `RAMP_CENTER + di` holds `c[di]`.
+pub fn ramp_values(column: &[(isize, f64)]) -> [f64; RAMP_LEN] {
+    let mut r = [0.0; RAMP_LEN];
+    for &(di, c) in column {
+        let idx = RAMP_CENTER + di as i64;
+        assert!(
+            (0..RAMP_LEN as i64).contains(&idx),
+            "radius exceeds ramp capacity"
+        );
+        r[idx as usize] = c;
+    }
+    r
+}
+
+/// Address within a ramp table that yields the column placed at tile-row
+/// offset `t` (lane `p` holds `c[p - t]`).
+#[inline]
+pub fn ramp_addr(base: u64, t: i64) -> u64 {
+    (base as i64 + RAMP_CENTER - t) as u64
+}
+
+/// Row mask enabling tile rows `[t - r, t + r] ∩ [0, VLEN)`.
+pub fn window_mask(t: i64, r: usize) -> RowMask {
+    let lo = (t - r as i64).max(0);
+    let hi = (t + r as i64).min(VLEN as i64 - 1);
+    if lo > hi {
+        return RowMask::NONE;
+    }
+    RowMask::range(lo as usize, (hi - lo + 1) as usize)
+}
+
+/// The four per-step instruction streams, merged according to the
+/// scheduling mode.
+#[derive(Default)]
+pub struct StepLists {
+    /// Loads and prefetches preparing future work.
+    pub prep: Vec<Inst>,
+    /// Matrix-pipe work (may contain coupled loads/EXTs feeding FMOPA).
+    pub matrix: Vec<Inst>,
+    /// Vector-pipe work (EXT/FMLA chains and their accumulate FMOPAs).
+    pub vector: Vec<Inst>,
+    /// Stores due after this step.
+    pub stores: Vec<Inst>,
+}
+
+impl StepLists {
+    /// Clears all four streams (keeps capacity).
+    pub fn clear(&mut self) {
+        self.prep.clear();
+        self.matrix.clear();
+        self.vector.clear();
+        self.stores.clear();
+    }
+
+    /// Scheduled flush: weighted round-robin across the four streams —
+    /// the §3.2.2 interleave. Within each stream, order (and therefore
+    /// every data dependence) is preserved.
+    pub fn flush_scheduled(&mut self, prog: &mut Program) {
+        let mut idx = [0usize; 4];
+        let lists = [&self.prep, &self.matrix, &self.vector, &self.stores];
+        // Weights approximate pipe widths: 2 load, 1 matrix, 2 vector, 1 store.
+        let weights = [2usize, 1, 2, 1];
+        loop {
+            let mut emitted = false;
+            for (k, list) in lists.iter().enumerate() {
+                for _ in 0..weights[k] {
+                    if idx[k] < list.len() {
+                        prog.push(list[idx[k]]);
+                        idx[k] += 1;
+                        emitted = true;
+                    }
+                }
+            }
+            if !emitted {
+                break;
+            }
+        }
+        self.clear();
+    }
+
+    /// Phased flush: prep, matrix, vector, stores strictly in sequence —
+    /// the unscheduled baseline that exposes load-use stalls and store
+    /// bursts.
+    pub fn flush_phased(&mut self, prog: &mut Program) {
+        for list in [&self.prep, &self.matrix, &self.vector, &self.stores] {
+            for &i in list.iter() {
+                prog.push(i);
+            }
+        }
+        self.clear();
+    }
+
+    /// Flushes according to `scheduled`.
+    pub fn flush(&mut self, prog: &mut Program, scheduled: bool) {
+        if scheduled {
+            self.flush_scheduled(prog);
+        } else {
+            self.flush_phased(prog);
+        }
+    }
+
+    /// Total queued instructions.
+    pub fn len(&self) -> usize {
+        self.prep.len() + self.matrix.len() + self.vector.len() + self.stores.len()
+    }
+
+    /// Whether all streams are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A producer/consumer pair for software-pipelined emission: up to three
+/// producer instructions (coefficient loads and/or a shifted-data
+/// producer) feeding one consumer.
+pub type Pair = ([Option<Inst>; 3], Inst);
+
+/// Anything instructions can be emitted into.
+pub trait InstSink {
+    /// Appends one instruction.
+    fn put(&mut self, inst: Inst);
+}
+
+impl InstSink for Vec<Inst> {
+    fn put(&mut self, inst: Inst) {
+        self.push(inst);
+    }
+}
+
+impl InstSink for Program {
+    fn put(&mut self, inst: Inst) {
+        self.push(inst);
+    }
+}
+
+/// Emits producer/consumer pairs with the producers run `lookahead` pairs
+/// ahead of their consumers, hiding producer latency from the in-order
+/// pipeline (the intra-stream half of §3.2.2 instruction scheduling).
+///
+/// Correctness requires that the register written by pair `i`'s producers
+/// is not rewritten by pairs `i+1 ..= i+lookahead` — callers rotate
+/// scratch registers over at least `lookahead + 1` slots.
+pub fn emit_pipelined(pairs: &[Pair], lookahead: usize, out: &mut impl InstSink) {
+    fn push_prods(out: &mut impl InstSink, pair: &Pair) {
+        for p in pair.0.iter().flatten() {
+            out.put(*p);
+        }
+    }
+    let n = pairs.len();
+    for pair in pairs.iter().take(lookahead.min(n)) {
+        push_prods(out, pair);
+    }
+    for (i, pair) in pairs.iter().enumerate() {
+        if i + lookahead < n {
+            push_prods(out, &pairs[i + lookahead]);
+        }
+        out.put(pair.1);
+    }
+}
+
+/// Tile start positions covering `0..n` in steps of `step`, with a final
+/// overlapped tile when `step` does not divide `n` (tiles recompute the
+/// overlap; stencil writes are idempotent).
+///
+/// # Panics
+/// Panics if `n < step`.
+pub fn tile_starts(n: usize, step: usize) -> Vec<usize> {
+    assert!(n >= step, "grid dimension {n} smaller than tile {step}");
+    let mut v: Vec<usize> = (0..=(n - step)).step_by(step).collect();
+    if let Some(&last) = v.last() {
+        if last + step < n {
+            v.push(n - step);
+        }
+    }
+    v
+}
+
+/// Writes a constant table into fresh machine memory; returns its base.
+pub fn alloc_const(mach: &mut Machine, values: &[f64]) -> Result<u64, PlanError> {
+    let region = mach.alloc(values.len(), VLEN);
+    mach.mem.store_slice(region.base, values)?;
+    Ok(region.base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lx2_isa::VReg;
+
+    #[test]
+    fn ramp_roundtrip() {
+        let col = vec![(-2isize, 0.1), (0isize, 0.5), (2isize, 0.2)];
+        let r = ramp_values(&col);
+        assert_eq!(r[(RAMP_CENTER - 2) as usize], 0.1);
+        assert_eq!(r[RAMP_CENTER as usize], 0.5);
+        assert_eq!(r[(RAMP_CENTER + 2) as usize], 0.2);
+        assert_eq!(r[(RAMP_CENTER + 1) as usize], 0.0);
+    }
+
+    #[test]
+    fn ramp_addr_places_column_at_offset() {
+        // Loading VLEN lanes from ramp_addr(base, t) puts c[p - t] at lane p.
+        let col = vec![(0isize, 7.0)];
+        let vals = ramp_values(&col);
+        for t in -3i64..=10 {
+            let addr = ramp_addr(100, t) - 100; // offset into the table
+            for p in 0..VLEN as i64 {
+                let lane = vals[(addr as i64 + p) as usize];
+                let expect = if p == t { 7.0 } else { 0.0 };
+                assert_eq!(lane, expect, "t={t} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_mask_clips_to_tile() {
+        assert_eq!(window_mask(0, 2), RowMask::range(0, 3));
+        assert_eq!(window_mask(4, 1), RowMask::range(3, 3));
+        assert_eq!(window_mask(-3, 2), RowMask::NONE);
+        assert_eq!(window_mask(9, 2), RowMask::range(7, 1));
+        assert_eq!(window_mask(10, 1), RowMask::NONE);
+    }
+
+    #[test]
+    fn tile_starts_exact_and_overlap() {
+        assert_eq!(tile_starts(32, 8), vec![0, 8, 16, 24]);
+        assert_eq!(tile_starts(36, 8), vec![0, 8, 16, 24, 28]);
+        assert_eq!(tile_starts(8, 8), vec![0]);
+        assert_eq!(tile_starts(9, 8), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tile_starts_too_small_panics() {
+        let _ = tile_starts(7, 8);
+    }
+
+    #[test]
+    fn scheduled_flush_preserves_intra_stream_order() {
+        let mut l = StepLists::default();
+        for k in 0..5 {
+            l.prep.push(Inst::DupImm {
+                vd: VReg::new(k),
+                imm: k as f64,
+            });
+        }
+        for k in 0..3 {
+            l.matrix.push(Inst::DupImm {
+                vd: VReg::new(8 + k),
+                imm: k as f64,
+            });
+        }
+        let mut p = Program::new();
+        l.flush_scheduled(&mut p);
+        assert_eq!(p.len(), 8);
+        // prep order: v0 before v1 before v2...
+        let prep_positions: Vec<usize> = p
+            .insts()
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, i)| match i {
+                Inst::DupImm { vd, .. } if vd.index() < 8 => Some(pos),
+                _ => None,
+            })
+            .collect();
+        assert!(prep_positions.windows(2).all(|w| w[0] < w[1]));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn phased_flush_is_sequential() {
+        let mut l = StepLists::default();
+        l.prep.push(Inst::DupImm {
+            vd: VReg::new(0),
+            imm: 0.0,
+        });
+        l.vector.push(Inst::DupImm {
+            vd: VReg::new(1),
+            imm: 1.0,
+        });
+        l.matrix.push(Inst::DupImm {
+            vd: VReg::new(2),
+            imm: 2.0,
+        });
+        let mut p = Program::new();
+        l.flush_phased(&mut p);
+        let order: Vec<usize> = p
+            .insts()
+            .iter()
+            .map(|i| match i {
+                Inst::DupImm { vd, .. } => vd.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 2, 1]); // prep, matrix, vector
+    }
+}

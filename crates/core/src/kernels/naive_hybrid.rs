@@ -1,0 +1,270 @@
+//! The naive matrix-vector method (paper Figure 7).
+//!
+//! Outer products and vector MLA are used for the same split as the
+//! in-place kernel, but the two halves are computed *independently*: the
+//! matrix half stores its partial result to the output array, and a second
+//! pass recomputes the vector half, reloads the partial result, adds, and
+//! stores again — the redundant load/store round-trip (Equation 7:
+//! `3 × C_L1LD + 2 × C_L1ST`) that in-place accumulation eliminates.
+
+use super::{alloc_const, ramp_addr, ramp_values, window_mask, Kernel, KernelCtx, StepLists};
+use crate::error::PlanError;
+use lx2_isa::{Inst, Program, RowMask, VReg, ZaReg, VLEN};
+use lx2_sim::Machine;
+
+const REG1: usize = 0; // v0..v3: vector accumulators
+const ABLK: usize = 4; // v4..v9: data blocks
+const BROW: usize = 10; // v10..v13: reloaded partial-result rows
+const COFV: usize = 16; // v16..v19: rotating coefficient registers
+const SCRATCH: usize = 20; // v20..v21: shifted-data scratch
+const CPACK: usize = 24; // v24..v27: per-plane MLA packs
+
+#[derive(Clone, Debug)]
+struct PlanePlan {
+    matrix_cols: Vec<(i64, u64, usize)>, // (dj, ramp, extent)
+    vector_terms: Vec<(i64, u8)>,
+    cpack: Option<VReg>,
+}
+
+/// The naive (store/reload) matrix-vector kernel.
+pub struct NaiveHybridKernel {
+    plans: Vec<PlanePlan>,
+    rb: usize,
+    r: usize,
+    lists: StepLists,
+}
+
+impl NaiveHybridKernel {
+    /// Creates an empty kernel (populated by `setup`).
+    pub fn new() -> Self {
+        NaiveHybridKernel {
+            plans: Vec::new(),
+            rb: 1,
+            r: 1,
+            lists: StepLists::default(),
+        }
+    }
+}
+
+impl Default for NaiveHybridKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel for NaiveHybridKernel {
+    fn name(&self) -> &'static str {
+        "naive-hybrid"
+    }
+
+    fn setup(&mut self, ctx: &KernelCtx, mach: &mut Machine) -> Result<(), PlanError> {
+        self.r = ctx.radius;
+        self.rb = ctx.reg_blocks();
+        self.plans.clear();
+        let mut prologue = Program::new();
+        for (pi, plane) in ctx.planes.iter().enumerate() {
+            let (mcols, vterms) = plane.table.split_matrix_vector();
+            let mut matrix_cols = Vec::new();
+            for dj in mcols {
+                let col = plane.table.column(dj);
+                let reversed: Vec<(isize, f64)> = col.iter().map(|&(di, c)| (-di, c)).collect();
+                let extent = col
+                    .iter()
+                    .map(|&(di, _)| di.unsigned_abs())
+                    .max()
+                    .unwrap_or(0);
+                matrix_cols.push((
+                    dj as i64,
+                    alloc_const(mach, &ramp_values(&reversed))?,
+                    extent,
+                ));
+            }
+            let cpack = if vterms.is_empty() {
+                None
+            } else {
+                assert!(vterms.len() <= VLEN);
+                assert!(
+                    pi < 4,
+                    "MLA packs support at most four planes with vector terms"
+                );
+                let mut packed = vec![0.0; VLEN];
+                for (lane, &(_, c)) in vterms.iter().enumerate() {
+                    packed[lane] = c;
+                }
+                let base = alloc_const(mach, &packed)?;
+                let reg = VReg::new(CPACK + pi.min(3));
+                prologue.push(Inst::Ld1d {
+                    vd: reg,
+                    addr: base,
+                });
+                Some(reg)
+            };
+            let vector_terms = vterms
+                .iter()
+                .enumerate()
+                .map(|(l, &(dj, _))| (dj as i64, l as u8))
+                .collect();
+            self.plans.push(PlanePlan {
+                matrix_cols,
+                vector_terms,
+                cpack,
+            });
+        }
+        mach.execute(&prologue)?;
+        Ok(())
+    }
+
+    fn tile_cols(&self, ctx: &KernelCtx) -> usize {
+        ctx.reg_blocks() * VLEN
+    }
+
+    fn emit_tile(&mut self, ctx: &KernelCtx, i0: usize, j0: usize, prog: &mut Program) {
+        let (i0, j0) = (i0 as i64, j0 as i64);
+        let r = self.r as i64;
+        let rb = self.rb as i64;
+        for b in 0..self.rb {
+            prog.push(Inst::ZeroZa {
+                za: ZaReg::new(b),
+                mask: RowMask::ALL,
+            });
+        }
+        let mut cof_rot = 0usize;
+
+        // Phase 1: matrix half (outer-axis), store partials to B.
+        for (pi, plane) in ctx.planes.iter().enumerate() {
+            for ii in (i0 - r)..=(i0 + VLEN as i64 - 1 + r) {
+                let t = ii - i0;
+                for b in 0..rb {
+                    self.lists.prep.push(Inst::Ld1d {
+                        vd: VReg::new(ABLK + (b as usize % 6)),
+                        addr: ctx.a(plane, ii, j0 + VLEN as i64 * b),
+                    });
+                }
+                for &(dj, ramp, extent) in &self.plans[pi].matrix_cols {
+                    let mask = window_mask(t, extent);
+                    if mask == RowMask::NONE {
+                        continue;
+                    }
+                    let cofv = VReg::new(COFV + (cof_rot % 4));
+                    cof_rot += 1;
+                    self.lists.matrix.push(Inst::Ld1d {
+                        vd: cofv,
+                        addr: ramp_addr(ramp, t),
+                    });
+                    for b in 0..rb {
+                        let data = if dj == 0 {
+                            VReg::new(ABLK + (b as usize % 6))
+                        } else {
+                            let dst = VReg::new(SCRATCH);
+                            self.lists.matrix.push(Inst::Ld1d {
+                                vd: dst,
+                                addr: ctx.a(plane, ii, j0 + VLEN as i64 * b + dj),
+                            });
+                            dst
+                        };
+                        self.lists.matrix.push(Inst::Fmopa {
+                            za: ZaReg::new(b as usize),
+                            vn: cofv,
+                            vm: data,
+                            mask,
+                        });
+                    }
+                }
+                self.lists.flush_phased(prog);
+            }
+        }
+        // Intermediate store of the matrix half.
+        for p in 0..VLEN as i64 {
+            for b in 0..rb {
+                prog.push(Inst::StZaRow {
+                    za: ZaReg::new(b as usize),
+                    row: p as u8,
+                    addr: ctx.b(i0 + p, j0 + VLEN as i64 * b),
+                });
+            }
+        }
+
+        // Phase 2: vector half per output row, reload partials, add, store.
+        let any_vector = self.plans.iter().any(|p| !p.vector_terms.is_empty());
+        if !any_vector {
+            return;
+        }
+        for p in 0..VLEN as i64 {
+            let i = i0 + p;
+            for b in 0..rb {
+                self.lists.vector.push(Inst::DupImm {
+                    vd: VReg::new(REG1 + b as usize),
+                    imm: 0.0,
+                });
+            }
+            for (pi, plane) in ctx.planes.iter().enumerate() {
+                let plan = &self.plans[pi];
+                let Some(cpack) = plan.cpack else { continue };
+                for &(dj, lane) in &plan.vector_terms {
+                    for b in 0..rb {
+                        let dst = VReg::new(SCRATCH + (b as usize % 2));
+                        self.lists.vector.push(Inst::Ld1d {
+                            vd: dst,
+                            addr: ctx.a(plane, i, j0 + VLEN as i64 * b + dj),
+                        });
+                        self.lists.vector.push(Inst::FmlaIdx {
+                            vd: VReg::new(REG1 + b as usize),
+                            vn: dst,
+                            vm: cpack,
+                            idx: lane,
+                        });
+                    }
+                }
+            }
+            // The accumulation round-trip: reload the matrix partial, add,
+            // store back — the overhead Equation 5/7 charges this method.
+            for b in 0..rb {
+                let brow = VReg::new(BROW + b as usize);
+                self.lists.vector.push(Inst::Ld1d {
+                    vd: brow,
+                    addr: ctx.b(i, j0 + VLEN as i64 * b),
+                });
+                self.lists.vector.push(Inst::Fadd {
+                    vd: VReg::new(REG1 + b as usize),
+                    vn: VReg::new(REG1 + b as usize),
+                    vm: brow,
+                });
+                self.lists.stores.push(Inst::St1d {
+                    vs: VReg::new(REG1 + b as usize),
+                    addr: ctx.b(i, j0 + VLEN as i64 * b),
+                });
+            }
+            self.lists.flush_phased(prog);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::Plane;
+    use crate::stencil::presets;
+    use lx2_sim::MachineConfig;
+
+    #[test]
+    fn setup_splits_star() {
+        let spec = presets::star2d9p();
+        let mut mach = Machine::new(&MachineConfig::lx2());
+        let mut k = NaiveHybridKernel::new();
+        let ctx = KernelCtx {
+            h: 16,
+            w: 32,
+            stride: 48,
+            b0: 0,
+            planes: vec![Plane {
+                base: 0,
+                table: spec.plane_table_2d(),
+            }],
+            radius: 2,
+            opts: Default::default(),
+        };
+        k.setup(&ctx, &mut mach).unwrap();
+        assert_eq!(k.plans[0].matrix_cols.len(), 1);
+        assert_eq!(k.plans[0].vector_terms.len(), 4);
+    }
+}

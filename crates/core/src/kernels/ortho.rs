@@ -1,0 +1,244 @@
+//! "Mat-ortho": outer-axis **and** inner-axis outer products
+//! (paper §2.2, Figure 5; breakdown baseline in Figure 13).
+//!
+//! The vertical arm of a star stencil runs as outer-axis outer products
+//! (row-contiguous loads); the horizontal arm runs as *inner-axis* outer
+//! products, which keeps matrix-unit utilization high but requires
+//! strided column gathers (`LDCOL`) — the discontinuous memory access
+//! pattern that makes this method lose to plain auto-vectorization on
+//! star stencils.
+
+use super::{alloc_const, ramp_addr, ramp_values, window_mask, Kernel, KernelCtx, StepLists};
+use crate::error::PlanError;
+use lx2_isa::{Inst, Program, RowMask, VReg, ZaReg, VLEN};
+use lx2_sim::Machine;
+
+const ABLK: usize = 4; // v4..v9: data blocks
+const ACOL: usize = 10; // v10..v11: rotating column-gather registers
+const COFV: usize = 16; // v16..v19: rotating coefficient registers
+
+#[derive(Clone, Debug)]
+struct PlanePlan {
+    /// Vertical (dj = 0) ramp, if the column has nonzeros.
+    vertical: Option<(u64, usize)>, // (ramp base, extent)
+    /// Horizontal ramp for the inner-axis arm, if any dj ≠ 0 terms exist.
+    horizontal: Option<u64>,
+}
+
+/// The outer+inner-axis matrix-only kernel.
+pub struct OrthoKernel {
+    plans: Vec<PlanePlan>,
+    rb: usize,
+    r: usize,
+    lists: StepLists,
+}
+
+impl OrthoKernel {
+    /// Creates an empty kernel (populated by `setup`).
+    pub fn new() -> Self {
+        OrthoKernel {
+            plans: Vec::new(),
+            rb: 1,
+            r: 1,
+            lists: StepLists::default(),
+        }
+    }
+}
+
+impl Default for OrthoKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel for OrthoKernel {
+    fn name(&self) -> &'static str {
+        "matrix-ortho"
+    }
+
+    fn setup(&mut self, ctx: &KernelCtx, mach: &mut Machine) -> Result<(), PlanError> {
+        self.r = ctx.radius;
+        self.rb = ctx.reg_blocks();
+        self.plans.clear();
+        for plane in &ctx.planes {
+            let t = &plane.table;
+            let r = t.radius() as isize;
+            // The inner-axis decomposition requires star structure: every
+            // off-centre column must have its single nonzero on di == 0.
+            for dj in -r..=r {
+                if dj == 0 {
+                    continue;
+                }
+                let col = t.column(dj);
+                if !(col.is_empty() || (col.len() == 1 && col[0].0 == 0)) {
+                    return Err(PlanError::MethodUnsupported {
+                        method: "matrix-ortho",
+                        machine: "any",
+                        reason: "inner-axis outer products require star-shaped tables",
+                    });
+                }
+            }
+            let vcol = t.column(0);
+            let vertical = if vcol.is_empty() {
+                None
+            } else {
+                let reversed: Vec<(isize, f64)> = vcol.iter().map(|&(di, c)| (-di, c)).collect();
+                let extent = vcol.iter().map(|&(di, _)| di.unsigned_abs()).max().unwrap();
+                Some((alloc_const(mach, &ramp_values(&reversed))?, extent))
+            };
+            let hterms: Vec<(isize, f64)> = (-r..=r)
+                .filter(|&dj| dj != 0)
+                .filter_map(|dj| {
+                    let c = t.at(0, dj);
+                    (c != 0.0).then_some((dj, c))
+                })
+                .collect();
+            let horizontal = if hterms.is_empty() {
+                None
+            } else {
+                // Scatter form: source column `src` feeds target column
+                // `q = src - dj`, so lane `q` of the coefficient vector
+                // must hold `c[src - q]` — the reversed column.
+                let reversed: Vec<(isize, f64)> = hterms.iter().map(|&(dj, c)| (-dj, c)).collect();
+                Some(alloc_const(mach, &ramp_values(&reversed))?)
+            };
+            self.plans.push(PlanePlan {
+                vertical,
+                horizontal,
+            });
+        }
+        Ok(())
+    }
+
+    fn tile_cols(&self, ctx: &KernelCtx) -> usize {
+        ctx.reg_blocks() * VLEN
+    }
+
+    fn emit_tile(&mut self, ctx: &KernelCtx, i0: usize, j0: usize, prog: &mut Program) {
+        let (i0, j0) = (i0 as i64, j0 as i64);
+        let r = self.r as i64;
+        for b in 0..self.rb {
+            prog.push(Inst::ZeroZa {
+                za: ZaReg::new(b),
+                mask: RowMask::ALL,
+            });
+        }
+        let mut cof_rot = 0usize;
+
+        // Vertical arm: outer-axis outer products, row-contiguous loads.
+        for (pi, plane) in ctx.planes.iter().enumerate() {
+            let Some((ramp, extent)) = self.plans[pi].vertical else {
+                continue;
+            };
+            for ii in (i0 - r)..=(i0 + VLEN as i64 - 1 + r) {
+                let t = ii - i0;
+                let mask = window_mask(t, extent);
+                if mask == RowMask::NONE {
+                    continue;
+                }
+                let cofv = VReg::new(COFV + (cof_rot % 4));
+                cof_rot += 1;
+                self.lists.matrix.push(Inst::Ld1d {
+                    vd: cofv,
+                    addr: ramp_addr(ramp, t),
+                });
+                for b in 0..self.rb as i64 {
+                    let data = VReg::new(ABLK + (b as usize % 6));
+                    self.lists.matrix.push(Inst::Ld1d {
+                        vd: data,
+                        addr: ctx.a(plane, ii, j0 + VLEN as i64 * b),
+                    });
+                    self.lists.matrix.push(Inst::Fmopa {
+                        za: ZaReg::new(b as usize),
+                        vn: cofv,
+                        vm: data,
+                        mask,
+                    });
+                }
+            }
+        }
+
+        // Horizontal arm: inner-axis outer products over column gathers.
+        for (pi, plane) in ctx.planes.iter().enumerate() {
+            let Some(ramp) = self.plans[pi].horizontal else {
+                continue;
+            };
+            for b in 0..self.rb as i64 {
+                for src in -r..(VLEN as i64 + r) {
+                    let acol = VReg::new(ACOL + (src.rem_euclid(2)) as usize);
+                    self.lists.matrix.push(Inst::LdCol {
+                        vd: acol,
+                        addr: ctx.a(plane, i0, j0 + VLEN as i64 * b + src),
+                        stride: ctx.stride,
+                    });
+                    let cofh = VReg::new(COFV + (cof_rot % 4));
+                    cof_rot += 1;
+                    self.lists.matrix.push(Inst::Ld1d {
+                        vd: cofh,
+                        addr: ramp_addr(ramp, src),
+                    });
+                    self.lists.matrix.push(Inst::Fmopa {
+                        za: ZaReg::new(b as usize),
+                        vn: acol,
+                        vm: cofh,
+                        mask: RowMask::ALL,
+                    });
+                }
+            }
+        }
+
+        // Stores batched at the end (this method predates store scattering).
+        for p in 0..VLEN as i64 {
+            for b in 0..self.rb as i64 {
+                self.lists.stores.push(Inst::StZaRow {
+                    za: ZaReg::new(b as usize),
+                    row: p as u8,
+                    addr: ctx.b(i0 + p, j0 + VLEN as i64 * b),
+                });
+            }
+        }
+        self.lists.flush_phased(prog);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::Plane;
+    use crate::stencil::presets;
+    use lx2_sim::MachineConfig;
+
+    fn ctx_for(spec: &crate::stencil::StencilSpec) -> KernelCtx {
+        KernelCtx {
+            h: 16,
+            w: 32,
+            stride: 48,
+            b0: 0,
+            planes: vec![Plane {
+                base: 0,
+                table: spec.plane_table_2d(),
+            }],
+            radius: spec.radius(),
+            opts: Default::default(),
+        }
+    }
+
+    #[test]
+    fn star_is_supported() {
+        let spec = presets::star2d9p();
+        let mut mach = Machine::new(&MachineConfig::lx2());
+        let mut k = OrthoKernel::new();
+        k.setup(&ctx_for(&spec), &mut mach).unwrap();
+        assert!(k.plans[0].vertical.is_some());
+        assert!(k.plans[0].horizontal.is_some());
+    }
+
+    #[test]
+    fn box_is_rejected() {
+        let spec = presets::box2d9p();
+        let mut mach = Machine::new(&MachineConfig::lx2());
+        let mut k = OrthoKernel::new();
+        let err = k.setup(&ctx_for(&spec), &mut mach);
+        assert!(matches!(err, Err(PlanError::MethodUnsupported { .. })));
+    }
+}

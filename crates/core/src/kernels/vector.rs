@@ -1,0 +1,285 @@
+//! Expert-optimized vector-only kernel (gather form, paper Figure 4a).
+//!
+//! Every tap is a vector MLA with a packed broadcast coefficient;
+//! shifted operands come from aligned loads plus `EXT` concatenation
+//! (DLT-style data reuse). The kernel unrolls `reg_blocks` output vectors
+//! with independent accumulators so the FMLA chains pipeline across the
+//! two vector units — this is the "expert-optimized vector-based
+//! solution" row of the paper's method table.
+
+use super::{emit_pipelined, tile_starts, Kernel, KernelCtx, Pair, StepLists, Traversal};
+use crate::error::PlanError;
+use lx2_isa::{Inst, MemKind, Program, VReg, VLEN};
+use lx2_sim::Machine;
+
+const ACC: usize = 0; // v0..v3: per-block accumulators
+const ABLK0: usize = 4; // v4..v9: data blocks bank 0
+const ABLK1: usize = 10; // v10..v15: data blocks bank 1
+const SCRATCH: usize = 20; // v20..v22: EXT scratch (rotation 3 > lookahead)
+const PACKS: usize = 24; // v24..v30: packed coefficients (≤ 56 taps)
+
+/// One gather tap.
+#[derive(Clone, Copy, Debug)]
+struct Tap {
+    plane: usize,
+    di: i64,
+    dj: i64,
+    pack: VReg,
+    lane: u8,
+}
+
+/// The expert vector-MLA kernel.
+pub struct VectorKernel {
+    taps: Vec<Tap>,
+    /// Taps grouped by `(plane, di)` — one input-row load per group.
+    groups: Vec<(usize, i64, Vec<usize>)>,
+    rb: usize,
+    lists: StepLists,
+}
+
+impl VectorKernel {
+    /// Creates an empty kernel (populated by `setup`).
+    pub fn new() -> Self {
+        VectorKernel {
+            taps: Vec::new(),
+            groups: Vec::new(),
+            rb: 1,
+            lists: StepLists::default(),
+        }
+    }
+
+    fn ablk(bank: usize, b: i64) -> VReg {
+        VReg::new((bank as i64 + b + 1) as usize)
+    }
+}
+
+impl Default for VectorKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel for VectorKernel {
+    fn name(&self) -> &'static str {
+        "vector-only"
+    }
+
+    fn setup(&mut self, ctx: &KernelCtx, mach: &mut Machine) -> Result<(), PlanError> {
+        self.rb = ctx.reg_blocks();
+        self.taps.clear();
+        self.groups.clear();
+
+        // Gather all taps, pack coefficients 8 per register.
+        let mut coeffs = Vec::new();
+        for (pi, plane) in ctx.planes.iter().enumerate() {
+            let r = plane.table.radius() as isize;
+            for di in -r..=r {
+                for dj in -r..=r {
+                    let c = plane.table.at(di, dj);
+                    if c != 0.0 {
+                        let idx = coeffs.len();
+                        assert!(idx < 7 * VLEN, "too many taps for the pack registers");
+                        coeffs.push(c);
+                        self.taps.push(Tap {
+                            plane: pi,
+                            di: di as i64,
+                            dj: dj as i64,
+                            pack: VReg::new(PACKS + idx / VLEN),
+                            lane: (idx % VLEN) as u8,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Group taps by input row so each row is loaded once per output row.
+        for (ti, tap) in self.taps.iter().enumerate() {
+            match self
+                .groups
+                .iter_mut()
+                .find(|(p, di, _)| *p == tap.plane && *di == tap.di)
+            {
+                Some((_, _, v)) => v.push(ti),
+                None => self.groups.push((tap.plane, tap.di, vec![ti])),
+            }
+        }
+
+        // Write the packs and load them in a prologue.
+        let mut prologue = Program::new();
+        for (p, chunk) in coeffs.chunks(VLEN).enumerate() {
+            let mut padded = [0.0; VLEN];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            let base = super::alloc_const(mach, &padded)?;
+            prologue.push(Inst::Ld1d {
+                vd: VReg::new(PACKS + p),
+                addr: base,
+            });
+        }
+        mach.execute(&prologue)?;
+        Ok(())
+    }
+
+    fn traversal(&self) -> Traversal {
+        // The expert vector kernel sweeps whole rows so its 1-D streams
+        // keep the hardware prefetcher trained (Table 3's vector column).
+        Traversal::RowMajor
+    }
+
+    fn tile_cols(&self, ctx: &KernelCtx) -> usize {
+        ctx.w.max(VLEN)
+    }
+
+    fn emit_tile(&mut self, ctx: &KernelCtx, i0: usize, tile_j0: usize, prog: &mut Program) {
+        let i0 = i0 as i64;
+        let rb = self.rb as i64;
+        let chunk = self.rb * VLEN;
+        for p in 0..VLEN as i64 {
+            let i = i0 + p;
+            for &jc in &tile_starts(ctx.w.max(chunk), chunk.min(ctx.w.max(VLEN))) {
+                let j0 = (tile_j0 + jc) as i64;
+                // Reset the accumulators.
+                for b in 0..self.rb {
+                    self.lists.vector.push(Inst::DupImm {
+                        vd: VReg::new(ACC + b),
+                        imm: 0.0,
+                    });
+                }
+                let mut scratch = 0usize;
+
+                // Per input-row group: loads ping-pong between two register
+                // banks; the *next* group's loads ride as producers of the
+                // current group's MLA pairs, and EXT shifts run two pairs
+                // ahead of their consumers — the expert software pipeline.
+                let group_loads = |g: usize| -> Vec<Inst> {
+                    let Some((plane_idx, di, tap_idxs)) = self.groups.get(g) else {
+                        return Vec::new();
+                    };
+                    let plane = &ctx.planes[*plane_idx];
+                    let bank = if g.is_multiple_of(2) { ABLK0 } else { ABLK1 };
+                    let needs_edges = tap_idxs.iter().any(|&t| self.taps[t].dj != 0);
+                    let (lo, hi) = if needs_edges { (-1, rb) } else { (0, rb - 1) };
+                    (lo..=hi)
+                        .map(|b| Inst::Ld1d {
+                            vd: Self::ablk(bank, b),
+                            addr: ctx.a(plane, i + di, j0 + VLEN as i64 * b),
+                        })
+                        .collect()
+                };
+
+                for inst in group_loads(0) {
+                    self.lists.vector.push(inst);
+                }
+                for g in 0..self.groups.len() {
+                    let (_, _, tap_idxs) = &self.groups[g];
+                    let bank = if g % 2 == 0 { ABLK0 } else { ABLK1 };
+                    let mut pairs: Vec<Pair> = Vec::with_capacity(tap_idxs.len() * self.rb);
+                    for &ti in tap_idxs {
+                        let tap = self.taps[ti];
+                        for b in 0..rb {
+                            let (data, shift) = if tap.dj == 0 {
+                                (Self::ablk(bank, b), None)
+                            } else {
+                                let dst = VReg::new(SCRATCH + (scratch % 3));
+                                scratch += 1;
+                                let ext = if tap.dj > 0 {
+                                    Inst::Ext {
+                                        vd: dst,
+                                        vn: Self::ablk(bank, b),
+                                        vm: Self::ablk(bank, b + 1),
+                                        shift: tap.dj as u8,
+                                    }
+                                } else {
+                                    Inst::Ext {
+                                        vd: dst,
+                                        vn: Self::ablk(bank, b - 1),
+                                        vm: Self::ablk(bank, b),
+                                        shift: (VLEN as i64 + tap.dj) as u8,
+                                    }
+                                };
+                                (dst, Some(ext))
+                            };
+                            pairs.push((
+                                [None, shift, None],
+                                Inst::FmlaIdx {
+                                    vd: VReg::new(ACC + b as usize),
+                                    vn: data,
+                                    vm: tap.pack,
+                                    idx: tap.lane,
+                                },
+                            ));
+                        }
+                    }
+                    // Distribute the next group's loads over the free producer
+                    // slots; leftovers (short groups) trail the pairs, still
+                    // ahead of their consumers.
+                    let mut next_loads = group_loads(g + 1).into_iter();
+                    'fill: for slot in [0usize, 2] {
+                        for pair in pairs.iter_mut() {
+                            if pair.0[slot].is_none() {
+                                match next_loads.next() {
+                                    Some(ld) => pair.0[slot] = Some(ld),
+                                    None => break 'fill,
+                                }
+                            }
+                        }
+                    }
+                    emit_pipelined(&pairs, 2, &mut self.lists.vector);
+                    for ld in next_loads {
+                        self.lists.vector.push(ld);
+                    }
+                    self.lists.flush_phased(prog);
+                }
+                if ctx.opts.prefetch {
+                    let pf = i + ctx.opts.prefetch_dist as i64;
+                    if pf < ctx.h as i64 {
+                        for b in 0..rb {
+                            prog.push(Inst::Prfm {
+                                addr: ctx.b(pf, j0 + VLEN as i64 * b),
+                                kind: MemKind::Write,
+                            });
+                        }
+                    }
+                }
+                for b in 0..rb {
+                    prog.push(Inst::St1d {
+                        vs: VReg::new(ACC + b as usize),
+                        addr: ctx.b(i, j0 + VLEN as i64 * b),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::presets;
+    use lx2_sim::MachineConfig;
+
+    #[test]
+    fn setup_builds_taps_and_groups() {
+        let spec = presets::star2d9p();
+        let mut mach = Machine::new(&MachineConfig::lx2());
+        let mut k = VectorKernel::new();
+        let ctx = KernelCtx {
+            h: 16,
+            w: 32,
+            stride: 48,
+            b0: 0,
+            planes: vec![super::super::Plane {
+                base: 0,
+                table: spec.plane_table_2d(),
+            }],
+            radius: 2,
+            opts: Default::default(),
+        };
+        k.setup(&ctx, &mut mach).unwrap();
+        assert_eq!(k.taps.len(), 9);
+        // 5 distinct input rows: di in -2..=2.
+        assert_eq!(k.groups.len(), 5);
+        // The centre row group carries all horizontal taps.
+        let centre = k.groups.iter().find(|(_, di, _)| *di == 0).unwrap();
+        assert_eq!(centre.2.len(), 5);
+    }
+}

@@ -1,0 +1,54 @@
+//! # hstencil-core
+//!
+//! HStencil: matrix-vector stencil computation with interleaved outer
+//! product and MLA (SC '25), reproduced on the `lx2-sim` simulated
+//! SME-class CPU.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hstencil_core::{presets, Grid2d, Method, StencilPlan};
+//! use lx2_sim::MachineConfig;
+//!
+//! let spec = presets::star2d5p();
+//! let grid = Grid2d::from_fn(64, 64, 1, |i, j| (i + j) as f64);
+//! let plan = StencilPlan::new(&spec, Method::HStencil).verify(true);
+//! let out = plan.run_2d(&MachineConfig::lx2(), &grid).unwrap();
+//! println!("{}", out.report);
+//! assert!(out.report.cycles() > 0);
+//! ```
+//!
+//! ## Layers
+//!
+//! * [`stencil`] / [`grid`] — problem definition (star/box/Heat, 2-D/3-D).
+//! * [`mod@reference`] / [`native`] — ground truth and a fast host executor.
+//! * [`kernels`] — the method kernels (auto, vector-only, STOP
+//!   matrix-only, Mat-ortho, naive hybrid, HStencil in-place, Apple M4).
+//! * [`plan`] / [`report`] — run a method on a simulated machine and read
+//!   back `perf`-style measurements.
+//! * [`multicore`] — banded multi-core scaling (Figure 16).
+//! * [`analysis`] — matrix-unit utilization and pipe-cycle splits
+//!   (Tables 1 and 5).
+
+pub mod analysis;
+pub mod error;
+pub mod grid;
+pub mod kernels;
+pub mod method;
+pub mod multicore;
+pub mod native;
+pub mod plan;
+pub mod reference;
+pub mod report;
+pub mod stencil;
+pub mod table;
+
+pub use error::PlanError;
+pub use grid::{Grid2d, Grid3d};
+pub use kernels::{Kernel, KernelCtx, KernelOptions, Plane};
+pub use method::Method;
+pub use multicore::{run_multicore, run_multicore_steps, MulticoreReport};
+pub use plan::{RunOutcome, RunOutcome3d, StencilPlan};
+pub use report::RunReport;
+pub use stencil::{presets, Pattern, StencilSpec};
+pub use table::CoeffTable;

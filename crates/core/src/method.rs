@@ -1,0 +1,85 @@
+//! Stencil computation methods (paper Table 6).
+
+use crate::kernels::KernelOptions;
+
+/// The computation strategy for a stencil sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    /// Compiler auto-vectorization baseline (`Auto` in the paper).
+    Auto,
+    /// Expert-optimized vector-MLA solution (`Vector-only`).
+    VectorOnly,
+    /// State-of-the-art matrix-only outer-product solution, STOP
+    /// (`Matrix-only`).
+    MatrixOnly,
+    /// Outer+inner-axis outer products (`Mat-ortho`, Figure 13 baseline).
+    MatrixOrtho,
+    /// Naive matrix-vector method with a store/reload accumulation
+    /// round-trip (Figure 7).
+    NaiveHybrid,
+    /// The full HStencil hybrid with in-place accumulation.
+    HStencil,
+}
+
+impl Method {
+    /// Display label matching the paper's method table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Auto => "Auto",
+            Method::VectorOnly => "Vector-only",
+            Method::MatrixOnly => "Matrix-only",
+            Method::MatrixOrtho => "Mat-ortho",
+            Method::NaiveHybrid => "Naive-hybrid",
+            Method::HStencil => "HStencil",
+        }
+    }
+
+    /// All methods, in presentation order.
+    pub const ALL: [Method; 6] = [
+        Method::Auto,
+        Method::VectorOnly,
+        Method::MatrixOnly,
+        Method::MatrixOrtho,
+        Method::NaiveHybrid,
+        Method::HStencil,
+    ];
+
+    /// Default kernel options: HStencil enables the full optimization
+    /// stack; every comparison method runs as published (no scheduling,
+    /// no replacement, no spatial prefetch).
+    pub fn default_options(self) -> KernelOptions {
+        match self {
+            Method::HStencil => KernelOptions::default(),
+            Method::Auto => KernelOptions {
+                reg_blocks: 1,
+                ..KernelOptions::baseline()
+            },
+            _ => KernelOptions::baseline(),
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> = Method::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), Method::ALL.len());
+    }
+
+    #[test]
+    fn hstencil_defaults_enable_everything() {
+        let o = Method::HStencil.default_options();
+        assert!(o.scheduling && o.replacement && o.prefetch);
+        let o = Method::MatrixOnly.default_options();
+        assert!(!o.scheduling && !o.prefetch);
+    }
+}

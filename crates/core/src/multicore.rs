@@ -1,0 +1,241 @@
+//! Multi-core stencil execution (paper §5.3.2, Figure 16).
+//!
+//! The grid's rows are partitioned into contiguous bands, one simulated
+//! core per OS thread, each with private L1/L2. Aggregate time is the
+//! slowest core's cycle count, floored by the socket-wide DRAM bandwidth
+//! over the combined memory traffic — the saturation model behind the
+//! scaling curve.
+
+use crate::error::PlanError;
+use crate::grid::Grid2d;
+use crate::plan::StencilPlan;
+use crate::report::RunReport;
+use crate::stencil::StencilSpec;
+use lx2_sim::{MachineConfig, PerfCounters};
+
+/// Aggregate measurements from a multi-core run.
+#[derive(Clone, Debug)]
+pub struct MulticoreReport {
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Wall cycles: slowest core, floored by the bandwidth bound.
+    pub elapsed_cycles: u64,
+    /// Cycles the DRAM bandwidth alone would require.
+    pub bandwidth_bound_cycles: u64,
+    /// Total points updated.
+    pub points: u64,
+    /// Core frequency for conversions.
+    pub freq_ghz: f64,
+    /// Per-core counters.
+    pub per_core: Vec<PerfCounters>,
+}
+
+impl MulticoreReport {
+    /// Aggregate throughput in GStencil/s.
+    pub fn gstencil_per_s(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.points as f64 * self.freq_ghz / self.elapsed_cycles as f64
+        }
+    }
+
+    /// Whether the run was limited by DRAM bandwidth rather than compute.
+    pub fn bandwidth_bound(&self) -> bool {
+        self.bandwidth_bound_cycles >= self.elapsed_cycles
+    }
+
+    /// Parallel speedup versus a single-core report of the same workload.
+    pub fn speedup_over(&self, single: &MulticoreReport) -> f64 {
+        single.elapsed_cycles as f64 * self.points as f64
+            / (self.elapsed_cycles as f64 * single.points as f64)
+    }
+}
+
+/// Runs one sweep of a 2-D stencil across `cores` simulated cores and
+/// returns the aggregate report plus the assembled output grid.
+pub fn run_multicore(
+    plan: &StencilPlan,
+    spec: &StencilSpec,
+    cfg: &MachineConfig,
+    input: &Grid2d,
+    cores: usize,
+) -> Result<(Grid2d, MulticoreReport), PlanError> {
+    assert!(cores >= 1);
+    assert_eq!(spec.dims(), 2);
+    let h = input.h();
+    let w = input.w();
+    let r = spec.radius();
+    // Band boundaries aligned to tile rows.
+    let tiles = h / 8;
+    assert!(tiles >= cores, "need at least one 8-row tile per core");
+    let bands: Vec<(usize, usize)> = (0..cores)
+        .map(|c| {
+            let lo = c * tiles / cores * 8;
+            let hi = if c == cores - 1 {
+                h
+            } else {
+                (c + 1) * tiles / cores * 8
+            };
+            (lo, hi)
+        })
+        .collect();
+
+    let results: Vec<Result<(usize, usize, Grid2d, RunReport), PlanError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bands
+                .iter()
+                .map(|&(lo, hi)| {
+                    let plan = plan.clone();
+                    scope.spawn(move || {
+                        // Each core sees its band plus an `r`-row halo
+                        // pulled from the neighbouring bands.
+                        let band_h = hi - lo;
+                        let band =
+                            Grid2d::from_fn(band_h, w, r, |i, j| input.at(lo as isize + i, j));
+                        let out = plan.run_2d(cfg, &band)?;
+                        Ok((lo, hi, out.output, out.report))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("core thread panicked"))
+                .collect()
+        });
+
+    let mut output = input.clone();
+    let mut per_core = Vec::with_capacity(cores);
+    let mut max_cycles = 0u64;
+    let mut total_dram_bytes = 0u64;
+    for res in results {
+        let (lo, _hi, band_out, report) = res?;
+        for i in 0..band_out.h() as isize {
+            for j in 0..w as isize {
+                output.set(lo as isize + i, j, band_out.at(i, j));
+            }
+        }
+        max_cycles = max_cycles.max(report.counters.cycles);
+        total_dram_bytes += report.counters.mem.dram_bytes(cfg.l1.line_bytes);
+        per_core.push(report.counters);
+    }
+
+    let bandwidth_bound_cycles =
+        (total_dram_bytes as f64 / cfg.dram_bw_bytes_per_cycle).ceil() as u64;
+    let report = MulticoreReport {
+        cores,
+        elapsed_cycles: max_cycles.max(bandwidth_bound_cycles),
+        bandwidth_bound_cycles,
+        points: (h * w) as u64,
+        freq_ghz: cfg.freq_ghz,
+        per_core,
+    };
+    Ok((output, report))
+}
+
+/// Runs `sweeps` time steps across `cores` simulated cores with a halo
+/// exchange between steps (bulk-synchronous parallel: compute a sweep,
+/// swap buffers, refresh band halos from neighbours, repeat).
+///
+/// Returns the final grid and the aggregate report summed over steps.
+pub fn run_multicore_steps(
+    plan: &StencilPlan,
+    spec: &StencilSpec,
+    cfg: &MachineConfig,
+    input: &Grid2d,
+    cores: usize,
+    sweeps: usize,
+) -> Result<(Grid2d, MulticoreReport), PlanError> {
+    assert!(sweeps >= 1);
+    let mut cur = input.clone();
+    let mut total: Option<MulticoreReport> = None;
+    for _ in 0..sweeps {
+        let (mut next, rep) = run_multicore(plan, spec, cfg, &cur, cores)?;
+        // Halo exchange: carry the (fixed) physical boundary forward.
+        let r = input.halo() as isize;
+        let (h, w) = (input.h() as isize, input.w() as isize);
+        for i in -r..h + r {
+            for j in -r..w + r {
+                let boundary = i < 0 || i >= h || j < 0 || j >= w;
+                if boundary {
+                    next.set(i, j, input.at(i, j));
+                }
+            }
+        }
+        total = Some(match total {
+            None => rep,
+            Some(mut acc) => {
+                acc.elapsed_cycles += rep.elapsed_cycles;
+                acc.bandwidth_bound_cycles += rep.bandwidth_bound_cycles;
+                acc.points += rep.points;
+                for (a, b) in acc.per_core.iter_mut().zip(rep.per_core.iter()) {
+                    a.merge(b);
+                }
+                acc
+            }
+        });
+        cur = next;
+    }
+    Ok((cur, total.expect("at least one sweep")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+    use crate::reference;
+    use crate::stencil::presets;
+
+    #[test]
+    fn multicore_output_matches_reference() {
+        let spec = presets::box2d9p();
+        let input = Grid2d::from_fn(48, 64, 1, |i, j| ((i * 31 + j * 17) % 97) as f64 * 0.01);
+        let plan = StencilPlan::new(&spec, Method::HStencil).warmup(0);
+        let cfg = MachineConfig::lx2();
+        for cores in [1, 2, 3] {
+            let (out, report) = run_multicore(&plan, &spec, &cfg, &input, cores).unwrap();
+            let mut want = input.clone();
+            reference::apply_2d(&spec, &input, &mut want);
+            assert!(want.max_interior_diff(&out) < 1e-9, "cores={cores}");
+            assert_eq!(report.cores, cores);
+            assert!(report.elapsed_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn multicore_steps_match_serial_time_stepping() {
+        let spec = presets::heat2d();
+        let input = Grid2d::from_fn(32, 32, 1, |i, j| {
+            if (12..20).contains(&i) && (12..20).contains(&j) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let plan = StencilPlan::new(&spec, Method::HStencil).warmup(0);
+        let cfg = MachineConfig::lx2();
+        let sweeps = 4;
+        let (par, rep) = run_multicore_steps(&plan, &spec, &cfg, &input, 3, sweeps).unwrap();
+        // Serial reference time stepping with the same fixed boundary.
+        let mut cur = input.clone();
+        let mut next = input.clone();
+        for _ in 0..sweeps {
+            reference::apply_2d(&spec, &cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        assert!(cur.max_interior_diff(&par) < 1e-9);
+        assert_eq!(rep.points, (32 * 32 * sweeps) as u64);
+    }
+
+    #[test]
+    fn more_cores_do_not_slow_down() {
+        let spec = presets::star2d5p();
+        let input = Grid2d::from_fn(64, 64, 1, |i, j| (i + j) as f64);
+        let plan = StencilPlan::new(&spec, Method::HStencil).warmup(0);
+        let cfg = MachineConfig::lx2();
+        let (_, one) = run_multicore(&plan, &spec, &cfg, &input, 1).unwrap();
+        let (_, four) = run_multicore(&plan, &spec, &cfg, &input, 4).unwrap();
+        assert!(four.elapsed_cycles <= one.elapsed_cycles);
+        assert!(four.gstencil_per_s() >= one.gstencil_per_s());
+    }
+}

@@ -1,0 +1,642 @@
+//! Stencil execution plans: stencil × method × options × machine.
+
+use crate::error::PlanError;
+use crate::grid::{Grid2d, Grid3d};
+use crate::kernels::{
+    auto::AutoKernel, inplace::InplaceKernel, m4star::M4StarKernel,
+    naive_hybrid::NaiveHybridKernel, ortho::OrthoKernel, tile_starts, vector::VectorKernel, Kernel,
+    KernelCtx, KernelOptions, Plane, Traversal, MAX_RADIUS,
+};
+use crate::method::Method;
+use crate::reference;
+use crate::report::RunReport;
+use crate::stencil::StencilSpec;
+use lx2_isa::{schedule_program, Program, ScheduleParams, VLEN};
+use lx2_sim::{Machine, MachineConfig};
+
+/// Result of a simulated stencil run.
+pub struct RunOutcome {
+    /// The computed output grid.
+    pub output: Grid2d,
+    /// Measurements from the timed sweeps.
+    pub report: RunReport,
+}
+
+/// Result of a simulated 3-D stencil run.
+pub struct RunOutcome3d {
+    /// The computed output grid.
+    pub output: Grid3d,
+    /// Measurements from the timed sweeps.
+    pub report: RunReport,
+}
+
+/// A reusable description of *how* to run a stencil.
+#[derive(Clone)]
+pub struct StencilPlan {
+    spec: StencilSpec,
+    method: Method,
+    opts: KernelOptions,
+    sweeps: usize,
+    warmup: usize,
+    verify: bool,
+}
+
+impl StencilPlan {
+    /// Plan `spec` with `method` and the method's published options.
+    pub fn new(spec: &StencilSpec, method: Method) -> Self {
+        StencilPlan {
+            spec: spec.clone(),
+            method,
+            opts: method.default_options(),
+            sweeps: 1,
+            warmup: 1,
+            verify: false,
+        }
+    }
+
+    /// Overrides the instruction-scheduling switch.
+    pub fn scheduling(mut self, on: bool) -> Self {
+        self.opts.scheduling = on;
+        self
+    }
+
+    /// Overrides the vector-instruction-replacement switch.
+    pub fn replacement(mut self, on: bool) -> Self {
+        self.opts.replacement = on;
+        self
+    }
+
+    /// Overrides the spatial-prefetch switch.
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.opts.prefetch = on;
+        self
+    }
+
+    /// Post-schedules every emitted tile with the automatic list
+    /// scheduler (ablation against the hand-written interleave).
+    pub fn auto_schedule(mut self, on: bool) -> Self {
+        self.opts.auto_schedule = on;
+        self
+    }
+
+    /// Overrides how many rows ahead spatial prefetch runs.
+    pub fn prefetch_dist(mut self, rows: usize) -> Self {
+        self.opts.prefetch_dist = rows;
+        self
+    }
+
+    /// Overrides the register-block (j-unroll) count.
+    pub fn reg_blocks(mut self, rb: usize) -> Self {
+        self.opts.reg_blocks = rb.clamp(1, 4);
+        self
+    }
+
+    /// Number of timed sweeps.
+    pub fn sweeps(mut self, n: usize) -> Self {
+        self.sweeps = n.max(1);
+        self
+    }
+
+    /// Number of untimed warm-up sweeps (cache/prefetcher warm state).
+    pub fn warmup(mut self, n: usize) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Verify the simulated output against the scalar reference.
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// The method this plan runs.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The effective kernel options.
+    pub fn options(&self) -> &KernelOptions {
+        &self.opts
+    }
+
+    fn build_kernel(
+        &self,
+        cfg: &MachineConfig,
+        has_vector_terms: bool,
+    ) -> Result<Box<dyn Kernel>, PlanError> {
+        let unsupported = |reason: &'static str| PlanError::MethodUnsupported {
+            method: self.method.label(),
+            machine: cfg.name,
+            reason,
+        };
+        Ok(match self.method {
+            Method::Auto => Box::new(AutoKernel::new(
+                cfg.baseline_vector_lanes,
+                cfg.baseline_unroll,
+            )),
+            Method::VectorOnly => {
+                if !cfg.allow_vector_fmla {
+                    return Err(unsupported("no streaming-mode vector MLA units"));
+                }
+                Box::new(VectorKernel::new())
+            }
+            Method::MatrixOnly => Box::new(InplaceKernel::new_stop()),
+            Method::MatrixOrtho => Box::new(OrthoKernel::new()),
+            Method::NaiveHybrid => {
+                if !cfg.allow_vector_fmla && has_vector_terms {
+                    return Err(unsupported("no streaming-mode vector MLA units"));
+                }
+                Box::new(NaiveHybridKernel::new())
+            }
+            Method::HStencil => {
+                if cfg.allow_vector_fmla {
+                    Box::new(InplaceKernel::new(true))
+                } else if has_vector_terms {
+                    Box::new(M4StarKernel::new())
+                } else {
+                    // Box stencils never need vector MLA: the in-place
+                    // kernel runs unchanged on M4.
+                    Box::new(InplaceKernel::new(false))
+                }
+            }
+        })
+    }
+
+    fn validate_shape(&self, h: usize, w: usize, halo: usize) -> Result<(), PlanError> {
+        if self.spec.radius() > MAX_RADIUS {
+            return Err(PlanError::RadiusTooLarge {
+                radius: self.spec.radius(),
+                max: MAX_RADIUS,
+            });
+        }
+        if halo < self.spec.radius() {
+            return Err(PlanError::GridTooSmall {
+                min: self.spec.radius(),
+                got: halo,
+            });
+        }
+        if h < VLEN || w < VLEN {
+            return Err(PlanError::GridTooSmall {
+                min: VLEN,
+                got: h.min(w),
+            });
+        }
+        Ok(())
+    }
+
+    fn run_sweep(
+        kernel: &mut dyn Kernel,
+        ctx: &KernelCtx,
+        mach: &mut Machine,
+        prog: &mut Program,
+    ) -> Result<(), PlanError> {
+        let tr = kernel.tile_rows(ctx);
+        let tc = kernel.tile_cols(ctx);
+        let sched_params = ctx.opts.auto_schedule.then(|| ScheduleParams {
+            issue_width: mach.config().issue_width,
+            units: [
+                mach.config().vector_units,
+                mach.config().matrix_units,
+                mach.config().load_units,
+                mach.config().store_units,
+            ],
+            latency: [mach.config().fp_latency, mach.config().fmopa_latency, 4, 1],
+        });
+        let exec = |mach: &mut Machine, prog: &Program| -> Result<(), PlanError> {
+            match &sched_params {
+                Some(params) => mach.execute(&schedule_program(prog, params))?,
+                None => mach.execute(prog)?,
+            }
+            Ok(())
+        };
+        match kernel.traversal() {
+            Traversal::RowMajor => {
+                for &i0 in &tile_starts(ctx.h, tr) {
+                    for &j0 in &tile_starts(ctx.w, tc) {
+                        prog.clear();
+                        kernel.emit_tile(ctx, i0, j0, prog);
+                        exec(mach, prog)?;
+                    }
+                }
+            }
+            Traversal::StripMajor => {
+                // Y-blocked strips (Algorithm 2's partition): the strip
+                // working set stays cache-sized regardless of grid height.
+                let yb = ctx.opts.y_block.max(tr);
+                let mut y0 = 0;
+                while y0 < ctx.h {
+                    let yh = yb.min(ctx.h - y0);
+                    let rows: Vec<usize> = if yh >= tr {
+                        tile_starts(yh, tr).iter().map(|r| r + y0).collect()
+                    } else {
+                        // Short trailing block: overlap backwards.
+                        vec![ctx.h - tr]
+                    };
+                    for &j0 in &tile_starts(ctx.w, tc) {
+                        for &i0 in &rows {
+                            prog.clear();
+                            kernel.emit_tile(ctx, i0, j0, prog);
+                            exec(mach, prog)?;
+                        }
+                    }
+                    y0 += yh;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a 2-D stencil on a fresh simulated machine.
+    pub fn run_2d(&self, cfg: &MachineConfig, input: &Grid2d) -> Result<RunOutcome, PlanError> {
+        assert_eq!(self.spec.dims(), 2, "run_2d requires a 2-D stencil");
+        self.validate_shape(input.h(), input.w(), input.halo())?;
+        let table = self.spec.plane_table_2d();
+        let has_vterms = !table.split_matrix_vector().1.is_empty();
+        let mut kernel = self.build_kernel(cfg, has_vterms)?;
+
+        let mut mach = Machine::new(cfg);
+        if matches!(self.method, Method::Auto | Method::VectorOnly) && !cfg.allow_vector_fmla {
+            // NEON path: the baseline executes outside streaming mode.
+            mach.set_streaming(false);
+        }
+        let len = input.raw().len();
+        let ra = mach.alloc(len, VLEN);
+        let rb = mach.alloc(len, VLEN);
+        mach.mem.store_slice(ra.base, input.raw())?;
+        // Seed B with the input so halo cells carry boundary values.
+        mach.mem.store_slice(rb.base, input.raw())?;
+
+        let ctx = KernelCtx {
+            h: input.h(),
+            w: input.w(),
+            stride: input.stride() as u64,
+            b0: rb.base + input.origin() as u64,
+            planes: vec![Plane {
+                base: ra.base + input.origin() as u64,
+                table,
+            }],
+            radius: self.spec.radius(),
+            opts: self.opts,
+        };
+        kernel.setup(&ctx, &mut mach)?;
+
+        let mut prog = Program::with_capacity(4096);
+        for _ in 0..self.warmup {
+            Self::run_sweep(kernel.as_mut(), &ctx, &mut mach, &mut prog)?;
+        }
+        let before = mach.counters();
+        for _ in 0..self.sweeps {
+            Self::run_sweep(kernel.as_mut(), &ctx, &mut mach, &mut prog)?;
+        }
+        let counters = mach.counters().delta(&before);
+
+        let mut output = input.clone();
+        mach.mem.load_slice(rb.base, output.raw_mut())?;
+
+        if self.verify {
+            let mut want = input.clone();
+            reference::apply_2d(&self.spec, input, &mut want);
+            if let Some((i, j, expected, got)) = want.first_mismatch(&output, 1e-9) {
+                return Err(PlanError::VerificationFailed {
+                    i,
+                    j,
+                    expected,
+                    got,
+                });
+            }
+        }
+
+        let report = RunReport {
+            method: self.method.label(),
+            kernel: kernel.name(),
+            stencil: self.spec.name().to_string(),
+            counters,
+            points: (input.h() * input.w() * self.sweeps) as u64,
+            freq_ghz: cfg.freq_ghz,
+        };
+        Ok(RunOutcome { output, report })
+    }
+
+    /// Runs `steps` time steps of a 2-D stencil, ping-ponging the two
+    /// buffers inside the simulated machine (no host round-trips between
+    /// steps). The halo is re-pinned to the input's boundary each step
+    /// (Dirichlet boundary), matching [`crate::native::time_steps`].
+    pub fn run_2d_steps(
+        &self,
+        cfg: &MachineConfig,
+        input: &Grid2d,
+        steps: usize,
+    ) -> Result<RunOutcome, PlanError> {
+        assert_eq!(self.spec.dims(), 2, "run_2d_steps requires a 2-D stencil");
+        assert!(steps >= 1);
+        self.validate_shape(input.h(), input.w(), input.halo())?;
+        let table = self.spec.plane_table_2d();
+        let has_vterms = !table.split_matrix_vector().1.is_empty();
+        let mut kernel = self.build_kernel(cfg, has_vterms)?;
+
+        let mut mach = Machine::new(cfg);
+        if matches!(self.method, Method::Auto | Method::VectorOnly) && !cfg.allow_vector_fmla {
+            mach.set_streaming(false);
+        }
+        let len = input.raw().len();
+        let ra = mach.alloc(len, VLEN);
+        let rb = mach.alloc(len, VLEN);
+        mach.mem.store_slice(ra.base, input.raw())?;
+        mach.mem.store_slice(rb.base, input.raw())?;
+
+        let mut ctx = KernelCtx {
+            h: input.h(),
+            w: input.w(),
+            stride: input.stride() as u64,
+            b0: rb.base + input.origin() as u64,
+            planes: vec![Plane {
+                base: ra.base + input.origin() as u64,
+                table,
+            }],
+            radius: self.spec.radius(),
+            opts: self.opts,
+        };
+        kernel.setup(&ctx, &mut mach)?;
+
+        let before = mach.counters();
+        let mut prog = Program::with_capacity(4096);
+        let mut reads_a = true;
+        for _ in 0..steps {
+            Self::run_sweep(kernel.as_mut(), &ctx, &mut mach, &mut prog)?;
+            // Ping-pong: the freshly written buffer becomes the input.
+            std::mem::swap(&mut ctx.planes[0].base, &mut ctx.b0);
+            reads_a = !reads_a;
+        }
+        let counters = mach.counters().delta(&before);
+
+        // The final result is the buffer written by the last sweep, which
+        // `ctx.planes[0].base` now points at.
+        let final_base = if reads_a { ra.base } else { rb.base };
+        let mut output = input.clone();
+        mach.mem.load_slice(final_base, output.raw_mut())?;
+
+        if self.verify {
+            let want = crate::native::time_steps(&self.spec, input, steps, 1);
+            if let Some((i, j, expected, got)) = want.first_mismatch(&output, 1e-9) {
+                return Err(PlanError::VerificationFailed {
+                    i,
+                    j,
+                    expected,
+                    got,
+                });
+            }
+        }
+
+        let report = RunReport {
+            method: self.method.label(),
+            kernel: kernel.name(),
+            stencil: self.spec.name().to_string(),
+            counters,
+            points: (input.h() * input.w() * steps) as u64,
+            freq_ghz: cfg.freq_ghz,
+        };
+        Ok(RunOutcome { output, report })
+    }
+
+    /// Runs `t_block` fused time steps with **temporal blocking**
+    /// (overlapped/ghost-zone tiling): the grid is cut into column strips
+    /// of `strip_cols`; each strip advances all `t_block` steps while its
+    /// data is cache-resident, recomputing a `(t_block-1)·r`-wide ghost
+    /// zone at strip borders so strips stay independent. Intermediate
+    /// buffers never round-trip to DRAM between steps — the temporal
+    /// extension of the paper's spatial blocking (its related work \[19\]).
+    ///
+    /// Only strip-major (matrix-unit) methods support temporal blocking.
+    pub fn run_2d_temporal(
+        &self,
+        cfg: &MachineConfig,
+        input: &Grid2d,
+        t_block: usize,
+        strip_cols: usize,
+    ) -> Result<RunOutcome, PlanError> {
+        assert_eq!(
+            self.spec.dims(),
+            2,
+            "run_2d_temporal requires a 2-D stencil"
+        );
+        assert!(t_block >= 1);
+        self.validate_shape(input.h(), input.w(), input.halo())?;
+        let r = self.spec.radius();
+        let table = self.spec.plane_table_2d();
+        let has_vterms = !table.split_matrix_vector().1.is_empty();
+        let mut kernel = self.build_kernel(cfg, has_vterms)?;
+        if kernel.traversal() != Traversal::StripMajor {
+            return Err(PlanError::MethodUnsupported {
+                method: self.method.label(),
+                machine: cfg.name,
+                reason: "temporal blocking requires a strip-major (matrix-unit) method",
+            });
+        }
+
+        let mut mach = Machine::new(cfg);
+        let len = input.raw().len();
+        let ra = mach.alloc(len, VLEN);
+        let rt1 = mach.alloc(len, VLEN);
+        let rt2 = mach.alloc(len, VLEN);
+        let rout = mach.alloc(len, VLEN);
+        mach.mem.store_slice(ra.base, input.raw())?;
+        // Seed the temporaries and the output with the input so every
+        // step sees the fixed (Dirichlet) boundary in its halo.
+        mach.mem.store_slice(rt1.base, input.raw())?;
+        mach.mem.store_slice(rt2.base, input.raw())?;
+        mach.mem.store_slice(rout.base, input.raw())?;
+
+        let origin = input.origin() as u64;
+        let mut ctx = KernelCtx {
+            h: input.h(),
+            w: input.w(),
+            stride: input.stride() as u64,
+            b0: rt1.base + origin,
+            planes: vec![Plane {
+                base: ra.base + origin,
+                table,
+            }],
+            radius: r,
+            opts: self.opts,
+        };
+        kernel.setup(&ctx, &mut mach)?;
+
+        let tc = kernel.tile_cols(&ctx);
+        let tr = kernel.tile_rows(&ctx);
+        let strip_cols = strip_cols.max(tc).min(input.w());
+        let before = mach.counters();
+        let mut prog = Program::with_capacity(4096);
+
+        // Buffer bases: A feeds step 0, T1/T2 ping-pong the intermediate
+        // steps, and the *last* step always writes the dedicated output
+        // buffer — intermediate ghost writes of later strips must never
+        // touch columns another strip has already finalized.
+        let read_base = |t: usize| -> u64 {
+            if t == 0 {
+                ra.base
+            } else if t % 2 == 1 {
+                rt1.base
+            } else {
+                rt2.base
+            }
+        };
+        let write_base = |t: usize| -> u64 {
+            if t == t_block - 1 {
+                rout.base
+            } else {
+                read_base(t + 1)
+            }
+        };
+
+        let w = input.w();
+        let h = input.h();
+        // Strip starts with an overlapped remainder (idempotent rewrites),
+        // mirroring the tile logic.
+        for &strip_lo in &tile_starts(w, strip_cols) {
+            let strip_hi = (strip_lo + strip_cols).min(w);
+            for t in 0..t_block {
+                let ghost = (t_block - 1 - t) * r;
+                let lo = strip_lo.saturating_sub(ghost);
+                let hi = (strip_hi + ghost).min(w);
+                ctx.planes[0].base = read_base(t) + origin;
+                ctx.b0 = write_base(t) + origin;
+                // Tile the sub-range with overlapped remainders.
+                let width = hi - lo;
+                if width < tc || h < tr {
+                    return Err(PlanError::GridTooSmall {
+                        min: tc,
+                        got: width,
+                    });
+                }
+                for &dj in &tile_starts(width, tc) {
+                    for &i0 in &tile_starts(h, tr) {
+                        prog.clear();
+                        kernel.emit_tile(&ctx, i0, lo + dj, &mut prog);
+                        mach.execute(&prog)?;
+                    }
+                }
+            }
+        }
+        let counters = mach.counters().delta(&before);
+
+        let mut output = input.clone();
+        mach.mem.load_slice(rout.base, output.raw_mut())?;
+
+        if self.verify {
+            let want = crate::native::time_steps(&self.spec, input, t_block, 1);
+            if let Some((i, j, expected, got)) = want.first_mismatch(&output, 1e-9) {
+                return Err(PlanError::VerificationFailed {
+                    i,
+                    j,
+                    expected,
+                    got,
+                });
+            }
+        }
+
+        let report = RunReport {
+            method: self.method.label(),
+            kernel: kernel.name(),
+            stencil: self.spec.name().to_string(),
+            counters,
+            points: (h * w * t_block) as u64,
+            freq_ghz: cfg.freq_ghz,
+        };
+        Ok(RunOutcome { output, report })
+    }
+
+    /// Runs a 3-D stencil: each output plane accumulates the `2r+1`
+    /// weighted 2-D contributions of its neighbouring input planes.
+    pub fn run_3d(&self, cfg: &MachineConfig, input: &Grid3d) -> Result<RunOutcome3d, PlanError> {
+        assert_eq!(self.spec.dims(), 3, "run_3d requires a 3-D stencil");
+        self.validate_shape(input.h(), input.w(), input.halo())?;
+        let r = self.spec.radius() as isize;
+        let tables: Vec<_> = (-r..=r).map(|dk| self.spec.plane_table_3d(dk)).collect();
+        let has_vterms = tables.iter().any(|t| !t.split_matrix_vector().1.is_empty());
+        let mut kernel = self.build_kernel(cfg, has_vterms)?;
+
+        let mut mach = Machine::new(cfg);
+        if matches!(self.method, Method::Auto | Method::VectorOnly) && !cfg.allow_vector_fmla {
+            mach.set_streaming(false);
+        }
+        let len = input.raw().len();
+        let ra = mach.alloc(len, VLEN);
+        let rbuf = mach.alloc(len, VLEN);
+        mach.mem.store_slice(ra.base, input.raw())?;
+        mach.mem.store_slice(rbuf.base, input.raw())?;
+
+        let plane_stride = input.plane_stride() as u64;
+        let origin = input.origin() as u64;
+        let mut ctx = KernelCtx {
+            h: input.h(),
+            w: input.w(),
+            stride: input.stride() as u64,
+            b0: rbuf.base + origin,
+            planes: tables
+                .iter()
+                .enumerate()
+                .map(|(idx, t)| Plane {
+                    base: (ra.base + origin)
+                        .wrapping_add_signed((idx as i64 - r as i64) * plane_stride as i64),
+                    table: t.clone(),
+                })
+                .collect(),
+            radius: self.spec.radius(),
+            opts: self.opts,
+        };
+        kernel.setup(&ctx, &mut mach)?;
+
+        let mut prog = Program::with_capacity(4096);
+        let pass = |mach: &mut Machine,
+                    kernel: &mut dyn Kernel,
+                    ctx: &mut KernelCtx,
+                    prog: &mut Program|
+         -> Result<(), PlanError> {
+            for k in 0..input.d() as i64 {
+                for (idx, plane) in ctx.planes.iter_mut().enumerate() {
+                    let dk = idx as i64 - r as i64;
+                    plane.base =
+                        (ra.base + origin).wrapping_add_signed((k + dk) * plane_stride as i64);
+                }
+                ctx.b0 = (rbuf.base + origin).wrapping_add_signed(k * plane_stride as i64);
+                Self::run_sweep(kernel, ctx, mach, prog)?;
+            }
+            Ok(())
+        };
+        for _ in 0..self.warmup {
+            pass(&mut mach, kernel.as_mut(), &mut ctx, &mut prog)?;
+        }
+        let before = mach.counters();
+        for _ in 0..self.sweeps {
+            pass(&mut mach, kernel.as_mut(), &mut ctx, &mut prog)?;
+        }
+        let counters = mach.counters().delta(&before);
+
+        let mut output = input.clone();
+        mach.mem.load_slice(rbuf.base, output.raw_mut())?;
+
+        if self.verify {
+            let mut want = input.clone();
+            reference::apply_3d(&self.spec, input, &mut want);
+            let diff = want.max_interior_diff(&output);
+            if diff > 1e-9 {
+                return Err(PlanError::VerificationFailed {
+                    i: 0,
+                    j: 0,
+                    expected: 0.0,
+                    got: diff,
+                });
+            }
+        }
+
+        let report = RunReport {
+            method: self.method.label(),
+            kernel: kernel.name(),
+            stencil: self.spec.name().to_string(),
+            counters,
+            points: (input.d() * input.h() * input.w() * self.sweeps) as u64,
+            freq_ghz: cfg.freq_ghz,
+        };
+        Ok(RunOutcome3d { output, report })
+    }
+}

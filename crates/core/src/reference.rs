@@ -1,0 +1,142 @@
+//! Scalar reference implementations — the ground truth every kernel is
+//! verified against.
+
+use crate::grid::{Grid2d, Grid3d};
+use crate::stencil::StencilSpec;
+
+/// One 2-D stencil sweep: `b` interior = weighted sum of `a` neighbours.
+///
+/// # Panics
+/// Panics if the spec is not 2-D, shapes differ, or halos are smaller than
+/// the radius.
+pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
+    assert_eq!(spec.dims(), 2);
+    assert_eq!((a.h(), a.w()), (b.h(), b.w()));
+    let r = spec.radius() as isize;
+    assert!(a.halo() >= spec.radius() && b.halo() >= spec.radius());
+    for i in 0..a.h() as isize {
+        for j in 0..a.w() as isize {
+            let mut acc = 0.0;
+            for di in -r..=r {
+                for dj in -r..=r {
+                    let c = spec.c2(di, dj);
+                    if c != 0.0 {
+                        acc += c * a.at(i + di, j + dj);
+                    }
+                }
+            }
+            b.set(i, j, acc);
+        }
+    }
+}
+
+/// One 3-D stencil sweep.
+///
+/// # Panics
+/// Panics if the spec is not 3-D, shapes differ, or halos are too small.
+pub fn apply_3d(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
+    assert_eq!(spec.dims(), 3);
+    assert_eq!((a.d(), a.h(), a.w()), (b.d(), b.h(), b.w()));
+    let r = spec.radius() as isize;
+    assert!(a.halo() >= spec.radius() && b.halo() >= spec.radius());
+    for k in 0..a.d() as isize {
+        for i in 0..a.h() as isize {
+            for j in 0..a.w() as isize {
+                let mut acc = 0.0;
+                for dk in -r..=r {
+                    for di in -r..=r {
+                        for dj in -r..=r {
+                            let c = spec.c3(dk, di, dj);
+                            if c != 0.0 {
+                                acc += c * a.at(k + dk, i + di, j + dj);
+                            }
+                        }
+                    }
+                }
+                b.set(k, i, j, acc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::presets;
+
+    #[test]
+    fn constant_field_is_preserved_by_unit_sum_weights() {
+        let spec = presets::star2d9p();
+        let a = Grid2d::from_fn(16, 16, 2, |_, _| 3.0);
+        let mut b = Grid2d::zeros(16, 16, 2);
+        apply_2d(&spec, &a, &mut b);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!((b.at(i, j) - 3.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_response_matches_coefficients() {
+        let spec = presets::box2d9p();
+        let mut a = Grid2d::zeros(8, 8, 1);
+        a.set(4, 4, 1.0);
+        let mut b = Grid2d::zeros(8, 8, 1);
+        apply_2d(&spec, &a, &mut b);
+        // b(i, j) picks up c(di, dj) with (di, dj) = (4 - i, 4 - j)...
+        // scatter of the impulse: b(4+p, 4+q) = c(-p, -q).
+        for p in -1isize..=1 {
+            for q in -1isize..=1 {
+                assert!(
+                    (b.at(4 + p, 4 + q) - spec.c2(-p, -q)).abs() < 1e-15,
+                    "at offset ({p},{q})"
+                );
+            }
+        }
+        assert_eq!(b.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn heat_diffusion_smooths_peak() {
+        let spec = presets::heat2d();
+        let mut a = Grid2d::zeros(8, 8, 1);
+        a.set(4, 4, 100.0);
+        let mut b = Grid2d::zeros(8, 8, 1);
+        apply_2d(&spec, &a, &mut b);
+        assert!(b.at(4, 4) < 100.0);
+        assert!(b.at(4, 5) > 0.0);
+        assert_eq!(b.at(4, 6), 0.0); // radius 1 only
+    }
+
+    #[test]
+    fn halo_values_contribute() {
+        let spec = presets::star2d5p();
+        let a = Grid2d::from_fn(8, 8, 1, |i, _| if i < 0 { 10.0 } else { 0.0 });
+        let mut b = Grid2d::zeros(8, 8, 1);
+        apply_2d(&spec, &a, &mut b);
+        assert!(b.at(0, 4) > 0.0, "top row must see the halo");
+        assert_eq!(b.at(2, 4), 0.0);
+    }
+
+    #[test]
+    fn constant_field_3d() {
+        let spec = presets::star3d7p();
+        let a = Grid3d::from_fn(6, 8, 8, 1, |_, _, _| 2.0);
+        let mut b = Grid3d::zeros(6, 8, 8, 1);
+        apply_3d(&spec, &a, &mut b);
+        assert!((b.at(3, 4, 4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impulse_3d_spreads_across_planes() {
+        let spec = presets::star3d7p();
+        let mut a = Grid3d::zeros(5, 8, 8, 1);
+        a.set(2, 4, 4, 1.0);
+        let mut b = Grid3d::zeros(5, 8, 8, 1);
+        apply_3d(&spec, &a, &mut b);
+        assert!((b.at(1, 4, 4) - spec.c3(1, 0, 0)).abs() < 1e-15);
+        assert!((b.at(3, 4, 4) - spec.c3(-1, 0, 0)).abs() < 1e-15);
+        assert_eq!(b.at(2, 5, 5), 0.0); // star has no diagonal
+    }
+}

@@ -1,0 +1,158 @@
+//! Run reports: the simulated equivalents of the paper's measurements.
+
+use lx2_sim::PerfCounters;
+
+/// Measurements from one timed stencil run.
+///
+/// ```
+/// use hstencil_core::{presets, Grid2d, Method, StencilPlan};
+/// use lx2_sim::MachineConfig;
+/// let spec = presets::box2d9p();
+/// let grid = Grid2d::from_fn(32, 32, 1, |i, j| (i + j) as f64);
+/// let report = StencilPlan::new(&spec, Method::HStencil)
+///     .run_2d(&MachineConfig::lx2(), &grid)
+///     .unwrap()
+///     .report;
+/// assert!(report.ipc() > 0.0);
+/// assert!(report.gstencil_per_s() > 0.0);
+/// assert_eq!(report.points, 32 * 32);
+/// ```
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct RunReport {
+    /// Method label.
+    pub method: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Stencil name.
+    pub stencil: String,
+    /// Counter deltas over the timed sweeps.
+    pub counters: PerfCounters,
+    /// Grid points updated during the timed sweeps.
+    pub points: u64,
+    /// Core frequency used for time conversions.
+    pub freq_ghz: f64,
+}
+
+impl RunReport {
+    /// Elapsed cycles of the timed window.
+    pub fn cycles(&self) -> u64 {
+        self.counters.cycles
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.counters.ipc()
+    }
+
+    /// Simulated wall time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.counters.cycles as f64 / (self.freq_ghz * 1e6)
+    }
+
+    /// Throughput in giga stencil-point updates per second.
+    pub fn gstencil_per_s(&self) -> f64 {
+        if self.counters.cycles == 0 {
+            0.0
+        } else {
+            self.points as f64 * self.freq_ghz / self.counters.cycles as f64
+        }
+    }
+
+    /// Achieved GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        self.counters.gflops(self.freq_ghz)
+    }
+
+    /// L1 load hit rate.
+    pub fn l1_load_hit_rate(&self) -> f64 {
+        self.counters.mem.l1_load_hit_rate()
+    }
+
+    /// L1 load hits (the paper's "hit times").
+    pub fn l1_hit_times(&self) -> u64 {
+        self.counters.mem.l1_load_hits
+    }
+
+    /// Matrix-unit utilization, if any outer products ran.
+    pub fn matrix_utilization(&self) -> Option<f64> {
+        self.counters.matrix_utilization()
+    }
+
+    /// Cycles per updated point.
+    pub fn cycles_per_point(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.counters.cycles as f64 / self.points as f64
+        }
+    }
+
+    /// Speedup of this run over a baseline run of the same workload.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        assert_eq!(
+            self.points, baseline.points,
+            "speedup requires matching workloads"
+        );
+        baseline.counters.cycles as f64 / self.counters.cycles as f64
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} {:<20} {:>12} cycles  ipc {:>5.2}  {:>7.3} GStencil/s  L1 {:>6.2}%",
+            self.method,
+            self.stencil,
+            self.cycles(),
+            self.ipc(),
+            self.gstencil_per_s(),
+            self.l1_load_hit_rate() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, points: u64) -> RunReport {
+        RunReport {
+            method: "HStencil",
+            kernel: "test",
+            stencil: "star2d5p".into(),
+            counters: PerfCounters {
+                cycles,
+                instructions: 2 * cycles,
+                ..Default::default()
+            },
+            points,
+            freq_ghz: 2.5,
+        }
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = report(1000, 4000);
+        // 4000 points / (1000 cycles / 2.5 GHz) = 10 Gpoints/s.
+        assert!((r.gstencil_per_s() - 10.0).abs() < 1e-12);
+        assert!((r.cycles_per_point() - 0.25).abs() < 1e-12);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let fast = report(500, 4000);
+        let slow = report(2000, 4000);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn speedup_requires_same_points() {
+        let a = report(500, 4000);
+        let b = report(500, 8000);
+        let _ = a.speedup_over(&b);
+    }
+}

@@ -1,0 +1,435 @@
+//! Stencil specifications: spatial pattern, radius, dimensionality and the
+//! dense coefficient table.
+//!
+//! Coefficients are stored as a dense `(2r+1)^dims` table — star stencils
+//! simply carry zeros off-axis. Kernel builders are *table-driven*: they
+//! inspect the nonzero structure of each coefficient column and pick the
+//! compute unit accordingly, so one hybrid kernel covers star, box, Heat-2D
+//! and arbitrary custom weights.
+
+use crate::table::CoeffTable;
+
+/// Spatial pattern of a stencil (paper Figure 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// Points along the coordinate axes only.
+    Star,
+    /// The full `(2r+1)^d` neighbourhood.
+    Box,
+}
+
+/// A stencil specification.
+///
+/// ```
+/// use hstencil_core::{presets, StencilSpec, Pattern};
+/// let s = presets::star2d9p();
+/// assert_eq!((s.points(), s.radius()), (9, 2));
+/// // Custom weights work the same way:
+/// let lap = StencilSpec::star_2d("lap", 1, -4.0, &[1.0, 0.0, 1.0], &[1.0, 0.0, 1.0]);
+/// assert_eq!(lap.c2(0, 0), -4.0);
+/// assert_eq!(lap.c2(1, 0), 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StencilSpec {
+    name: String,
+    pattern: Pattern,
+    dims: usize,
+    radius: usize,
+    /// Dense coefficients. For 2-D: index `[(di+r)*(2r+1) + (dj+r)]`.
+    /// For 3-D: index `[((dk+r)*(2r+1) + (di+r))*(2r+1) + (dj+r)]`.
+    coeffs: Vec<f64>,
+}
+
+impl StencilSpec {
+    /// Builds a 2-D stencil from a dense `(2r+1) x (2r+1)` table in
+    /// row-major `(di, dj)` order.
+    ///
+    /// # Panics
+    /// Panics if the table length does not match the radius.
+    pub fn new_2d(
+        name: impl Into<String>,
+        pattern: Pattern,
+        radius: usize,
+        table: Vec<f64>,
+    ) -> Self {
+        let n = 2 * radius + 1;
+        assert_eq!(table.len(), n * n, "2-D coefficient table must be (2r+1)^2");
+        StencilSpec {
+            name: name.into(),
+            pattern,
+            dims: 2,
+            radius,
+            coeffs: table,
+        }
+    }
+
+    /// Builds a 3-D stencil from a dense `(2r+1)^3` table in row-major
+    /// `(dk, di, dj)` order.
+    ///
+    /// # Panics
+    /// Panics if the table length does not match the radius.
+    pub fn new_3d(
+        name: impl Into<String>,
+        pattern: Pattern,
+        radius: usize,
+        table: Vec<f64>,
+    ) -> Self {
+        let n = 2 * radius + 1;
+        assert_eq!(
+            table.len(),
+            n * n * n,
+            "3-D coefficient table must be (2r+1)^3"
+        );
+        StencilSpec {
+            name: name.into(),
+            pattern,
+            dims: 3,
+            radius,
+            coeffs: table,
+        }
+    }
+
+    /// Builds a 2-D *star* stencil from per-axis coefficients.
+    ///
+    /// `horizontal[k]` is the coefficient at `dj = k - r`, `vertical[k]` at
+    /// `di = k - r`; the centre is `center` (the centre entries of the two
+    /// axis arrays are ignored).
+    pub fn star_2d(
+        name: impl Into<String>,
+        radius: usize,
+        center: f64,
+        horizontal: &[f64],
+        vertical: &[f64],
+    ) -> Self {
+        let n = 2 * radius + 1;
+        assert_eq!(horizontal.len(), n);
+        assert_eq!(vertical.len(), n);
+        let mut table = vec![0.0; n * n];
+        for k in 0..n {
+            table[radius * n + k] = horizontal[k]; // di = 0 row
+            table[k * n + radius] = vertical[k]; // dj = 0 column
+        }
+        table[radius * n + radius] = center;
+        StencilSpec {
+            name: name.into(),
+            pattern: Pattern::Star,
+            dims: 2,
+            radius,
+            coeffs: table,
+        }
+    }
+
+    /// Stencil name (e.g. `"star2d9p"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Spatial pattern.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// Dimensionality (2 or 3).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Radius.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Number of points with nonzero coefficients.
+    pub fn points(&self) -> usize {
+        self.coeffs.iter().filter(|&&c| c != 0.0).count()
+    }
+
+    /// 2-D coefficient at offset `(di, dj)` (0 outside the radius).
+    pub fn c2(&self, di: isize, dj: isize) -> f64 {
+        debug_assert_eq!(self.dims, 2);
+        let r = self.radius as isize;
+        if di.abs() > r || dj.abs() > r {
+            return 0.0;
+        }
+        let n = (2 * r + 1) as usize;
+        self.coeffs[((di + r) as usize) * n + (dj + r) as usize]
+    }
+
+    /// 3-D coefficient at offset `(dk, di, dj)` (0 outside the radius).
+    pub fn c3(&self, dk: isize, di: isize, dj: isize) -> f64 {
+        debug_assert_eq!(self.dims, 3);
+        let r = self.radius as isize;
+        if dk.abs() > r || di.abs() > r || dj.abs() > r {
+            return 0.0;
+        }
+        let n = (2 * r + 1) as usize;
+        self.coeffs[(((dk + r) as usize) * n + (di + r) as usize) * n + (dj + r) as usize]
+    }
+
+    /// The 2-D plane coefficient table (for `dims == 2` the whole table).
+    pub fn plane_table_2d(&self) -> CoeffTable {
+        debug_assert_eq!(self.dims, 2);
+        CoeffTable::new(self.radius, self.coeffs.clone())
+    }
+
+    /// The coefficient table of the `dk`-plane of a 3-D stencil.
+    pub fn plane_table_3d(&self, dk: isize) -> CoeffTable {
+        debug_assert_eq!(self.dims, 3);
+        let r = self.radius as isize;
+        assert!(dk.abs() <= r);
+        let n = (2 * r + 1) as usize;
+        let start = ((dk + r) as usize) * n * n;
+        CoeffTable::new(self.radius, self.coeffs[start..start + n * n].to_vec())
+    }
+
+    /// Flops per updated grid point (one FMA per nonzero coefficient).
+    pub fn flops_per_point(&self) -> u64 {
+        2 * self.points() as u64
+    }
+}
+
+/// Standard benchmark presets (weights follow common heat/convection
+/// discretizations, normalized so they sum to 1 for numerical stability in
+/// iterated sweeps).
+pub mod presets {
+    use super::*;
+
+    fn star_axis_weights(radius: usize) -> (f64, Vec<f64>) {
+        // Symmetric axis weights 1/(2^(|d|)) scaled, centre gets the rest.
+        let n = 2 * radius + 1;
+        let mut axis = vec![0.0; n];
+        let mut sum = 0.0;
+        for d in 1..=radius {
+            let wgt = 0.1 / d as f64;
+            axis[radius - d] = wgt;
+            axis[radius + d] = wgt;
+            sum += 2.0 * wgt;
+        }
+        let center = 1.0 - 2.0 * sum; // two axes share the centre
+        (center, axis)
+    }
+
+    /// Star-2D5P (r = 1): the classic 5-point stencil.
+    pub fn star2d5p() -> StencilSpec {
+        let (c, axis) = star_axis_weights(1);
+        StencilSpec::star_2d("star2d5p", 1, c, &axis, &axis)
+    }
+
+    /// Star-2D9P (r = 2).
+    pub fn star2d9p() -> StencilSpec {
+        let (c, axis) = star_axis_weights(2);
+        StencilSpec::star_2d("star2d9p", 2, c, &axis, &axis)
+    }
+
+    /// Star-2D13P (r = 3).
+    pub fn star2d13p() -> StencilSpec {
+        let (c, axis) = star_axis_weights(3);
+        StencilSpec::star_2d("star2d13p", 3, c, &axis, &axis)
+    }
+
+    fn box_table(radius: usize) -> Vec<f64> {
+        let n = 2 * radius + 1;
+        let mut t = vec![0.0; n * n];
+        let mut sum = 0.0;
+        for di in 0..n {
+            for dj in 0..n {
+                let d =
+                    (di as isize - radius as isize).abs() + (dj as isize - radius as isize).abs();
+                let wgt = 1.0 / (1.0 + d as f64);
+                t[di * n + dj] = wgt;
+                sum += wgt;
+            }
+        }
+        for c in &mut t {
+            *c /= sum;
+        }
+        t
+    }
+
+    /// Box-2D9P (r = 1): the full 3×3 neighbourhood.
+    pub fn box2d9p() -> StencilSpec {
+        StencilSpec::new_2d("box2d9p", Pattern::Box, 1, box_table(1))
+    }
+
+    /// Box-2D25P (r = 2).
+    pub fn box2d25p() -> StencilSpec {
+        StencilSpec::new_2d("box2d25p", Pattern::Box, 2, box_table(2))
+    }
+
+    /// Box-2D49P (r = 3).
+    pub fn box2d49p() -> StencilSpec {
+        StencilSpec::new_2d("box2d49p", Pattern::Box, 3, box_table(3))
+    }
+
+    /// Heat-2D: the explicit 5-point heat-equation update
+    /// `b = a + alpha (sum of neighbours - 4 a)` with `alpha = 0.1`.
+    pub fn heat2d() -> StencilSpec {
+        let alpha = 0.1;
+        let axis = [alpha, 0.0, alpha];
+        StencilSpec::star_2d("heat2d", 1, 1.0 - 4.0 * alpha, &axis, &axis)
+    }
+
+    /// Star-3D7P (r = 1).
+    pub fn star3d7p() -> StencilSpec {
+        star3d(1, "star3d7p")
+    }
+
+    /// Star-3D13P (r = 2).
+    pub fn star3d13p() -> StencilSpec {
+        star3d(2, "star3d13p")
+    }
+
+    fn star3d(radius: usize, name: &str) -> StencilSpec {
+        let n = 2 * radius + 1;
+        let mut t = vec![0.0; n * n * n];
+        let wgt = 0.05;
+        let mut sum = 0.0;
+        let idx = |dk: usize, di: usize, dj: usize| (dk * n + di) * n + dj;
+        for d in 1..=radius {
+            let w = wgt / d as f64;
+            for (dk, di, dj) in [
+                (radius - d, radius, radius),
+                (radius + d, radius, radius),
+                (radius, radius - d, radius),
+                (radius, radius + d, radius),
+                (radius, radius, radius - d),
+                (radius, radius, radius + d),
+            ] {
+                t[idx(dk, di, dj)] = w;
+                sum += w;
+            }
+        }
+        t[idx(radius, radius, radius)] = 1.0 - sum;
+        StencilSpec::new_3d(name, Pattern::Star, radius, t)
+    }
+
+    /// Box-3D27P (r = 1): the full 3×3×3 neighbourhood.
+    pub fn box3d27p() -> StencilSpec {
+        let n = 3;
+        let mut t = vec![0.0; n * n * n];
+        let mut sum = 0.0;
+        for dk in 0..n {
+            for di in 0..n {
+                for dj in 0..n {
+                    let d =
+                        (dk as isize - 1).abs() + (di as isize - 1).abs() + (dj as isize - 1).abs();
+                    let w = 1.0 / (1.0 + d as f64);
+                    t[(dk * n + di) * n + dj] = w;
+                    sum += w;
+                }
+            }
+        }
+        for c in &mut t {
+            *c /= sum;
+        }
+        StencilSpec::new_3d("box3d27p", Pattern::Box, 1, t)
+    }
+
+    /// The 2-D benchmark suite used for the in-cache figures.
+    pub fn suite_2d() -> Vec<StencilSpec> {
+        vec![
+            star2d5p(),
+            star2d9p(),
+            star2d13p(),
+            box2d9p(),
+            box2d25p(),
+            box2d49p(),
+            heat2d(),
+        ]
+    }
+
+    /// The 3-D benchmark suite.
+    pub fn suite_3d() -> Vec<StencilSpec> {
+        vec![star3d7p(), star3d13p(), box3d27p()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::presets::*;
+    use super::*;
+
+    #[test]
+    fn star2d5p_structure() {
+        let s = star2d5p();
+        assert_eq!(s.points(), 5);
+        assert_eq!(s.radius(), 1);
+        assert_eq!(s.pattern(), Pattern::Star);
+        assert_eq!(s.c2(1, 1), 0.0);
+        assert!(s.c2(0, 1) != 0.0);
+        assert!(s.c2(0, 0) != 0.0);
+    }
+
+    #[test]
+    fn star_presets_point_counts() {
+        assert_eq!(star2d9p().points(), 9);
+        assert_eq!(star2d13p().points(), 13);
+        assert_eq!(star3d7p().points(), 7);
+        assert_eq!(star3d13p().points(), 13);
+    }
+
+    #[test]
+    fn box_presets_point_counts() {
+        assert_eq!(box2d9p().points(), 9);
+        assert_eq!(box2d25p().points(), 25);
+        assert_eq!(box2d49p().points(), 49);
+        assert_eq!(box3d27p().points(), 27);
+    }
+
+    #[test]
+    fn preset_weights_sum_to_one() {
+        for s in suite_2d() {
+            let r = s.radius() as isize;
+            let mut sum = 0.0;
+            for di in -r..=r {
+                for dj in -r..=r {
+                    sum += s.c2(di, dj);
+                }
+            }
+            assert!((sum - 1.0).abs() < 1e-12, "{} sums to {sum}", s.name());
+        }
+        for s in suite_3d() {
+            let r = s.radius() as isize;
+            let mut sum = 0.0;
+            for dk in -r..=r {
+                for di in -r..=r {
+                    for dj in -r..=r {
+                        sum += s.c3(dk, di, dj);
+                    }
+                }
+            }
+            assert!((sum - 1.0).abs() < 1e-12, "{} sums to {sum}", s.name());
+        }
+    }
+
+    #[test]
+    fn heat2d_is_conservative_update() {
+        let s = heat2d();
+        assert_eq!(s.points(), 5);
+        assert!((s.c2(0, 0) - 0.6).abs() < 1e-12);
+        assert!((s.c2(0, 1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_outside_radius_are_zero() {
+        let s = star2d5p();
+        assert_eq!(s.c2(2, 0), 0.0);
+        assert_eq!(s.c2(0, -5), 0.0);
+    }
+
+    #[test]
+    fn plane_tables_3d() {
+        let s = star3d7p();
+        let centre = s.plane_table_3d(0);
+        assert_eq!(centre.nonzeros(), 5);
+        let above = s.plane_table_3d(1);
+        assert_eq!(above.nonzeros(), 1);
+        assert!(above.at(0, 0) != 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_table_size_panics() {
+        let _ = StencilSpec::new_2d("bad", Pattern::Box, 1, vec![1.0; 4]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Dense per-plane coefficient tables.
+//!
+//! Kernels consume a stencil as one or more 2-D coefficient tables (one per
+//! `dk`-plane for 3-D stencils). The table exposes the nonzero structure
+//! queries the table-driven emitters dispatch on: which `dj`-columns are
+//! dense enough to deserve an outer product and which reduce to a single
+//! horizontal MLA term.
+
+/// A dense `(2r+1) x (2r+1)` coefficient table indexed by `(di, dj)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoeffTable {
+    r: usize,
+    c: Vec<f64>,
+}
+
+impl CoeffTable {
+    /// Builds a table; `c` is row-major over `(di + r, dj + r)`.
+    ///
+    /// # Panics
+    /// Panics if `c.len() != (2r+1)^2`.
+    pub fn new(r: usize, c: Vec<f64>) -> Self {
+        let n = 2 * r + 1;
+        assert_eq!(c.len(), n * n);
+        CoeffTable { r, c }
+    }
+
+    /// The table radius.
+    pub fn radius(&self) -> usize {
+        self.r
+    }
+
+    /// Coefficient at `(di, dj)`; 0 outside the radius.
+    pub fn at(&self, di: isize, dj: isize) -> f64 {
+        let r = self.r as isize;
+        if di.abs() > r || dj.abs() > r {
+            return 0.0;
+        }
+        let n = (2 * r + 1) as usize;
+        self.c[((di + r) as usize) * n + (dj + r) as usize]
+    }
+
+    /// Number of nonzero coefficients.
+    pub fn nonzeros(&self) -> usize {
+        self.c.iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// Whether the whole table is zero.
+    pub fn is_zero(&self) -> bool {
+        self.nonzeros() == 0
+    }
+
+    /// The `dj`-column as a vector of `(di, coeff)` nonzero entries.
+    pub fn column(&self, dj: isize) -> Vec<(isize, f64)> {
+        let r = self.r as isize;
+        (-r..=r)
+            .filter_map(|di| {
+                let c = self.at(di, dj);
+                (c != 0.0).then_some((di, c))
+            })
+            .collect()
+    }
+
+    /// Number of nonzeros in the `dj`-column.
+    pub fn column_nonzeros(&self, dj: isize) -> usize {
+        self.column(dj).len()
+    }
+
+    /// Column offsets `dj` that have at least one nonzero entry.
+    pub fn active_columns(&self) -> Vec<isize> {
+        let r = self.r as isize;
+        (-r..=r)
+            .filter(|&dj| self.column_nonzeros(dj) > 0)
+            .collect()
+    }
+
+    /// Classification used by the hybrid kernel (paper §3.1.1): columns
+    /// with ≥ 2 nonzeros (or a nonzero off the centre row) go to the
+    /// matrix unit; columns whose only nonzero sits on the centre row
+    /// (`di == 0`) reduce to one horizontal MLA term.
+    pub fn split_matrix_vector(&self) -> (Vec<isize>, Vec<(isize, f64)>) {
+        let mut matrix_cols = Vec::new();
+        let mut vector_terms = Vec::new();
+        for dj in self.active_columns() {
+            let col = self.column(dj);
+            if col.len() == 1 && col[0].0 == 0 && dj != 0 {
+                vector_terms.push((dj, col[0].1));
+            } else {
+                matrix_cols.push(dj);
+            }
+        }
+        (matrix_cols, vector_terms)
+    }
+
+    /// Sum of all coefficients (diagnostics).
+    pub fn sum(&self) -> f64 {
+        self.c.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::presets;
+
+    #[test]
+    fn star_split_sends_horizontal_arm_to_vector() {
+        let t = presets::star2d9p().plane_table_2d();
+        let (m, v) = t.split_matrix_vector();
+        assert_eq!(m, vec![0]);
+        let djs: Vec<isize> = v.iter().map(|&(dj, _)| dj).collect();
+        assert_eq!(djs, vec![-2, -1, 1, 2]);
+    }
+
+    #[test]
+    fn box_split_is_all_matrix() {
+        let t = presets::box2d25p().plane_table_2d();
+        let (m, v) = t.split_matrix_vector();
+        assert_eq!(m, vec![-2, -1, 0, 1, 2]);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn center_only_plane_goes_to_matrix() {
+        // 3-D star off-centre plane: single nonzero at (0,0); dj=0 column
+        // has one nonzero at the centre — classified matrix (dj == 0).
+        let t = presets::star3d7p().plane_table_3d(1);
+        let (m, v) = t.split_matrix_vector();
+        assert_eq!(m, vec![0]);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn column_queries() {
+        let t = presets::star2d9p().plane_table_2d();
+        assert_eq!(t.column_nonzeros(0), 5);
+        assert_eq!(t.column_nonzeros(1), 1);
+        assert_eq!(t.column_nonzeros(3), 0);
+        assert_eq!(t.active_columns(), vec![-2, -1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_table() {
+        let t = CoeffTable::new(1, vec![0.0; 9]);
+        assert!(t.is_zero());
+        assert!(t.active_columns().is_empty());
+    }
+}

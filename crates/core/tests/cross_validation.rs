@@ -1,0 +1,76 @@
+//! Cross-validation: the host-native executor and the simulated kernels
+//! are independent implementations of the same mathematics — they must
+//! agree bit-for-bit (modulo FP summation order) on sizeable workloads.
+
+use hstencil_core::{native, presets, Grid2d, Method, StencilPlan};
+use lx2_sim::MachineConfig;
+
+fn noisy_grid(h: usize, w: usize, halo: usize, seed: u64) -> Grid2d {
+    let mut s = seed;
+    Grid2d::from_fn(h, w, halo, |_, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64) / (1u64 << 30) as f64 - 2.0
+    })
+}
+
+#[test]
+fn native_and_simulated_agree_on_large_grids() {
+    let cfg = MachineConfig::lx2();
+    for spec in [presets::star2d9p(), presets::box2d25p(), presets::heat2d()] {
+        let a = noisy_grid(192, 320, spec.radius(), 0xFEED);
+        let mut native_out = a.clone();
+        native::apply_2d_parallel(&spec, &a, &mut native_out, 2);
+        for method in [Method::HStencil, Method::MatrixOnly, Method::VectorOnly] {
+            let sim = StencilPlan::new(&spec, method)
+                .warmup(0)
+                .run_2d(&cfg, &a)
+                .unwrap_or_else(|e| panic!("{method} on {}: {e}", spec.name()));
+            let diff = native_out.max_interior_diff(&sim.output);
+            assert!(
+                diff < 1e-9,
+                "{method} on {}: native vs simulated diff {diff}",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn m4_and_lx2_simulations_agree_with_native() {
+    let spec = presets::star2d9p();
+    let a = noisy_grid(96, 160, 2, 0xBEEF);
+    let mut native_out = a.clone();
+    native::apply_2d(&spec, &a, &mut native_out);
+    for cfg in [MachineConfig::lx2(), MachineConfig::apple_m4()] {
+        let sim = StencilPlan::new(&spec, Method::HStencil)
+            .warmup(0)
+            .run_2d(&cfg, &a)
+            .unwrap();
+        assert!(
+            native_out.max_interior_diff(&sim.output) < 1e-9,
+            "{} disagrees with native",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn extreme_values_survive_the_pipeline() {
+    // Large magnitudes, denormal-ish smalls, negative zero.
+    let spec = presets::box2d9p();
+    let a = Grid2d::from_fn(24, 24, 1, |i, j| match (i + 2 * j) % 5 {
+        0 => 1e15,
+        1 => -1e15,
+        2 => 1e-300,
+        3 => -0.0,
+        _ => 3.141592653589793,
+    });
+    let mut want = a.clone();
+    hstencil_core::reference::apply_2d(&spec, &a, &mut want);
+    let sim = StencilPlan::new(&spec, Method::HStencil)
+        .warmup(0)
+        .run_2d(&MachineConfig::lx2(), &a)
+        .unwrap();
+    // Relative tolerance on huge magnitudes.
+    assert!(want.first_mismatch(&sim.output, 1e-9).is_none());
+}

@@ -1,0 +1,168 @@
+//! End-to-end correctness: every method's simulated output must match the
+//! scalar reference on every benchmark preset.
+
+use hstencil_core::{presets, Grid2d, Grid3d, Method, StencilPlan};
+use lx2_sim::MachineConfig;
+
+fn test_grid(h: usize, w: usize, halo: usize) -> Grid2d {
+    Grid2d::from_fn(h, w, halo, |i, j| {
+        0.01 * ((i * 131 + j * 37 + 11) % 251) as f64 - 1.0
+    })
+}
+
+fn check(method: Method, spec: &hstencil_core::StencilSpec, h: usize, w: usize) {
+    let grid = test_grid(h, w, spec.radius());
+    let plan = StencilPlan::new(spec, method).verify(true).warmup(0);
+    let out = plan.run_2d(&MachineConfig::lx2(), &grid);
+    match out {
+        Ok(o) => assert!(o.report.cycles() > 0, "{method} {} no cycles", spec.name()),
+        Err(e) => panic!("{method} on {} {h}x{w}: {e}", spec.name()),
+    }
+}
+
+#[test]
+fn hstencil_all_presets() {
+    for spec in presets::suite_2d() {
+        check(Method::HStencil, &spec, 32, 40);
+    }
+}
+
+#[test]
+fn matrix_only_all_presets() {
+    for spec in presets::suite_2d() {
+        check(Method::MatrixOnly, &spec, 32, 40);
+    }
+}
+
+#[test]
+fn vector_only_all_presets() {
+    for spec in presets::suite_2d() {
+        check(Method::VectorOnly, &spec, 32, 40);
+    }
+}
+
+#[test]
+fn auto_all_presets() {
+    for spec in presets::suite_2d() {
+        check(Method::Auto, &spec, 32, 40);
+    }
+}
+
+#[test]
+fn naive_hybrid_all_presets() {
+    for spec in presets::suite_2d() {
+        check(Method::NaiveHybrid, &spec, 32, 40);
+    }
+}
+
+#[test]
+fn ortho_star_presets() {
+    for spec in [
+        presets::star2d5p(),
+        presets::star2d9p(),
+        presets::star2d13p(),
+        presets::heat2d(),
+    ] {
+        check(Method::MatrixOrtho, &spec, 32, 40);
+    }
+}
+
+#[test]
+fn odd_sizes_overlap_tiles() {
+    // Non-multiple-of-8 sizes exercise the overlapped remainder tiles.
+    for spec in [presets::star2d9p(), presets::box2d9p()] {
+        for (h, w) in [(8, 8), (9, 17), (24, 33), (31, 70)] {
+            check(Method::HStencil, &spec, h, w);
+            check(Method::MatrixOnly, &spec, h, w);
+        }
+    }
+}
+
+#[test]
+fn m4_hstencil_star_and_box() {
+    let cfg = MachineConfig::apple_m4();
+    for spec in [
+        presets::star2d5p(),
+        presets::star2d9p(),
+        presets::box2d9p(),
+        presets::box2d25p(),
+    ] {
+        let grid = test_grid(32, 40, spec.radius());
+        let plan = StencilPlan::new(&spec, Method::HStencil)
+            .verify(true)
+            .warmup(0);
+        plan.run_2d(&cfg, &grid)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+    }
+}
+
+#[test]
+fn m4_auto_neon_baseline() {
+    let cfg = MachineConfig::apple_m4();
+    let spec = presets::star2d9p();
+    let grid = test_grid(16, 24, 2);
+    let plan = StencilPlan::new(&spec, Method::Auto).verify(true).warmup(0);
+    let out = plan.run_2d(&cfg, &grid).unwrap();
+    assert!(out.report.cycles() > 0);
+}
+
+#[test]
+fn hstencil_3d_presets() {
+    for spec in presets::suite_3d() {
+        let grid = Grid3d::from_fn(6, 16, 24, spec.radius(), |k, i, j| {
+            0.01 * ((k * 7 + i * 13 + j * 29) % 101) as f64
+        });
+        let plan = StencilPlan::new(&spec, Method::HStencil)
+            .verify(true)
+            .warmup(0);
+        plan.run_3d(&MachineConfig::lx2(), &grid)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+    }
+}
+
+#[test]
+fn matrix_only_3d() {
+    let spec = presets::box3d27p();
+    let grid = Grid3d::from_fn(4, 16, 16, 1, |k, i, j| ((k + i + j) % 17) as f64 * 0.1);
+    let plan = StencilPlan::new(&spec, Method::MatrixOnly)
+        .verify(true)
+        .warmup(0);
+    plan.run_3d(&MachineConfig::lx2(), &grid).unwrap();
+}
+
+#[test]
+fn option_combinations_stay_correct() {
+    let spec = presets::star2d9p();
+    let grid = test_grid(24, 40, 2);
+    for sched in [false, true] {
+        for repl in [false, true] {
+            for pf in [false, true] {
+                for rb in [1, 2, 4] {
+                    let plan = StencilPlan::new(&spec, Method::HStencil)
+                        .scheduling(sched)
+                        .replacement(repl)
+                        .prefetch(pf)
+                        .reg_blocks(rb)
+                        .verify(true)
+                        .warmup(0);
+                    plan.run_2d(&MachineConfig::lx2(), &grid)
+                        .unwrap_or_else(|e| {
+                            panic!("sched={sched} repl={repl} pf={pf} rb={rb}: {e}")
+                        });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vector_only_rejected_on_m4() {
+    let spec = presets::star2d5p();
+    let grid = test_grid(16, 16, 1);
+    let plan = StencilPlan::new(&spec, Method::VectorOnly).warmup(0);
+    let err = plan.run_2d(&MachineConfig::apple_m4(), &grid);
+    assert!(matches!(
+        err,
+        Err(hstencil_core::PlanError::MethodUnsupported { .. })
+    ));
+}

@@ -1,0 +1,249 @@
+//! Plan-layer behaviour: option plumbing, method defaults, kernel
+//! selection, and determinism guarantees.
+
+use hstencil_core::{presets, Grid2d, Method, StencilPlan};
+use lx2_sim::MachineConfig;
+
+fn grid(n: usize, halo: usize) -> Grid2d {
+    Grid2d::from_fn(n, n, halo, |i, j| ((i * 61 + j * 17) % 103) as f64 * 0.01)
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let spec = presets::star2d9p();
+    let g = grid(64, 2);
+    let cfg = MachineConfig::lx2();
+    let a = StencilPlan::new(&spec, Method::HStencil)
+        .run_2d(&cfg, &g)
+        .unwrap();
+    let b = StencilPlan::new(&spec, Method::HStencil)
+        .run_2d(&cfg, &g)
+        .unwrap();
+    assert_eq!(a.report.cycles(), b.report.cycles());
+    assert_eq!(
+        a.report.counters.instructions,
+        b.report.counters.instructions
+    );
+    assert_eq!(a.output.max_interior_diff(&b.output), 0.0);
+}
+
+#[test]
+fn scheduling_reduces_cycles_not_instructions_much() {
+    let spec = presets::box2d25p();
+    let g = grid(128, 2);
+    let cfg = MachineConfig::lx2();
+    let off = StencilPlan::new(&spec, Method::HStencil)
+        .scheduling(false)
+        .prefetch(false)
+        .run_2d(&cfg, &g)
+        .unwrap()
+        .report;
+    let on = StencilPlan::new(&spec, Method::HStencil)
+        .scheduling(true)
+        .prefetch(false)
+        .run_2d(&cfg, &g)
+        .unwrap()
+        .report;
+    assert!(
+        on.cycles() < off.cycles(),
+        "scheduling must speed things up"
+    );
+    // Scheduling is a reordering: the instruction count stays similar
+    // (replacement may shift a few between pipes).
+    let ratio = on.counters.instructions as f64 / off.counters.instructions as f64;
+    assert!(
+        (0.8..=1.2).contains(&ratio),
+        "instruction count drifted: {ratio:.2}"
+    );
+}
+
+#[test]
+fn reg_blocks_monotonically_help_matrix_kernels() {
+    let spec = presets::box2d25p();
+    let g = grid(128, 2);
+    let cfg = MachineConfig::lx2();
+    let mut prev = u64::MAX;
+    for rb in 1..=4usize {
+        let c = StencilPlan::new(&spec, Method::HStencil)
+            .reg_blocks(rb)
+            .run_2d(&cfg, &g)
+            .unwrap()
+            .report
+            .cycles();
+        assert!(c <= prev, "rb={rb} got slower: {c} vs {prev}");
+        prev = c;
+    }
+}
+
+#[test]
+fn prefetch_dist_roundtrips_through_options() {
+    let spec = presets::star2d5p();
+    let plan = StencilPlan::new(&spec, Method::HStencil).prefetch_dist(7);
+    assert_eq!(plan.options().prefetch_dist, 7);
+    let plan = plan.reg_blocks(9); // clamped
+    assert_eq!(plan.options().reg_blocks, 4);
+}
+
+#[test]
+fn method_selects_expected_kernel() {
+    let g = grid(32, 2);
+    let lx2 = MachineConfig::lx2();
+    let m4 = MachineConfig::apple_m4();
+    let star = presets::star2d9p();
+    let bx = presets::box2d25p();
+    let kernel = |spec: &hstencil_core::StencilSpec, m: Method, cfg: &MachineConfig| {
+        StencilPlan::new(spec, m)
+            .run_2d(cfg, &g)
+            .unwrap()
+            .report
+            .kernel
+    };
+    assert_eq!(kernel(&star, Method::HStencil, &lx2), "hstencil-inplace");
+    assert_eq!(kernel(&star, Method::HStencil, &m4), "hstencil-m4-star");
+    assert_eq!(kernel(&bx, Method::HStencil, &m4), "hstencil-inplace");
+    assert_eq!(kernel(&bx, Method::MatrixOnly, &lx2), "matrix-only-stop");
+    assert_eq!(kernel(&star, Method::VectorOnly, &lx2), "vector-only");
+    assert_eq!(kernel(&star, Method::Auto, &lx2), "auto-vectorized");
+}
+
+#[test]
+fn verification_catches_an_injected_fault() {
+    // Sanity-check that verify(true) is actually comparing: a spec whose
+    // table disagrees with what we ask the reference to compute must fail.
+    // (Simulate by checking that verification *passes* normally and that
+    // the machinery reports mismatches via first_mismatch.)
+    let spec = presets::box2d9p();
+    let g = grid(32, 1);
+    let out = StencilPlan::new(&spec, Method::HStencil)
+        .verify(true)
+        .run_2d(&MachineConfig::lx2(), &g)
+        .unwrap();
+    let mut tampered = out.output.clone();
+    tampered.set(5, 5, tampered.at(5, 5) + 1.0);
+    assert!(out.output.first_mismatch(&tampered, 1e-9).is_some());
+}
+
+#[test]
+fn m4_auto_is_narrower_and_slower_than_lx2_auto() {
+    let spec = presets::box2d25p();
+    let g = grid(64, 2);
+    let lx2 = StencilPlan::new(&spec, Method::Auto)
+        .run_2d(&MachineConfig::lx2(), &g)
+        .unwrap()
+        .report;
+    let m4 = StencilPlan::new(&spec, Method::Auto)
+        .run_2d(&MachineConfig::apple_m4(), &g)
+        .unwrap()
+        .report;
+    // The NEON baseline re-executes ~4x the vector work.
+    assert!(
+        m4.counters.instructions > 3 * lx2.counters.instructions,
+        "m4 {} vs lx2 {}",
+        m4.counters.instructions,
+        lx2.counters.instructions
+    );
+}
+
+#[test]
+fn utilization_reported_only_for_matrix_methods() {
+    let spec = presets::box2d9p();
+    let g = grid(32, 1);
+    let cfg = MachineConfig::lx2();
+    let auto = StencilPlan::new(&spec, Method::Auto)
+        .run_2d(&cfg, &g)
+        .unwrap()
+        .report;
+    let hs = StencilPlan::new(&spec, Method::HStencil)
+        .run_2d(&cfg, &g)
+        .unwrap()
+        .report;
+    assert!(auto.matrix_utilization().is_none());
+    let u = hs.matrix_utilization().unwrap();
+    assert!(u > 0.0 && u <= 1.0);
+}
+
+#[test]
+fn time_stepped_simulation_matches_native_time_stepping() {
+    let spec = presets::heat2d();
+    let g = Grid2d::from_fn(32, 32, 1, |i, j| {
+        if (10..22).contains(&i) && (10..22).contains(&j) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let cfg = MachineConfig::lx2();
+    for steps in [1usize, 2, 5] {
+        let out = StencilPlan::new(&spec, Method::HStencil)
+            .verify(true) // verify() compares against native::time_steps
+            .run_2d_steps(&cfg, &g, steps)
+            .unwrap_or_else(|e| panic!("steps={steps}: {e}"));
+        assert_eq!(out.report.points, (32 * 32 * steps) as u64);
+    }
+}
+
+#[test]
+fn time_stepping_is_cheaper_than_separate_runs() {
+    // Ping-ponging inside the machine keeps caches warm across steps.
+    let spec = presets::box2d9p();
+    let g = Grid2d::from_fn(64, 64, 1, |i, j| ((i * 3 + j) % 23) as f64);
+    let cfg = MachineConfig::lx2();
+    let steps = 4;
+    let fused = StencilPlan::new(&spec, Method::HStencil)
+        .run_2d_steps(&cfg, &g, steps)
+        .unwrap()
+        .report;
+    let single = StencilPlan::new(&spec, Method::HStencil)
+        .warmup(0)
+        .run_2d(&cfg, &g)
+        .unwrap()
+        .report;
+    assert!(
+        fused.cycles() < steps as u64 * single.cycles(),
+        "fused {} vs {}x cold {}",
+        fused.cycles(),
+        steps,
+        single.cycles()
+    );
+}
+
+#[test]
+fn auto_scheduler_is_correct_and_competitive() {
+    // The compiler-style list scheduler must preserve results and recover
+    // most of the hand-written interleave's benefit from a phased kernel.
+    let spec = presets::star2d9p();
+    let g = grid(64, 2);
+    let cfg = MachineConfig::lx2();
+    let hand = StencilPlan::new(&spec, Method::HStencil)
+        .scheduling(true)
+        .verify(true)
+        .run_2d(&cfg, &g)
+        .unwrap()
+        .report;
+    let phased = StencilPlan::new(&spec, Method::HStencil)
+        .scheduling(false)
+        .verify(true)
+        .run_2d(&cfg, &g)
+        .unwrap()
+        .report;
+    let auto = StencilPlan::new(&spec, Method::HStencil)
+        .scheduling(false)
+        .auto_schedule(true)
+        .verify(true)
+        .run_2d(&cfg, &g)
+        .unwrap()
+        .report;
+    assert!(
+        auto.cycles() < phased.cycles(),
+        "auto {} vs phased {}",
+        auto.cycles(),
+        phased.cycles()
+    );
+    // Within 2x of the hand schedule (usually much closer).
+    assert!(
+        auto.cycles() < 2 * hand.cycles(),
+        "auto {} vs hand {}",
+        auto.cycles(),
+        hand.cycles()
+    );
+}

@@ -1,0 +1,192 @@
+//! Property-based tests: every kernel must match the scalar reference on
+//! *arbitrary* coefficient tables, grid contents and option combinations.
+
+use hstencil_core::{reference, Grid2d, Method, Pattern, StencilPlan, StencilSpec};
+use lx2_sim::MachineConfig;
+use proptest::prelude::*;
+
+/// Strategy: a dense 2-D coefficient table of the given radius with
+/// values in [-1, 1] and a controllable sparsity pattern.
+fn table_strategy(radius: usize, star_only: bool) -> impl Strategy<Value = Vec<f64>> {
+    let n = 2 * radius + 1;
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut v| {
+        if star_only {
+            for di in 0..n {
+                for dj in 0..n {
+                    if di != radius && dj != radius {
+                        v[di * n + dj] = 0.0;
+                    }
+                }
+            }
+        }
+        v
+    })
+}
+
+fn grid_strategy(h: usize, w: usize, halo: usize) -> impl Strategy<Value = Grid2d> {
+    proptest::collection::vec(-10.0f64..10.0, (h + 2 * halo) * (w + 2 * halo)).prop_map(
+        move |vals| {
+            let mut it = vals.into_iter();
+            Grid2d::from_fn(h, w, halo, |_, _| it.next().unwrap_or(0.5))
+        },
+    )
+}
+
+fn check_method(
+    method: Method,
+    spec: &StencilSpec,
+    grid: &Grid2d,
+    scheduling: bool,
+    prefetch: bool,
+    rb: usize,
+) -> Result<(), TestCaseError> {
+    let plan = StencilPlan::new(spec, method)
+        .scheduling(scheduling)
+        .replacement(scheduling)
+        .prefetch(prefetch)
+        .reg_blocks(rb)
+        .warmup(0);
+    let out = plan
+        .run_2d(&MachineConfig::lx2(), grid)
+        .map_err(|e| TestCaseError::fail(format!("{method}: {e}")))?;
+    let mut want = grid.clone();
+    reference::apply_2d(spec, grid, &mut want);
+    let diff = want.max_interior_diff(&out.output);
+    prop_assert!(diff < 1e-9, "{method} diverges by {diff}");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hstencil_matches_reference_on_random_tables(
+        table in table_strategy(2, false),
+        grid in grid_strategy(16, 24, 2),
+        scheduling in any::<bool>(),
+        prefetch in any::<bool>(),
+        rb in 1usize..=4,
+    ) {
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 2, table);
+        check_method(Method::HStencil, &spec, &grid, scheduling, prefetch, rb)?;
+    }
+
+    #[test]
+    fn hstencil_matches_reference_on_random_star_tables(
+        table in table_strategy(2, true),
+        grid in grid_strategy(16, 24, 2),
+        scheduling in any::<bool>(),
+        rb in 1usize..=4,
+    ) {
+        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table);
+        check_method(Method::HStencil, &spec, &grid, scheduling, false, rb)?;
+    }
+
+    #[test]
+    fn stop_matches_reference_on_random_tables(
+        table in table_strategy(1, false),
+        grid in grid_strategy(16, 16, 1),
+        rb in 1usize..=4,
+    ) {
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 1, table);
+        check_method(Method::MatrixOnly, &spec, &grid, false, false, rb)?;
+    }
+
+    #[test]
+    fn vector_matches_reference_on_random_tables(
+        table in table_strategy(2, false),
+        grid in grid_strategy(16, 24, 2),
+        rb in 1usize..=4,
+    ) {
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 2, table);
+        check_method(Method::VectorOnly, &spec, &grid, false, false, rb)?;
+    }
+
+    #[test]
+    fn auto_matches_reference_on_random_tables(
+        table in table_strategy(1, false),
+        grid in grid_strategy(12, 16, 1),
+    ) {
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 1, table);
+        check_method(Method::Auto, &spec, &grid, false, false, 1)?;
+    }
+
+    #[test]
+    fn naive_hybrid_matches_reference_on_random_star_tables(
+        table in table_strategy(2, true),
+        grid in grid_strategy(16, 16, 2),
+    ) {
+        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table);
+        check_method(Method::NaiveHybrid, &spec, &grid, false, false, 4)?;
+    }
+
+    #[test]
+    fn ortho_matches_reference_on_random_star_tables(
+        table in table_strategy(2, true),
+        grid in grid_strategy(16, 16, 2),
+    ) {
+        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table);
+        check_method(Method::MatrixOrtho, &spec, &grid, false, false, 2)?;
+    }
+
+    #[test]
+    fn m4_kernels_match_reference(
+        table in table_strategy(2, true),
+        grid in grid_strategy(16, 16, 2),
+        scheduling in any::<bool>(),
+    ) {
+        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table);
+        let plan = StencilPlan::new(&spec, Method::HStencil)
+            .scheduling(scheduling)
+            .warmup(0);
+        let out = plan
+            .run_2d(&MachineConfig::apple_m4(), &grid)
+            .map_err(|e| TestCaseError::fail(format!("m4: {e}")))?;
+        let mut want = grid.clone();
+        reference::apply_2d(&spec, &grid, &mut want);
+        prop_assert!(want.max_interior_diff(&out.output) < 1e-9);
+    }
+
+    #[test]
+    fn arbitrary_grid_shapes_are_covered(
+        h in 8usize..40,
+        w in 8usize..70,
+        seed in any::<u64>(),
+    ) {
+        let spec = hstencil_core::presets::star2d5p();
+        let mut state = seed;
+        let grid = Grid2d::from_fn(h, w, 1, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
+        });
+        check_method(Method::HStencil, &spec, &grid, true, true, 4)?;
+        check_method(Method::MatrixOnly, &spec, &grid, false, false, 4)?;
+    }
+
+    #[test]
+    fn linearity_of_the_stencil_operator(
+        table in table_strategy(1, false),
+        seed in any::<u64>(),
+        alpha in -3.0f64..3.0,
+    ) {
+        // Stencils are linear: S(alpha * A) == alpha * S(A).
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 1, table);
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
+        };
+        let a = Grid2d::from_fn(16, 16, 1, |_, _| next());
+        let scaled = Grid2d::from_fn(16, 16, 1, |i, j| alpha * a.at(i, j));
+        let plan = StencilPlan::new(&spec, Method::HStencil).warmup(0);
+        let cfg = MachineConfig::lx2();
+        let out_a = plan.run_2d(&cfg, &a).unwrap().output;
+        let out_scaled = plan.run_2d(&cfg, &scaled).unwrap().output;
+        for i in 0..16isize {
+            for j in 0..16isize {
+                let diff = (out_scaled.at(i, j) - alpha * out_a.at(i, j)).abs();
+                prop_assert!(diff < 1e-9, "nonlinearity {diff} at ({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! Textual assembler: parses the disassembly syntax back into
+//! instructions, so custom microkernels can be authored (and tests can
+//! round-trip programs through text).
+//!
+//! The accepted grammar is exactly what [`crate::disasm`] prints:
+//!
+//! ```text
+//! ld1d    v0, [128]
+//! ldcol   v1, [100], stride 64
+//! st1d    v2, [8]
+//! st1d    za1h[3], [64]
+//! stcol   v2, [8], stride 64
+//! fmla    v0, v1, v2          ; element-wise MLA
+//! fmla    v0, v1, v2[3]       ; indexed MLA
+//! fmla    za1[even], {v8..+3}, v0[2]
+//! fadd    v0, v1, v2
+//! fmul    v0, v1, v2
+//! ext     v0, v1, v2, #3
+//! dup     v0, #2.5
+//! fmopa   za0<all>, v1, v2
+//! fmopa   za0<0,2,7>, v1, v2
+//! mova    v0, za1h[3]
+//! mova    za1h[3], v0
+//! zero    za0<all>
+//! prfm    pldl1keep, [640]
+//! prfm    pstl1keep, [648]
+//! ```
+//!
+//! Comments start with `;` or `//`; blank lines are ignored.
+
+use crate::inst::{Inst, MemKind};
+use crate::program::Program;
+use crate::regs::{RowMask, VReg, ZaReg, NUM_VREGS, NUM_ZA_TILES, VLEN};
+use std::fmt;
+
+/// A parse failure with its line number (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a full listing into a [`Program`].
+///
+/// ```
+/// let p = lx2_isa::assemble("dup v0, #2\nfmopa za0<all>, v0, v0").unwrap();
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.mix().fmopa, 1);
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut program = Program::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw;
+        if let Some(pos) = line.find(';') {
+            line = &line[..pos];
+        }
+        if let Some(pos) = line.find("//") {
+            line = &line[..pos];
+        }
+        // Strip an optional "NNN:" listing prefix.
+        let trimmed = line.trim();
+        let body = match trimmed.split_once(':') {
+            Some((head, rest))
+                if head.trim().chars().all(|c| c.is_ascii_digit()) && !head.trim().is_empty() =>
+            {
+                rest.trim()
+            }
+            _ => trimmed,
+        };
+        if body.is_empty() {
+            continue;
+        }
+        program.push(parse_line(body, line_no)?);
+    }
+    Ok(program)
+}
+
+/// Parses one instruction.
+pub fn parse_line(body: &str, line: usize) -> Result<Inst, AsmError> {
+    let (mnemonic, rest) = body.split_once(char::is_whitespace).unwrap_or((body, ""));
+    let ops: Vec<String> = split_operands(rest);
+    let op = |i: usize| -> Result<&str, AsmError> {
+        ops.get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| err(line, format!("missing operand {i}")))
+    };
+    match mnemonic {
+        "ld1d" => Ok(Inst::Ld1d {
+            vd: vreg(op(0)?, line)?,
+            addr: addr(op(1)?, line)?,
+        }),
+        "ldcol" => Ok(Inst::LdCol {
+            vd: vreg(op(0)?, line)?,
+            addr: addr(op(1)?, line)?,
+            stride: stride(op(2)?, line)?,
+        }),
+        "st1d" => {
+            let first = op(0)?;
+            if first.starts_with("za") {
+                let (za, row) = za_slice(first, line)?;
+                Ok(Inst::StZaRow {
+                    za,
+                    row,
+                    addr: addr(op(1)?, line)?,
+                })
+            } else {
+                Ok(Inst::St1d {
+                    vs: vreg(first, line)?,
+                    addr: addr(op(1)?, line)?,
+                })
+            }
+        }
+        "stcol" => Ok(Inst::StCol {
+            vs: vreg(op(0)?, line)?,
+            addr: addr(op(1)?, line)?,
+            stride: stride(op(2)?, line)?,
+        }),
+        "fmla" => {
+            let first = op(0)?;
+            if first.starts_with("za") {
+                // fmla za1[even], {v8..+3}, v0[2]
+                let (za, half) = za_group(first, line)?;
+                let vn0 = vgroup(op(1)?, line)?;
+                let (vm, idx) = indexed_vreg(op(2)?, line)?
+                    .ok_or_else(|| err(line, "M-MLA requires an indexed multiplier"))?;
+                Ok(Inst::Fmlag {
+                    za,
+                    half,
+                    vn0,
+                    vm,
+                    idx,
+                })
+            } else {
+                let vd = vreg(first, line)?;
+                let vn = vreg(op(1)?, line)?;
+                match indexed_vreg(op(2)?, line)? {
+                    Some((vm, idx)) => Ok(Inst::FmlaIdx { vd, vn, vm, idx }),
+                    None => Ok(Inst::Fmla {
+                        vd,
+                        vn,
+                        vm: vreg(op(2)?, line)?,
+                    }),
+                }
+            }
+        }
+        "fadd" => Ok(Inst::Fadd {
+            vd: vreg(op(0)?, line)?,
+            vn: vreg(op(1)?, line)?,
+            vm: vreg(op(2)?, line)?,
+        }),
+        "fmul" => Ok(Inst::Fmul {
+            vd: vreg(op(0)?, line)?,
+            vn: vreg(op(1)?, line)?,
+            vm: vreg(op(2)?, line)?,
+        }),
+        "ext" => {
+            let shift_txt = op(3)?;
+            let shift = shift_txt
+                .strip_prefix('#')
+                .ok_or_else(|| err(line, "EXT shift must be '#<n>'"))?
+                .parse::<u8>()
+                .map_err(|_| err(line, "bad EXT shift"))?;
+            if shift as usize > VLEN {
+                return Err(err(line, format!("EXT shift {shift} exceeds VLEN")));
+            }
+            Ok(Inst::Ext {
+                vd: vreg(op(0)?, line)?,
+                vn: vreg(op(1)?, line)?,
+                vm: vreg(op(2)?, line)?,
+                shift,
+            })
+        }
+        "dup" => {
+            let imm_txt = op(1)?
+                .strip_prefix('#')
+                .ok_or_else(|| err(line, "DUP immediate must be '#<float>'"))?;
+            let imm = imm_txt
+                .parse::<f64>()
+                .map_err(|_| err(line, "bad DUP immediate"))?;
+            Ok(Inst::DupImm {
+                vd: vreg(op(0)?, line)?,
+                imm,
+            })
+        }
+        "fmopa" => {
+            let (za, mask) = za_masked(op(0)?, line)?;
+            Ok(Inst::Fmopa {
+                za,
+                vn: vreg(op(1)?, line)?,
+                vm: vreg(op(2)?, line)?,
+                mask,
+            })
+        }
+        "mova" => {
+            let first = op(0)?;
+            if first.starts_with("za") {
+                let (za, row) = za_slice(first, line)?;
+                Ok(Inst::MovaFromVec {
+                    za,
+                    row,
+                    vs: vreg(op(1)?, line)?,
+                })
+            } else {
+                let (za, row) = za_slice(op(1)?, line)?;
+                Ok(Inst::MovaToVec {
+                    vd: vreg(first, line)?,
+                    za,
+                    row,
+                })
+            }
+        }
+        "zero" => {
+            let (za, mask) = za_masked(op(0)?, line)?;
+            Ok(Inst::ZeroZa { za, mask })
+        }
+        "prfm" => {
+            let kind = match op(0)? {
+                "pldl1keep" => MemKind::Read,
+                "pstl1keep" => MemKind::Write,
+                other => return Err(err(line, format!("unknown prefetch hint {other}"))),
+            };
+            Ok(Inst::Prfm {
+                addr: addr(op(1)?, line)?,
+                kind,
+            })
+        }
+        other => Err(err(line, format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+/// Splits an operand list on top-level commas (commas inside `<...>`,
+/// `[...]`, `{...}` don't split).
+fn split_operands(rest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in rest.chars() {
+        match c {
+            '<' | '[' | '{' | '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '>' | ']' | '}' | ')' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn vreg(s: &str, line: usize) -> Result<VReg, AsmError> {
+    let n = s
+        .strip_prefix('v')
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| err(line, format!("expected vector register, got '{s}'")))?;
+    if n >= NUM_VREGS {
+        return Err(err(line, format!("v{n} out of range")));
+    }
+    Ok(VReg::new(n))
+}
+
+fn zareg(s: &str, line: usize) -> Result<ZaReg, AsmError> {
+    let n = s
+        .strip_prefix("za")
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| err(line, format!("expected tile register, got '{s}'")))?;
+    if n >= NUM_ZA_TILES {
+        return Err(err(line, format!("za{n} out of range")));
+    }
+    Ok(ZaReg::new(n))
+}
+
+/// `[123]` → 123.
+fn addr(s: &str, line: usize) -> Result<u64, AsmError> {
+    s.strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .and_then(|t| t.trim().parse::<u64>().ok())
+        .ok_or_else(|| err(line, format!("expected '[addr]', got '{s}'")))
+}
+
+/// `stride 64` → 64.
+fn stride(s: &str, line: usize) -> Result<u64, AsmError> {
+    s.strip_prefix("stride")
+        .map(str::trim)
+        .and_then(|t| t.parse::<u64>().ok())
+        .ok_or_else(|| err(line, format!("expected 'stride <n>', got '{s}'")))
+}
+
+/// `za1h[3]` → (za1, 3).
+fn za_slice(s: &str, line: usize) -> Result<(ZaReg, u8), AsmError> {
+    let (base, rest) = s
+        .split_once("h[")
+        .ok_or_else(|| err(line, format!("expected 'zaNh[row]', got '{s}'")))?;
+    let row = rest
+        .strip_suffix(']')
+        .and_then(|t| t.parse::<u8>().ok())
+        .ok_or_else(|| err(line, "bad tile row"))?;
+    if row as usize >= VLEN {
+        return Err(err(line, format!("tile row {row} out of range")));
+    }
+    Ok((zareg(base, line)?, row))
+}
+
+/// `za0<all>` / `za0<0,2,7>` → (za0, mask).
+fn za_masked(s: &str, line: usize) -> Result<(ZaReg, RowMask), AsmError> {
+    let (base, rest) = s
+        .split_once('<')
+        .ok_or_else(|| err(line, format!("expected 'zaN<mask>', got '{s}'")))?;
+    let mask_txt = rest
+        .strip_suffix('>')
+        .ok_or_else(|| err(line, "unterminated row mask"))?;
+    let mask = if mask_txt == "all" {
+        RowMask::ALL
+    } else if mask_txt == "none" {
+        RowMask::NONE
+    } else {
+        let mut bits = 0u8;
+        for part in mask_txt.split(',') {
+            let row = part
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| err(line, format!("bad mask row '{part}'")))?;
+            if row >= VLEN {
+                return Err(err(line, format!("mask row {row} out of range")));
+            }
+            bits |= 1 << row;
+        }
+        RowMask::from_bits(bits)
+    };
+    Ok((zareg(base, line)?, mask))
+}
+
+/// `za1[even]` / `za1[odd]` → (za1, half).
+fn za_group(s: &str, line: usize) -> Result<(ZaReg, u8), AsmError> {
+    let (base, rest) = s
+        .split_once('[')
+        .ok_or_else(|| err(line, format!("expected 'zaN[even|odd]', got '{s}'")))?;
+    let half = match rest.strip_suffix(']') {
+        Some("even") => 0,
+        Some("odd") => 1,
+        _ => return Err(err(line, "group must be [even] or [odd]")),
+    };
+    Ok((zareg(base, line)?, half))
+}
+
+/// `{v8..+3}` → v8.
+fn vgroup(s: &str, line: usize) -> Result<VReg, AsmError> {
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| err(line, format!("expected '{{vN..+3}}', got '{s}'")))?;
+    let base = inner
+        .split_once("..")
+        .map(|(b, _)| b)
+        .ok_or_else(|| err(line, "vector group needs '..+3'"))?;
+    let v = vreg(base.trim(), line)?;
+    if v.index() + VLEN / 2 > NUM_VREGS {
+        return Err(err(line, "vector group runs past v31"));
+    }
+    Ok(v)
+}
+
+/// `v2[3]` → Some((v2, 3)); plain `v2` → None.
+fn indexed_vreg(s: &str, line: usize) -> Result<Option<(VReg, u8)>, AsmError> {
+    match s.split_once('[') {
+        None => Ok(None),
+        Some((base, rest)) => {
+            let idx = rest
+                .strip_suffix(']')
+                .and_then(|t| t.parse::<u8>().ok())
+                .ok_or_else(|| err(line, "bad lane index"))?;
+            if idx as usize >= VLEN {
+                return Err(err(line, format!("lane {idx} out of range")));
+            }
+            Ok(Some((vreg(base, line)?, idx)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_mnemonic() {
+        let src = r#"
+            ; a comment-only line
+            ld1d    v0, [128]
+            ldcol   v1, [100], stride 64
+            st1d    v2, [8]
+            st1d    za1h[3], [64]
+            stcol   v2, [8], stride 64
+            fmla    v0, v1, v2
+            fmla    v0, v1, v2[3]
+            fmla    za1[even], {v8..+3}, v0[2]
+            fadd    v0, v1, v2
+            fmul    v0, v1, v2
+            ext     v0, v1, v2, #3
+            dup     v0, #2.5
+            fmopa   za0<all>, v1, v2
+            fmopa   za0<0,2,7>, v1, v2
+            mova    v0, za1h[3]
+            mova    za1h[3], v0
+            zero    za0<all>
+            prfm    pldl1keep, [640]
+            prfm    pstl1keep, [648]  // trailing comment
+        "#;
+        let p = assemble(src).expect("assembles");
+        assert_eq!(p.len(), 19);
+    }
+
+    #[test]
+    fn listing_prefixes_are_accepted() {
+        let src = "     0:  dup     v0, #1\n     1:  st1d    v0, [0]\n";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("dup v0, #1\nbogus v1, v2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_registers() {
+        assert!(assemble("dup v32, #1").is_err());
+        assert!(assemble("fmopa za8<all>, v0, v1").is_err());
+        assert!(assemble("ext v0, v1, v2, #9").is_err());
+        assert!(assemble("fmla v0, v1, v2[8]").is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_disassembly() {
+        use crate::regs::{RowMask, VReg, ZaReg};
+        let insts = vec![
+            Inst::Ld1d {
+                vd: VReg::new(4),
+                addr: 512,
+            },
+            Inst::LdCol {
+                vd: VReg::new(5),
+                addr: 64,
+                stride: 72,
+            },
+            Inst::St1d {
+                vs: VReg::new(6),
+                addr: 8,
+            },
+            Inst::StZaRow {
+                za: ZaReg::new(2),
+                row: 5,
+                addr: 99,
+            },
+            Inst::StCol {
+                vs: VReg::new(7),
+                addr: 3,
+                stride: 9,
+            },
+            Inst::Fmla {
+                vd: VReg::new(0),
+                vn: VReg::new(1),
+                vm: VReg::new(2),
+            },
+            Inst::FmlaIdx {
+                vd: VReg::new(0),
+                vn: VReg::new(1),
+                vm: VReg::new(2),
+                idx: 7,
+            },
+            Inst::Fmlag {
+                za: ZaReg::new(3),
+                half: 1,
+                vn0: VReg::new(8),
+                vm: VReg::new(1),
+                idx: 2,
+            },
+            Inst::Fadd {
+                vd: VReg::new(9),
+                vn: VReg::new(10),
+                vm: VReg::new(11),
+            },
+            Inst::Fmul {
+                vd: VReg::new(9),
+                vn: VReg::new(10),
+                vm: VReg::new(11),
+            },
+            Inst::Ext {
+                vd: VReg::new(1),
+                vn: VReg::new(2),
+                vm: VReg::new(3),
+                shift: 6,
+            },
+            Inst::DupImm {
+                vd: VReg::new(12),
+                imm: -3.25,
+            },
+            Inst::Fmopa {
+                za: ZaReg::new(1),
+                vn: VReg::new(2),
+                vm: VReg::new(3),
+                mask: RowMask::from_bits(0b1010_0101),
+            },
+            Inst::MovaToVec {
+                vd: VReg::new(3),
+                za: ZaReg::new(0),
+                row: 2,
+            },
+            Inst::MovaFromVec {
+                za: ZaReg::new(0),
+                row: 2,
+                vs: VReg::new(3),
+            },
+            Inst::ZeroZa {
+                za: ZaReg::new(7),
+                mask: RowMask::ALL,
+            },
+            Inst::Prfm {
+                addr: 77,
+                kind: MemKind::Read,
+            },
+            Inst::Prfm {
+                addr: 78,
+                kind: MemKind::Write,
+            },
+        ];
+        for inst in insts {
+            let text = inst.to_string();
+            let parsed =
+                parse_line(&text, 1).unwrap_or_else(|e| panic!("cannot reparse '{text}': {e}"));
+            assert_eq!(parsed, inst, "round trip of '{text}'");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Human-readable disassembly of instructions and programs.
+
+use crate::inst::{Inst, MemKind};
+use crate::program::Program;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Ld1d { vd, addr } => write!(f, "ld1d    {vd}, [{addr}]"),
+            Inst::LdCol { vd, addr, stride } => {
+                write!(f, "ldcol   {vd}, [{addr}], stride {stride}")
+            }
+            Inst::St1d { vs, addr } => write!(f, "st1d    {vs}, [{addr}]"),
+            Inst::StZaRow { za, row, addr } => write!(f, "st1d    {za}h[{row}], [{addr}]"),
+            Inst::StCol { vs, addr, stride } => {
+                write!(f, "stcol   {vs}, [{addr}], stride {stride}")
+            }
+            Inst::Fmla { vd, vn, vm } => write!(f, "fmla    {vd}, {vn}, {vm}"),
+            Inst::FmlaIdx { vd, vn, vm, idx } => write!(f, "fmla    {vd}, {vn}, {vm}[{idx}]"),
+            Inst::Fadd { vd, vn, vm } => write!(f, "fadd    {vd}, {vn}, {vm}"),
+            Inst::Fmul { vd, vn, vm } => write!(f, "fmul    {vd}, {vn}, {vm}"),
+            Inst::Ext { vd, vn, vm, shift } => write!(f, "ext     {vd}, {vn}, {vm}, #{shift}"),
+            Inst::DupImm { vd, imm } => write!(f, "dup     {vd}, #{imm}"),
+            Inst::Fmopa { za, vn, vm, mask } => {
+                write!(f, "fmopa   {za}<{mask}>, {vn}, {vm}")
+            }
+            Inst::Fmlag {
+                za,
+                half,
+                vn0,
+                vm,
+                idx,
+            } => {
+                let rows = if *half == 0 { "even" } else { "odd" };
+                write!(f, "fmla    {za}[{rows}], {{{vn0}..+3}}, {vm}[{idx}]")
+            }
+            Inst::MovaToVec { vd, za, row } => write!(f, "mova    {vd}, {za}h[{row}]"),
+            Inst::MovaFromVec { za, row, vs } => write!(f, "mova    {za}h[{row}], {vs}"),
+            Inst::ZeroZa { za, mask } => write!(f, "zero    {za}<{mask}>"),
+            Inst::Prfm { addr, kind } => {
+                let hint = match kind {
+                    MemKind::Read => "pldl1keep",
+                    MemKind::Write => "pstl1keep",
+                };
+                write!(f, "prfm    {hint}, [{addr}]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (idx, inst) in self.insts().iter().enumerate() {
+            writeln!(f, "{idx:6}:  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{RowMask, VReg, ZaReg};
+
+    #[test]
+    fn disasm_formats() {
+        let i = Inst::Fmopa {
+            za: ZaReg::new(1),
+            vn: VReg::new(2),
+            vm: VReg::new(3),
+            mask: RowMask::ALL,
+        };
+        assert_eq!(i.to_string(), "fmopa   za1<all>, v2, v3");
+        let i = Inst::Ext {
+            vd: VReg::new(0),
+            vn: VReg::new(1),
+            vm: VReg::new(2),
+            shift: 7,
+        };
+        assert_eq!(i.to_string(), "ext     v0, v1, v2, #7");
+        let i = Inst::Prfm {
+            addr: 640,
+            kind: MemKind::Write,
+        };
+        assert_eq!(i.to_string(), "prfm    pstl1keep, [640]");
+    }
+
+    #[test]
+    fn program_listing_is_numbered() {
+        let mut p = Program::new();
+        p.push(Inst::DupImm {
+            vd: VReg::new(0),
+            imm: 2.5,
+        });
+        p.push(Inst::St1d {
+            vs: VReg::new(0),
+            addr: 0,
+        });
+        let s = p.to_string();
+        assert!(s.contains("0:  dup     v0, #2.5"));
+        assert!(s.contains("1:  st1d    v0, [0]"));
+    }
+}

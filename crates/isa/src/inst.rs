@@ -1,0 +1,357 @@
+//! The instruction set.
+//!
+//! A deliberately small, stencil-oriented subset of an SME-class ISA. Each
+//! variant documents its functional semantics; `lx2-sim` implements them.
+
+use crate::pipes::PipeClass;
+use crate::regs::{Reg, RowMask, VReg, ZaReg, VLEN};
+
+/// Whether a memory access is a read or a write (used by prefetch hints and
+/// traffic accounting).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemKind {
+    /// Read access / read hint.
+    Read,
+    /// Write access / write hint.
+    Write,
+}
+
+/// One machine instruction.
+///
+/// Memory operands are absolute f64-element addresses into the simulated
+/// flat memory; see the crate-level documentation for why address
+/// generation is abstracted away.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Inst {
+    /// Contiguous vector load: `vd[l] = mem[addr + l]` for `l in 0..VLEN`.
+    Ld1d { vd: VReg, addr: u64 },
+    /// Strided (column) gather load: `vd[l] = mem[addr + l*stride]`.
+    ///
+    /// Models the non-contiguous access required by inner-axis outer
+    /// products; substantially more expensive than [`Inst::Ld1d`].
+    LdCol { vd: VReg, addr: u64, stride: u64 },
+    /// Contiguous vector store: `mem[addr + l] = vs[l]`.
+    St1d { vs: VReg, addr: u64 },
+    /// Store one tile row slice: `mem[addr + l] = za[row][l]`.
+    StZaRow { za: ZaReg, row: u8, addr: u64 },
+    /// Strided (column) scatter store: `mem[addr + l*stride] = vs[l]`.
+    StCol { vs: VReg, addr: u64, stride: u64 },
+    /// Vector multiply-accumulate: `vd[l] += vn[l] * vm[l]`.
+    Fmla { vd: VReg, vn: VReg, vm: VReg },
+    /// Vector MLA with broadcast lane: `vd[l] += vn[l] * vm[idx]`.
+    FmlaIdx {
+        vd: VReg,
+        vn: VReg,
+        vm: VReg,
+        idx: u8,
+    },
+    /// Vector add: `vd[l] = vn[l] + vm[l]`.
+    Fadd { vd: VReg, vn: VReg, vm: VReg },
+    /// Vector multiply: `vd[l] = vn[l] * vm[l]`.
+    Fmul { vd: VReg, vn: VReg, vm: VReg },
+    /// Concatenate-and-extract (SVE `EXT`): `vd = (vn ++ vm)[shift .. shift+VLEN]`.
+    ///
+    /// `shift` is an element count in `0..=VLEN`.
+    Ext {
+        vd: VReg,
+        vn: VReg,
+        vm: VReg,
+        shift: u8,
+    },
+    /// Broadcast an immediate into every lane: `vd[l] = imm`.
+    DupImm { vd: VReg, imm: f64 },
+    /// Outer product accumulate (SME `FMOPA`):
+    /// `za[i][j] += vn[i] * vm[j]` for every enabled row `i` and all `j`.
+    Fmopa {
+        za: ZaReg,
+        vn: VReg,
+        vm: VReg,
+        mask: RowMask,
+    },
+    /// Multi-vector matrix MLA (SME2-style "M-MLA", Apple M4 path):
+    /// for `k in 0..VLEN/2`, `za[2k + half][l] += v[vn0+k][l] * vm[idx]`.
+    ///
+    /// Updates the even (`half == 0`) or odd (`half == 1`) row group of the
+    /// tile from a group of four consecutive vector registers, mirroring
+    /// the fragmented-row update the paper describes for Apple M4.
+    Fmlag {
+        za: ZaReg,
+        half: u8,
+        vn0: VReg,
+        vm: VReg,
+        idx: u8,
+    },
+    /// Move a tile row slice into a vector register: `vd = za[row]`.
+    MovaToVec { vd: VReg, za: ZaReg, row: u8 },
+    /// Move a vector register into a tile row slice: `za[row] = vs`.
+    MovaFromVec { za: ZaReg, row: u8, vs: VReg },
+    /// Zero the enabled rows of a tile.
+    ZeroZa { za: ZaReg, mask: RowMask },
+    /// Software prefetch hint for the cache line containing `addr`.
+    Prfm { addr: u64, kind: MemKind },
+}
+
+/// Up to three register reads per instruction.
+pub type ReadSet = [Option<Reg>; 3];
+/// At most one register write per instruction.
+pub type WriteSet = Option<Reg>;
+
+impl Inst {
+    /// The pipeline class this instruction issues to.
+    #[inline]
+    pub fn pipe(&self) -> PipeClass {
+        match self {
+            Inst::Ld1d { .. } | Inst::LdCol { .. } | Inst::Prfm { .. } => PipeClass::Load,
+            Inst::St1d { .. } | Inst::StZaRow { .. } | Inst::StCol { .. } => PipeClass::Store,
+            Inst::Fmla { .. }
+            | Inst::FmlaIdx { .. }
+            | Inst::Fadd { .. }
+            | Inst::Fmul { .. }
+            | Inst::Ext { .. }
+            | Inst::DupImm { .. } => PipeClass::VectorFp,
+            Inst::Fmopa { .. }
+            | Inst::Fmlag { .. }
+            | Inst::MovaToVec { .. }
+            | Inst::MovaFromVec { .. }
+            | Inst::ZeroZa { .. } => PipeClass::Matrix,
+        }
+    }
+
+    /// Registers read by this instruction (including read-modify-write
+    /// accumulators).
+    pub fn reads(&self) -> ReadSet {
+        match *self {
+            Inst::Ld1d { .. } | Inst::LdCol { .. } | Inst::Prfm { .. } | Inst::DupImm { .. } => {
+                [None, None, None]
+            }
+            Inst::St1d { vs, .. } | Inst::StCol { vs, .. } => [Some(vs.into()), None, None],
+            Inst::StZaRow { za, .. } => [Some(za.into()), None, None],
+            Inst::Fmla { vd, vn, vm } | Inst::FmlaIdx { vd, vn, vm, .. } => {
+                [Some(vd.into()), Some(vn.into()), Some(vm.into())]
+            }
+            Inst::Fadd { vn, vm, .. } | Inst::Fmul { vn, vm, .. } => {
+                [Some(vn.into()), Some(vm.into()), None]
+            }
+            Inst::Ext { vn, vm, .. } => [Some(vn.into()), Some(vm.into()), None],
+            Inst::Fmopa { za, vn, vm, .. } => [Some(za.into()), Some(vn.into()), Some(vm.into())],
+            // The vector group vn0..vn0+3 is modelled as a read of the base
+            // register plus the tile accumulator; the simulator checks the
+            // full group when tracking readiness.
+            Inst::Fmlag { za, vn0, vm, .. } => [Some(za.into()), Some(vn0.into()), Some(vm.into())],
+            Inst::MovaToVec { za, .. } => [Some(za.into()), None, None],
+            Inst::MovaFromVec { vs, za, .. } => [Some(vs.into()), Some(za.into()), None],
+            Inst::ZeroZa { .. } => [None, None, None],
+        }
+    }
+
+    /// The register written by this instruction, if any.
+    pub fn write(&self) -> WriteSet {
+        match *self {
+            Inst::Ld1d { vd, .. } | Inst::LdCol { vd, .. } => Some(vd.into()),
+            Inst::St1d { .. } | Inst::StZaRow { .. } | Inst::StCol { .. } | Inst::Prfm { .. } => {
+                None
+            }
+            Inst::Fmla { vd, .. }
+            | Inst::FmlaIdx { vd, .. }
+            | Inst::Fadd { vd, .. }
+            | Inst::Fmul { vd, .. }
+            | Inst::Ext { vd, .. }
+            | Inst::DupImm { vd, .. } => Some(vd.into()),
+            Inst::Fmopa { za, .. } | Inst::Fmlag { za, .. } | Inst::ZeroZa { za, .. } => {
+                Some(za.into())
+            }
+            Inst::MovaToVec { vd, .. } => Some(vd.into()),
+            Inst::MovaFromVec { za, .. } => Some(za.into()),
+        }
+    }
+
+    /// Number of extra consecutive vector registers read beyond the listed
+    /// base (only nonzero for multi-vector groups).
+    #[inline]
+    pub fn group_extra_reads(&self) -> usize {
+        match self {
+            Inst::Fmlag { .. } => VLEN / 2 - 1,
+            _ => 0,
+        }
+    }
+
+    /// Floating-point operations performed (counting one FMA as two flops).
+    pub fn flops(&self) -> u64 {
+        match self {
+            Inst::Fmla { .. } | Inst::FmlaIdx { .. } => 2 * VLEN as u64,
+            Inst::Fadd { .. } | Inst::Fmul { .. } => VLEN as u64,
+            Inst::Fmopa { mask, .. } => 2 * (mask.count() * VLEN) as u64,
+            Inst::Fmlag { .. } => 2 * (VLEN / 2 * VLEN) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Whether this is a demand memory access (load or store, not a hint).
+    #[inline]
+    pub fn is_demand_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Ld1d { .. }
+                | Inst::LdCol { .. }
+                | Inst::St1d { .. }
+                | Inst::StZaRow { .. }
+                | Inst::StCol { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VReg {
+        VReg::new(i)
+    }
+    fn za(i: usize) -> ZaReg {
+        ZaReg::new(i)
+    }
+
+    #[test]
+    fn pipe_classification() {
+        assert_eq!(Inst::Ld1d { vd: v(0), addr: 0 }.pipe(), PipeClass::Load);
+        assert_eq!(Inst::St1d { vs: v(0), addr: 0 }.pipe(), PipeClass::Store);
+        assert_eq!(
+            Inst::Fmla {
+                vd: v(0),
+                vn: v(1),
+                vm: v(2)
+            }
+            .pipe(),
+            PipeClass::VectorFp
+        );
+        assert_eq!(
+            Inst::Fmopa {
+                za: za(0),
+                vn: v(0),
+                vm: v(1),
+                mask: RowMask::ALL
+            }
+            .pipe(),
+            PipeClass::Matrix
+        );
+        assert_eq!(
+            Inst::Prfm {
+                addr: 0,
+                kind: MemKind::Read
+            }
+            .pipe(),
+            PipeClass::Load
+        );
+    }
+
+    #[test]
+    fn fmla_is_rmw() {
+        let i = Inst::Fmla {
+            vd: v(3),
+            vn: v(4),
+            vm: v(5),
+        };
+        let reads = i.reads();
+        assert!(reads.contains(&Some(Reg::V(v(3)))));
+        assert_eq!(i.write(), Some(Reg::V(v(3))));
+    }
+
+    #[test]
+    fn fmopa_reads_accumulator() {
+        let i = Inst::Fmopa {
+            za: za(2),
+            vn: v(0),
+            vm: v(1),
+            mask: RowMask::ALL,
+        };
+        assert!(i.reads().contains(&Some(Reg::Za(za(2)))));
+        assert_eq!(i.write(), Some(Reg::Za(za(2))));
+    }
+
+    #[test]
+    fn load_writes_dest_only() {
+        let i = Inst::Ld1d {
+            vd: v(7),
+            addr: 100,
+        };
+        assert_eq!(i.reads(), [None, None, None]);
+        assert_eq!(i.write(), Some(Reg::V(v(7))));
+    }
+
+    #[test]
+    fn store_reads_source_only() {
+        let i = Inst::St1d {
+            vs: v(7),
+            addr: 100,
+        };
+        assert_eq!(i.reads()[0], Some(Reg::V(v(7))));
+        assert_eq!(i.write(), None);
+    }
+
+    #[test]
+    fn flop_counts() {
+        assert_eq!(
+            Inst::Fmla {
+                vd: v(0),
+                vn: v(1),
+                vm: v(2)
+            }
+            .flops(),
+            16
+        );
+        assert_eq!(
+            Inst::Fmopa {
+                za: za(0),
+                vn: v(0),
+                vm: v(1),
+                mask: RowMask::ALL
+            }
+            .flops(),
+            128
+        );
+        assert_eq!(
+            Inst::Fmopa {
+                za: za(0),
+                vn: v(0),
+                vm: v(1),
+                mask: RowMask::single(0)
+            }
+            .flops(),
+            16
+        );
+        assert_eq!(
+            Inst::Fmlag {
+                za: za(0),
+                half: 0,
+                vn0: v(0),
+                vm: v(4),
+                idx: 0
+            }
+            .flops(),
+            64
+        );
+        assert_eq!(Inst::Ld1d { vd: v(0), addr: 0 }.flops(), 0);
+    }
+
+    #[test]
+    fn fmlag_group_reads() {
+        let i = Inst::Fmlag {
+            za: za(0),
+            half: 0,
+            vn0: v(8),
+            vm: v(0),
+            idx: 0,
+        };
+        assert_eq!(i.group_extra_reads(), 3);
+    }
+
+    #[test]
+    fn prefetch_is_not_demand_memory() {
+        assert!(!Inst::Prfm {
+            addr: 0,
+            kind: MemKind::Read
+        }
+        .is_demand_memory());
+        assert!(Inst::Ld1d { vd: v(0), addr: 0 }.is_demand_memory());
+    }
+}

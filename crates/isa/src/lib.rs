@@ -1,0 +1,36 @@
+//! # lx2-isa
+//!
+//! Instruction-set model for an SME-class CPU with scalable *vector* units
+//! (512-bit, 8 × f64 lanes) and scalable *matrix* compute units
+//! (8 × 8 f64 tile registers driven by rank-1 outer-product instructions).
+//!
+//! This crate defines the architectural state ([`regs`]), the instruction
+//! set ([`inst`]), per-instruction pipeline metadata ([`pipes`]) and a
+//! program container with static instruction-mix statistics ([`program`]).
+//! The companion crate `lx2-sim` gives these instructions functional
+//! semantics and a cycle-approximate timing model.
+//!
+//! ## Conventions
+//!
+//! * Memory operands are **absolute f64-element addresses** (`u64` indices
+//!   into a flat f64 memory). Kernel builders resolve base + offset at
+//!   emission time; scalar address-generation micro-ops are abstracted away
+//!   (they issue on dedicated scalar ports on the modelled cores and never
+//!   gate the vector/matrix/load/store pipes this model reasons about).
+//! * `VLEN` is the number of f64 lanes in a vector register (8 for a
+//!   512-bit SVL), and tiles are `VLEN × VLEN`.
+
+pub mod asm;
+pub mod disasm;
+pub mod inst;
+pub mod pipes;
+pub mod program;
+pub mod regs;
+pub mod sched;
+
+pub use asm::{assemble, AsmError};
+pub use inst::{Inst, MemKind};
+pub use pipes::{PipeClass, PIPE_CLASS_COUNT};
+pub use program::{InstMix, Program};
+pub use regs::{Reg, RowMask, VReg, ZaReg, NUM_VREGS, NUM_ZA_TILES, TILE_ELEMS, VLEN};
+pub use sched::{list_schedule, schedule_program, ScheduleParams};

@@ -1,0 +1,80 @@
+//! Pipeline classes.
+//!
+//! The modelled core dispatches instructions to four distinct pipeline
+//! classes. Vector and matrix instructions execute on *different* pipelines
+//! and can therefore be co-issued — the property HStencil's scheduling
+//! exploits (paper §2.1, Figure 3).
+
+/// The pipeline class an instruction issues to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PipeClass {
+    /// Scalable-vector floating-point / permute pipe (FMLA, FADD, EXT, DUP).
+    VectorFp,
+    /// Scalable-matrix compute pipe (FMOPA, M-MLA, MOVA, tile zeroing).
+    Matrix,
+    /// Load pipe (vector loads, gathers, software prefetch).
+    Load,
+    /// Store pipe (vector and tile-slice stores).
+    Store,
+}
+
+/// Number of pipeline classes.
+pub const PIPE_CLASS_COUNT: usize = 4;
+
+impl PipeClass {
+    /// Dense index for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            PipeClass::VectorFp => 0,
+            PipeClass::Matrix => 1,
+            PipeClass::Load => 2,
+            PipeClass::Store => 3,
+        }
+    }
+
+    /// All classes, in index order.
+    pub const ALL: [PipeClass; PIPE_CLASS_COUNT] = [
+        PipeClass::VectorFp,
+        PipeClass::Matrix,
+        PipeClass::Load,
+        PipeClass::Store,
+    ];
+
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipeClass::VectorFp => "vector",
+            PipeClass::Matrix => "matrix",
+            PipeClass::Load => "load",
+            PipeClass::Store => "store",
+        }
+    }
+}
+
+impl std::fmt::Display for PipeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; PIPE_CLASS_COUNT];
+        for c in PipeClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PipeClass::VectorFp.to_string(), "vector");
+        assert_eq!(PipeClass::Matrix.to_string(), "matrix");
+    }
+}

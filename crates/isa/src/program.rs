@@ -1,0 +1,219 @@
+//! Program container and static instruction-mix statistics.
+
+use crate::inst::Inst;
+use crate::pipes::{PipeClass, PIPE_CLASS_COUNT};
+
+/// Static instruction-mix statistics for a program, used by the analysis
+/// layer (paper Tables 1 and 5) without running the timing model.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct InstMix {
+    /// Instructions per pipe class, indexed by [`PipeClass::index`].
+    pub per_pipe: [u64; PIPE_CLASS_COUNT],
+    /// Outer-product instructions (FMOPA).
+    pub fmopa: u64,
+    /// Vector MLA instructions (FMLA / FMLA-indexed).
+    pub fmla: u64,
+    /// Multi-vector matrix MLA instructions (M-MLA).
+    pub fmlag: u64,
+    /// EXT concatenation instructions.
+    pub ext: u64,
+    /// Software prefetch hints.
+    pub prefetch: u64,
+    /// Total instructions.
+    pub total: u64,
+}
+
+impl InstMix {
+    /// Record one instruction.
+    pub fn record(&mut self, inst: &Inst) {
+        self.per_pipe[inst.pipe().index()] += 1;
+        self.total += 1;
+        match inst {
+            Inst::Fmopa { .. } => self.fmopa += 1,
+            Inst::Fmla { .. } | Inst::FmlaIdx { .. } => self.fmla += 1,
+            Inst::Fmlag { .. } => self.fmlag += 1,
+            Inst::Ext { .. } => self.ext += 1,
+            Inst::Prfm { .. } => self.prefetch += 1,
+            _ => {}
+        }
+    }
+
+    /// Instructions issued to one pipe class.
+    #[inline]
+    pub fn pipe_count(&self, class: PipeClass) -> u64 {
+        self.per_pipe[class.index()]
+    }
+
+    /// Merge another mix into this one.
+    pub fn merge(&mut self, other: &InstMix) {
+        for (a, b) in self.per_pipe.iter_mut().zip(other.per_pipe.iter()) {
+            *a += b;
+        }
+        self.fmopa += other.fmopa;
+        self.fmla += other.fmla;
+        self.fmlag += other.fmlag;
+        self.ext += other.ext;
+        self.prefetch += other.prefetch;
+        self.total += other.total;
+    }
+}
+
+/// A sequence of instructions plus its running instruction mix.
+///
+/// Kernel builders append per-tile instruction blocks into a reusable
+/// `Program`; the simulator executes the slice and the caller clears it for
+/// the next tile, so no per-tile allocation occurs in steady state.
+#[derive(Clone, Default, Debug)]
+pub struct Program {
+    insts: Vec<Inst>,
+    mix: InstMix,
+}
+
+impl Program {
+    /// New empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New empty program with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Program {
+            insts: Vec::with_capacity(cap),
+            mix: InstMix::default(),
+        }
+    }
+
+    /// Append one instruction.
+    #[inline]
+    pub fn push(&mut self, inst: Inst) {
+        self.mix.record(&inst);
+        self.insts.push(inst);
+    }
+
+    /// Append many instructions.
+    pub fn extend(&mut self, insts: impl IntoIterator<Item = Inst>) {
+        for i in insts {
+            self.push(i);
+        }
+    }
+
+    /// The instructions in program order.
+    #[inline]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The accumulated instruction mix.
+    #[inline]
+    pub fn mix(&self) -> &InstMix {
+        &self.mix
+    }
+
+    /// Remove all instructions, keeping capacity. Resets the mix.
+    pub fn clear(&mut self) {
+        self.insts.clear();
+        self.mix = InstMix::default();
+    }
+}
+
+impl FromIterator<Inst> for Program {
+    fn from_iter<T: IntoIterator<Item = Inst>>(iter: T) -> Self {
+        let mut p = Program::new();
+        p.extend(iter);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{RowMask, VReg, ZaReg};
+
+    #[test]
+    fn mix_counts_classes() {
+        let mut p = Program::new();
+        p.push(Inst::Ld1d {
+            vd: VReg::new(0),
+            addr: 0,
+        });
+        p.push(Inst::Fmla {
+            vd: VReg::new(1),
+            vn: VReg::new(2),
+            vm: VReg::new(3),
+        });
+        p.push(Inst::Fmopa {
+            za: ZaReg::new(0),
+            vn: VReg::new(0),
+            vm: VReg::new(1),
+            mask: RowMask::ALL,
+        });
+        p.push(Inst::St1d {
+            vs: VReg::new(1),
+            addr: 8,
+        });
+        let m = p.mix();
+        assert_eq!(m.total, 4);
+        assert_eq!(m.pipe_count(PipeClass::Load), 1);
+        assert_eq!(m.pipe_count(PipeClass::VectorFp), 1);
+        assert_eq!(m.pipe_count(PipeClass::Matrix), 1);
+        assert_eq!(m.pipe_count(PipeClass::Store), 1);
+        assert_eq!(m.fmopa, 1);
+        assert_eq!(m.fmla, 1);
+    }
+
+    #[test]
+    fn clear_resets_mix_keeps_capacity() {
+        let mut p = Program::with_capacity(16);
+        p.push(Inst::DupImm {
+            vd: VReg::new(0),
+            imm: 1.0,
+        });
+        let cap = p.insts.capacity();
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.mix().total, 0);
+        assert_eq!(p.insts.capacity(), cap);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = InstMix::default();
+        let mut b = InstMix::default();
+        a.record(&Inst::Ld1d {
+            vd: VReg::new(0),
+            addr: 0,
+        });
+        b.record(&Inst::Ext {
+            vd: VReg::new(0),
+            vn: VReg::new(1),
+            vm: VReg::new(2),
+            shift: 1,
+        });
+        a.merge(&b);
+        assert_eq!(a.total, 2);
+        assert_eq!(a.ext, 1);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Program = (0..4)
+            .map(|i| Inst::DupImm {
+                vd: VReg::new(i),
+                imm: i as f64,
+            })
+            .collect();
+        assert_eq!(p.len(), 4);
+    }
+}

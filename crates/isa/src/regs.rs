@@ -1,0 +1,271 @@
+//! Architectural register file description.
+//!
+//! The modelled core has 32 scalable vector registers (`v0`–`v31`, each
+//! [`VLEN`] f64 lanes) and 8 matrix tile registers (`za0`–`za7`, each
+//! `VLEN × VLEN` f64, addressable by row *slices*). Tile rows can be
+//! predicated with a [`RowMask`].
+
+use std::fmt;
+
+/// Number of f64 lanes in a vector register (512-bit SVL).
+pub const VLEN: usize = 8;
+/// Number of architectural vector registers.
+pub const NUM_VREGS: usize = 32;
+/// Number of f64 tile registers available for double-precision compute.
+pub const NUM_ZA_TILES: usize = 8;
+/// Elements in one tile register.
+pub const TILE_ELEMS: usize = VLEN * VLEN;
+
+/// A scalable vector register identifier (`v0`–`v31`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(u8);
+
+impl VReg {
+    /// Creates a vector register identifier.
+    ///
+    /// # Panics
+    /// Panics if `idx >= NUM_VREGS`.
+    #[inline]
+    pub fn new(idx: usize) -> Self {
+        assert!(idx < NUM_VREGS, "vector register v{idx} out of range");
+        VReg(idx as u8)
+    }
+
+    /// The register index in `0..NUM_VREGS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The `n`-th register after this one (used for multi-vector groups).
+    ///
+    /// # Panics
+    /// Panics if the result is out of range.
+    #[inline]
+    pub fn offset(self, n: usize) -> Self {
+        VReg::new(self.index() + n)
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A matrix tile register identifier (`za0`–`za7`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZaReg(u8);
+
+impl ZaReg {
+    /// Creates a tile register identifier.
+    ///
+    /// # Panics
+    /// Panics if `idx >= NUM_ZA_TILES`.
+    #[inline]
+    pub fn new(idx: usize) -> Self {
+        assert!(idx < NUM_ZA_TILES, "tile register za{idx} out of range");
+        ZaReg(idx as u8)
+    }
+
+    /// The tile index in `0..NUM_ZA_TILES`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ZaReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "za{}", self.0)
+    }
+}
+
+impl fmt::Display for ZaReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "za{}", self.0)
+    }
+}
+
+/// An 8-bit row predicate for tile operations: bit `i` set means tile row
+/// `i` participates in the operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowMask(u8);
+
+impl RowMask {
+    /// All rows enabled.
+    pub const ALL: RowMask = RowMask(0xFF);
+    /// No rows enabled.
+    pub const NONE: RowMask = RowMask(0);
+
+    /// Mask from a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Self {
+        RowMask(bits)
+    }
+
+    /// Mask with exactly one row enabled.
+    ///
+    /// # Panics
+    /// Panics if `row >= VLEN`.
+    #[inline]
+    pub fn single(row: usize) -> Self {
+        assert!(row < VLEN, "tile row {row} out of range");
+        RowMask(1 << row)
+    }
+
+    /// Mask enabling a contiguous range of rows, clamped to the tile.
+    #[inline]
+    pub fn range(start: usize, len: usize) -> Self {
+        let mut bits = 0u8;
+        for r in start..(start + len).min(VLEN) {
+            bits |= 1 << r;
+        }
+        RowMask(bits)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether row `row` is enabled.
+    #[inline]
+    pub fn contains(self, row: usize) -> bool {
+        row < VLEN && (self.0 >> row) & 1 == 1
+    }
+
+    /// Number of enabled rows.
+    #[inline]
+    pub const fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterator over enabled row indices.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..VLEN).filter(move |&r| (self.0 >> r) & 1 == 1)
+    }
+}
+
+impl fmt::Debug for RowMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rows[{:08b}]", self.0)
+    }
+}
+
+impl fmt::Display for RowMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == RowMask::ALL {
+            write!(f, "all")
+        } else if *self == RowMask::NONE {
+            write!(f, "none")
+        } else {
+            let rows: Vec<String> = self.iter().map(|r| r.to_string()).collect();
+            write!(f, "{}", rows.join(","))
+        }
+    }
+}
+
+/// Any architectural register (vector or tile), used in dependence sets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Reg {
+    /// A vector register.
+    V(VReg),
+    /// A tile register.
+    Za(ZaReg),
+}
+
+impl From<VReg> for Reg {
+    fn from(v: VReg) -> Self {
+        Reg::V(v)
+    }
+}
+
+impl From<ZaReg> for Reg {
+    fn from(z: ZaReg) -> Self {
+        Reg::Za(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vreg_roundtrip() {
+        for i in 0..NUM_VREGS {
+            assert_eq!(VReg::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn vreg_out_of_range_panics() {
+        let _ = VReg::new(NUM_VREGS);
+    }
+
+    #[test]
+    fn vreg_offset() {
+        assert_eq!(VReg::new(3).offset(4), VReg::new(7));
+    }
+
+    #[test]
+    fn zareg_roundtrip() {
+        for i in 0..NUM_ZA_TILES {
+            assert_eq!(ZaReg::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zareg_out_of_range_panics() {
+        let _ = ZaReg::new(NUM_ZA_TILES);
+    }
+
+    #[test]
+    fn rowmask_single() {
+        let m = RowMask::single(3);
+        assert!(m.contains(3));
+        assert!(!m.contains(2));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn rowmask_range() {
+        let m = RowMask::range(2, 3);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn rowmask_range_clamps() {
+        let m = RowMask::range(6, 5);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![6, 7]);
+    }
+
+    #[test]
+    fn rowmask_all_none() {
+        assert_eq!(RowMask::ALL.count(), VLEN);
+        assert_eq!(RowMask::NONE.count(), 0);
+    }
+
+    #[test]
+    fn rowmask_display() {
+        assert_eq!(RowMask::ALL.to_string(), "all");
+        assert_eq!(RowMask::range(0, 2).to_string(), "0,1");
+    }
+
+    #[test]
+    fn reg_from_impls() {
+        assert_eq!(Reg::from(VReg::new(1)), Reg::V(VReg::new(1)));
+        assert_eq!(Reg::from(ZaReg::new(2)), Reg::Za(ZaReg::new(2)));
+    }
+}

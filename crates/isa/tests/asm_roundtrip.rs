@@ -1,0 +1,106 @@
+//! Property test: every instruction round-trips through its textual form.
+
+use lx2_isa::{assemble, Inst, MemKind, RowMask, VReg, ZaReg};
+use proptest::prelude::*;
+
+fn arb_vreg() -> impl Strategy<Value = VReg> {
+    (0usize..lx2_isa::NUM_VREGS).prop_map(VReg::new)
+}
+
+fn arb_za() -> impl Strategy<Value = ZaReg> {
+    (0usize..lx2_isa::NUM_ZA_TILES).prop_map(ZaReg::new)
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_vreg(), 0u64..1_000_000).prop_map(|(vd, addr)| Inst::Ld1d { vd, addr }),
+        (arb_vreg(), 0u64..1_000_000, 1u64..10_000).prop_map(|(vd, addr, stride)| Inst::LdCol {
+            vd,
+            addr,
+            stride
+        }),
+        (arb_vreg(), 0u64..1_000_000).prop_map(|(vs, addr)| Inst::St1d { vs, addr }),
+        (arb_za(), 0u8..8, 0u64..1_000_000).prop_map(|(za, row, addr)| Inst::StZaRow {
+            za,
+            row,
+            addr
+        }),
+        (arb_vreg(), 0u64..1_000_000, 1u64..10_000).prop_map(|(vs, addr, stride)| Inst::StCol {
+            vs,
+            addr,
+            stride
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),
+        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..8).prop_map(|(vd, vn, vm, idx)| Inst::FmlaIdx {
+            vd,
+            vn,
+            vm,
+            idx
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fadd { vd, vn, vm }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fmul { vd, vn, vm }),
+        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..=8).prop_map(|(vd, vn, vm, shift)| Inst::Ext {
+            vd,
+            vn,
+            vm,
+            shift
+        }),
+        // Immediates restricted to values whose Display form parses back
+        // exactly (plain decimal f64; Rust prints shortest roundtrip).
+        (arb_vreg(), -1000i32..1000).prop_map(|(vd, q)| Inst::DupImm {
+            vd,
+            imm: q as f64 / 8.0,
+        }),
+        (arb_za(), arb_vreg(), arb_vreg(), any::<u8>()).prop_map(|(za, vn, vm, bits)| {
+            Inst::Fmopa {
+                za,
+                vn,
+                vm,
+                mask: RowMask::from_bits(bits),
+            }
+        }),
+        (arb_za(), 0u8..2, 0usize..28, arb_vreg(), 0u8..8).prop_map(|(za, half, vn0, vm, idx)| {
+            Inst::Fmlag {
+                za,
+                half,
+                vn0: VReg::new(vn0),
+                vm,
+                idx,
+            }
+        }),
+        (arb_vreg(), arb_za(), 0u8..8).prop_map(|(vd, za, row)| Inst::MovaToVec { vd, za, row }),
+        (arb_za(), 0u8..8, arb_vreg()).prop_map(|(za, row, vs)| Inst::MovaFromVec { za, row, vs }),
+        (arb_za(), any::<u8>()).prop_map(|(za, bits)| Inst::ZeroZa {
+            za,
+            mask: RowMask::from_bits(bits)
+        }),
+        (0u64..1_000_000, any::<bool>()).prop_map(|(addr, w)| Inst::Prfm {
+            addr,
+            kind: if w { MemKind::Write } else { MemKind::Read },
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_then_assemble_is_identity(inst in arb_inst()) {
+        let text = inst.to_string();
+        let program = assemble(&text)
+            .map_err(|e| TestCaseError::fail(format!("'{text}' failed to parse: {e}")))?;
+        prop_assert_eq!(program.len(), 1);
+        prop_assert_eq!(program.insts()[0], inst, "text was '{}'", text);
+    }
+
+    #[test]
+    fn whole_programs_roundtrip(insts in proptest::collection::vec(arb_inst(), 1..64)) {
+        let mut p = lx2_isa::Program::new();
+        p.extend(insts.iter().copied());
+        let listing = p.to_string();
+        let reparsed = assemble(&listing)
+            .map_err(|e| TestCaseError::fail(format!("listing failed: {e}")))?;
+        prop_assert_eq!(reparsed.insts(), p.insts());
+        prop_assert_eq!(reparsed.mix(), p.mix());
+    }
+}

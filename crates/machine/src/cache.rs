@@ -1,0 +1,269 @@
+//! Set-associative cache with LRU replacement and prefetch-arrival
+//! timestamps.
+//!
+//! Lines carry an *arrival cycle* so that in-flight prefetches can be
+//! distinguished from resident data: a demand access that finds a line
+//! whose arrival is still in the future is a *late prefetch* — counted as
+//! a miss (matching `perf` semantics) but charged only the remaining
+//! latency.
+
+use crate::config::CacheConfig;
+
+/// Result of probing a cache for a line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Line present; `arrival` is the cycle its data is (or was) available.
+    Hit {
+        /// Cycle at which the line's data arrives/arrived.
+        arrival: u64,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// A line evicted by an insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address of the victim.
+    pub line: u64,
+    /// Whether the victim was dirty (needs writeback).
+    pub dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    line: u64,
+    valid: bool,
+    dirty: bool,
+    arrival: u64,
+    last_use: u64,
+}
+
+const EMPTY: Slot = Slot {
+    line: 0,
+    valid: false,
+    dirty: false,
+    arrival: 0,
+    last_use: 0,
+};
+
+/// A set-associative, write-back, LRU cache over line addresses.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    slots: Vec<Slot>,
+    sets: usize,
+    assoc: usize,
+    tick: u64,
+}
+
+impl Cache {
+    /// Builds a cache from a validated geometry.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache geometry");
+        let sets = cfg.num_sets();
+        Cache {
+            slots: vec![EMPTY; sets * cfg.assoc],
+            sets,
+            assoc: cfg.assoc,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line as usize) & (self.sets - 1);
+        let start = set * self.assoc;
+        start..start + self.assoc
+    }
+
+    /// Probes for a line, updating LRU state on a hit.
+    pub fn probe(&mut self, line: u64) -> Probe {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        for slot in &mut self.slots[range] {
+            if slot.valid && slot.line == line {
+                slot.last_use = tick;
+                return Probe::Hit {
+                    arrival: slot.arrival,
+                };
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Probes without touching LRU state (for inspection/tests).
+    pub fn peek(&self, line: u64) -> Probe {
+        for slot in &self.slots[self.set_range(line)] {
+            if slot.valid && slot.line == line {
+                return Probe::Hit {
+                    arrival: slot.arrival,
+                };
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Inserts a line (fill); evicts the LRU way if the set is full.
+    ///
+    /// If the line is already present its arrival is moved earlier if the
+    /// new fill would arrive earlier, and no eviction occurs.
+    pub fn insert(&mut self, line: u64, arrival: u64, dirty: bool) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        // Already present: refresh.
+        for slot in &mut self.slots[range.clone()] {
+            if slot.valid && slot.line == line {
+                slot.arrival = slot.arrival.min(arrival);
+                slot.dirty |= dirty;
+                slot.last_use = tick;
+                return None;
+            }
+        }
+        // Free way?
+        for slot in &mut self.slots[range.clone()] {
+            if !slot.valid {
+                *slot = Slot {
+                    line,
+                    valid: true,
+                    dirty,
+                    arrival,
+                    last_use: tick,
+                };
+                return None;
+            }
+        }
+        // Evict LRU.
+        let victim_idx = {
+            let slots = &self.slots[range.clone()];
+            let mut best = 0;
+            for (i, s) in slots.iter().enumerate() {
+                if s.last_use < slots[best].last_use {
+                    best = i;
+                }
+            }
+            range.start + best
+        };
+        let victim = self.slots[victim_idx];
+        self.slots[victim_idx] = Slot {
+            line,
+            valid: true,
+            dirty,
+            arrival,
+            last_use: tick,
+        };
+        Some(Evicted {
+            line: victim.line,
+            dirty: victim.dirty,
+        })
+    }
+
+    /// Marks a (present) line dirty; no-op if absent.
+    pub fn mark_dirty(&mut self, line: u64) {
+        let range = self.set_range(line);
+        for slot in &mut self.slots[range] {
+            if slot.valid && slot.line == line {
+                slot.dirty = true;
+                return;
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident (for tests/diagnostics).
+    pub fn resident_lines(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Invalidate everything (keeps geometry).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = EMPTY;
+        }
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways, 64 B lines.
+        Cache::new(&CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache();
+        assert_eq!(c.probe(5), Probe::Miss);
+        c.insert(5, 10, false);
+        assert_eq!(c.probe(5), Probe::Hit { arrival: 10 });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(0, 0, false);
+        c.insert(4, 0, false);
+        let _ = c.probe(0); // 0 is now more recent than 4.
+        let ev = c.insert(8, 0, false).expect("must evict");
+        assert_eq!(ev.line, 4);
+        assert_eq!(c.peek(0), Probe::Hit { arrival: 0 });
+        assert_eq!(c.peek(4), Probe::Miss);
+    }
+
+    #[test]
+    fn eviction_reports_dirty() {
+        let mut c = small_cache();
+        c.insert(0, 0, true);
+        c.insert(4, 0, false);
+        let ev = c.insert(8, 0, false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.line, 0);
+    }
+
+    #[test]
+    fn reinsert_keeps_earliest_arrival() {
+        let mut c = small_cache();
+        c.insert(3, 100, false);
+        c.insert(3, 50, false);
+        assert_eq!(c.peek(3), Probe::Hit { arrival: 50 });
+        c.insert(3, 200, true);
+        assert_eq!(c.peek(3), Probe::Hit { arrival: 50 });
+    }
+
+    #[test]
+    fn mark_dirty_sets_flag() {
+        let mut c = small_cache();
+        c.insert(1, 0, false);
+        c.mark_dirty(1);
+        c.insert(5, 0, false);
+        let ev = c.insert(9, 0, false).unwrap();
+        assert_eq!(ev.line, 1);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = small_cache();
+        for line in 0..100 {
+            c.insert(line, 0, false);
+        }
+        assert!(c.resident_lines() <= 8);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = small_cache();
+        c.insert(1, 0, false);
+        c.clear();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.probe(1), Probe::Miss);
+    }
+}

@@ -1,0 +1,364 @@
+//! Machine configurations.
+//!
+//! Two presets mirror the paper's evaluation platforms:
+//!
+//! * [`MachineConfig::lx2`] — the "LX2" high-performance CPU: 512-bit SVL,
+//!   8×8 f64 tiles, vector MLA available, outer-product peak ≈ 4× vector
+//!   MLA peak (paper §2.1).
+//! * [`MachineConfig::apple_m4`] — Apple M4: same tile geometry, but no
+//!   streaming-mode vector FMLA (multi-vector matrix MLA instead) and no
+//!   architectural support for in-place accumulation (paper §4).
+
+/// Which modelled CPU a configuration describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineKind {
+    /// The LX2 high-performance CPU (SVE-512 + SME-style tiles).
+    Lx2,
+    /// Apple M4 (SME tiles, no streaming vector FMLA).
+    AppleM4,
+}
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / self.line_bytes / self.assoc
+    }
+
+    /// Validates that the geometry is consistent (power-of-two sets,
+    /// capacity divisible by line and way sizes).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(format!(
+                "line size {} must be a power of two",
+                self.line_bytes
+            ));
+        }
+        if self.assoc == 0 {
+            return Err("associativity must be nonzero".into());
+        }
+        if !self.size_bytes.is_multiple_of(self.line_bytes * self.assoc) {
+            return Err(format!(
+                "capacity {} not divisible by line*assoc {}",
+                self.size_bytes,
+                self.line_bytes * self.assoc
+            ));
+        }
+        let sets = self.num_sets();
+        if !sets.is_power_of_two() {
+            return Err(format!("set count {sets} must be a power of two"));
+        }
+        Ok(())
+    }
+}
+
+/// Hardware stream-prefetcher parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Whether the hardware prefetcher is active.
+    pub enabled: bool,
+    /// Number of concurrently tracked streams.
+    pub streams: usize,
+    /// Confidence (consecutive-line matches) needed before prefetching.
+    pub min_confidence: u32,
+    /// How many lines ahead of the demand stream to run.
+    pub degree: u64,
+    /// Lines per page; prefetch never crosses a page boundary.
+    pub page_lines: u64,
+}
+
+/// Full description of a modelled machine.
+///
+/// Latencies are in core cycles; units are the number of parallel execution
+/// units per pipe class. Issue is in-order, up to `issue_width` per cycle.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Which platform this models.
+    pub kind: MachineKind,
+    /// Maximum instructions issued per cycle.
+    pub issue_width: usize,
+    /// Parallel vector FP/permute units.
+    pub vector_units: usize,
+    /// Parallel matrix compute units.
+    pub matrix_units: usize,
+    /// Parallel load units.
+    pub load_units: usize,
+    /// Parallel store units.
+    pub store_units: usize,
+    /// Vector FMLA/FADD/FMUL result latency.
+    pub fp_latency: u64,
+    /// EXT (permute) result latency.
+    pub ext_latency: u64,
+    /// FMOPA accumulate latency (same-tile chains serialize at this, so
+    /// peak matrix throughput needs this many independent tiles in flight).
+    pub fmopa_latency: u64,
+    /// M-MLA (multi-vector matrix MLA) accumulate latency.
+    pub fmlag_latency: u64,
+    /// Tile-slice ↔ vector transfer latency ("two times more cycles than
+    /// outer product instructions", paper §3.1.1).
+    pub mova_latency: u64,
+    /// Issue interval occupied on the load unit by a strided gather.
+    pub ldcol_ii: u64,
+    /// Whether streaming-mode vector FMLA is architecturally available.
+    pub allow_vector_fmla: bool,
+    /// f64 lanes of the *baseline* (auto-vectorization) vector ISA:
+    /// 8 on LX2 (SVE-512); 2 on Apple M4, whose compiler baseline is
+    /// 128-bit NEON (paper §5.4).
+    pub baseline_vector_lanes: usize,
+    /// Independent accumulator chains the baseline sustains — a stand-in
+    /// for the out-of-order window (3 on LX2's narrow core, 8 on the
+    /// very wide M4).
+    pub baseline_unroll: usize,
+    /// Whether in-place accumulation (vector → tile via outer product with
+    /// a unit coefficient) is architecturally viable.
+    pub allow_inplace_accum: bool,
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Load-use latency on an L1 hit.
+    pub l1_latency: u64,
+    /// Load-use latency on an L2 hit.
+    pub l2_latency: u64,
+    /// Load-use latency on a DRAM access.
+    pub mem_latency: u64,
+    /// L2→L1 fill-port occupancy per line (finite miss bandwidth).
+    pub l1_fill_ii: u64,
+    /// DRAM→L2 fill-port occupancy per line.
+    pub l2_fill_ii: u64,
+    /// Hardware prefetcher parameters.
+    pub hw_prefetch: PrefetchConfig,
+    /// Nominal core frequency, used only to convert cycles to seconds for
+    /// GStencil/s style reporting.
+    pub freq_ghz: f64,
+    /// Socket-wide DRAM bandwidth in bytes per core cycle (shared across
+    /// cores in the multicore model).
+    pub dram_bw_bytes_per_cycle: f64,
+}
+
+impl MachineConfig {
+    /// The LX2 high-performance CPU preset.
+    pub fn lx2() -> Self {
+        MachineConfig {
+            name: "LX2",
+            kind: MachineKind::Lx2,
+            issue_width: 4,
+            vector_units: 2,
+            matrix_units: 1,
+            load_units: 2,
+            store_units: 1,
+            fp_latency: 4,
+            ext_latency: 2,
+            fmopa_latency: 4,
+            fmlag_latency: 4,
+            mova_latency: 8,
+            ldcol_ii: 8,
+            allow_vector_fmla: true,
+            baseline_vector_lanes: 8,
+            baseline_unroll: 3,
+            allow_inplace_accum: true,
+            l1: CacheConfig {
+                size_bytes: 64 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+            },
+            l1_latency: 4,
+            l2_latency: 14,
+            mem_latency: 110,
+            l1_fill_ii: 1,
+            l2_fill_ii: 4,
+            hw_prefetch: PrefetchConfig {
+                enabled: true,
+                streams: 16,
+                min_confidence: 4,
+                degree: 8,
+                page_lines: 64,
+            },
+            freq_ghz: 2.5,
+            dram_bw_bytes_per_cycle: 80.0,
+        }
+    }
+
+    /// The Apple M4 (Pro) preset: 128 KiB L1D, 4 MiB shared L2 (paper
+    /// §5.4); no streaming-mode vector FMLA, no in-place accumulation.
+    pub fn apple_m4() -> Self {
+        MachineConfig {
+            name: "Apple M4",
+            kind: MachineKind::AppleM4,
+            // The M4 is a much wider core than LX2; its scalar/NEON
+            // engine keeps baselines competitive even at 128-bit width.
+            issue_width: 8,
+            vector_units: 4,
+            matrix_units: 1,
+            load_units: 3,
+            store_units: 2,
+            fp_latency: 4,
+            ext_latency: 2,
+            fmopa_latency: 4,
+            fmlag_latency: 4,
+            mova_latency: 8,
+            ldcol_ii: 8,
+            allow_vector_fmla: false,
+            baseline_vector_lanes: 2,
+            baseline_unroll: 6,
+            allow_inplace_accum: false,
+            l1: CacheConfig {
+                size_bytes: 128 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                assoc: 16,
+                line_bytes: 64,
+            },
+            l1_latency: 4,
+            l2_latency: 16,
+            mem_latency: 120,
+            l1_fill_ii: 1,
+            l2_fill_ii: 4,
+            hw_prefetch: PrefetchConfig {
+                enabled: true,
+                streams: 16,
+                min_confidence: 4,
+                degree: 8,
+                page_lines: 64,
+            },
+            freq_ghz: 4.0,
+            dram_bw_bytes_per_cycle: 68.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.issue_width == 0 {
+            return Err("issue width must be nonzero".into());
+        }
+        if self.vector_units == 0
+            || self.matrix_units == 0
+            || self.load_units == 0
+            || self.store_units == 0
+        {
+            return Err("every pipe class needs at least one unit".into());
+        }
+        if self.baseline_vector_lanes == 0 || self.baseline_vector_lanes > lx2_isa::VLEN {
+            return Err("baseline vector lanes must be in 1..=VLEN".into());
+        }
+        self.l1.validate().map_err(|e| format!("L1: {e}"))?;
+        self.l2.validate().map_err(|e| format!("L2: {e}"))?;
+        if self.l1.line_bytes != self.l2.line_bytes {
+            return Err("L1 and L2 line sizes must match".into());
+        }
+        if !(self.l1_latency <= self.l2_latency && self.l2_latency <= self.mem_latency) {
+            return Err("latencies must be monotonically increasing down the hierarchy".into());
+        }
+        Ok(())
+    }
+
+    /// Peak FP64 flops per cycle of the matrix units (FMA = 2 flops).
+    pub fn matrix_peak_flops_per_cycle(&self) -> f64 {
+        (self.matrix_units * 2 * lx2_isa::TILE_ELEMS) as f64
+    }
+
+    /// Peak FP64 flops per cycle of the vector units.
+    pub fn vector_peak_flops_per_cycle(&self) -> f64 {
+        (self.vector_units * 2 * lx2_isa::VLEN) as f64
+    }
+
+    /// Units available for a pipe class.
+    pub fn units(&self, class: lx2_isa::PipeClass) -> usize {
+        match class {
+            lx2_isa::PipeClass::VectorFp => self.vector_units,
+            lx2_isa::PipeClass::Matrix => self.matrix_units,
+            lx2_isa::PipeClass::Load => self.load_units,
+            lx2_isa::PipeClass::Store => self.store_units,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineConfig::lx2().validate().unwrap();
+        MachineConfig::apple_m4().validate().unwrap();
+    }
+
+    #[test]
+    fn outer_product_is_4x_mla_peak() {
+        // Paper §2.1: "the outer product instruction reaches approximately
+        // four times the theoretical double-precision performance of MLA".
+        let cfg = MachineConfig::lx2();
+        let ratio = cfg.matrix_peak_flops_per_cycle() / cfg.vector_peak_flops_per_cycle();
+        assert_eq!(ratio, 4.0);
+    }
+
+    #[test]
+    fn m4_lacks_streaming_vector_fmla() {
+        let cfg = MachineConfig::apple_m4();
+        assert!(!cfg.allow_vector_fmla);
+        assert!(!cfg.allow_inplace_accum);
+        assert!(MachineConfig::lx2().allow_vector_fmla);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+        };
+        assert_eq!(c.num_sets(), 256);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_cache_geometry_rejected() {
+        let c = CacheConfig {
+            size_bytes: 60 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+        };
+        assert!(c.validate().is_err());
+        let c = CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 4,
+            line_bytes: 60,
+        };
+        assert!(c.validate().is_err());
+        let c = CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 0,
+            line_bytes: 64,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn units_lookup() {
+        let cfg = MachineConfig::lx2();
+        assert_eq!(cfg.units(lx2_isa::PipeClass::VectorFp), 2);
+        assert_eq!(cfg.units(lx2_isa::PipeClass::Matrix), 1);
+        assert_eq!(cfg.units(lx2_isa::PipeClass::Load), 2);
+        assert_eq!(cfg.units(lx2_isa::PipeClass::Store), 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Performance counters.
+//!
+//! The simulated equivalents of the `perf stat` events the paper collects
+//! (`instructions`, `cycles`, `L1-dcache-loads`, `L1-dcache-load-misses`),
+//! plus per-pipe occupancy and structural-utilization counters that the
+//! analysis layer uses for Tables 1, 2, 5 and 7.
+
+use lx2_isa::{PipeClass, PIPE_CLASS_COUNT, TILE_ELEMS};
+
+/// Memory-hierarchy counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MemCounters {
+    /// Demand load accesses that reached L1 (line granularity).
+    pub l1_load_accesses: u64,
+    /// Demand load accesses that hit in L1 (line present and arrived).
+    pub l1_load_hits: u64,
+    /// Demand store accesses that reached L1.
+    pub l1_store_accesses: u64,
+    /// Demand store accesses that hit in L1.
+    pub l1_store_hits: u64,
+    /// Demand accesses that reached L2.
+    pub l2_accesses: u64,
+    /// Demand accesses that hit in L2.
+    pub l2_hits: u64,
+    /// Lines fetched from DRAM (demand + prefetch).
+    pub dram_lines_read: u64,
+    /// Dirty lines written back to DRAM.
+    pub dram_lines_written: u64,
+    /// Hardware prefetches issued.
+    pub hw_prefetches: u64,
+    /// Software prefetches issued (PRFM).
+    pub sw_prefetches: u64,
+    /// Demand accesses that found an in-flight prefetch (counted as misses,
+    /// but with reduced latency).
+    pub late_prefetch_hits: u64,
+}
+
+impl MemCounters {
+    /// L1 load hit rate in `[0, 1]`; 1.0 when there were no loads.
+    pub fn l1_load_hit_rate(&self) -> f64 {
+        if self.l1_load_accesses == 0 {
+            1.0
+        } else {
+            self.l1_load_hits as f64 / self.l1_load_accesses as f64
+        }
+    }
+
+    /// Combined L1 hit rate over loads and stores.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let acc = self.l1_load_accesses + self.l1_store_accesses;
+        if acc == 0 {
+            1.0
+        } else {
+            (self.l1_load_hits + self.l1_store_hits) as f64 / acc as f64
+        }
+    }
+
+    /// Total DRAM traffic in bytes given a line size.
+    pub fn dram_bytes(&self, line_bytes: usize) -> u64 {
+        (self.dram_lines_read + self.dram_lines_written) * line_bytes as u64
+    }
+
+    /// Counters accumulated since an earlier snapshot.
+    pub fn delta(&self, earlier: &MemCounters) -> MemCounters {
+        MemCounters {
+            l1_load_accesses: self.l1_load_accesses - earlier.l1_load_accesses,
+            l1_load_hits: self.l1_load_hits - earlier.l1_load_hits,
+            l1_store_accesses: self.l1_store_accesses - earlier.l1_store_accesses,
+            l1_store_hits: self.l1_store_hits - earlier.l1_store_hits,
+            l2_accesses: self.l2_accesses - earlier.l2_accesses,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            dram_lines_read: self.dram_lines_read - earlier.dram_lines_read,
+            dram_lines_written: self.dram_lines_written - earlier.dram_lines_written,
+            hw_prefetches: self.hw_prefetches - earlier.hw_prefetches,
+            sw_prefetches: self.sw_prefetches - earlier.sw_prefetches,
+            late_prefetch_hits: self.late_prefetch_hits - earlier.late_prefetch_hits,
+        }
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, o: &MemCounters) {
+        self.l1_load_accesses += o.l1_load_accesses;
+        self.l1_load_hits += o.l1_load_hits;
+        self.l1_store_accesses += o.l1_store_accesses;
+        self.l1_store_hits += o.l1_store_hits;
+        self.l2_accesses += o.l2_accesses;
+        self.l2_hits += o.l2_hits;
+        self.dram_lines_read += o.dram_lines_read;
+        self.dram_lines_written += o.dram_lines_written;
+        self.hw_prefetches += o.hw_prefetches;
+        self.sw_prefetches += o.sw_prefetches;
+        self.late_prefetch_hits += o.late_prefetch_hits;
+    }
+}
+
+/// Core pipeline and work counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PerfCounters {
+    /// Elapsed cycles (issue horizon including in-flight latency).
+    pub cycles: u64,
+    /// Instructions issued.
+    pub instructions: u64,
+    /// Instructions per pipe class.
+    pub per_pipe: [u64; PIPE_CLASS_COUNT],
+    /// Sum of issue intervals per pipe class (unit-cycles of occupancy).
+    pub pipe_busy: [u64; PIPE_CLASS_COUNT],
+    /// Floating-point operations executed (FMA = 2).
+    pub flops: u64,
+    /// FMOPA instructions executed.
+    pub fmopa: u64,
+    /// Vector FMLA instructions executed.
+    pub fmla: u64,
+    /// M-MLA instructions executed.
+    pub fmlag: u64,
+    /// Multiply-accumulate slots in FMOPA with structurally useful operands
+    /// (both lanes nonzero); drives matrix-unit utilization (Table 1).
+    pub useful_matrix_macs: u64,
+    /// Cycles in which at least one instruction issued.
+    pub active_cycles: u64,
+    /// Memory-hierarchy counters.
+    pub mem: MemCounters,
+}
+
+impl PerfCounters {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Matrix-unit utilization: useful MAC slots over provisioned MAC slots
+    /// (64 per FMOPA). Returns `None` if no FMOPA executed.
+    pub fn matrix_utilization(&self) -> Option<f64> {
+        if self.fmopa == 0 {
+            None
+        } else {
+            Some(self.useful_matrix_macs as f64 / (self.fmopa * TILE_ELEMS as u64) as f64)
+        }
+    }
+
+    /// Achieved FP64 GFLOP/s at a given core frequency.
+    pub fn gflops(&self, freq_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles as f64 * freq_ghz
+        }
+    }
+
+    /// Occupancy cycles charged to one pipe class.
+    pub fn pipe_busy_cycles(&self, class: PipeClass) -> u64 {
+        self.pipe_busy[class.index()]
+    }
+
+    /// Counters accumulated since an earlier snapshot (cycles subtract,
+    /// giving the elapsed cycles of the delta window).
+    pub fn delta(&self, earlier: &PerfCounters) -> PerfCounters {
+        let mut d = PerfCounters {
+            cycles: self.cycles - earlier.cycles,
+            instructions: self.instructions - earlier.instructions,
+            flops: self.flops - earlier.flops,
+            fmopa: self.fmopa - earlier.fmopa,
+            fmla: self.fmla - earlier.fmla,
+            fmlag: self.fmlag - earlier.fmlag,
+            useful_matrix_macs: self.useful_matrix_macs - earlier.useful_matrix_macs,
+            active_cycles: self.active_cycles - earlier.active_cycles,
+            mem: self.mem.delta(&earlier.mem),
+            ..Default::default()
+        };
+        for i in 0..PIPE_CLASS_COUNT {
+            d.per_pipe[i] = self.per_pipe[i] - earlier.per_pipe[i];
+            d.pipe_busy[i] = self.pipe_busy[i] - earlier.pipe_busy[i];
+        }
+        d
+    }
+
+    /// Merge another counter set (used by the multicore aggregator).
+    pub fn merge(&mut self, o: &PerfCounters) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.instructions += o.instructions;
+        for i in 0..PIPE_CLASS_COUNT {
+            self.per_pipe[i] += o.per_pipe[i];
+            self.pipe_busy[i] += o.pipe_busy[i];
+        }
+        self.flops += o.flops;
+        self.fmopa += o.fmopa;
+        self.fmla += o.fmla;
+        self.fmlag += o.fmlag;
+        self.useful_matrix_macs += o.useful_matrix_macs;
+        self.active_cycles += o.active_cycles;
+        self.mem.merge(&o.mem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rates_empty_default_to_one() {
+        let m = MemCounters::default();
+        assert_eq!(m.l1_load_hit_rate(), 1.0);
+        assert_eq!(m.l1_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let m = MemCounters {
+            l1_load_accesses: 10,
+            l1_load_hits: 7,
+            ..Default::default()
+        };
+        assert!((m.l1_load_hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_math() {
+        let c = PerfCounters {
+            cycles: 100,
+            instructions: 175,
+            ..Default::default()
+        };
+        assert!((c.ipc() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_none_without_fmopa() {
+        assert_eq!(PerfCounters::default().matrix_utilization(), None);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let c = PerfCounters {
+            fmopa: 10,
+            useful_matrix_macs: 320,
+            ..Default::default()
+        };
+        assert!((c.matrix_utilization().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_takes_max_cycles_sums_rest() {
+        let mut a = PerfCounters {
+            cycles: 10,
+            instructions: 5,
+            ..Default::default()
+        };
+        let b = PerfCounters {
+            cycles: 20,
+            instructions: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.instructions, 12);
+    }
+
+    #[test]
+    fn dram_bytes() {
+        let m = MemCounters {
+            dram_lines_read: 3,
+            dram_lines_written: 1,
+            ..Default::default()
+        };
+        assert_eq!(m.dram_bytes(64), 256);
+    }
+}

@@ -1,0 +1,761 @@
+//! In-order multi-issue timing engine with functional execution.
+//!
+//! The engine consumes instructions in program order and, for each one,
+//! determines the earliest cycle at which it can issue subject to:
+//!
+//! 1. **Program order** — an instruction never issues before its
+//!    predecessor's issue cycle (head-of-line blocking, as on the modelled
+//!    in-order streaming units; this is what makes the paper's instruction
+//!    scheduling measurable).
+//! 2. **Operand readiness** — a register scoreboard tracks when each
+//!    vector/tile register's value becomes available. Read-modify-write
+//!    accumulators (FMLA destinations, FMOPA tiles) serialize on
+//!    themselves, so peak matrix throughput needs `fmopa_latency`
+//!    independent tiles in flight (paper Figure 3a).
+//! 3. **Issue width** — at most `issue_width` instructions per cycle.
+//! 4. **Unit occupancy** — each pipe class has a fixed number of units,
+//!    each reusable after the instruction's issue interval.
+//!
+//! Functional semantics are applied in program order, so simulated results
+//! are exact and independent of the timing model.
+
+use crate::config::MachineConfig;
+use crate::counters::PerfCounters;
+use crate::error::SimError;
+use crate::hierarchy::MemHierarchy;
+use crate::mem::Memory;
+use lx2_isa::{Inst, MemKind, Reg, VLEN};
+
+/// Architectural data state: vector registers and tile registers.
+#[derive(Clone)]
+pub struct ArchState {
+    /// Vector registers.
+    pub v: [[f64; VLEN]; lx2_isa::NUM_VREGS],
+    /// Tile registers, `za[tile][row][col]`.
+    pub za: [[[f64; VLEN]; VLEN]; lx2_isa::NUM_ZA_TILES],
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        ArchState {
+            v: [[0.0; VLEN]; lx2_isa::NUM_VREGS],
+            za: [[[0.0; VLEN]; VLEN]; lx2_isa::NUM_ZA_TILES],
+        }
+    }
+}
+
+/// The in-order issue engine.
+pub struct Engine {
+    cfg: MachineConfig,
+    /// Architectural data state.
+    pub state: ArchState,
+    /// Ready cycle per vector register.
+    vready: [u64; lx2_isa::NUM_VREGS],
+    /// Ready cycle per tile register.
+    zaready: [u64; lx2_isa::NUM_ZA_TILES],
+    /// Next-free cycle per unit, grouped by pipe class.
+    unit_free: [Vec<u64>; 4],
+    /// Cycle of the most recent issue.
+    issue_cycle: u64,
+    /// Instructions already issued in `issue_cycle`.
+    issued_in_cycle: usize,
+    /// Completion horizon (latest result availability seen).
+    horizon: u64,
+    /// Whether the core is in streaming (SME) mode. Matrix instructions
+    /// require streaming mode; on machines without streaming-mode vector
+    /// FMLA (Apple M4), vector MLA is only legal *outside* it.
+    streaming: bool,
+    /// Core-side counters (memory counters live in the hierarchy).
+    pub counters: PerfCounters,
+}
+
+impl Engine {
+    /// New engine for a configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let unit_free = [
+            vec![0u64; cfg.vector_units],
+            vec![0u64; cfg.matrix_units],
+            vec![0u64; cfg.load_units],
+            vec![0u64; cfg.store_units],
+        ];
+        Engine {
+            cfg: cfg.clone(),
+            state: ArchState::default(),
+            vready: [0; lx2_isa::NUM_VREGS],
+            zaready: [0; lx2_isa::NUM_ZA_TILES],
+            unit_free,
+            issue_cycle: 0,
+            issued_in_cycle: 0,
+            horizon: 0,
+            streaming: true,
+            counters: PerfCounters::default(),
+        }
+    }
+
+    /// The machine configuration this engine runs.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Switch streaming (SME) mode. Outside streaming mode vector MLA is
+    /// always legal (NEON path), which is how the Apple M4
+    /// auto-vectorization baseline executes.
+    pub fn set_streaming(&mut self, on: bool) {
+        self.streaming = on;
+    }
+
+    /// Whether the core is in streaming mode.
+    pub fn streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Elapsed cycles: the completion horizon of everything issued so far.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.horizon.max(self.issue_cycle)
+    }
+
+    /// Cycle at which the most recent instruction issued.
+    pub fn last_issue_cycle(&self) -> u64 {
+        self.issue_cycle
+    }
+
+    #[inline]
+    fn reg_ready(&self, reg: Reg) -> u64 {
+        match reg {
+            Reg::V(v) => self.vready[v.index()],
+            Reg::Za(z) => self.zaready[z.index()],
+        }
+    }
+
+    #[inline]
+    fn set_reg_ready(&mut self, reg: Reg, t: u64) {
+        match reg {
+            Reg::V(v) => self.vready[v.index()] = t,
+            Reg::Za(z) => self.zaready[z.index()] = t,
+        }
+    }
+
+    /// Issue interval (cycles the chosen unit stays occupied).
+    ///
+    /// Vector loads/stores that straddle a cache-line boundary occupy the
+    /// unit for two slots (they issue two line accesses); strided gathers
+    /// occupy it for `ldcol_ii`.
+    fn issue_interval(&self, inst: &Inst) -> u64 {
+        let unaligned = |addr: u64| {
+            if !addr.is_multiple_of(VLEN as u64) {
+                2
+            } else {
+                1
+            }
+        };
+        match inst {
+            Inst::LdCol { .. } | Inst::StCol { .. } => self.cfg.ldcol_ii,
+            Inst::MovaToVec { .. } | Inst::MovaFromVec { .. } => 2,
+            Inst::Ld1d { addr, .. } | Inst::St1d { addr, .. } => unaligned(*addr),
+            _ => 1,
+        }
+    }
+
+    /// Result latency for non-memory instructions.
+    fn result_latency(&self, inst: &Inst) -> u64 {
+        match inst {
+            Inst::Fmla { .. } | Inst::FmlaIdx { .. } | Inst::Fadd { .. } | Inst::Fmul { .. } => {
+                self.cfg.fp_latency
+            }
+            Inst::Ext { .. } => self.cfg.ext_latency,
+            Inst::DupImm { .. } => 1,
+            Inst::Fmopa { .. } => self.cfg.fmopa_latency,
+            Inst::Fmlag { .. } => self.cfg.fmlag_latency,
+            Inst::MovaToVec { .. } | Inst::MovaFromVec { .. } => self.cfg.mova_latency,
+            Inst::ZeroZa { .. } => 1,
+            // Memory instructions get their latency from the hierarchy.
+            _ => 0,
+        }
+    }
+
+    /// Executes one instruction: timing first, then functional semantics.
+    pub fn step(
+        &mut self,
+        inst: &Inst,
+        mem: &mut Memory,
+        hier: &mut MemHierarchy,
+    ) -> Result<(), SimError> {
+        if self.streaming
+            && !self.cfg.allow_vector_fmla
+            && matches!(inst, Inst::Fmla { .. } | Inst::FmlaIdx { .. })
+        {
+            return Err(SimError::VectorFmlaUnsupported);
+        }
+
+        // 1. Operand readiness.
+        let mut ready = 0u64;
+        for r in inst.reads().into_iter().flatten() {
+            ready = ready.max(self.reg_ready(r));
+        }
+        if let Inst::Fmlag { vn0, .. } = inst {
+            for k in 1..=inst.group_extra_reads() {
+                ready = ready.max(self.vready[vn0.index() + k]);
+            }
+        }
+
+        // 2. Find the issue cycle: in-order, width-limited, unit-limited.
+        let pipe = inst.pipe();
+        let unit_idx = {
+            let units = &self.unit_free[pipe.index()];
+            let mut best = 0;
+            for (i, &f) in units.iter().enumerate() {
+                if f < units[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let unit_ready = self.unit_free[pipe.index()][unit_idx];
+        let mut t = ready.max(unit_ready).max(self.issue_cycle);
+        if t == self.issue_cycle && self.issued_in_cycle >= self.cfg.issue_width {
+            t += 1;
+        }
+
+        // 3. Commit issue bookkeeping.
+        if t == self.issue_cycle {
+            self.issued_in_cycle += 1;
+        } else {
+            debug_assert!(t > self.issue_cycle);
+            self.issue_cycle = t;
+            self.issued_in_cycle = 1;
+            self.counters.active_cycles += 1;
+        }
+        let ii = self.issue_interval(inst);
+        self.unit_free[pipe.index()][unit_idx] = t + ii;
+
+        // 4. Latency: memory instructions consult the hierarchy at cycle t.
+        let latency = match *inst {
+            Inst::Ld1d { addr, .. } => hier.access(t, addr, VLEN as u64, MemKind::Read),
+            Inst::LdCol { addr, stride, .. } => {
+                hier.access_strided(t, addr, stride, VLEN as u64, MemKind::Read)
+            }
+            Inst::St1d { addr, .. } | Inst::StZaRow { addr, .. } => {
+                hier.access(t, addr, VLEN as u64, MemKind::Write)
+            }
+            Inst::StCol { addr, stride, .. } => {
+                hier.access_strided(t, addr, stride, VLEN as u64, MemKind::Write)
+            }
+            Inst::Prfm { addr, kind } => {
+                hier.software_prefetch(t, addr, kind);
+                0
+            }
+            _ => self.result_latency(inst),
+        };
+
+        // 5. Scoreboard update.
+        if let Some(dst) = inst.write() {
+            let done = t + latency.max(1);
+            self.set_reg_ready(dst, done);
+            self.horizon = self.horizon.max(done);
+        } else {
+            // Stores/prefetches: they retire through the store buffer; the
+            // horizon only advances past their issue.
+            self.horizon = self.horizon.max(t + 1);
+        }
+
+        // 6. Counters.
+        self.counters.instructions += 1;
+        self.counters.per_pipe[pipe.index()] += 1;
+        self.counters.pipe_busy[pipe.index()] += ii;
+        self.counters.flops += inst.flops();
+        match inst {
+            Inst::Fmopa { .. } => self.counters.fmopa += 1,
+            Inst::Fmla { .. } | Inst::FmlaIdx { .. } => self.counters.fmla += 1,
+            Inst::Fmlag { .. } => self.counters.fmlag += 1,
+            _ => {}
+        }
+
+        // 7. Functional execution (program order, exact).
+        self.exec(inst, mem)?;
+        self.counters.cycles = self.elapsed_cycles();
+        Ok(())
+    }
+
+    /// Functional semantics.
+    fn exec(&mut self, inst: &Inst, mem: &mut Memory) -> Result<(), SimError> {
+        let s = &mut self.state;
+        match *inst {
+            Inst::Ld1d { vd, addr } => {
+                s.v[vd.index()] = mem.read_vec(addr)?;
+            }
+            Inst::LdCol { vd, addr, stride } => {
+                s.v[vd.index()] = mem.read_strided(addr, stride)?;
+            }
+            Inst::St1d { vs, addr } => {
+                mem.write_vec(addr, &s.v[vs.index()])?;
+            }
+            Inst::StZaRow { za, row, addr } => {
+                if row as usize >= VLEN {
+                    return Err(SimError::BadTileRow { row });
+                }
+                let slice = s.za[za.index()][row as usize];
+                mem.write_vec(addr, &slice)?;
+            }
+            Inst::StCol { vs, addr, stride } => {
+                let v = s.v[vs.index()];
+                mem.write_strided(addr, stride, &v)?;
+            }
+            Inst::Fmla { vd, vn, vm } => {
+                let (n, m) = (s.v[vn.index()], s.v[vm.index()]);
+                let d = &mut s.v[vd.index()];
+                for l in 0..VLEN {
+                    d[l] += n[l] * m[l];
+                }
+            }
+            Inst::FmlaIdx { vd, vn, vm, idx } => {
+                let n = s.v[vn.index()];
+                let scale = s.v[vm.index()][idx as usize % VLEN];
+                let d = &mut s.v[vd.index()];
+                for l in 0..VLEN {
+                    d[l] += n[l] * scale;
+                }
+            }
+            Inst::Fadd { vd, vn, vm } => {
+                let (n, m) = (s.v[vn.index()], s.v[vm.index()]);
+                let d = &mut s.v[vd.index()];
+                for l in 0..VLEN {
+                    d[l] = n[l] + m[l];
+                }
+            }
+            Inst::Fmul { vd, vn, vm } => {
+                let (n, m) = (s.v[vn.index()], s.v[vm.index()]);
+                let d = &mut s.v[vd.index()];
+                for l in 0..VLEN {
+                    d[l] = n[l] * m[l];
+                }
+            }
+            Inst::Ext { vd, vn, vm, shift } => {
+                if shift as usize > VLEN {
+                    return Err(SimError::BadExtShift { shift });
+                }
+                let (n, m) = (s.v[vn.index()], s.v[vm.index()]);
+                let mut out = [0.0; VLEN];
+                for (l, slot) in out.iter_mut().enumerate() {
+                    let pos = l + shift as usize;
+                    *slot = if pos < VLEN { n[pos] } else { m[pos - VLEN] };
+                }
+                s.v[vd.index()] = out;
+            }
+            Inst::DupImm { vd, imm } => {
+                s.v[vd.index()] = [imm; VLEN];
+            }
+            Inst::Fmopa { za, vn, vm, mask } => {
+                let (n, m) = (s.v[vn.index()], s.v[vm.index()]);
+                let tile = &mut s.za[za.index()];
+                let mut nz_rows = 0u64;
+                for (i, row) in tile.iter_mut().enumerate() {
+                    if mask.contains(i) {
+                        let a = n[i];
+                        if a != 0.0 {
+                            nz_rows += 1;
+                        }
+                        for (slot, &mv) in row.iter_mut().zip(m.iter()) {
+                            *slot += a * mv;
+                        }
+                    }
+                }
+                let nz_cols = m.iter().filter(|&&x| x != 0.0).count() as u64;
+                self.counters.useful_matrix_macs += nz_rows * nz_cols;
+            }
+            Inst::Fmlag {
+                za,
+                half,
+                vn0,
+                vm,
+                idx,
+            } => {
+                let scale = s.v[vm.index()][idx as usize % VLEN];
+                let base = vn0.index();
+                let tile = za.index();
+                for k in 0..VLEN / 2 {
+                    let src = s.v[base + k];
+                    let row = &mut s.za[tile][2 * k + half as usize % 2];
+                    for l in 0..VLEN {
+                        row[l] += src[l] * scale;
+                    }
+                }
+            }
+            Inst::MovaToVec { vd, za, row } => {
+                if row as usize >= VLEN {
+                    return Err(SimError::BadTileRow { row });
+                }
+                s.v[vd.index()] = s.za[za.index()][row as usize];
+            }
+            Inst::MovaFromVec { za, row, vs } => {
+                if row as usize >= VLEN {
+                    return Err(SimError::BadTileRow { row });
+                }
+                s.za[za.index()][row as usize] = s.v[vs.index()];
+            }
+            Inst::ZeroZa { za, mask } => {
+                let tile = &mut s.za[za.index()];
+                for (i, row) in tile.iter_mut().enumerate() {
+                    if mask.contains(i) {
+                        *row = [0.0; VLEN];
+                    }
+                }
+            }
+            Inst::Prfm { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lx2_isa::{RowMask, VReg, ZaReg};
+
+    fn setup() -> (Engine, Memory, MemHierarchy) {
+        let cfg = MachineConfig::lx2();
+        (Engine::new(&cfg), Memory::new(), MemHierarchy::new(&cfg))
+    }
+
+    fn v(i: usize) -> VReg {
+        VReg::new(i)
+    }
+    fn za(i: usize) -> ZaReg {
+        ZaReg::new(i)
+    }
+
+    #[test]
+    fn dup_and_fadd_functional() {
+        let (mut e, mut m, mut h) = setup();
+        e.step(&Inst::DupImm { vd: v(0), imm: 2.0 }, &mut m, &mut h)
+            .unwrap();
+        e.step(&Inst::DupImm { vd: v(1), imm: 3.0 }, &mut m, &mut h)
+            .unwrap();
+        e.step(
+            &Inst::Fadd {
+                vd: v(2),
+                vn: v(0),
+                vm: v(1),
+            },
+            &mut m,
+            &mut h,
+        )
+        .unwrap();
+        assert_eq!(e.state.v[2], [5.0; VLEN]);
+    }
+
+    #[test]
+    fn ext_concatenates() {
+        let (mut e, mut m, mut h) = setup();
+        e.state.v[0] = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        e.state.v[1] = [8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+        e.step(
+            &Inst::Ext {
+                vd: v(2),
+                vn: v(0),
+                vm: v(1),
+                shift: 3,
+            },
+            &mut m,
+            &mut h,
+        )
+        .unwrap();
+        assert_eq!(e.state.v[2], [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn fmopa_rank1_update() {
+        let (mut e, mut m, mut h) = setup();
+        e.state.v[0] = [1.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        e.state.v[1] = [10.0; VLEN];
+        e.step(
+            &Inst::Fmopa {
+                za: za(0),
+                vn: v(0),
+                vm: v(1),
+                mask: RowMask::ALL,
+            },
+            &mut m,
+            &mut h,
+        )
+        .unwrap();
+        assert_eq!(e.state.za[0][0], [10.0; VLEN]);
+        assert_eq!(e.state.za[0][1], [20.0; VLEN]);
+        assert_eq!(e.state.za[0][2], [0.0; VLEN]);
+        // 2 nonzero rows x 8 nonzero cols.
+        assert_eq!(e.counters.useful_matrix_macs, 16);
+    }
+
+    #[test]
+    fn fmopa_respects_row_mask() {
+        let (mut e, mut m, mut h) = setup();
+        e.state.v[0] = [1.0; VLEN];
+        e.state.v[1] = [1.0; VLEN];
+        e.step(
+            &Inst::Fmopa {
+                za: za(0),
+                vn: v(0),
+                vm: v(1),
+                mask: RowMask::single(3),
+            },
+            &mut m,
+            &mut h,
+        )
+        .unwrap();
+        for r in 0..VLEN {
+            let expect = if r == 3 { 1.0 } else { 0.0 };
+            assert_eq!(e.state.za[0][r], [expect; VLEN]);
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let (mut e, mut m, mut h) = setup();
+        let r = m.alloc(64, 8);
+        m.store_slice(r.base, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .unwrap();
+        e.step(
+            &Inst::Ld1d {
+                vd: v(5),
+                addr: r.base,
+            },
+            &mut m,
+            &mut h,
+        )
+        .unwrap();
+        e.step(
+            &Inst::St1d {
+                vs: v(5),
+                addr: r.base + 16,
+            },
+            &mut m,
+            &mut h,
+        )
+        .unwrap();
+        assert_eq!(m.read(r.base + 16).unwrap(), 1.0);
+        assert_eq!(m.read(r.base + 23).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn dependent_fmla_chain_serializes_at_fp_latency() {
+        let (mut e, mut m, mut h) = setup();
+        let n = 16;
+        for _ in 0..n {
+            e.step(
+                &Inst::Fmla {
+                    vd: v(0),
+                    vn: v(1),
+                    vm: v(2),
+                },
+                &mut m,
+                &mut h,
+            )
+            .unwrap();
+        }
+        // Chain of RMW on v0: every FMLA waits fp_latency for the last.
+        let cfg = MachineConfig::lx2();
+        assert!(e.elapsed_cycles() >= n * cfg.fp_latency);
+    }
+
+    #[test]
+    fn independent_fmla_pipelines_on_two_units() {
+        let (mut e, mut m, mut h) = setup();
+        let n = 32u64;
+        for k in 0..n {
+            let d = v((k % 16) as usize); // 16 independent accumulators
+            e.step(
+                &Inst::Fmla {
+                    vd: d,
+                    vn: v(30),
+                    vm: v(31),
+                },
+                &mut m,
+                &mut h,
+            )
+            .unwrap();
+        }
+        // 2 vector units, II=1: ~n/2 cycles plus pipeline fill.
+        assert!(
+            e.elapsed_cycles() <= n / 2 + 8,
+            "elapsed {}",
+            e.elapsed_cycles()
+        );
+    }
+
+    #[test]
+    fn same_tile_fmopa_serializes_four_tiles_pipeline() {
+        let cfg = MachineConfig::lx2();
+        // Same tile: latency-bound chain.
+        let (mut e, mut m, mut h) = setup();
+        let n = 32u64;
+        for _ in 0..n {
+            e.step(
+                &Inst::Fmopa {
+                    za: za(0),
+                    vn: v(0),
+                    vm: v(1),
+                    mask: RowMask::ALL,
+                },
+                &mut m,
+                &mut h,
+            )
+            .unwrap();
+        }
+        let serial = e.elapsed_cycles();
+        assert!(serial >= n * cfg.fmopa_latency);
+
+        // Four tiles: throughput-bound at ~1/cycle.
+        let (mut e, mut m, mut h) = setup();
+        for k in 0..n {
+            e.step(
+                &Inst::Fmopa {
+                    za: za((k % 4) as usize),
+                    vn: v(0),
+                    vm: v(1),
+                    mask: RowMask::ALL,
+                },
+                &mut m,
+                &mut h,
+            )
+            .unwrap();
+        }
+        let pipelined = e.elapsed_cycles();
+        assert!(pipelined <= n + 8, "pipelined {pipelined}");
+        assert!(
+            serial >= 3 * pipelined,
+            "serial {serial} vs pipelined {pipelined}"
+        );
+    }
+
+    #[test]
+    fn matrix_and_vector_coissue() {
+        // 8 FMOPA + 8 FMLA interleaved should take barely longer than the
+        // slower of the two alone (paper Figure 3b).
+        let cfg = MachineConfig::lx2();
+        let run = |insts: Vec<Inst>| {
+            let (mut e, mut m, mut h) = setup();
+            for i in &insts {
+                e.step(i, &mut m, &mut h).unwrap();
+            }
+            e.elapsed_cycles()
+        };
+        let fmopa = |k: u64| Inst::Fmopa {
+            za: za((k % 4) as usize),
+            vn: v(0),
+            vm: v(1),
+            mask: RowMask::ALL,
+        };
+        let fmla = |k: u64| Inst::Fmla {
+            vd: v(2 + (k % 8) as usize),
+            vn: v(30),
+            vm: v(31),
+        };
+        let reps = 32u64;
+        let matrix_only = run((0..reps).map(fmopa).collect());
+        let vector_only = run((0..reps).map(fmla).collect());
+        let interleaved = run((0..reps).flat_map(|k| [fmopa(k), fmla(k)]).collect());
+        let isolated = matrix_only + vector_only;
+        assert!(
+            interleaved as f64 <= 0.75 * isolated as f64,
+            "interleaved {interleaved} vs isolated {isolated}"
+        );
+        let _ = cfg;
+    }
+
+    #[test]
+    fn issue_width_bounds_ipc() {
+        let (mut e, mut m, mut h) = setup();
+        // Wide independent mix can never exceed issue_width IPC.
+        for k in 0..1000usize {
+            let i = match k % 4 {
+                0 => Inst::DupImm {
+                    vd: v(k % 8),
+                    imm: 1.0,
+                },
+                1 => Inst::Fmla {
+                    vd: v(8 + k % 8),
+                    vn: v(30),
+                    vm: v(31),
+                },
+                2 => Inst::Fmopa {
+                    za: za(k % 4),
+                    vn: v(0),
+                    vm: v(1),
+                    mask: RowMask::ALL,
+                },
+                _ => Inst::Ext {
+                    vd: v(16 + k % 8),
+                    vn: v(30),
+                    vm: v(31),
+                    shift: 1,
+                },
+            };
+            e.step(&i, &mut m, &mut h).unwrap();
+        }
+        let ipc = e.counters.instructions as f64 / e.elapsed_cycles() as f64;
+        assert!(ipc <= MachineConfig::lx2().issue_width as f64 + 1e-9);
+    }
+
+    #[test]
+    fn m4_rejects_vector_fmla() {
+        let cfg = MachineConfig::apple_m4();
+        let mut e = Engine::new(&cfg);
+        let mut m = Memory::new();
+        let mut h = MemHierarchy::new(&cfg);
+        let err = e.step(
+            &Inst::Fmla {
+                vd: v(0),
+                vn: v(1),
+                vm: v(2),
+            },
+            &mut m,
+            &mut h,
+        );
+        assert_eq!(err, Err(SimError::VectorFmlaUnsupported));
+    }
+
+    #[test]
+    fn fmlag_updates_even_rows() {
+        let cfg = MachineConfig::apple_m4();
+        let mut e = Engine::new(&cfg);
+        let mut m = Memory::new();
+        let mut h = MemHierarchy::new(&cfg);
+        for k in 0..4 {
+            e.state.v[8 + k] = [(k + 1) as f64; VLEN];
+        }
+        e.state.v[0] = [2.0; VLEN];
+        e.step(
+            &Inst::Fmlag {
+                za: za(0),
+                half: 0,
+                vn0: v(8),
+                vm: v(0),
+                idx: 0,
+            },
+            &mut m,
+            &mut h,
+        )
+        .unwrap();
+        assert_eq!(e.state.za[0][0], [2.0; VLEN]);
+        assert_eq!(e.state.za[0][2], [4.0; VLEN]);
+        assert_eq!(e.state.za[0][4], [6.0; VLEN]);
+        assert_eq!(e.state.za[0][6], [8.0; VLEN]);
+        assert_eq!(e.state.za[0][1], [0.0; VLEN]);
+    }
+
+    #[test]
+    fn bad_ext_shift_rejected() {
+        let (mut e, mut m, mut h) = setup();
+        let err = e.step(
+            &Inst::Ext {
+                vd: v(0),
+                vn: v(1),
+                vm: v(2),
+                shift: 9,
+            },
+            &mut m,
+            &mut h,
+        );
+        assert_eq!(err, Err(SimError::BadExtShift { shift: 9 }));
+    }
+}

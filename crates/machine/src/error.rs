@@ -1,0 +1,65 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised by the functional simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A memory access fell outside the allocated simulated memory.
+    OutOfBounds {
+        /// Offending element address.
+        addr: u64,
+        /// Allocated memory length in elements.
+        len: u64,
+    },
+    /// A vector FMLA was executed on a machine without streaming-mode
+    /// vector MLA units (e.g. Apple M4, paper §4.1).
+    VectorFmlaUnsupported,
+    /// An EXT shift amount exceeded `VLEN`.
+    BadExtShift {
+        /// The offending shift amount.
+        shift: u8,
+    },
+    /// A tile row index exceeded `VLEN`.
+    BadTileRow {
+        /// The offending row index.
+        row: u8,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { addr, len } => {
+                write!(
+                    f,
+                    "memory access at element {addr} out of bounds (allocated {len})"
+                )
+            }
+            SimError::VectorFmlaUnsupported => {
+                write!(
+                    f,
+                    "vector FMLA is not available in streaming mode on this machine"
+                )
+            }
+            SimError::BadExtShift { shift } => write!(f, "EXT shift {shift} out of range"),
+            SimError::BadTileRow { row } => write!(f, "tile row {row} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::OutOfBounds { addr: 10, len: 4 };
+        assert!(e.to_string().contains("element 10"));
+        assert!(SimError::VectorFmlaUnsupported
+            .to_string()
+            .contains("streaming"));
+    }
+}

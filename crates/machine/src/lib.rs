@@ -1,0 +1,48 @@
+//! # lx2-sim
+//!
+//! Functional **and** cycle-approximate simulator for an SME-class CPU —
+//! the substrate substituting for the paper's LX2 and Apple M4 hardware
+//! (see `DESIGN.md` §2 at the workspace root).
+//!
+//! * Functional layer: every instruction of `lx2-isa` executes exactly on
+//!   simulated registers and flat f64 memory, so kernel outputs are
+//!   bit-comparable against scalar references.
+//! * Timing layer: in-order multi-issue with a register scoreboard,
+//!   per-pipe-class execution units ([`engine`]), and a two-level cache
+//!   hierarchy with hardware stream prefetch and software `PRFM`
+//!   ([`hierarchy`]).
+//! * Counters: the simulated equivalents of the `perf stat` events the
+//!   paper reports ([`counters`]).
+//!
+//! ```
+//! use lx2_sim::{Machine, MachineConfig};
+//! use lx2_isa::{Inst, Program, VReg};
+//!
+//! let mut m = Machine::new(&MachineConfig::lx2());
+//! let region = m.alloc(8, 8);
+//! let mut p = Program::new();
+//! p.push(Inst::DupImm { vd: VReg::new(0), imm: 1.5 });
+//! p.push(Inst::St1d { vs: VReg::new(0), addr: region.base });
+//! m.execute(&p).unwrap();
+//! assert_eq!(m.mem.read(region.base).unwrap(), 1.5);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod engine;
+pub mod error;
+pub mod hierarchy;
+pub mod machine;
+pub mod mem;
+pub mod prefetch;
+pub mod trace;
+
+pub use config::{CacheConfig, MachineConfig, MachineKind, PrefetchConfig};
+pub use counters::{MemCounters, PerfCounters};
+pub use engine::{ArchState, Engine};
+pub use error::SimError;
+pub use hierarchy::MemHierarchy;
+pub use machine::Machine;
+pub use mem::{Memory, Region};
+pub use trace::{execute_traced, Trace, TraceEntry};

@@ -1,0 +1,180 @@
+//! The top-level machine: memory + hierarchy + engine.
+
+use crate::config::MachineConfig;
+use crate::counters::PerfCounters;
+use crate::engine::Engine;
+use crate::error::SimError;
+use crate::hierarchy::MemHierarchy;
+use crate::mem::{Memory, Region};
+use lx2_isa::{Inst, Program};
+
+/// A complete simulated machine instance.
+///
+/// Owns the simulated memory (where grids live), the cache hierarchy and
+/// the issue engine. Programs are executed incrementally — kernel drivers
+/// feed per-tile instruction blocks and all timing/cache state persists
+/// across calls.
+pub struct Machine {
+    cfg: MachineConfig,
+    /// Simulated flat memory.
+    pub mem: Memory,
+    engine: Engine,
+    hier: MemHierarchy,
+}
+
+impl Machine {
+    /// Builds a machine for a configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Machine {
+            cfg: cfg.clone(),
+            mem: Memory::new(),
+            engine: Engine::new(cfg),
+            hier: MemHierarchy::new(cfg),
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Allocates a zeroed region of simulated memory.
+    pub fn alloc(&mut self, len: usize, align: usize) -> Region {
+        self.mem.alloc(len, align)
+    }
+
+    /// Executes a program (appends to the machine's timeline).
+    pub fn execute(&mut self, program: &Program) -> Result<(), SimError> {
+        self.execute_insts(program.insts())
+    }
+
+    /// Executes a raw instruction slice.
+    pub fn execute_insts(&mut self, insts: &[Inst]) -> Result<(), SimError> {
+        for inst in insts {
+            self.engine.step(inst, &mut self.mem, &mut self.hier)?;
+        }
+        Ok(())
+    }
+
+    /// Elapsed cycles since construction (completion horizon).
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.engine.elapsed_cycles()
+    }
+
+    /// Combined performance counters (core + memory).
+    pub fn counters(&self) -> PerfCounters {
+        let mut c = self.engine.counters;
+        c.cycles = self.elapsed_cycles();
+        c.mem = self.hier.counters;
+        c
+    }
+
+    /// Direct access to the engine's architectural state (for tests).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the engine (for tests that pre-set registers).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Drops all cached lines and prefetch streams, e.g. between timed
+    /// phases. Counters and the cycle horizon are kept.
+    pub fn clear_caches(&mut self) {
+        self.hier.clear_caches();
+    }
+
+    /// Switch streaming (SME) mode; see [`Engine::set_streaming`].
+    pub fn set_streaming(&mut self, on: bool) {
+        self.engine.set_streaming(on);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lx2_isa::{RowMask, VReg, ZaReg};
+
+    #[test]
+    fn end_to_end_outer_product_into_memory() {
+        let cfg = MachineConfig::lx2();
+        let mut m = Machine::new(&cfg);
+        let a = m.alloc(8, 8);
+        let out = m.alloc(64, 8);
+        m.mem
+            .store_slice(a.base, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .unwrap();
+
+        let mut p = Program::new();
+        p.push(Inst::DupImm {
+            vd: VReg::new(1),
+            imm: 2.0,
+        });
+        p.push(Inst::Ld1d {
+            vd: VReg::new(0),
+            addr: a.base,
+        });
+        p.push(Inst::ZeroZa {
+            za: ZaReg::new(0),
+            mask: RowMask::ALL,
+        });
+        p.push(Inst::Fmopa {
+            za: ZaReg::new(0),
+            vn: VReg::new(1),
+            vm: VReg::new(0),
+            mask: RowMask::ALL,
+        });
+        for row in 0..8u8 {
+            p.push(Inst::StZaRow {
+                za: ZaReg::new(0),
+                row,
+                addr: out.base + row as u64 * 8,
+            });
+        }
+        m.execute(&p).unwrap();
+
+        // Every row of the tile is 2 * [1..8].
+        for row in 0..8u64 {
+            for col in 0..8u64 {
+                let got = m.mem.read(out.base + row * 8 + col).unwrap();
+                assert_eq!(got, 2.0 * (col as f64 + 1.0));
+            }
+        }
+        let c = m.counters();
+        assert_eq!(c.fmopa, 1);
+        assert!(c.cycles > 0);
+        assert!(c.mem.l1_load_accesses >= 1);
+    }
+
+    #[test]
+    fn counters_accumulate_across_executes() {
+        let cfg = MachineConfig::lx2();
+        let mut m = Machine::new(&cfg);
+        let mut p = Program::new();
+        p.push(Inst::DupImm {
+            vd: VReg::new(0),
+            imm: 1.0,
+        });
+        m.execute(&p).unwrap();
+        let c1 = m.counters().instructions;
+        m.execute(&p).unwrap();
+        assert_eq!(m.counters().instructions, c1 * 2);
+    }
+
+    #[test]
+    fn clear_caches_keeps_counters() {
+        let cfg = MachineConfig::lx2();
+        let mut m = Machine::new(&cfg);
+        let r = m.alloc(8, 8);
+        let mut p = Program::new();
+        p.push(Inst::Ld1d {
+            vd: VReg::new(0),
+            addr: r.base,
+        });
+        m.execute(&p).unwrap();
+        let before = m.counters().mem.l1_load_accesses;
+        m.clear_caches();
+        assert_eq!(m.counters().mem.l1_load_accesses, before);
+    }
+}

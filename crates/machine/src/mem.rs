@@ -1,0 +1,227 @@
+//! Simulated flat f64 memory with a bump allocator.
+//!
+//! Addresses everywhere in the simulator are **element indices** into this
+//! memory (1 element = 8 bytes); the cache hierarchy converts to line
+//! addresses internally.
+
+use crate::error::SimError;
+use lx2_isa::VLEN;
+
+/// Flat simulated memory.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    data: Vec<f64>,
+}
+
+/// A region returned by [`Memory::alloc`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// First element address of the region.
+    pub base: u64,
+    /// Length in elements.
+    pub len: u64,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Memory { data: Vec::new() }
+    }
+
+    /// Allocates `len` elements aligned to `align` elements (must be a
+    /// power of two), zero-initialized.
+    pub fn alloc(&mut self, len: usize, align: usize) -> Region {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.data.len() + align - 1) & !(align - 1);
+        self.data.resize(base + len, 0.0);
+        Region {
+            base: base as u64,
+            len: len as u64,
+        }
+    }
+
+    /// Total allocated length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn read(&self, addr: u64) -> Result<f64, SimError> {
+        self.data
+            .get(addr as usize)
+            .copied()
+            .ok_or(SimError::OutOfBounds {
+                addr,
+                len: self.data.len() as u64,
+            })
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: f64) -> Result<(), SimError> {
+        let len = self.data.len() as u64;
+        match self.data.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(SimError::OutOfBounds { addr, len }),
+        }
+    }
+
+    /// Read a contiguous vector of `VLEN` elements.
+    #[inline]
+    pub fn read_vec(&self, addr: u64) -> Result<[f64; VLEN], SimError> {
+        let start = addr as usize;
+        let end = start + VLEN;
+        if end > self.data.len() {
+            return Err(SimError::OutOfBounds {
+                addr: end as u64 - 1,
+                len: self.data.len() as u64,
+            });
+        }
+        let mut out = [0.0; VLEN];
+        out.copy_from_slice(&self.data[start..end]);
+        Ok(out)
+    }
+
+    /// Write a contiguous vector of `VLEN` elements.
+    #[inline]
+    pub fn write_vec(&mut self, addr: u64, value: &[f64; VLEN]) -> Result<(), SimError> {
+        let start = addr as usize;
+        let end = start + VLEN;
+        if end > self.data.len() {
+            return Err(SimError::OutOfBounds {
+                addr: end as u64 - 1,
+                len: self.data.len() as u64,
+            });
+        }
+        self.data[start..end].copy_from_slice(value);
+        Ok(())
+    }
+
+    /// Read `VLEN` elements separated by `stride` (a column gather).
+    #[inline]
+    pub fn read_strided(&self, addr: u64, stride: u64) -> Result<[f64; VLEN], SimError> {
+        let mut out = [0.0; VLEN];
+        for (l, slot) in out.iter_mut().enumerate() {
+            *slot = self.read(addr + l as u64 * stride)?;
+        }
+        Ok(out)
+    }
+
+    /// Write `VLEN` elements separated by `stride` (a column scatter).
+    #[inline]
+    pub fn write_strided(
+        &mut self,
+        addr: u64,
+        stride: u64,
+        value: &[f64; VLEN],
+    ) -> Result<(), SimError> {
+        for (l, &v) in value.iter().enumerate() {
+            self.write(addr + l as u64 * stride, v)?;
+        }
+        Ok(())
+    }
+
+    /// Bulk copy a host slice into simulated memory at `addr`.
+    pub fn store_slice(&mut self, addr: u64, src: &[f64]) -> Result<(), SimError> {
+        let start = addr as usize;
+        let end = start + src.len();
+        if end > self.data.len() {
+            return Err(SimError::OutOfBounds {
+                addr: end as u64 - 1,
+                len: self.data.len() as u64,
+            });
+        }
+        self.data[start..end].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Bulk copy simulated memory at `addr` into a host slice.
+    pub fn load_slice(&self, addr: u64, dst: &mut [f64]) -> Result<(), SimError> {
+        let start = addr as usize;
+        let end = start + dst.len();
+        if end > self.data.len() {
+            return Err(SimError::OutOfBounds {
+                addr: end as u64 - 1,
+                len: self.data.len() as u64,
+            });
+        }
+        dst.copy_from_slice(&self.data[start..end]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_zeroed() {
+        let mut m = Memory::new();
+        let _pad = m.alloc(3, 1);
+        let r = m.alloc(16, 8);
+        assert_eq!(r.base % 8, 0);
+        for a in r.base..r.base + r.len {
+            assert_eq!(m.read(a).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut m = Memory::new();
+        let r = m.alloc(4, 1);
+        m.write(r.base + 2, 3.5).unwrap();
+        assert_eq!(m.read(r.base + 2).unwrap(), 3.5);
+    }
+
+    #[test]
+    fn oob_read_rejected() {
+        let m = Memory::new();
+        assert!(m.read(0).is_err());
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let mut m = Memory::new();
+        let r = m.alloc(VLEN * 2, VLEN);
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        m.write_vec(r.base + 1, &v).unwrap();
+        assert_eq!(m.read_vec(r.base + 1).unwrap(), v);
+    }
+
+    #[test]
+    fn vec_oob_rejected() {
+        let mut m = Memory::new();
+        let r = m.alloc(VLEN, 1);
+        assert!(m.read_vec(r.base + 1).is_err());
+        assert!(m.write_vec(r.base + 1, &[0.0; VLEN]).is_err());
+    }
+
+    #[test]
+    fn strided_roundtrip() {
+        let mut m = Memory::new();
+        let r = m.alloc(VLEN * 10, 1);
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        m.write_strided(r.base, 10, &v).unwrap();
+        assert_eq!(m.read_strided(r.base, 10).unwrap(), v);
+        assert_eq!(m.read(r.base + 30).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let mut m = Memory::new();
+        let r = m.alloc(8, 1);
+        m.store_slice(r.base, &[9.0, 8.0, 7.0]).unwrap();
+        let mut out = [0.0; 3];
+        m.load_slice(r.base, &mut out).unwrap();
+        assert_eq!(out, [9.0, 8.0, 7.0]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Hardware stream prefetcher.
+//!
+//! Models the commodity-CPU prefetcher the paper describes in §2.3.3 and
+//! §3.3: a table of forward *streams* detected from consecutive line
+//! accesses. It excels at 1-D sequential sweeps (the vector method) and
+//! copes poorly with the short row bursts + large row jumps of tiled
+//! matrix processing — exactly the asymmetry behind Table 3.
+
+use crate::config::PrefetchConfig;
+
+#[derive(Clone, Copy, Debug)]
+struct Stream {
+    /// Next line the demand stream is expected to touch.
+    expect: u64,
+    /// Highest line already requested by this stream.
+    prefetched_until: u64,
+    /// Consecutive-line matches observed.
+    confidence: u32,
+    /// LRU tick.
+    last_use: u64,
+    valid: bool,
+}
+
+/// Forward-only stream prefetcher with an LRU stream table.
+#[derive(Clone, Debug)]
+pub struct StreamPrefetcher {
+    cfg: PrefetchConfig,
+    table: Vec<Stream>,
+    tick: u64,
+}
+
+impl StreamPrefetcher {
+    /// Builds a prefetcher from its configuration.
+    pub fn new(cfg: PrefetchConfig) -> Self {
+        let empty = Stream {
+            expect: 0,
+            prefetched_until: 0,
+            confidence: 0,
+            last_use: 0,
+            valid: false,
+        };
+        StreamPrefetcher {
+            cfg,
+            table: vec![empty; cfg.streams.max(1)],
+            tick: 0,
+        }
+    }
+
+    /// Observes a demand access to `line`; appends any lines that should be
+    /// prefetched to `out`.
+    ///
+    /// Streams advance on *any* demand access (hit or miss) so that a
+    /// trained stream keeps running ahead; new streams are only allocated
+    /// on misses (`was_miss`), mirroring common hardware policy.
+    pub fn observe(&mut self, line: u64, was_miss: bool, out: &mut Vec<u64>) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+
+        // Try to match an existing stream expecting this line.
+        for s in &mut self.table {
+            if s.valid && line == s.expect {
+                s.confidence += 1;
+                s.expect = line + 1;
+                s.last_use = tick;
+                if s.confidence >= self.cfg.min_confidence {
+                    // Hardware prefetchers do not cross page boundaries:
+                    // the stream is clipped to the current 4 KiB page and
+                    // must retrain after every crossing. Long 1-D row
+                    // sweeps barely notice; short strip-major bursts never
+                    // get ahead (paper §2.3.3).
+                    let page_end = (line / self.cfg.page_lines + 1) * self.cfg.page_lines - 1;
+                    let target = (line + self.cfg.degree).min(page_end);
+                    let from = s.prefetched_until.max(line) + 1;
+                    for l in from..=target {
+                        out.push(l);
+                    }
+                    if target > s.prefetched_until {
+                        s.prefetched_until = target;
+                    }
+                }
+                return;
+            }
+        }
+
+        // No stream matched: allocate on a miss (replace LRU entry).
+        if was_miss {
+            let victim = self
+                .table
+                .iter_mut()
+                .min_by_key(|s| if s.valid { s.last_use } else { 0 })
+                .expect("stream table is non-empty");
+            *victim = Stream {
+                expect: line + 1,
+                prefetched_until: line,
+                confidence: 1,
+                last_use: tick,
+                valid: true,
+            };
+        }
+    }
+
+    /// Number of currently trained streams (confidence reached).
+    pub fn trained_streams(&self) -> usize {
+        self.table
+            .iter()
+            .filter(|s| s.valid && s.confidence >= self.cfg.min_confidence)
+            .count()
+    }
+
+    /// Forget all streams.
+    pub fn clear(&mut self) {
+        for s in &mut self.table {
+            s.valid = false;
+            s.confidence = 0;
+        }
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(streams: usize, degree: u64) -> PrefetchConfig {
+        PrefetchConfig {
+            enabled: true,
+            streams,
+            min_confidence: 2,
+            degree,
+            page_lines: 64,
+        }
+    }
+
+    #[test]
+    fn sequential_stream_triggers_prefetch() {
+        let mut pf = StreamPrefetcher::new(cfg(4, 4));
+        let mut out = Vec::new();
+        pf.observe(100, true, &mut out); // allocate
+        assert!(out.is_empty());
+        pf.observe(101, true, &mut out); // confidence 2 -> prefetch 102..=105
+        assert_eq!(out, vec![102, 103, 104, 105]);
+        out.clear();
+        pf.observe(102, false, &mut out); // advance; only new lines beyond 105
+        assert_eq!(out, vec![106]);
+    }
+
+    #[test]
+    fn random_accesses_never_prefetch() {
+        let mut pf = StreamPrefetcher::new(cfg(4, 4));
+        let mut out = Vec::new();
+        for line in [10u64, 500, 3, 999, 42, 7777] {
+            pf.observe(line, true, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(pf.trained_streams(), 0);
+    }
+
+    #[test]
+    fn multiple_streams_tracked_independently() {
+        let mut pf = StreamPrefetcher::new(cfg(4, 2));
+        let mut out = Vec::new();
+        // Interleave two streams at distant bases.
+        for step in 0..4u64 {
+            pf.observe(1000 + step, true, &mut out);
+            pf.observe(9000 + step, true, &mut out);
+        }
+        assert_eq!(pf.trained_streams(), 2);
+        assert!(out.contains(&1003));
+        assert!(out.contains(&9003));
+    }
+
+    #[test]
+    fn table_thrash_loses_streams() {
+        // One-entry table: alternating streams evict each other before
+        // reaching confidence.
+        let mut pf = StreamPrefetcher::new(cfg(1, 4));
+        let mut out = Vec::new();
+        for step in 0..6u64 {
+            pf.observe(1000 + step, true, &mut out);
+            pf.observe(9000 + step, true, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn disabled_prefetcher_is_silent() {
+        let mut pf = StreamPrefetcher::new(PrefetchConfig {
+            enabled: false,
+            streams: 4,
+            min_confidence: 1,
+            degree: 8,
+            page_lines: 64,
+        });
+        let mut out = Vec::new();
+        for l in 0..16 {
+            pf.observe(l, true, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn prefetch_stops_at_page_boundary() {
+        // Lines 62, 63 train a stream near the end of page 0 (lines 0..64):
+        // prefetches must not spill into page 1.
+        let mut pf = StreamPrefetcher::new(cfg(4, 8));
+        let mut out = Vec::new();
+        pf.observe(61, true, &mut out);
+        pf.observe(62, true, &mut out);
+        assert!(
+            out.iter().all(|&l| l < 64),
+            "prefetches crossed the page: {out:?}"
+        );
+        assert_eq!(out, vec![63]);
+        out.clear();
+        // Crossing the boundary by demand retrains within the new page.
+        pf.observe(63, false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hits_keep_stream_running_ahead() {
+        let mut pf = StreamPrefetcher::new(cfg(4, 3));
+        let mut out = Vec::new();
+        pf.observe(0, true, &mut out);
+        pf.observe(1, true, &mut out);
+        out.clear();
+        // Later accesses hit (prefetched) but the stream must keep advancing.
+        pf.observe(2, false, &mut out);
+        pf.observe(3, false, &mut out);
+        assert_eq!(out, vec![5, 6]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Pipeline tracing: record per-instruction issue cycles and render a
+//! text timeline of pipe occupancy — the tool used to inspect how well a
+//! kernel's instruction schedule overlaps the matrix, vector and memory
+//! pipes (the paper's Figure 10 visualized from real executions).
+
+use crate::machine::Machine;
+use crate::SimError;
+use lx2_isa::{Inst, PipeClass, Program, PIPE_CLASS_COUNT};
+use std::fmt;
+
+/// One traced instruction.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// The instruction.
+    pub inst: Inst,
+    /// Cycle it issued.
+    pub issue: u64,
+    /// Pipe it issued to.
+    pub pipe: PipeClass,
+}
+
+/// A recorded execution trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// The traced instructions in program order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// First issue cycle (0 if empty).
+    pub fn start_cycle(&self) -> u64 {
+        self.entries.first().map(|e| e.issue).unwrap_or(0)
+    }
+
+    /// Last issue cycle (0 if empty).
+    pub fn end_cycle(&self) -> u64 {
+        self.entries.last().map(|e| e.issue).unwrap_or(0)
+    }
+
+    /// Instructions per cycle over the traced window.
+    pub fn ipc(&self) -> f64 {
+        let span = self.end_cycle().saturating_sub(self.start_cycle()) + 1;
+        self.entries.len() as f64 / span as f64
+    }
+
+    /// Cycles in the window where no instruction issued (pipeline bubbles).
+    pub fn bubble_cycles(&self) -> u64 {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        let mut issued: Vec<u64> = self.entries.iter().map(|e| e.issue).collect();
+        issued.dedup();
+        let span = self.end_cycle() - self.start_cycle() + 1;
+        span - issued.len() as u64
+    }
+
+    /// Instructions per pipe class.
+    pub fn per_pipe(&self) -> [usize; PIPE_CLASS_COUNT] {
+        let mut out = [0; PIPE_CLASS_COUNT];
+        for e in &self.entries {
+            out[e.pipe.index()] += 1;
+        }
+        out
+    }
+
+    /// Renders an occupancy timeline: one row per pipe class, one column
+    /// per cycle (clamped to `max_cycles`), `#` where an instruction of
+    /// that class issued.
+    pub fn render_timeline(&self, max_cycles: usize) -> String {
+        let start = self.start_cycle();
+        let span = ((self.end_cycle() - start + 1) as usize).min(max_cycles);
+        let mut rows = vec![vec![b'.'; span]; PIPE_CLASS_COUNT];
+        for e in &self.entries {
+            let c = (e.issue - start) as usize;
+            if c < span {
+                let cell = &mut rows[e.pipe.index()][c];
+                *cell = if *cell == b'.' { b'#' } else { b'2' };
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cycles {start}..{} (showing {span})\n",
+            self.end_cycle()
+        ));
+        for (k, row) in rows.iter().enumerate() {
+            let name = PipeClass::ALL[k].name();
+            out.push_str(&format!("{name:>7} |{}|\n", String::from_utf8_lossy(row)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{:>8}  [{:>6}]  {}", e.issue, e.pipe, e.inst)?;
+        }
+        Ok(())
+    }
+}
+
+/// Executes `program` on `machine`, recording each instruction's issue
+/// cycle. (Stepping one instruction at a time; use only for inspection,
+/// not for bulk simulation.)
+pub fn execute_traced(machine: &mut Machine, program: &Program) -> Result<Trace, SimError> {
+    let mut trace = Trace::default();
+    for inst in program.insts() {
+        machine.execute_insts(std::slice::from_ref(inst))?;
+        trace.entries.push(TraceEntry {
+            inst: *inst,
+            issue: machine.engine().last_issue_cycle(),
+            pipe: inst.pipe(),
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+    use lx2_isa::{RowMask, VReg, ZaReg};
+
+    fn trace_of(insts: Vec<Inst>) -> Trace {
+        let mut m = Machine::new(&MachineConfig::lx2());
+        let _mem = m.alloc(64, 8);
+        let p: Program = insts.into_iter().collect();
+        execute_traced(&mut m, &p).unwrap()
+    }
+
+    #[test]
+    fn issue_cycles_are_monotonic() {
+        let t = trace_of(
+            (0..32)
+                .map(|k| Inst::Fmla {
+                    vd: VReg::new(k % 8),
+                    vn: VReg::new(30),
+                    vm: VReg::new(31),
+                })
+                .collect(),
+        );
+        assert!(t.entries().windows(2).all(|w| w[0].issue <= w[1].issue));
+        assert_eq!(t.entries().len(), 32);
+    }
+
+    #[test]
+    fn interleaved_streams_show_coissue() {
+        // A matrix+vector interleave should issue pairs in the same cycle
+        // at least some of the time.
+        let insts: Vec<Inst> = (0..16)
+            .flat_map(|k| {
+                [
+                    Inst::Fmopa {
+                        za: ZaReg::new(k % 4),
+                        vn: VReg::new(0),
+                        vm: VReg::new(1),
+                        mask: RowMask::ALL,
+                    },
+                    Inst::Fmla {
+                        vd: VReg::new(2 + k % 8),
+                        vn: VReg::new(30),
+                        vm: VReg::new(31),
+                    },
+                ]
+            })
+            .collect();
+        let t = trace_of(insts);
+        let coissued = t
+            .entries()
+            .windows(2)
+            .filter(|w| w[0].issue == w[1].issue && w[0].pipe != w[1].pipe)
+            .count();
+        assert!(coissued > 4, "expected co-issue, saw {coissued}");
+    }
+
+    #[test]
+    fn dependent_chain_shows_bubbles() {
+        let t = trace_of(
+            (0..16)
+                .map(|_| Inst::Fmla {
+                    vd: VReg::new(0),
+                    vn: VReg::new(1),
+                    vm: VReg::new(2),
+                })
+                .collect(),
+        );
+        assert!(
+            t.bubble_cycles() > 16,
+            "chain must stall: {}",
+            t.bubble_cycles()
+        );
+        assert!(t.ipc() < 0.5);
+    }
+
+    #[test]
+    fn timeline_renders_all_pipes() {
+        let t = trace_of(vec![
+            Inst::Ld1d {
+                vd: VReg::new(0),
+                addr: 0,
+            },
+            Inst::DupImm {
+                vd: VReg::new(1),
+                imm: 1.0,
+            },
+            Inst::Fmopa {
+                za: ZaReg::new(0),
+                vn: VReg::new(1),
+                vm: VReg::new(1),
+                mask: RowMask::ALL,
+            },
+            Inst::St1d {
+                vs: VReg::new(1),
+                addr: 8,
+            },
+        ]);
+        let s = t.render_timeline(64);
+        for name in ["vector", "matrix", "load", "store"] {
+            assert!(s.contains(name), "missing {name} row:\n{s}");
+        }
+        assert!(s.contains('#'));
+        let pp = t.per_pipe();
+        assert_eq!(pp.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn display_lists_every_instruction() {
+        let t = trace_of(vec![
+            Inst::DupImm {
+                vd: VReg::new(0),
+                imm: 2.0,
+            },
+            Inst::DupImm {
+                vd: VReg::new(1),
+                imm: 3.0,
+            },
+        ]);
+        let s = t.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("dup"));
+    }
+}

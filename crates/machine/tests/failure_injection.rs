@@ -1,0 +1,137 @@
+//! Failure injection: malformed programs must surface typed errors, never
+//! corrupt state or panic.
+
+use lx2_isa::{assemble, Inst, MemKind, Program, RowMask, VReg, ZaReg};
+use lx2_sim::{Machine, MachineConfig, SimError};
+
+fn machine() -> Machine {
+    let mut m = Machine::new(&MachineConfig::lx2());
+    m.alloc(1024, 8);
+    m
+}
+
+#[test]
+fn oob_load_is_reported_not_panicked() {
+    let mut m = machine();
+    let p: Program = std::iter::once(Inst::Ld1d {
+        vd: VReg::new(0),
+        addr: 10_000_000,
+    })
+    .collect();
+    match m.execute(&p) {
+        Err(SimError::OutOfBounds { addr, .. }) => assert!(addr >= 10_000_000),
+        other => panic!("expected OutOfBounds, got {other:?}"),
+    }
+}
+
+#[test]
+fn oob_store_is_reported() {
+    let mut m = machine();
+    let p: Program = std::iter::once(Inst::St1d {
+        vs: VReg::new(0),
+        addr: u64::MAX - 16,
+    })
+    .collect();
+    assert!(matches!(m.execute(&p), Err(SimError::OutOfBounds { .. })));
+}
+
+#[test]
+fn partial_execution_keeps_earlier_effects() {
+    // The instruction before the fault must have committed.
+    let mut m = machine();
+    let mut p = Program::new();
+    p.push(Inst::DupImm {
+        vd: VReg::new(3),
+        imm: 9.0,
+    });
+    p.push(Inst::Ld1d {
+        vd: VReg::new(4),
+        addr: 99_999_999,
+    });
+    assert!(m.execute(&p).is_err());
+    assert_eq!(m.engine().state.v[3], [9.0; 8]);
+}
+
+#[test]
+fn streaming_mode_violations_are_typed() {
+    let cfg = MachineConfig::apple_m4();
+    let mut m = Machine::new(&cfg);
+    m.alloc(64, 8);
+    let fmla: Program = std::iter::once(Inst::Fmla {
+        vd: VReg::new(0),
+        vn: VReg::new(1),
+        vm: VReg::new(2),
+    })
+    .collect();
+    assert_eq!(m.execute(&fmla), Err(SimError::VectorFmlaUnsupported));
+    // Outside streaming mode the same instruction is legal (NEON path).
+    m.set_streaming(false);
+    assert!(m.execute(&fmla).is_ok());
+}
+
+#[test]
+fn bad_ext_and_tile_rows_are_typed() {
+    let mut m = machine();
+    let bad_ext: Program = std::iter::once(Inst::Ext {
+        vd: VReg::new(0),
+        vn: VReg::new(1),
+        vm: VReg::new(2),
+        shift: 12,
+    })
+    .collect();
+    assert_eq!(
+        m.execute(&bad_ext),
+        Err(SimError::BadExtShift { shift: 12 })
+    );
+
+    let bad_row: Program = std::iter::once(Inst::StZaRow {
+        za: ZaReg::new(0),
+        row: 9,
+        addr: 0,
+    })
+    .collect();
+    assert_eq!(m.execute(&bad_row), Err(SimError::BadTileRow { row: 9 }));
+}
+
+#[test]
+fn prefetch_of_wild_addresses_is_harmless() {
+    // PRFM is a hint: no architectural fault even far out of bounds.
+    let mut m = machine();
+    let p: Program = (0..16u64)
+        .map(|k| Inst::Prfm {
+            addr: k * 123_456_789,
+            kind: MemKind::Read,
+        })
+        .collect();
+    m.execute(&p).expect("prefetch hints never fault");
+    assert_eq!(m.counters().mem.sw_prefetches, 16);
+}
+
+#[test]
+fn counters_survive_a_fault() {
+    let mut m = machine();
+    let mut p = Program::new();
+    for k in 0..8 {
+        p.push(Inst::Fmopa {
+            za: ZaReg::new(k % 4),
+            vn: VReg::new(0),
+            vm: VReg::new(1),
+            mask: RowMask::ALL,
+        });
+    }
+    p.push(Inst::Ld1d {
+        vd: VReg::new(0),
+        addr: 1 << 40,
+    });
+    assert!(m.execute(&p).is_err());
+    let c = m.counters();
+    assert_eq!(c.fmopa, 8);
+    assert!(c.cycles > 0);
+}
+
+#[test]
+fn assembler_errors_do_not_half_build_programs() {
+    let bad = "dup v0, #1\nfmopa za0<all>, v1\n"; // missing operand
+    let err = assemble(bad).unwrap_err();
+    assert_eq!(err.line, 2);
+}

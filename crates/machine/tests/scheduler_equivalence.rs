@@ -1,0 +1,132 @@
+//! The automatic list scheduler must preserve semantics exactly: for any
+//! program, the scheduled version reaches a bit-identical architectural
+//! and memory state — and should not be slower on the modelled machine.
+
+use lx2_isa::{list_schedule, Inst, MemKind, Program, RowMask, ScheduleParams, VReg, ZaReg};
+use lx2_sim::{Machine, MachineConfig};
+use proptest::prelude::*;
+
+fn arb_vreg() -> impl Strategy<Value = VReg> {
+    (0usize..lx2_isa::NUM_VREGS).prop_map(VReg::new)
+}
+
+fn arb_za() -> impl Strategy<Value = ZaReg> {
+    (0usize..lx2_isa::NUM_ZA_TILES).prop_map(ZaReg::new)
+}
+
+/// Instructions over a small memory arena (addresses 0..512, 8-aligned so
+/// no OOB), mixing compute and memory.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let addr = (0u64..56).prop_map(|a| a * 8);
+    prop_oneof![
+        (arb_vreg(), addr.clone()).prop_map(|(vd, addr)| Inst::Ld1d { vd, addr }),
+        (arb_vreg(), addr.clone()).prop_map(|(vs, addr)| Inst::St1d { vs, addr }),
+        (arb_za(), 0u8..8, addr.clone()).prop_map(|(za, row, addr)| Inst::StZaRow {
+            za,
+            row,
+            addr
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),
+        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..8).prop_map(|(vd, vn, vm, idx)| Inst::FmlaIdx {
+            vd,
+            vn,
+            vm,
+            idx
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fadd { vd, vn, vm }),
+        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..=8).prop_map(|(vd, vn, vm, shift)| Inst::Ext {
+            vd,
+            vn,
+            vm,
+            shift
+        }),
+        (arb_vreg(), -4.0f64..4.0).prop_map(|(vd, imm)| Inst::DupImm { vd, imm }),
+        (arb_za(), arb_vreg(), arb_vreg(), any::<u8>()).prop_map(|(za, vn, vm, m)| Inst::Fmopa {
+            za,
+            vn,
+            vm,
+            mask: RowMask::from_bits(m)
+        }),
+        (arb_za(), any::<u8>()).prop_map(|(za, m)| Inst::ZeroZa {
+            za,
+            mask: RowMask::from_bits(m)
+        }),
+        addr.prop_map(|addr| Inst::Prfm {
+            addr,
+            kind: MemKind::Read
+        }),
+    ]
+}
+
+fn run_state(insts: &[Inst]) -> (Vec<f64>, [[f64; 8]; 32], u64) {
+    let cfg = MachineConfig::lx2();
+    let mut m = Machine::new(&cfg);
+    let region = m.alloc(512, 8);
+    // Distinct memory contents so reorderings that break aliasing show.
+    for k in 0..512u64 {
+        m.mem.write(region.base + k, (k as f64).sin()).unwrap();
+    }
+    let p: Program = insts.iter().copied().collect();
+    m.execute(&p).expect("program executes");
+    let mut mem = vec![0.0; 512];
+    m.mem.load_slice(region.base, &mut mem).unwrap();
+    (mem, m.engine().state.v, m.elapsed_cycles())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scheduling_preserves_final_state(
+        insts in proptest::collection::vec(arb_inst(), 1..120),
+    ) {
+        let scheduled = list_schedule(&insts, &ScheduleParams::default());
+        prop_assert_eq!(scheduled.len(), insts.len());
+        let (mem_a, regs_a, _) = run_state(&insts);
+        let (mem_b, regs_b, _) = run_state(&scheduled);
+        prop_assert_eq!(mem_a, mem_b, "memory diverged");
+        prop_assert_eq!(regs_a, regs_b, "registers diverged");
+    }
+}
+
+#[test]
+fn scheduler_speeds_up_a_phased_program() {
+    // A deliberately phase-ordered block (all loads, all matrix, all
+    // vector, all stores) — the §3.2.2 "before" picture.
+    let mut insts = Vec::new();
+    for k in 0..16u64 {
+        insts.push(Inst::Ld1d {
+            vd: VReg::new((k % 12) as usize),
+            addr: k * 8,
+        });
+    }
+    for k in 0..16usize {
+        insts.push(Inst::Fmopa {
+            za: ZaReg::new(k % 4),
+            vn: VReg::new(k % 12),
+            vm: VReg::new((k + 1) % 12),
+            mask: RowMask::ALL,
+        });
+    }
+    for k in 0..16usize {
+        insts.push(Inst::Fmla {
+            vd: VReg::new(16 + k % 8),
+            vn: VReg::new(k % 12),
+            vm: VReg::new((k + 3) % 12),
+        });
+    }
+    for k in 0..8u64 {
+        insts.push(Inst::StZaRow {
+            za: ZaReg::new((k % 4) as usize),
+            row: (k % 8) as u8,
+            addr: 256 + k * 8,
+        });
+    }
+    let scheduled = list_schedule(&insts, &ScheduleParams::default());
+    let (_, _, before) = run_state(&insts);
+    let (_, _, after) = run_state(&scheduled);
+    assert!(
+        after <= before,
+        "scheduled {after} cycles should not exceed phased {before}"
+    );
+}

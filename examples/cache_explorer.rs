@@ -1,0 +1,70 @@
+//! Cache explorer: watch the memory system react as the working set
+//! grows past L1 and L2, and see what spatial prefetch buys back.
+//!
+//! Reproduces the qualitative content of the paper's Tables 3 and 7 in
+//! one sweep, printing the L1/L2 hit behaviour of the vector method, the
+//! matrix-only method, and HStencil with and without software prefetch.
+//!
+//! ```sh
+//! cargo run --release --example cache_explorer
+//! ```
+
+use hstencil::sim::MachineConfig;
+use hstencil::{presets, Grid2d, Method, StencilPlan};
+
+fn run(
+    cfg: &MachineConfig,
+    spec: &hstencil::StencilSpec,
+    method: Method,
+    n: usize,
+    prefetch: bool,
+) -> hstencil::RunReport {
+    let grid = Grid2d::from_fn(n, n, spec.radius(), |i, j| {
+        ((i * 7 + j * 13) % 101) as f64 * 0.01
+    });
+    StencilPlan::new(spec, method)
+        .prefetch(prefetch)
+        .warmup(0)
+        .verify(n <= 256)
+        .run_2d(cfg, &grid)
+        .expect("run")
+        .report
+}
+
+fn main() {
+    let cfg = MachineConfig::lx2();
+    let spec = presets::box2d25p();
+    println!(
+        "LX2 memory system: L1 {} KiB / L2 {} KiB / DRAM ~{} cycles\n",
+        cfg.l1.size_bytes / 1024,
+        cfg.l2.size_bytes / 1024,
+        cfg.mem_latency
+    );
+    println!(
+        "{:>10} {:>6} | {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "size", "KiB", "vec L1%", "mat L1%", "HS-pf L1%", "HS+pf L1%", "pf gain"
+    );
+    for n in [128usize, 256, 512, 1024, 2048, 4096] {
+        let kib = n * n * 8 / 1024;
+        let v = run(&cfg, &spec, Method::VectorOnly, n, false);
+        let m = run(&cfg, &spec, Method::MatrixOnly, n, false);
+        let h0 = run(&cfg, &spec, Method::HStencil, n, false);
+        let h1 = run(&cfg, &spec, Method::HStencil, n, true);
+        println!(
+            "{:>10} {:>6} | {:>8.1}% {:>8.1}% | {:>8.1}% {:>8.1}% {:>8.2}x",
+            format!("{n}x{n}"),
+            kib,
+            v.l1_load_hit_rate() * 100.0,
+            m.l1_load_hit_rate() * 100.0,
+            h0.l1_load_hit_rate() * 100.0,
+            h1.l1_load_hit_rate() * 100.0,
+            h0.cycles() as f64 / h1.cycles() as f64,
+        );
+    }
+    println!(
+        "\nThe vector method's full-row sweeps keep the hardware stream \
+         prefetcher trained at any size;\nthe strip-major matrix methods \
+         lose it once strips leave the caches — until software prefetch \
+         (Algorithm 3) steps in."
+    );
+}

@@ -1,0 +1,94 @@
+//! 2-D acoustic wave propagation with a custom high-order stencil.
+//!
+//! The second-order wave equation `u_tt = c² ∇²u` discretizes into a
+//! three-level scheme whose spatial part is a radius-2 star Laplacian —
+//! built here as a *custom* [`StencilSpec`] (fourth-order finite
+//! difference), demonstrating that the framework is not limited to the
+//! bundled presets. The Laplacian term runs through the library's native
+//! executor each step; a ring wave expands from a point source.
+//!
+//! ```sh
+//! cargo run --release --example wave_2d
+//! ```
+
+use hstencil::sim::MachineConfig;
+use hstencil::{native, Grid2d, Method, StencilPlan, StencilSpec};
+
+const N: usize = 120;
+const STEPS: usize = 120;
+/// Courant number squared (c·dt/dx)², kept well below stability limit.
+const C2: f64 = 0.2;
+
+/// Fourth-order accurate Laplacian weights: (-1/12, 4/3, -5/2, 4/3, -1/12)
+/// per axis.
+fn laplacian4() -> StencilSpec {
+    let axis = [-1.0 / 12.0, 4.0 / 3.0, 0.0, 4.0 / 3.0, -1.0 / 12.0];
+    let center = -5.0; // -5/2 per axis, two axes
+    StencilSpec::star_2d("laplacian4", 2, center, &axis, &axis)
+}
+
+fn render(g: &Grid2d) {
+    let ramp = [' ', '.', ':', '+', '#'];
+    // Normalize against the current peak so the expanding (decaying)
+    // ring stays visible at every time step.
+    let mut peak = 1e-12f64;
+    for i in 0..N as isize {
+        for j in 0..N as isize {
+            peak = peak.max(g.at(i, j).abs());
+        }
+    }
+    for bi in 0..15 {
+        let mut line = String::new();
+        for bj in 0..30 {
+            let i = (bi * N / 15) as isize;
+            let j = (bj * N / 30) as isize;
+            let v = g.at(i, j).abs() / peak * (ramp.len() as f64 - 1.0);
+            let level = (v.round() as usize).min(ramp.len() - 1);
+            line.push(ramp[level]);
+        }
+        println!("  {line}");
+    }
+}
+
+fn main() {
+    let lap = laplacian4();
+
+    // Three time levels: prev, cur, next. Point source in the middle.
+    let mut prev = Grid2d::zeros(N, N, lap.radius());
+    let mut cur = Grid2d::zeros(N, N, lap.radius());
+    cur.set(N as isize / 2, N as isize / 2, 1.0);
+    prev.set(N as isize / 2, N as isize / 2, 1.0);
+
+    let mut lap_buf = Grid2d::zeros(N, N, lap.radius());
+    for step in 1..=STEPS {
+        // u_next = 2 u - u_prev + C2 * Lap(u)
+        native::apply_2d_parallel(&lap, &cur, &mut lap_buf, 2);
+        let mut next = Grid2d::zeros(N, N, lap.radius());
+        for i in 0..N as isize {
+            for j in 0..N as isize {
+                let v = 2.0 * cur.at(i, j) - prev.at(i, j) + C2 * lap_buf.at(i, j);
+                next.set(i, j, v);
+            }
+        }
+        prev = cur;
+        cur = next;
+        if step % 40 == 0 {
+            println!("t = {step}:");
+            render(&cur);
+            println!();
+        }
+    }
+
+    // The custom spec also runs on the simulated matrix-vector kernels —
+    // star tables route their horizontal arm through vector MLA exactly
+    // like the presets do.
+    let out = StencilPlan::new(&lap, Method::HStencil)
+        .verify(true)
+        .run_2d(&MachineConfig::lx2(), &cur)
+        .expect("custom stencil on the simulated machine");
+    println!(
+        "custom laplacian4 on simulated LX2 (HStencil): {} cycles, IPC {:.2}, verified.",
+        out.report.cycles(),
+        out.report.ipc()
+    );
+}

@@ -1,0 +1,28 @@
+//! # hstencil
+//!
+//! Facade crate for the HStencil workspace — a Rust reproduction of
+//! *"HStencil: Matrix-Vector Stencil Computation with Interleaved Outer
+//! Product and MLA"* (SC '25).
+//!
+//! Re-exports the three layers:
+//!
+//! * [`isa`] — the SME-class instruction-set model (`lx2-isa`),
+//! * [`sim`] — the functional + cycle-approximate machine simulator
+//!   (`lx2-sim`),
+//! * [`hstencil_core`]'s items at the crate root — stencil specifications,
+//!   grids, kernel builders, execution plans and reports.
+//!
+//! See the workspace `README.md` for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use hstencil_core::*;
+
+/// Instruction-set model (re-export of `lx2-isa`).
+pub mod isa {
+    pub use lx2_isa::*;
+}
+
+/// Machine simulator (re-export of `lx2-sim`).
+pub mod sim {
+    pub use lx2_sim::*;
+}

@@ -1,0 +1,190 @@
+//! Cross-crate integration tests through the `hstencil` facade: the full
+//! pipeline from stencil specification through kernel emission, simulated
+//! execution, verification and reporting.
+
+use hstencil::isa::{PipeClass, VLEN};
+use hstencil::sim::{MachineConfig, MachineKind};
+use hstencil::{presets, Grid2d, Grid3d, Method, Pattern, StencilPlan, StencilSpec};
+
+fn grid(h: usize, w: usize, halo: usize) -> Grid2d {
+    Grid2d::from_fn(h, w, halo, |i, j| {
+        ((i * 37 + j * 13 + 5) % 211) as f64 * 0.013 - 1.0
+    })
+}
+
+#[test]
+fn facade_reexports_are_coherent() {
+    assert_eq!(VLEN, 8);
+    let cfg = MachineConfig::lx2();
+    assert_eq!(cfg.kind, MachineKind::Lx2);
+    assert_eq!(PipeClass::ALL.len(), 4);
+}
+
+#[test]
+fn full_pipeline_star_on_lx2() {
+    let spec = presets::star2d9p();
+    let out = StencilPlan::new(&spec, Method::HStencil)
+        .verify(true)
+        .run_2d(&MachineConfig::lx2(), &grid(64, 64, 2))
+        .expect("full pipeline");
+    let r = &out.report;
+    assert_eq!(r.method, "HStencil");
+    assert_eq!(r.kernel, "hstencil-inplace");
+    assert_eq!(r.stencil, "star2d9p");
+    assert!(
+        r.ipc() > 1.0,
+        "hybrid kernel should sustain IPC > 1, got {:.2}",
+        r.ipc()
+    );
+    assert!(r.matrix_utilization().is_some());
+    assert!(r.gstencil_per_s() > 0.0);
+    assert!(r.time_ms() > 0.0);
+}
+
+#[test]
+fn report_display_is_informative() {
+    let spec = presets::heat2d();
+    let out = StencilPlan::new(&spec, Method::HStencil)
+        .verify(true)
+        .run_2d(&MachineConfig::lx2(), &grid(32, 32, 1))
+        .unwrap();
+    let line = out.report.to_string();
+    assert!(line.contains("HStencil"));
+    assert!(line.contains("heat2d"));
+    assert!(line.contains("cycles"));
+}
+
+#[test]
+fn methods_rank_as_the_paper_reports() {
+    // The headline ordering on an in-cache r=2 box: auto slowest, then
+    // vector, then matrix-only, then HStencil (paper Figure 12).
+    let spec = presets::box2d25p();
+    let g = grid(128, 128, 2);
+    let cfg = MachineConfig::lx2();
+    let cycles = |m: Method| {
+        StencilPlan::new(&spec, m)
+            .verify(true)
+            .run_2d(&cfg, &g)
+            .unwrap()
+            .report
+            .cycles()
+    };
+    let auto = cycles(Method::Auto);
+    let vector = cycles(Method::VectorOnly);
+    let matrix = cycles(Method::MatrixOnly);
+    let hstencil = cycles(Method::HStencil);
+    assert!(hstencil < matrix, "HStencil {hstencil} vs matrix {matrix}");
+    assert!(matrix < vector, "matrix {matrix} vs vector {vector}");
+    assert!(vector < auto, "vector {vector} vs auto {auto}");
+}
+
+#[test]
+fn sweeps_accumulate_points_and_cycles() {
+    let spec = presets::star2d5p();
+    let g = grid(32, 32, 1);
+    let cfg = MachineConfig::lx2();
+    let one = StencilPlan::new(&spec, Method::HStencil)
+        .sweeps(1)
+        .run_2d(&cfg, &g)
+        .unwrap();
+    let three = StencilPlan::new(&spec, Method::HStencil)
+        .sweeps(3)
+        .run_2d(&cfg, &g)
+        .unwrap();
+    assert_eq!(three.report.points, 3 * one.report.points);
+    assert!(three.report.cycles() > 2 * one.report.cycles());
+}
+
+#[test]
+fn warmup_changes_cache_behaviour_not_results() {
+    let spec = presets::box2d9p();
+    let g = grid(48, 48, 1);
+    let cfg = MachineConfig::lx2();
+    let cold = StencilPlan::new(&spec, Method::HStencil)
+        .warmup(0)
+        .run_2d(&cfg, &g)
+        .unwrap();
+    let warm = StencilPlan::new(&spec, Method::HStencil)
+        .warmup(2)
+        .run_2d(&cfg, &g)
+        .unwrap();
+    assert_eq!(cold.output.max_interior_diff(&warm.output), 0.0);
+    assert!(
+        warm.report.l1_load_hit_rate() >= cold.report.l1_load_hit_rate(),
+        "warm {:.3} vs cold {:.3}",
+        warm.report.l1_load_hit_rate(),
+        cold.report.l1_load_hit_rate()
+    );
+}
+
+#[test]
+fn lx2_and_m4_agree_functionally() {
+    let spec = presets::star2d9p();
+    let g = grid(40, 48, 2);
+    let lx2 = StencilPlan::new(&spec, Method::HStencil)
+        .run_2d(&MachineConfig::lx2(), &g)
+        .unwrap();
+    let m4 = StencilPlan::new(&spec, Method::HStencil)
+        .run_2d(&MachineConfig::apple_m4(), &g)
+        .unwrap();
+    assert!(lx2.output.max_interior_diff(&m4.output) < 1e-12);
+    // Different kernels, though: M4 reverts to the M-MLA + naive combine.
+    assert_eq!(lx2.report.kernel, "hstencil-inplace");
+    assert_eq!(m4.report.kernel, "hstencil-m4-star");
+}
+
+#[test]
+fn three_d_pipeline_through_facade() {
+    let spec = presets::box3d27p();
+    let g = Grid3d::from_fn(6, 16, 24, 1, |k, i, j| {
+        ((k * 5 + i * 3 + j) % 31) as f64 * 0.1
+    });
+    let out = StencilPlan::new(&spec, Method::HStencil)
+        .verify(true)
+        .run_3d(&MachineConfig::lx2(), &g)
+        .expect("3-D pipeline");
+    assert_eq!(out.report.points, 6 * 16 * 24);
+}
+
+#[test]
+fn custom_spec_through_facade() {
+    // An asymmetric advection-like stencil: upwind weights.
+    let spec = StencilSpec::new_2d(
+        "upwind",
+        Pattern::Box,
+        1,
+        vec![0.00, 0.10, 0.00, 0.25, 0.45, 0.05, 0.00, 0.15, 0.00],
+    );
+    let out = StencilPlan::new(&spec, Method::HStencil)
+        .verify(true)
+        .run_2d(&MachineConfig::lx2(), &grid(32, 40, 1))
+        .expect("custom asymmetric stencil");
+    assert!(out.report.cycles() > 0);
+}
+
+#[test]
+fn error_paths_are_reported() {
+    let spec = presets::star2d5p();
+    // Grid too small.
+    let tiny = Grid2d::zeros(4, 4, 1);
+    let err = StencilPlan::new(&spec, Method::HStencil).run_2d(&MachineConfig::lx2(), &tiny);
+    assert!(matches!(err, Err(hstencil::PlanError::GridTooSmall { .. })));
+    // Halo smaller than radius.
+    let shallow = Grid2d::zeros(16, 16, 1);
+    let spec2 = presets::star2d9p();
+    let err = StencilPlan::new(&spec2, Method::HStencil).run_2d(&MachineConfig::lx2(), &shallow);
+    assert!(matches!(err, Err(hstencil::PlanError::GridTooSmall { .. })));
+}
+
+#[test]
+fn multicore_through_facade() {
+    let spec = presets::box2d9p();
+    let g = grid(64, 64, 1);
+    let plan = StencilPlan::new(&spec, Method::HStencil).warmup(0);
+    let (out, rep) = hstencil::run_multicore(&plan, &spec, &MachineConfig::lx2(), &g, 4).unwrap();
+    let mut want = g.clone();
+    hstencil::reference::apply_2d(&spec, &g, &mut want);
+    assert!(want.max_interior_diff(&out) < 1e-9);
+    assert_eq!(rep.per_core.len(), 4);
+    assert!(rep.gstencil_per_s() > 0.0);
+}
