@@ -1,19 +1,20 @@
-//! Criterion benches over the paper's in-cache workloads: statistically
-//! robust wall-clock timing of the *simulated* kernels (which also times
-//! the simulator itself — useful to catch regressions in either layer).
+//! Wall-clock benches over the paper's in-cache workloads on the in-repo
+//! `hstencil-testkit` harness (warmup + samples, median/p10/p90): timing
+//! of the *simulated* kernels, which also times the simulator itself —
+//! useful to catch regressions in either layer.
 //!
 //! One bench group per figure family; `cargo bench -p hstencil-bench`.
+//! Pass a substring to run a subset: `cargo bench -p hstencil-bench -- fig13`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hstencil_bench::runner::workload_2d;
 use hstencil_core::{presets, Method, StencilPlan};
+use hstencil_testkit::Harness;
 use lx2_sim::MachineConfig;
 
 /// Figure 12's in-cache kernels: one bench per (stencil, method).
-fn bench_incache_methods(c: &mut Criterion) {
+fn bench_incache_methods(h: &Harness) {
     let cfg = MachineConfig::lx2();
-    let mut group = c.benchmark_group("fig12_incache_128");
-    group.sample_size(10);
+    let group = h.group("fig12_incache_128").sample_size(10);
     for spec in [presets::star2d9p(), presets::box2d25p()] {
         let grid = workload_2d(128, 128, spec.radius(), 42);
         for method in [
@@ -22,80 +23,65 @@ fn bench_incache_methods(c: &mut Criterion) {
             Method::MatrixOnly,
             Method::HStencil,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(spec.name(), method.label()),
-                &method,
-                |b, &m| {
-                    b.iter(|| {
-                        StencilPlan::new(&spec, m)
-                            .warmup(0)
-                            .run_2d(&cfg, &grid)
-                            .expect("bench run")
-                            .report
-                            .cycles()
-                    })
-                },
-            );
-        }
-    }
-    group.finish();
-}
-
-/// Figure 13's ablation: the HStencil optimization stack on one workload.
-fn bench_breakdown(c: &mut Criterion) {
-    let cfg = MachineConfig::lx2();
-    let spec = presets::star2d9p();
-    let grid = workload_2d(128, 128, spec.radius(), 42);
-    let mut group = c.benchmark_group("fig13_breakdown_star");
-    group.sample_size(10);
-    for (label, sched, pf) in [
-        ("base", false, false),
-        ("sched", true, false),
-        ("sched+prefetch", true, true),
-    ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                StencilPlan::new(&spec, Method::HStencil)
-                    .scheduling(sched)
-                    .replacement(sched)
-                    .prefetch(pf)
+            group.bench(&format!("{}/{}", spec.name(), method.label()), || {
+                StencilPlan::new(&spec, method)
                     .warmup(0)
                     .run_2d(&cfg, &grid)
                     .expect("bench run")
                     .report
                     .cycles()
-            })
+            });
+        }
+    }
+}
+
+/// Figure 13's ablation: the HStencil optimization stack on one workload.
+fn bench_breakdown(h: &Harness) {
+    let cfg = MachineConfig::lx2();
+    let spec = presets::star2d9p();
+    let grid = workload_2d(128, 128, spec.radius(), 42);
+    let group = h.group("fig13_breakdown_star").sample_size(10);
+    for (label, sched, pf) in [
+        ("base", false, false),
+        ("sched", true, false),
+        ("sched+prefetch", true, true),
+    ] {
+        group.bench(label, || {
+            StencilPlan::new(&spec, Method::HStencil)
+                .scheduling(sched)
+                .replacement(sched)
+                .prefetch(pf)
+                .warmup(0)
+                .run_2d(&cfg, &grid)
+                .expect("bench run")
+                .report
+                .cycles()
         });
     }
-    group.finish();
 }
 
 /// Figure 17's portability pair on the Apple M4 configuration.
-fn bench_m4(c: &mut Criterion) {
+fn bench_m4(h: &Harness) {
     let cfg = MachineConfig::apple_m4();
-    let mut group = c.benchmark_group("fig17_m4_128");
-    group.sample_size(10);
+    let group = h.group("fig17_m4_128").sample_size(10);
     for spec in [presets::star2d9p(), presets::box2d25p()] {
         let grid = workload_2d(128, 128, spec.radius(), 42);
         for method in [Method::Auto, Method::HStencil] {
-            group.bench_with_input(
-                BenchmarkId::new(spec.name(), method.label()),
-                &method,
-                |b, &m| {
-                    b.iter(|| {
-                        StencilPlan::new(&spec, m)
-                            .warmup(0)
-                            .run_2d(&cfg, &grid)
-                            .expect("bench run")
-                            .report
-                            .cycles()
-                    })
-                },
-            );
+            group.bench(&format!("{}/{}", spec.name(), method.label()), || {
+                StencilPlan::new(&spec, method)
+                    .warmup(0)
+                    .run_2d(&cfg, &grid)
+                    .expect("bench run")
+                    .report
+                    .cycles()
+            });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_incache_methods, bench_breakdown, bench_m4);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    bench_incache_methods(&h);
+    bench_breakdown(&h);
+    bench_m4(&h);
+}

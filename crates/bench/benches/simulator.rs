@@ -1,15 +1,16 @@
-//! Criterion benches of the simulator substrate itself: instruction
-//! throughput of the issue engine and the memory hierarchy, plus the
-//! native (host) stencil executor for scale.
+//! Benches of the simulator substrate itself on the in-repo
+//! `hstencil-testkit` harness: instruction throughput of the issue
+//! engine and the memory hierarchy, plus the native (host) stencil
+//! executor for scale.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hstencil_bench::runner::workload_2d;
 use hstencil_core::{native, presets, Grid2d};
+use hstencil_testkit::Harness;
 use lx2_isa::{Inst, Program, RowMask, VReg, ZaReg};
 use lx2_sim::{Machine, MachineConfig};
 
 /// Raw engine throughput on a compute-only instruction mix.
-fn bench_engine_throughput(c: &mut Criterion) {
+fn bench_engine_throughput(h: &Harness) {
     let cfg = MachineConfig::lx2();
     let program: Program = (0..10_000u64)
         .map(|k| match k % 3 {
@@ -32,25 +33,21 @@ fn bench_engine_throughput(c: &mut Criterion) {
             },
         })
         .collect();
-    let mut group = c.benchmark_group("engine");
-    group.throughput(Throughput::Elements(program.len() as u64));
-    group.bench_function("compute_mix_10k", |b| {
-        b.iter(|| {
+    h.group("engine")
+        .throughput_elems(program.len() as u64)
+        .bench("compute_mix_10k", || {
             let mut m = Machine::new(&cfg);
             m.execute(&program).unwrap();
             m.elapsed_cycles()
-        })
-    });
-    group.finish();
+        });
 }
 
 /// Memory hierarchy throughput on a streaming load pattern.
-fn bench_hierarchy_stream(c: &mut Criterion) {
+fn bench_hierarchy_stream(h: &Harness) {
     let cfg = MachineConfig::lx2();
-    let mut group = c.benchmark_group("hierarchy");
-    group.throughput(Throughput::Elements(8192));
-    group.bench_function("stream_loads_8k", |b| {
-        b.iter(|| {
+    h.group("hierarchy")
+        .throughput_elems(8192)
+        .bench("stream_loads_8k", || {
             let mut m = Machine::new(&cfg);
             let region = m.alloc(8192 * 8, 8);
             let program: Program = (0..8192u64)
@@ -61,31 +58,24 @@ fn bench_hierarchy_stream(c: &mut Criterion) {
                 .collect();
             m.execute(&program).unwrap();
             m.elapsed_cycles()
-        })
-    });
-    group.finish();
+        });
 }
 
 /// The host-native executor at a production-ish size.
-fn bench_native_executor(c: &mut Criterion) {
+fn bench_native_executor(h: &Harness) {
     let spec = presets::box2d25p();
     let grid = workload_2d(512, 512, 2, 42);
     let mut out = Grid2d::zeros(512, 512, 2);
-    let mut group = c.benchmark_group("native");
-    group.throughput(Throughput::Elements(512 * 512));
-    group.bench_function("box2d25p_512", |b| {
-        b.iter(|| native::apply_2d(&spec, &grid, &mut out))
+    let group = h.group("native").throughput_elems(512 * 512);
+    group.bench("box2d25p_512", || native::apply_2d(&spec, &grid, &mut out));
+    group.bench("box2d25p_512_par2", || {
+        native::apply_2d_parallel(&spec, &grid, &mut out, 2)
     });
-    group.bench_function("box2d25p_512_par2", |b| {
-        b.iter(|| native::apply_2d_parallel(&spec, &grid, &mut out, 2))
-    });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_engine_throughput,
-    bench_hierarchy_stream,
-    bench_native_executor
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    bench_engine_throughput(&h);
+    bench_hierarchy_stream(&h);
+    bench_native_executor(&h);
+}

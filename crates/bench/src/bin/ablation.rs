@@ -160,4 +160,5 @@ fn main() {
     switch_matrix().emit("ablation_switches");
     prefetch_dist_sweep().emit("ablation_prefetch_dist");
     hand_vs_auto_schedule().emit("ablation_auto_schedule");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

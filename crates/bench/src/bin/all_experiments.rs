@@ -40,4 +40,5 @@ fn main() {
     ex::fig18_m4_outofcache::table().emit("fig18_m4_outofcache");
     stamp("fig18");
     eprintln!("all experiments done in {:?}", t0.elapsed());
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

@@ -3,4 +3,5 @@ fn main() {
     let tables = hstencil_bench::experiments::fig03_ilp::run_all();
     tables[0].emit("fig03a_ilp_throughput");
     tables[1].emit("fig03b_ilp_overlap");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

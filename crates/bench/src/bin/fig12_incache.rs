@@ -3,4 +3,5 @@ fn main() {
     let tables = hstencil_bench::experiments::fig12_incache::run_all();
     tables[0].emit("fig12_incache_2d");
     tables[1].emit("fig12_incache_3d");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

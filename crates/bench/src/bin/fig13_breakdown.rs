@@ -3,4 +3,5 @@ fn main() {
     let tables = hstencil_bench::experiments::fig13_breakdown::run_all();
     tables[0].emit("fig13a_breakdown_star");
     tables[1].emit("fig13b_breakdown_box");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

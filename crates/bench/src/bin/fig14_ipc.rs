@@ -1,4 +1,5 @@
 //! Regenerates Figure 14 (IPC comparison across the 2-D suite).
 fn main() {
     hstencil_bench::experiments::fig14_ipc::table().emit("fig14_ipc");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Figure 15 (out-of-cache speedups with/without prefetch).
 fn main() {
     hstencil_bench::experiments::fig15_outofcache::table().emit("fig15_outofcache");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

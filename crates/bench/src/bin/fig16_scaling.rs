@@ -1,4 +1,5 @@
 //! Regenerates Figure 16 (multi-core scaling, Box-2D9P).
 fn main() {
     hstencil_bench::experiments::fig16_scaling::table().emit("fig16_scaling");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Figure 17 (Apple M4 in-cache speedups).
 fn main() {
     hstencil_bench::experiments::fig17_m4_incache::table().emit("fig17_m4_incache");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Figure 18 (Apple M4 out-of-cache optimization stack).
 fn main() {
     hstencil_bench::experiments::fig18_m4_outofcache::table().emit("fig18_m4_outofcache");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table 1 (matrix-unit utilization).
 fn main() {
     hstencil_bench::experiments::tab01_utilization::table().emit("tab01_utilization");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table 2 (IPC of vector-only vs matrix-only).
 fn main() {
     hstencil_bench::experiments::tab02_ipc::table().emit("tab02_ipc");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table 3 (L1 hit rates on out-of-cache stencils).
 fn main() {
     hstencil_bench::experiments::tab03_cache_hit::table().emit("tab03_cache_hit");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table 5 (matrix/vector instruction-cycle split).
 fn main() {
     hstencil_bench::experiments::tab05_instr_ratio::table().emit("tab05_instr_ratio");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table 7 (L1 metrics with/without spatial prefetch).
 fn main() {
     hstencil_bench::experiments::tab07_prefetch_cache::table().emit("tab07_prefetch_cache");
+    std::process::exit(hstencil_bench::runner::exit_code());
 }

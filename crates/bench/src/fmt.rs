@@ -84,13 +84,17 @@ impl Table {
         out
     }
 
-    /// Prints the table to stdout and appends it to `results/<id>.txt`.
+    /// Prints the table to stdout and archives it as `results/<id>.txt`.
+    /// Write failures go to stderr and make the experiment binary exit
+    /// non-zero (see [`crate::runner::exit_code`]).
     pub fn emit(&self, id: &str) {
         let text = self.render();
         println!("{text}");
-        let dir = Path::new("results");
-        if std::fs::create_dir_all(dir).is_ok() {
-            let _ = std::fs::write(dir.join(format!("{id}.txt")), &text);
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(Path::new("results").join(format!("{id}.txt")), &text))
+        {
+            eprintln!("error: failed to write results/{id}.txt: {e}");
+            crate::runner::record_io_failure();
         }
     }
 }
@@ -162,12 +166,17 @@ impl BarChart {
         out
     }
 
-    /// Prints the chart and appends it to `results/<id>.chart.txt`.
+    /// Prints the chart and archives it as `results/<id>.chart.txt`.
+    /// Write failures go to stderr and make the experiment binary exit
+    /// non-zero (see [`crate::runner::exit_code`]).
     pub fn emit(&self, id: &str) {
         let text = self.render(48);
         println!("{text}");
-        if std::fs::create_dir_all("results").is_ok() {
-            let _ = std::fs::write(format!("results/{id}.chart.txt"), &text);
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(format!("results/{id}.chart.txt"), &text))
+        {
+            eprintln!("error: failed to write results/{id}.chart.txt: {e}");
+            crate::runner::record_io_failure();
         }
     }
 }

@@ -1,13 +1,14 @@
 //! Workload construction and method execution shared by all experiments.
 
 use hstencil_core::{Grid2d, Grid3d, Method, RunReport, StencilPlan, StencilSpec};
+use hstencil_testkit::{Json, Rng, ToJson, Xoshiro256};
 use lx2_sim::MachineConfig;
-use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Deterministic random grid used by every experiment (values in
 /// `[-1, 1)`, never exactly zero so useful-MAC counting stays structural).
 pub fn workload_2d(h: usize, w: usize, halo: usize, seed: u64) -> Grid2d {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     Grid2d::from_fn(h, w, halo, |_, _| loop {
         let v: f64 = rng.gen_range(-1.0..1.0);
         if v != 0.0 {
@@ -18,7 +19,7 @@ pub fn workload_2d(h: usize, w: usize, halo: usize, seed: u64) -> Grid2d {
 
 /// Deterministic random 3-D grid.
 pub fn workload_3d(d: usize, h: usize, w: usize, halo: usize, seed: u64) -> Grid3d {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     Grid3d::from_fn(d, h, w, halo, |_, _, _| rng.gen_range(-1.0..1.0))
 }
 
@@ -76,35 +77,71 @@ pub fn run_method_opts(
     }
 }
 
+/// Count of failed result-file writes in this process (see [`exit_code`]).
+static IO_FAILURES: AtomicUsize = AtomicUsize::new(0);
+
+/// Records one failed attempt to persist results; experiment binaries
+/// turn this into a non-zero exit via [`exit_code`].
+pub fn record_io_failure() {
+    IO_FAILURES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of result-file writes that failed so far.
+pub fn io_failure_count() -> usize {
+    IO_FAILURES.load(Ordering::Relaxed)
+}
+
+/// Process exit code reflecting persistence health: `0` when every
+/// results file was written, `1` otherwise (with a stderr summary).
+/// Experiment binaries end with `std::process::exit(exit_code())`.
+pub fn exit_code() -> i32 {
+    let n = io_failure_count();
+    if n == 0 {
+        0
+    } else {
+        eprintln!("error: {n} results file(s) could not be written (see messages above)");
+        1
+    }
+}
+
+/// JSON document for labelled run reports: an array of objects with the
+/// label, the flattened report fields, and the derived headline metrics.
+pub fn reports_to_json(entries: &[(String, RunReport)]) -> Json {
+    Json::array(entries.iter().map(|(label, r)| {
+        let mut obj = vec![("label".to_string(), label.to_json())];
+        match r.to_json() {
+            Json::Obj(fields) => obj.extend(fields),
+            other => obj.push(("report".to_string(), other)),
+        }
+        obj.extend([
+            ("cycles".to_string(), r.cycles().to_json()),
+            ("ipc".to_string(), r.ipc().to_json()),
+            ("gstencil_per_s".to_string(), r.gstencil_per_s().to_json()),
+            (
+                "l1_load_hit_rate".to_string(),
+                r.l1_load_hit_rate().to_json(),
+            ),
+        ]);
+        Json::Obj(obj)
+    }))
+}
+
 /// Serializes labelled run reports as JSON under `results/<id>.json`,
 /// next to the text tables — machine-readable output for downstream
 /// plotting (the artifact's `plot.py` role).
+pub fn try_dump_json(id: &str, entries: &[(String, RunReport)]) -> std::io::Result<()> {
+    let text = reports_to_json(entries).to_pretty();
+    std::fs::create_dir_all("results")?;
+    std::fs::write(format!("results/{id}.json"), text)
+}
+
+/// [`try_dump_json`], reporting failures to stderr and recording them so
+/// the experiment binary exits non-zero instead of silently dropping
+/// machine-readable output.
 pub fn dump_json(id: &str, entries: &[(String, RunReport)]) {
-    #[derive(serde::Serialize)]
-    struct Entry<'a> {
-        label: &'a str,
-        #[serde(flatten)]
-        report: &'a RunReport,
-        cycles: u64,
-        ipc: f64,
-        gstencil_per_s: f64,
-        l1_load_hit_rate: f64,
-    }
-    let rows: Vec<Entry> = entries
-        .iter()
-        .map(|(label, r)| Entry {
-            label,
-            report: r,
-            cycles: r.cycles(),
-            ipc: r.ipc(),
-            gstencil_per_s: r.gstencil_per_s(),
-            l1_load_hit_rate: r.l1_load_hit_rate(),
-        })
-        .collect();
-    if std::fs::create_dir_all("results").is_ok() {
-        if let Ok(text) = serde_json::to_string_pretty(&rows) {
-            let _ = std::fs::write(format!("results/{id}.json"), text);
-        }
+    if let Err(e) = try_dump_json(id, entries) {
+        eprintln!("error: failed to write results/{id}.json: {e}");
+        record_io_failure();
     }
 }
 
@@ -141,5 +178,25 @@ mod tests {
     fn geomean_math() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn reports_json_flattens_label_and_metrics() {
+        let cfg = MachineConfig::lx2();
+        let r = run_method(&cfg, &presets::star2d5p(), Method::HStencil, 32, 1, 0);
+        let doc = reports_to_json(&[("star2d5p/HStencil".to_string(), r)]);
+        let text = doc.to_pretty();
+        assert!(text.contains("\"label\": \"star2d5p/HStencil\""));
+        assert!(text.contains("\"method\": \"HStencil\""));
+        assert!(text.contains("\"gstencil_per_s\":"));
+        assert!(text.contains("\"l1_load_hit_rate\":"));
+        assert!(text.contains("\"counters\": {"));
+    }
+
+    #[test]
+    fn io_failures_are_counted_for_exit_propagation() {
+        let before = io_failure_count();
+        record_io_failure();
+        assert_eq!(io_failure_count(), before + 1);
     }
 }

@@ -1,5 +1,6 @@
 //! Run reports: the simulated equivalents of the paper's measurements.
 
+use hstencil_testkit::{Json, ToJson};
 use lx2_sim::PerfCounters;
 
 /// Measurements from one timed stencil run.
@@ -18,7 +19,6 @@ use lx2_sim::PerfCounters;
 /// assert_eq!(report.points, 32 * 32);
 /// ```
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct RunReport {
     /// Method label.
     pub method: &'static str,
@@ -98,6 +98,19 @@ impl RunReport {
     }
 }
 
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("method", self.method.to_json()),
+            ("kernel", self.kernel.to_json()),
+            ("stencil", self.stencil.to_json()),
+            ("counters", self.counters.to_json()),
+            ("points", self.points.to_json()),
+            ("freq_ghz", self.freq_ghz.to_json()),
+        ])
+    }
+}
+
 impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -146,6 +159,15 @@ mod tests {
         let fast = report(500, 4000);
         let slow = report(2000, 4000);
         assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let text = report(1000, 4000).to_json().to_pretty();
+        assert!(text.contains("\"method\": \"HStencil\""));
+        assert!(text.contains("\"points\": 4000"));
+        assert!(text.contains("\"cycles\": 1000"));
+        assert!(text.contains("\"freq_ghz\": 2.5"));
     }
 
     #[test]

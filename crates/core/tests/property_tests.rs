@@ -1,15 +1,20 @@
 //! Property-based tests: every kernel must match the scalar reference on
 //! *arbitrary* coefficient tables, grid contents and option combinations.
+//!
+//! Runs on the in-repo `hstencil-testkit` property harness; a failure
+//! prints a `TESTKIT_SEED=0x...` line that replays the exact case (see
+//! README.md "Hermetic / offline build").
 
 use hstencil_core::{reference, Grid2d, Method, Pattern, StencilPlan, StencilSpec};
+use hstencil_testkit::prop::{self, any_bool, any_u64, range, vec_of, Config, Strategy};
+use hstencil_testkit::prop_assert;
 use lx2_sim::MachineConfig;
-use proptest::prelude::*;
 
 /// Strategy: a dense 2-D coefficient table of the given radius with
 /// values in [-1, 1] and a controllable sparsity pattern.
 fn table_strategy(radius: usize, star_only: bool) -> impl Strategy<Value = Vec<f64>> {
     let n = 2 * radius + 1;
-    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut v| {
+    vec_of(range(-1.0f64..1.0), n * n..n * n + 1).map(move |mut v| {
         if star_only {
             for di in 0..n {
                 for dj in 0..n {
@@ -24,12 +29,11 @@ fn table_strategy(radius: usize, star_only: bool) -> impl Strategy<Value = Vec<f
 }
 
 fn grid_strategy(h: usize, w: usize, halo: usize) -> impl Strategy<Value = Grid2d> {
-    proptest::collection::vec(-10.0f64..10.0, (h + 2 * halo) * (w + 2 * halo)).prop_map(
-        move |vals| {
-            let mut it = vals.into_iter();
-            Grid2d::from_fn(h, w, halo, |_, _| it.next().unwrap_or(0.5))
-        },
-    )
+    let len = (h + 2 * halo) * (w + 2 * halo);
+    vec_of(range(-10.0f64..10.0), len..len + 1).map(move |vals| {
+        let mut it = vals.into_iter();
+        Grid2d::from_fn(h, w, halo, |_, _| it.next().unwrap_or(0.5))
+    })
 }
 
 fn check_method(
@@ -39,7 +43,7 @@ fn check_method(
     scheduling: bool,
     prefetch: bool,
     rb: usize,
-) -> Result<(), TestCaseError> {
+) -> Result<(), String> {
     let plan = StencilPlan::new(spec, method)
         .scheduling(scheduling)
         .replacement(scheduling)
@@ -48,7 +52,7 @@ fn check_method(
         .warmup(0);
     let out = plan
         .run_2d(&MachineConfig::lx2(), grid)
-        .map_err(|e| TestCaseError::fail(format!("{method}: {e}")))?;
+        .map_err(|e| format!("{method}: {e}"))?;
     let mut want = grid.clone();
     reference::apply_2d(spec, grid, &mut want);
     let diff = want.max_interior_diff(&out.output);
@@ -56,122 +60,145 @@ fn check_method(
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn hstencil_matches_reference_on_random_tables() {
+    let cfg = Config::with_cases(24);
+    let strat = (
+        table_strategy(2, false),
+        grid_strategy(16, 24, 2),
+        any_bool(),
+        any_bool(),
+        range(1usize..5),
+    );
+    prop::check(&cfg, &strat, |(table, grid, scheduling, prefetch, rb)| {
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 2, table.clone());
+        check_method(Method::HStencil, &spec, grid, *scheduling, *prefetch, *rb)
+    });
+}
 
-    #[test]
-    fn hstencil_matches_reference_on_random_tables(
-        table in table_strategy(2, false),
-        grid in grid_strategy(16, 24, 2),
-        scheduling in any::<bool>(),
-        prefetch in any::<bool>(),
-        rb in 1usize..=4,
-    ) {
-        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 2, table);
-        check_method(Method::HStencil, &spec, &grid, scheduling, prefetch, rb)?;
-    }
+#[test]
+fn hstencil_matches_reference_on_random_star_tables() {
+    let cfg = Config::with_cases(24);
+    let strat = (
+        table_strategy(2, true),
+        grid_strategy(16, 24, 2),
+        any_bool(),
+        range(1usize..5),
+    );
+    prop::check(&cfg, &strat, |(table, grid, scheduling, rb)| {
+        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table.clone());
+        check_method(Method::HStencil, &spec, grid, *scheduling, false, *rb)
+    });
+}
 
-    #[test]
-    fn hstencil_matches_reference_on_random_star_tables(
-        table in table_strategy(2, true),
-        grid in grid_strategy(16, 24, 2),
-        scheduling in any::<bool>(),
-        rb in 1usize..=4,
-    ) {
-        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table);
-        check_method(Method::HStencil, &spec, &grid, scheduling, false, rb)?;
-    }
+#[test]
+fn stop_matches_reference_on_random_tables() {
+    let cfg = Config::with_cases(24);
+    let strat = (
+        table_strategy(1, false),
+        grid_strategy(16, 16, 1),
+        range(1usize..5),
+    );
+    prop::check(&cfg, &strat, |(table, grid, rb)| {
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 1, table.clone());
+        check_method(Method::MatrixOnly, &spec, grid, false, false, *rb)
+    });
+}
 
-    #[test]
-    fn stop_matches_reference_on_random_tables(
-        table in table_strategy(1, false),
-        grid in grid_strategy(16, 16, 1),
-        rb in 1usize..=4,
-    ) {
-        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 1, table);
-        check_method(Method::MatrixOnly, &spec, &grid, false, false, rb)?;
-    }
+#[test]
+fn vector_matches_reference_on_random_tables() {
+    let cfg = Config::with_cases(24);
+    let strat = (
+        table_strategy(2, false),
+        grid_strategy(16, 24, 2),
+        range(1usize..5),
+    );
+    prop::check(&cfg, &strat, |(table, grid, rb)| {
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 2, table.clone());
+        check_method(Method::VectorOnly, &spec, grid, false, false, *rb)
+    });
+}
 
-    #[test]
-    fn vector_matches_reference_on_random_tables(
-        table in table_strategy(2, false),
-        grid in grid_strategy(16, 24, 2),
-        rb in 1usize..=4,
-    ) {
-        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 2, table);
-        check_method(Method::VectorOnly, &spec, &grid, false, false, rb)?;
-    }
+#[test]
+fn auto_matches_reference_on_random_tables() {
+    let cfg = Config::with_cases(24);
+    let strat = (table_strategy(1, false), grid_strategy(12, 16, 1));
+    prop::check(&cfg, &strat, |(table, grid)| {
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 1, table.clone());
+        check_method(Method::Auto, &spec, grid, false, false, 1)
+    });
+}
 
-    #[test]
-    fn auto_matches_reference_on_random_tables(
-        table in table_strategy(1, false),
-        grid in grid_strategy(12, 16, 1),
-    ) {
-        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 1, table);
-        check_method(Method::Auto, &spec, &grid, false, false, 1)?;
-    }
+#[test]
+fn naive_hybrid_matches_reference_on_random_star_tables() {
+    let cfg = Config::with_cases(24);
+    let strat = (table_strategy(2, true), grid_strategy(16, 16, 2));
+    prop::check(&cfg, &strat, |(table, grid)| {
+        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table.clone());
+        check_method(Method::NaiveHybrid, &spec, grid, false, false, 4)
+    });
+}
 
-    #[test]
-    fn naive_hybrid_matches_reference_on_random_star_tables(
-        table in table_strategy(2, true),
-        grid in grid_strategy(16, 16, 2),
-    ) {
-        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table);
-        check_method(Method::NaiveHybrid, &spec, &grid, false, false, 4)?;
-    }
+#[test]
+fn ortho_matches_reference_on_random_star_tables() {
+    let cfg = Config::with_cases(24);
+    let strat = (table_strategy(2, true), grid_strategy(16, 16, 2));
+    prop::check(&cfg, &strat, |(table, grid)| {
+        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table.clone());
+        check_method(Method::MatrixOrtho, &spec, grid, false, false, 2)
+    });
+}
 
-    #[test]
-    fn ortho_matches_reference_on_random_star_tables(
-        table in table_strategy(2, true),
-        grid in grid_strategy(16, 16, 2),
-    ) {
-        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table);
-        check_method(Method::MatrixOrtho, &spec, &grid, false, false, 2)?;
-    }
-
-    #[test]
-    fn m4_kernels_match_reference(
-        table in table_strategy(2, true),
-        grid in grid_strategy(16, 16, 2),
-        scheduling in any::<bool>(),
-    ) {
-        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table);
+#[test]
+fn m4_kernels_match_reference() {
+    let cfg = Config::with_cases(24);
+    let strat = (
+        table_strategy(2, true),
+        grid_strategy(16, 16, 2),
+        any_bool(),
+    );
+    prop::check(&cfg, &strat, |(table, grid, scheduling)| {
+        let spec = StencilSpec::new_2d("prop-star", Pattern::Star, 2, table.clone());
         let plan = StencilPlan::new(&spec, Method::HStencil)
-            .scheduling(scheduling)
+            .scheduling(*scheduling)
             .warmup(0);
         let out = plan
-            .run_2d(&MachineConfig::apple_m4(), &grid)
-            .map_err(|e| TestCaseError::fail(format!("m4: {e}")))?;
+            .run_2d(&MachineConfig::apple_m4(), grid)
+            .map_err(|e| format!("m4: {e}"))?;
         let mut want = grid.clone();
-        reference::apply_2d(&spec, &grid, &mut want);
+        reference::apply_2d(&spec, grid, &mut want);
         prop_assert!(want.max_interior_diff(&out.output) < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn arbitrary_grid_shapes_are_covered(
-        h in 8usize..40,
-        w in 8usize..70,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn arbitrary_grid_shapes_are_covered() {
+    let cfg = Config::with_cases(24);
+    let strat = (range(8usize..40), range(8usize..70), any_u64());
+    prop::check(&cfg, &strat, |&(h, w, seed)| {
         let spec = hstencil_core::presets::star2d5p();
         let mut state = seed;
         let grid = Grid2d::from_fn(h, w, 1, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
         });
         check_method(Method::HStencil, &spec, &grid, true, true, 4)?;
-        check_method(Method::MatrixOnly, &spec, &grid, false, false, 4)?;
-    }
+        check_method(Method::MatrixOnly, &spec, &grid, false, false, 4)
+    });
+}
 
-    #[test]
-    fn linearity_of_the_stencil_operator(
-        table in table_strategy(1, false),
-        seed in any::<u64>(),
-        alpha in -3.0f64..3.0,
-    ) {
+#[test]
+fn linearity_of_the_stencil_operator() {
+    let cfg = Config::with_cases(24);
+    let strat = (table_strategy(1, false), any_u64(), range(-3.0f64..3.0));
+    prop::check(&cfg, &strat, |(table, seed, alpha)| {
         // Stencils are linear: S(alpha * A) == alpha * S(A).
-        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 1, table);
-        let mut state = seed;
+        let spec = StencilSpec::new_2d("prop-box", Pattern::Box, 1, table.clone());
+        let alpha = *alpha;
+        let mut state = *seed;
         let mut next = move || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
             ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
@@ -188,5 +215,6 @@ proptest! {
                 prop_assert!(diff < 1e-9, "nonlinearity {diff} at ({i},{j})");
             }
         }
-    }
+        Ok(())
+    });
 }

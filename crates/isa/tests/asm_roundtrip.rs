@@ -1,106 +1,149 @@
 //! Property test: every instruction round-trips through its textual form.
+//!
+//! Runs on the in-repo `hstencil-testkit` property harness; a failure
+//! prints a `TESTKIT_SEED=0x...` line that replays the exact case (see
+//! README.md "Hermetic / offline build").
 
+use hstencil_testkit::prop::{self, any_bool, any_u8, one_of, range, vec_of, Config, Strategy};
+use hstencil_testkit::prop_assert_eq;
 use lx2_isa::{assemble, Inst, MemKind, RowMask, VReg, ZaReg};
-use proptest::prelude::*;
 
 fn arb_vreg() -> impl Strategy<Value = VReg> {
-    (0usize..lx2_isa::NUM_VREGS).prop_map(VReg::new)
+    range(0usize..lx2_isa::NUM_VREGS).map(VReg::new)
 }
 
 fn arb_za() -> impl Strategy<Value = ZaReg> {
-    (0usize..lx2_isa::NUM_ZA_TILES).prop_map(ZaReg::new)
+    range(0usize..lx2_isa::NUM_ZA_TILES).map(ZaReg::new)
 }
 
 fn arb_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_vreg(), 0u64..1_000_000).prop_map(|(vd, addr)| Inst::Ld1d { vd, addr }),
-        (arb_vreg(), 0u64..1_000_000, 1u64..10_000).prop_map(|(vd, addr, stride)| Inst::LdCol {
-            vd,
-            addr,
-            stride
-        }),
-        (arb_vreg(), 0u64..1_000_000).prop_map(|(vs, addr)| Inst::St1d { vs, addr }),
-        (arb_za(), 0u8..8, 0u64..1_000_000).prop_map(|(za, row, addr)| Inst::StZaRow {
-            za,
-            row,
-            addr
-        }),
-        (arb_vreg(), 0u64..1_000_000, 1u64..10_000).prop_map(|(vs, addr, stride)| Inst::StCol {
-            vs,
-            addr,
-            stride
-        }),
-        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),
-        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..8).prop_map(|(vd, vn, vm, idx)| Inst::FmlaIdx {
-            vd,
-            vn,
-            vm,
-            idx
-        }),
-        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fadd { vd, vn, vm }),
-        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fmul { vd, vn, vm }),
-        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..=8).prop_map(|(vd, vn, vm, shift)| Inst::Ext {
-            vd,
-            vn,
-            vm,
-            shift
-        }),
+    one_of(vec![
+        Box::new(
+            (arb_vreg(), range(0u64..1_000_000)).map(|(vd, addr)| Inst::Ld1d { vd, addr }),
+        ) as Box<dyn Strategy<Value = Inst>>,
+        Box::new(
+            (arb_vreg(), range(0u64..1_000_000), range(1u64..10_000))
+                .map(|(vd, addr, stride)| Inst::LdCol { vd, addr, stride }),
+        ),
+        Box::new(
+            (arb_vreg(), range(0u64..1_000_000)).map(|(vs, addr)| Inst::St1d { vs, addr }),
+        ),
+        Box::new(
+            (arb_za(), range(0u8..8), range(0u64..1_000_000))
+                .map(|(za, row, addr)| Inst::StZaRow { za, row, addr }),
+        ),
+        Box::new(
+            (arb_vreg(), range(0u64..1_000_000), range(1u64..10_000))
+                .map(|(vs, addr, stride)| Inst::StCol { vs, addr, stride }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg(), range(0u8..8))
+                .map(|(vd, vn, vm, idx)| Inst::FmlaIdx { vd, vn, vm, idx }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fadd { vd, vn, vm }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fmul { vd, vn, vm }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg(), range(0u8..9))
+                .map(|(vd, vn, vm, shift)| Inst::Ext { vd, vn, vm, shift }),
+        ),
         // Immediates restricted to values whose Display form parses back
         // exactly (plain decimal f64; Rust prints shortest roundtrip).
-        (arb_vreg(), -1000i32..1000).prop_map(|(vd, q)| Inst::DupImm {
+        Box::new((arb_vreg(), range(-1000i32..1000)).map(|(vd, q)| Inst::DupImm {
             vd,
             imm: q as f64 / 8.0,
-        }),
-        (arb_za(), arb_vreg(), arb_vreg(), any::<u8>()).prop_map(|(za, vn, vm, bits)| {
-            Inst::Fmopa {
+        })),
+        Box::new(
+            (arb_za(), arb_vreg(), arb_vreg(), any_u8()).map(|(za, vn, vm, bits)| Inst::Fmopa {
                 za,
                 vn,
                 vm,
                 mask: RowMask::from_bits(bits),
-            }
-        }),
-        (arb_za(), 0u8..2, 0usize..28, arb_vreg(), 0u8..8).prop_map(|(za, half, vn0, vm, idx)| {
-            Inst::Fmlag {
-                za,
-                half,
-                vn0: VReg::new(vn0),
-                vm,
-                idx,
-            }
-        }),
-        (arb_vreg(), arb_za(), 0u8..8).prop_map(|(vd, za, row)| Inst::MovaToVec { vd, za, row }),
-        (arb_za(), 0u8..8, arb_vreg()).prop_map(|(za, row, vs)| Inst::MovaFromVec { za, row, vs }),
-        (arb_za(), any::<u8>()).prop_map(|(za, bits)| Inst::ZeroZa {
+            }),
+        ),
+        Box::new(
+            (
+                arb_za(),
+                range(0u8..2),
+                range(0usize..28),
+                arb_vreg(),
+                range(0u8..8),
+            )
+                .map(|(za, half, vn0, vm, idx)| Inst::Fmlag {
+                    za,
+                    half,
+                    vn0: VReg::new(vn0),
+                    vm,
+                    idx,
+                }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_za(), range(0u8..8))
+                .map(|(vd, za, row)| Inst::MovaToVec { vd, za, row }),
+        ),
+        Box::new(
+            (arb_za(), range(0u8..8), arb_vreg())
+                .map(|(za, row, vs)| Inst::MovaFromVec { za, row, vs }),
+        ),
+        Box::new((arb_za(), any_u8()).map(|(za, bits)| Inst::ZeroZa {
             za,
-            mask: RowMask::from_bits(bits)
-        }),
-        (0u64..1_000_000, any::<bool>()).prop_map(|(addr, w)| Inst::Prfm {
+            mask: RowMask::from_bits(bits),
+        })),
+        Box::new((range(0u64..1_000_000), any_bool()).map(|(addr, w)| Inst::Prfm {
             addr,
             kind: if w { MemKind::Write } else { MemKind::Read },
-        }),
-    ]
+        })),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn display_then_assemble_is_identity(inst in arb_inst()) {
+#[test]
+fn display_then_assemble_is_identity() {
+    let cfg = Config::with_cases(512);
+    prop::check(&cfg, &arb_inst(), |inst| {
         let text = inst.to_string();
-        let program = assemble(&text)
-            .map_err(|e| TestCaseError::fail(format!("'{text}' failed to parse: {e}")))?;
+        let program = assemble(&text).map_err(|e| format!("'{text}' failed to parse: {e}"))?;
         prop_assert_eq!(program.len(), 1);
-        prop_assert_eq!(program.insts()[0], inst, "text was '{}'", text);
-    }
+        prop_assert_eq!(program.insts()[0], *inst, "text was '{}'", text);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn whole_programs_roundtrip(insts in proptest::collection::vec(arb_inst(), 1..64)) {
+#[test]
+fn whole_programs_roundtrip() {
+    let cfg = Config::with_cases(512);
+    prop::check(&cfg, &vec_of(arb_inst(), 1..64), |insts| {
         let mut p = lx2_isa::Program::new();
         p.extend(insts.iter().copied());
         let listing = p.to_string();
-        let reparsed = assemble(&listing)
-            .map_err(|e| TestCaseError::fail(format!("listing failed: {e}")))?;
+        let reparsed = assemble(&listing).map_err(|e| format!("listing failed: {e}"))?;
         prop_assert_eq!(reparsed.insts(), p.insts());
         prop_assert_eq!(reparsed.mix(), p.mix());
-    }
+        Ok(())
+    });
+}
+
+/// Regression pinned from the retired proptest run: an `FMOPA` with an
+/// all-zero row mask and `vn == vm` failed to round-trip through the
+/// listing (shrunk to a single instruction by the old harness).
+#[test]
+fn regression_fmopa_empty_mask_roundtrips() {
+    let inst = Inst::Fmopa {
+        za: ZaReg::new(0),
+        vn: VReg::new(0),
+        vm: VReg::new(0),
+        mask: RowMask::from_bits(0),
+    };
+    let mut p = lx2_isa::Program::new();
+    p.push(inst);
+    let listing = p.to_string();
+    let reparsed = assemble(&listing).unwrap_or_else(|e| panic!("'{listing}' failed: {e}"));
+    assert_eq!(reparsed.insts(), p.insts());
+    let single = assemble(&inst.to_string()).expect("single instruction parses");
+    assert_eq!(single.insts()[0], inst);
 }

@@ -5,11 +5,11 @@
 //! plus per-pipe occupancy and structural-utilization counters that the
 //! analysis layer uses for Tables 1, 2, 5 and 7.
 
+use hstencil_testkit::{Json, ToJson};
 use lx2_isa::{PipeClass, PIPE_CLASS_COUNT, TILE_ELEMS};
 
 /// Memory-hierarchy counters.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemCounters {
     /// Demand load accesses that reached L1 (line granularity).
     pub l1_load_accesses: u64,
@@ -94,9 +94,26 @@ impl MemCounters {
     }
 }
 
+impl ToJson for MemCounters {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("l1_load_accesses", self.l1_load_accesses.to_json()),
+            ("l1_load_hits", self.l1_load_hits.to_json()),
+            ("l1_store_accesses", self.l1_store_accesses.to_json()),
+            ("l1_store_hits", self.l1_store_hits.to_json()),
+            ("l2_accesses", self.l2_accesses.to_json()),
+            ("l2_hits", self.l2_hits.to_json()),
+            ("dram_lines_read", self.dram_lines_read.to_json()),
+            ("dram_lines_written", self.dram_lines_written.to_json()),
+            ("hw_prefetches", self.hw_prefetches.to_json()),
+            ("sw_prefetches", self.sw_prefetches.to_json()),
+            ("late_prefetch_hits", self.late_prefetch_hits.to_json()),
+        ])
+    }
+}
+
 /// Core pipeline and work counters.
 #[derive(Clone, Copy, Default, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PerfCounters {
     /// Elapsed cycles (issue horizon including in-flight latency).
     pub cycles: u64,
@@ -197,6 +214,24 @@ impl PerfCounters {
     }
 }
 
+impl ToJson for PerfCounters {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("cycles", self.cycles.to_json()),
+            ("instructions", self.instructions.to_json()),
+            ("per_pipe", self.per_pipe.to_json()),
+            ("pipe_busy", self.pipe_busy.to_json()),
+            ("flops", self.flops.to_json()),
+            ("fmopa", self.fmopa.to_json()),
+            ("fmla", self.fmla.to_json()),
+            ("fmlag", self.fmlag.to_json()),
+            ("useful_matrix_macs", self.useful_matrix_macs.to_json()),
+            ("active_cycles", self.active_cycles.to_json()),
+            ("mem", self.mem.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +293,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.cycles, 20);
         assert_eq!(a.instructions, 12);
+    }
+
+    #[test]
+    fn counters_serialize_to_json_with_exact_integers() {
+        let c = PerfCounters {
+            cycles: u64::MAX,
+            instructions: 3,
+            ..Default::default()
+        };
+        let text = c.to_json().to_compact();
+        assert!(text.contains("\"cycles\":18446744073709551615"));
+        assert!(text.contains("\"instructions\":3"));
+        assert!(text.contains("\"mem\":{\"l1_load_accesses\":0"));
+        assert!(text.contains("\"per_pipe\":[0,0,0,0]"));
     }
 
     #[test]

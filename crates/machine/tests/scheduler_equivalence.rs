@@ -1,61 +1,70 @@
 //! The automatic list scheduler must preserve semantics exactly: for any
 //! program, the scheduled version reaches a bit-identical architectural
 //! and memory state — and should not be slower on the modelled machine.
+//!
+//! Runs on the in-repo `hstencil-testkit` property harness; a failure
+//! prints a `TESTKIT_SEED=0x...` line that replays the exact case.
 
+use hstencil_testkit::prop::{self, any_u8, one_of, range, vec_of, Config, Strategy};
+use hstencil_testkit::prop_assert_eq;
 use lx2_isa::{list_schedule, Inst, MemKind, Program, RowMask, ScheduleParams, VReg, ZaReg};
 use lx2_sim::{Machine, MachineConfig};
-use proptest::prelude::*;
 
 fn arb_vreg() -> impl Strategy<Value = VReg> {
-    (0usize..lx2_isa::NUM_VREGS).prop_map(VReg::new)
+    range(0usize..lx2_isa::NUM_VREGS).map(VReg::new)
 }
 
 fn arb_za() -> impl Strategy<Value = ZaReg> {
-    (0usize..lx2_isa::NUM_ZA_TILES).prop_map(ZaReg::new)
+    range(0usize..lx2_isa::NUM_ZA_TILES).map(ZaReg::new)
 }
 
-/// Instructions over a small memory arena (addresses 0..512, 8-aligned so
-/// no OOB), mixing compute and memory.
+/// Addresses in a small arena (0..448, 8-aligned so no OOB).
+fn arb_addr() -> impl Strategy<Value = u64> {
+    range(0u64..56).map(|a| a * 8)
+}
+
+/// Instructions over the arena, mixing compute and memory.
 fn arb_inst() -> impl Strategy<Value = Inst> {
-    let addr = (0u64..56).prop_map(|a| a * 8);
-    prop_oneof![
-        (arb_vreg(), addr.clone()).prop_map(|(vd, addr)| Inst::Ld1d { vd, addr }),
-        (arb_vreg(), addr.clone()).prop_map(|(vs, addr)| Inst::St1d { vs, addr }),
-        (arb_za(), 0u8..8, addr.clone()).prop_map(|(za, row, addr)| Inst::StZaRow {
+    one_of(vec![
+        Box::new((arb_vreg(), arb_addr()).map(|(vd, addr)| Inst::Ld1d { vd, addr }))
+            as Box<dyn Strategy<Value = Inst>>,
+        Box::new((arb_vreg(), arb_addr()).map(|(vs, addr)| Inst::St1d { vs, addr })),
+        Box::new(
+            (arb_za(), range(0u8..8), arb_addr())
+                .map(|(za, row, addr)| Inst::StZaRow { za, row, addr }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg(), range(0u8..8))
+                .map(|(vd, vn, vm, idx)| Inst::FmlaIdx { vd, vn, vm, idx }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fadd { vd, vn, vm }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg(), range(0u8..9))
+                .map(|(vd, vn, vm, shift)| Inst::Ext { vd, vn, vm, shift }),
+        ),
+        Box::new((arb_vreg(), range(-4.0f64..4.0)).map(|(vd, imm)| Inst::DupImm { vd, imm })),
+        Box::new(
+            (arb_za(), arb_vreg(), arb_vreg(), any_u8()).map(|(za, vn, vm, m)| Inst::Fmopa {
+                za,
+                vn,
+                vm,
+                mask: RowMask::from_bits(m),
+            }),
+        ),
+        Box::new((arb_za(), any_u8()).map(|(za, m)| Inst::ZeroZa {
             za,
-            row,
-            addr
-        }),
-        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),
-        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..8).prop_map(|(vd, vn, vm, idx)| Inst::FmlaIdx {
-            vd,
-            vn,
-            vm,
-            idx
-        }),
-        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fadd { vd, vn, vm }),
-        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..=8).prop_map(|(vd, vn, vm, shift)| Inst::Ext {
-            vd,
-            vn,
-            vm,
-            shift
-        }),
-        (arb_vreg(), -4.0f64..4.0).prop_map(|(vd, imm)| Inst::DupImm { vd, imm }),
-        (arb_za(), arb_vreg(), arb_vreg(), any::<u8>()).prop_map(|(za, vn, vm, m)| Inst::Fmopa {
-            za,
-            vn,
-            vm,
-            mask: RowMask::from_bits(m)
-        }),
-        (arb_za(), any::<u8>()).prop_map(|(za, m)| Inst::ZeroZa {
-            za,
-            mask: RowMask::from_bits(m)
-        }),
-        addr.prop_map(|addr| Inst::Prfm {
+            mask: RowMask::from_bits(m),
+        })),
+        Box::new(arb_addr().map(|addr| Inst::Prfm {
             addr,
-            kind: MemKind::Read
-        }),
-    ]
+            kind: MemKind::Read,
+        })),
+    ])
 }
 
 fn run_state(insts: &[Inst]) -> (Vec<f64>, [[f64; 8]; 32], u64) {
@@ -73,20 +82,18 @@ fn run_state(insts: &[Inst]) -> (Vec<f64>, [[f64; 8]; 32], u64) {
     (mem, m.engine().state.v, m.elapsed_cycles())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn scheduling_preserves_final_state(
-        insts in proptest::collection::vec(arb_inst(), 1..120),
-    ) {
-        let scheduled = list_schedule(&insts, &ScheduleParams::default());
+#[test]
+fn scheduling_preserves_final_state() {
+    let cfg = Config::with_cases(48);
+    prop::check(&cfg, &vec_of(arb_inst(), 1..120), |insts| {
+        let scheduled = list_schedule(insts, &ScheduleParams::default());
         prop_assert_eq!(scheduled.len(), insts.len());
-        let (mem_a, regs_a, _) = run_state(&insts);
+        let (mem_a, regs_a, _) = run_state(insts);
         let (mem_b, regs_b, _) = run_state(&scheduled);
         prop_assert_eq!(mem_a, mem_b, "memory diverged");
         prop_assert_eq!(regs_a, regs_b, "registers diverged");
-    }
+        Ok(())
+    });
 }
 
 #[test]

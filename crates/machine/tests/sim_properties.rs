@@ -1,62 +1,75 @@
 //! Property-based tests of the simulator substrate: cache invariants,
 //! timing monotonicity, and functional instruction semantics.
+//!
+//! Runs on the in-repo `hstencil-testkit` property harness; a failure
+//! prints a `TESTKIT_SEED=0x...` line that replays the exact case.
 
+use hstencil_testkit::prop::{self, any_bool, any_u8, one_of, range, vec_of, Config, Strategy};
+use hstencil_testkit::{prop_assert, prop_assert_eq};
 use lx2_isa::{Inst, MemKind, Program, RowMask, VReg, ZaReg, VLEN};
 use lx2_sim::{cache::Cache, CacheConfig, Machine, MachineConfig};
-use proptest::prelude::*;
 
 fn arb_vreg() -> impl Strategy<Value = VReg> {
-    (0usize..lx2_isa::NUM_VREGS).prop_map(VReg::new)
+    range(0usize..lx2_isa::NUM_VREGS).map(VReg::new)
 }
 
 fn arb_za() -> impl Strategy<Value = ZaReg> {
-    (0usize..lx2_isa::NUM_ZA_TILES).prop_map(ZaReg::new)
+    range(0usize..lx2_isa::NUM_ZA_TILES).map(ZaReg::new)
 }
 
 /// Register-only compute instructions (no memory operands).
 fn arb_compute_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),
-        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..8).prop_map(|(vd, vn, vm, idx)| Inst::FmlaIdx {
-            vd,
-            vn,
-            vm,
-            idx
-        }),
-        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vn, vm)| Inst::Fadd { vd, vn, vm }),
-        (arb_vreg(), arb_vreg(), arb_vreg(), 0u8..=8).prop_map(|(vd, vn, vm, shift)| Inst::Ext {
-            vd,
-            vn,
-            vm,
-            shift
-        }),
-        (arb_vreg(), -8.0f64..8.0).prop_map(|(vd, imm)| Inst::DupImm { vd, imm }),
-        (arb_za(), arb_vreg(), arb_vreg(), any::<u8>()).prop_map(|(za, vn, vm, m)| Inst::Fmopa {
+    one_of(vec![
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),
+        ) as Box<dyn Strategy<Value = Inst>>,
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg(), range(0u8..8))
+                .map(|(vd, vn, vm, idx)| Inst::FmlaIdx { vd, vn, vm, idx }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fadd { vd, vn, vm }),
+        ),
+        Box::new(
+            (arb_vreg(), arb_vreg(), arb_vreg(), range(0u8..9))
+                .map(|(vd, vn, vm, shift)| Inst::Ext { vd, vn, vm, shift }),
+        ),
+        Box::new((arb_vreg(), range(-8.0f64..8.0)).map(|(vd, imm)| Inst::DupImm { vd, imm })),
+        Box::new(
+            (arb_za(), arb_vreg(), arb_vreg(), any_u8()).map(|(za, vn, vm, m)| Inst::Fmopa {
+                za,
+                vn,
+                vm,
+                mask: RowMask::from_bits(m),
+            }),
+        ),
+        Box::new((arb_za(), any_u8()).map(|(za, m)| Inst::ZeroZa {
             za,
-            vn,
-            vm,
-            mask: RowMask::from_bits(m)
-        }),
-        (arb_za(), any::<u8>()).prop_map(|(za, m)| Inst::ZeroZa {
-            za,
-            mask: RowMask::from_bits(m)
-        }),
-        (arb_vreg(), arb_za(), 0u8..8).prop_map(|(vd, za, row)| Inst::MovaToVec { vd, za, row }),
-        (arb_za(), 0u8..8, arb_vreg()).prop_map(|(za, row, vs)| Inst::MovaFromVec { za, row, vs }),
-    ]
+            mask: RowMask::from_bits(m),
+        })),
+        Box::new(
+            (arb_vreg(), arb_za(), range(0u8..8))
+                .map(|(vd, za, row)| Inst::MovaToVec { vd, za, row }),
+        ),
+        Box::new(
+            (arb_za(), range(0u8..8), arb_vreg())
+                .map(|(za, row, vs)| Inst::MovaFromVec { za, row, vs }),
+        ),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cache_never_exceeds_capacity_and_tracks_hits(
-        lines in proptest::collection::vec(0u64..64, 1..200),
-    ) {
-        let cfg = CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64 };
+#[test]
+fn cache_never_exceeds_capacity_and_tracks_hits() {
+    let cfg = Config::with_cases(64);
+    prop::check(&cfg, &vec_of(range(0u64..64), 1..200), |lines| {
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 64,
+        };
         let mut c = Cache::new(&cfg);
         let capacity = cfg.size_bytes / cfg.line_bytes;
-        for &l in &lines {
+        for &l in lines {
             let _ = c.probe(l);
             c.insert(l, 0, false);
             prop_assert!(c.resident_lines() <= capacity);
@@ -64,16 +77,18 @@ proptest! {
             let present = matches!(c.peek(l), lx2_sim::cache::Probe::Hit { .. });
             prop_assert!(present, "line {} missing right after insert", l);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn timing_is_monotonic_and_counters_consistent(
-        insts in proptest::collection::vec(arb_compute_inst(), 1..150),
-    ) {
+#[test]
+fn timing_is_monotonic_and_counters_consistent() {
+    let cfg = Config::with_cases(64);
+    prop::check(&cfg, &vec_of(arb_compute_inst(), 1..150), |insts| {
         let cfg = MachineConfig::lx2();
         let mut m = Machine::new(&cfg);
         let mut prev_cycles = 0;
-        for inst in &insts {
+        for inst in insts {
             m.execute_insts(std::slice::from_ref(inst)).unwrap();
             let c = m.counters();
             prop_assert!(c.cycles >= prev_cycles, "time went backwards");
@@ -86,12 +101,14 @@ proptest! {
         // Per-pipe instruction counts sum to the total.
         let pipe_sum: u64 = c.per_pipe.iter().sum();
         prop_assert_eq!(pipe_sum, c.instructions);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn functional_state_is_independent_of_machine_config(
-        insts in proptest::collection::vec(arb_compute_inst(), 1..100),
-    ) {
+#[test]
+fn functional_state_is_independent_of_machine_config() {
+    let cfg = Config::with_cases(64);
+    prop::check(&cfg, &vec_of(arb_compute_inst(), 1..100), |insts| {
         // The same program must produce identical architectural state on
         // machines with different timing parameters.
         let mut fast = MachineConfig::lx2();
@@ -101,37 +118,53 @@ proptest! {
         fast.vector_units = 4;
         let mut m1 = Machine::new(&MachineConfig::lx2());
         let mut m2 = Machine::new(&fast);
-        for inst in &insts {
+        for inst in insts {
             m1.execute_insts(std::slice::from_ref(inst)).unwrap();
             m2.execute_insts(std::slice::from_ref(inst)).unwrap();
         }
         prop_assert_eq!(&m1.engine().state.v, &m2.engine().state.v);
         prop_assert_eq!(&m1.engine().state.za, &m2.engine().state.za);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn memory_roundtrip_through_machine(
-        values in proptest::collection::vec(-100.0f64..100.0, VLEN),
-        offset in 0u64..32,
-    ) {
+#[test]
+fn memory_roundtrip_through_machine() {
+    let cfg = Config::with_cases(64);
+    let strat = (
+        vec_of(range(-100.0f64..100.0), VLEN..VLEN + 1),
+        range(0u64..32),
+    );
+    prop::check(&cfg, &strat, |(values, offset)| {
         let cfg = MachineConfig::lx2();
         let mut m = Machine::new(&cfg);
         let region = m.alloc(128, VLEN);
-        m.mem.store_slice(region.base + offset, &values).unwrap();
+        m.mem.store_slice(region.base + offset, values).unwrap();
         let mut p = Program::new();
-        p.push(Inst::Ld1d { vd: VReg::new(3), addr: region.base + offset });
-        p.push(Inst::St1d { vs: VReg::new(3), addr: region.base + 64 });
+        p.push(Inst::Ld1d {
+            vd: VReg::new(3),
+            addr: region.base + offset,
+        });
+        p.push(Inst::St1d {
+            vs: VReg::new(3),
+            addr: region.base + 64,
+        });
         m.execute(&p).unwrap();
         let mut out = [0.0; VLEN];
         m.mem.load_slice(region.base + 64, &mut out).unwrap();
-        prop_assert_eq!(out.to_vec(), values);
-    }
+        prop_assert_eq!(&out.to_vec(), values);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hit_plus_miss_equals_accesses(
-        addrs in proptest::collection::vec(0u64..4096, 1..300),
-        kinds in proptest::collection::vec(any::<bool>(), 300),
-    ) {
+#[test]
+fn hit_plus_miss_equals_accesses() {
+    let cfg = Config::with_cases(64);
+    let strat = (
+        vec_of(range(0u64..4096), 1..300),
+        vec_of(any_bool(), 300..301),
+    );
+    prop::check(&cfg, &strat, |(addrs, kinds)| {
         let cfg = MachineConfig::lx2();
         let mut m = Machine::new(&cfg);
         let _region = m.alloc(8192, 8);
@@ -139,31 +172,42 @@ proptest! {
         for (i, &a) in addrs.iter().enumerate() {
             let aligned = a & !7;
             if kinds[i % kinds.len()] {
-                p.push(Inst::Ld1d { vd: VReg::new(i % 8), addr: aligned });
+                p.push(Inst::Ld1d {
+                    vd: VReg::new(i % 8),
+                    addr: aligned,
+                });
             } else {
-                p.push(Inst::Prfm { addr: aligned, kind: MemKind::Read });
+                p.push(Inst::Prfm {
+                    addr: aligned,
+                    kind: MemKind::Read,
+                });
             }
         }
         m.execute(&p).unwrap();
         let mem = m.counters().mem;
         prop_assert!(mem.l1_load_hits <= mem.l1_load_accesses);
         prop_assert!(mem.l2_hits <= mem.l2_accesses);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fmopa_equals_manual_outer_product(
-        row in proptest::collection::vec(-4.0f64..4.0, VLEN),
-        col in proptest::collection::vec(-4.0f64..4.0, VLEN),
-        mask_bits in any::<u8>(),
-    ) {
+#[test]
+fn fmopa_equals_manual_outer_product() {
+    let cfg = Config::with_cases(64);
+    let strat = (
+        vec_of(range(-4.0f64..4.0), VLEN..VLEN + 1),
+        vec_of(range(-4.0f64..4.0), VLEN..VLEN + 1),
+        any_u8(),
+    );
+    prop::check(&cfg, &strat, |(row, col, mask_bits)| {
         let cfg = MachineConfig::lx2();
         let mut m = Machine::new(&cfg);
         {
             let st = &mut m.engine_mut().state;
-            st.v[0].copy_from_slice(&col);
-            st.v[1].copy_from_slice(&row);
+            st.v[0].copy_from_slice(col);
+            st.v[1].copy_from_slice(row);
         }
-        let mask = RowMask::from_bits(mask_bits);
+        let mask = RowMask::from_bits(*mask_bits);
         let p: Program = std::iter::once(Inst::Fmopa {
             za: ZaReg::new(0),
             vn: VReg::new(0),
@@ -175,9 +219,14 @@ proptest! {
         let za = &m.engine().state.za[0];
         for i in 0..VLEN {
             for j in 0..VLEN {
-                let expect = if mask.contains(i) { col[i] * row[j] } else { 0.0 };
+                let expect = if mask.contains(i) {
+                    col[i] * row[j]
+                } else {
+                    0.0
+                };
                 prop_assert!((za[i][j] - expect).abs() < 1e-12);
             }
         }
-    }
+        Ok(())
+    });
 }

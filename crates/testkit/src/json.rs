@@ -1,0 +1,285 @@
+//! A hand-rolled JSON value model and writer (the workspace's
+//! `serde`/`serde_json` replacement).
+//!
+//! Producers implement [`ToJson`] and build a [`Json`] tree; the writer
+//! emits compact ([`Json::to_compact`]) or pretty two-space-indented
+//! ([`Json::to_pretty`]) text with full string escaping. Integers are
+//! kept distinct from floats so 64-bit counters serialize exactly.
+
+use std::fmt::Write as _;
+
+/// A JSON document tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (serialized exactly).
+    Int(i64),
+    /// Unsigned integer (serialized exactly).
+    UInt(u64),
+    /// Floating point; non-finite values serialize as `null` (JSON has
+    /// no NaN/Infinity).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from `(key, value)` pairs.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Array from values.
+    pub fn array<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Rust's shortest-roundtrip Display; force a decimal
+                    // point so the value reads back as a float.
+                    let text = format!("{x}");
+                    out.push_str(&text);
+                    if !text.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Obj(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    write_escaped(out, &pairs[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree — the workspace's `serde::Serialize`
+/// replacement.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+macro_rules! impl_tojson_int {
+    (signed: $($s:ty),*; unsigned: $($u:ty),*) => {
+        $(impl ToJson for $s {
+            fn to_json(&self) -> Json { Json::Int(*self as i64) }
+        })*
+        $(impl ToJson for $u {
+            fn to_json(&self) -> Json { Json::UInt(*self as u64) }
+        })*
+    };
+}
+
+impl_tojson_int!(signed: i8, i16, i32, i64, isize; unsigned: u8, u16, u32, u64, usize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let j = Json::Str("a\"b\\c\nd\te\u{01}f".into());
+        assert_eq!(j.to_compact(), r#""a\"b\\c\nd\te\u0001f""#);
+    }
+
+    #[test]
+    fn integers_serialize_exactly() {
+        assert_eq!(Json::UInt(u64::MAX).to_compact(), "18446744073709551615");
+        assert_eq!(Json::Int(-42).to_compact(), "-42");
+    }
+
+    #[test]
+    fn floats_get_decimal_points_and_nonfinite_becomes_null() {
+        assert_eq!(Json::Num(2.0).to_compact(), "2.0");
+        assert_eq!(Json::Num(0.125).to_compact(), "0.125");
+        assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn nested_objects_round_trip_against_fixture() {
+        let doc = Json::object([
+            ("label", "star2d9p/HStencil".to_json()),
+            ("cycles", 123456u64.to_json()),
+            ("ipc", 3.25.to_json()),
+            (
+                "mem",
+                Json::object([
+                    ("l1_hits", 99u64.to_json()),
+                    ("rates", vec![0.5, 1.0].to_json()),
+                ]),
+            ),
+            ("empty", Json::array([])),
+        ]);
+        let fixture = "{\n  \"label\": \"star2d9p/HStencil\",\n  \"cycles\": 123456,\n  \
+                       \"ipc\": 3.25,\n  \"mem\": {\n    \"l1_hits\": 99,\n    \
+                       \"rates\": [\n      0.5,\n      1.0\n    ]\n  },\n  \"empty\": []\n}";
+        assert_eq!(doc.to_pretty(), fixture);
+        assert_eq!(
+            doc.to_compact(),
+            "{\"label\":\"star2d9p/HStencil\",\"cycles\":123456,\"ipc\":3.25,\
+             \"mem\":{\"l1_hits\":99,\"rates\":[0.5,1.0]},\"empty\":[]}"
+        );
+    }
+
+    #[test]
+    fn option_and_arrays() {
+        assert_eq!(Some(1u64).to_json().to_compact(), "1");
+        assert_eq!(None::<u64>.to_json().to_compact(), "null");
+        assert_eq!([1u64, 2, 3].to_json().to_compact(), "[1,2,3]");
+    }
+}

@@ -1,0 +1,30 @@
+//! # hstencil-testkit
+//!
+//! Owned, zero-dependency infrastructure that replaces the four external
+//! crates the workspace originally leaned on, so that
+//! `cargo build --release && cargo test -q` succeeds with **no network
+//! access** (see DESIGN.md "Hermetic / offline build"):
+//!
+//! * [`rng`] — SplitMix64 + Xoshiro256\*\* with a `rand`-like
+//!   [`Rng::gen_range`](rng::Rng::gen_range) API (replaces `rand`),
+//! * [`prop`] — a seeded property-testing harness with configurable case
+//!   counts, failing-seed reporting and bounded shrinking (replaces
+//!   `proptest`),
+//! * [`json`] — a hand-rolled JSON value/writer with a [`ToJson`] trait
+//!   (replaces `serde` + `serde_json`),
+//! * [`bench`] — a `std::time` bench harness with warmup, sampling and
+//!   median/p10/p90 summaries (replaces `criterion`).
+//!
+//! The crate deliberately has **no dependencies** — it is the leaf of the
+//! workspace graph and every other crate may use it from either
+//! `[dependencies]` or `[dev-dependencies]`.
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{BenchGroup, Harness, Summary};
+pub use json::{Json, ToJson};
+pub use prop::{check, Config, Strategy};
+pub use rng::{Rng, SplitMix64, Xoshiro256};

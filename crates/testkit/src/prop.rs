@@ -1,0 +1,563 @@
+//! A minimal seeded property-testing harness (the workspace's `proptest`
+//! replacement).
+//!
+//! Model: a [`Strategy`] generates a value from a per-case RNG and can
+//! propose *shrunk* candidates of a failing value; [`check`] drives a
+//! configurable number of seeded cases, and on failure performs bounded
+//! greedy shrinking and panics with the **case seed** so the exact input
+//! can be replayed:
+//!
+//! ```text
+//! property failed (case 17 of 24)
+//!   case seed: 0x9a1f3b...  — reproduce with TESTKIT_SEED=0x9a1f3b...
+//!   minimal failing input: ...
+//! ```
+//!
+//! Setting the `TESTKIT_SEED` environment variable makes every property
+//! in the test binary run exactly one case with that seed — the
+//! reproduction workflow documented in README.md.
+//!
+//! Shrinking is *bounded* (at most [`Config::max_shrink_steps`] extra
+//! property evaluations) and structural: ranges shrink toward their lower
+//! bound / zero, vectors shrink by dropping suffixes, halves and single
+//! elements and by shrinking elements in place, tuples shrink
+//! component-wise. Mapped strategies ([`Strategy::map`]) and choices
+//! ([`one_of`]) do not shrink through the mapping — the replayable case
+//! seed is the reproduction mechanism there.
+
+use crate::rng::{Rng, SplitMix64, Xoshiro256};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Harness configuration: case count, base seed, shrink budget.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed; per-case seeds are SplitMix64 outputs derived from it.
+    pub seed: u64,
+    /// Maximum extra property evaluations spent shrinking a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 32,
+            seed: 0x5EED_0D15_EA5E_0001,
+            max_shrink_steps: 512,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with a different case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// A value generator with optional shrinking.
+pub trait Strategy {
+    /// Generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the case RNG.
+    fn generate(&self, rng: &mut Xoshiro256) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing value (may be empty).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps the generated value (shrinking stops at the mapping).
+    fn map<U: Clone + Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Uniform samples from a numeric range; shrinks toward the lower bound.
+#[derive(Clone, Debug)]
+pub struct RangeStrategy<T> {
+    range: Range<T>,
+}
+
+/// Strategy over `lo..hi` for any sampleable numeric type.
+pub fn range<T>(r: Range<T>) -> RangeStrategy<T> {
+    RangeStrategy { range: r }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Xoshiro256) -> $t {
+                rng.gen_range(self.range.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.range.start;
+                let mut out = Vec::new();
+                let mut v = *value;
+                // Halve the distance to the lower bound (binary-search
+                // phase), then step down by one (boundary refinement).
+                while v != lo && out.len() < 8 {
+                    let mid = lo + (v - lo) / 2;
+                    out.push(mid);
+                    v = mid;
+                }
+                if *value != lo && !out.contains(&(*value - 1)) {
+                    out.push(*value - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for RangeStrategy<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Xoshiro256) -> f64 {
+        rng.gen_range(self.range.clone())
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        // Move toward zero if the range contains it, else the low end.
+        let target = if self.range.contains(&0.0) {
+            0.0
+        } else {
+            self.range.start
+        };
+        let mut out = Vec::new();
+        let mut v = *value;
+        for _ in 0..8 {
+            let mid = (v + target) / 2.0;
+            if mid == v || (mid - target).abs() < 1e-12 {
+                break;
+            }
+            out.push(mid);
+            v = mid;
+        }
+        if *value != target {
+            out.push(target);
+        }
+        out
+    }
+}
+
+/// Any `u8` (all 256 values); shrinks toward 0.
+#[derive(Clone, Debug)]
+pub struct AnyU8;
+
+/// Full-width `u8` strategy.
+pub fn any_u8() -> AnyU8 {
+    AnyU8
+}
+
+impl Strategy for AnyU8 {
+    type Value = u8;
+    fn generate(&self, rng: &mut Xoshiro256) -> u8 {
+        rng.next_u64() as u8
+    }
+    fn shrink(&self, value: &u8) -> Vec<u8> {
+        if *value == 0 {
+            Vec::new()
+        } else {
+            vec![value >> 1, 0]
+        }
+    }
+}
+
+/// Any `u64`; shrinks toward 0.
+#[derive(Clone, Debug)]
+pub struct AnyU64;
+
+/// Full-width `u64` strategy.
+pub fn any_u64() -> AnyU64 {
+    AnyU64
+}
+
+impl Strategy for AnyU64 {
+    type Value = u64;
+    fn generate(&self, rng: &mut Xoshiro256) -> u64 {
+        rng.next_u64()
+    }
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        if *value == 0 {
+            Vec::new()
+        } else {
+            vec![value >> 1, value >> 8, 0]
+        }
+    }
+}
+
+/// Uniform `bool`.
+#[derive(Clone, Debug)]
+pub struct AnyBool;
+
+/// Coin-flip strategy; shrinks `true` to `false`.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut Xoshiro256) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Mapped strategy (see [`Strategy::map`]).
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Clone + Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut Xoshiro256) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies producing the same value type.
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+/// `prop_oneof!` replacement: picks one arm uniformly per case.
+pub fn one_of<T: Clone + Debug>(arms: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+    assert!(!arms.is_empty(), "one_of needs at least one arm");
+    OneOf { arms }
+}
+
+impl<T: Clone + Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Xoshiro256) -> T {
+        let k = rng.gen_range(0usize..self.arms.len());
+        self.arms[k].generate(rng)
+    }
+}
+
+/// Vectors with a length drawn from `len` and elements from `elem`.
+/// Shrinks by dropping suffixes/halves/single elements and by shrinking
+/// elements in place (down to the minimum length).
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// `proptest::collection::vec` replacement.
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.len.start;
+        let mut out = Vec::new();
+        let n = value.len();
+        // Structural shrinks first: drop the back half, then suffix, then
+        // each single element (front to back).
+        if n > min {
+            let half = min.max(n / 2);
+            if half < n {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..n - 1].to_vec());
+            for i in 0..n.min(16) {
+                if n - 1 >= min {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+        }
+        // Element-wise shrinks (first shrink candidate per position).
+        for i in 0..n.min(16) {
+            if let Some(simpler) = self.elem.shrink(&value[i]).into_iter().next() {
+                let mut v = value.clone();
+                v[i] = simpler;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut Xoshiro256) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for simpler in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = simpler;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (S0 / 0),
+    (S0 / 0, S1 / 1),
+    (S0 / 0, S1 / 1, S2 / 2),
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3),
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4),
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5),
+);
+
+/// Runs `prop` over `cfg.cases` seeded cases of `strategy`.
+///
+/// On failure: performs bounded shrinking, then panics with the failing
+/// case seed (replayable via the `TESTKIT_SEED` environment variable),
+/// the (possibly shrunk) input and the property's error message.
+pub fn check<S: Strategy>(
+    cfg: &Config,
+    strategy: &S,
+    prop: impl Fn(&S::Value) -> Result<(), String>,
+) {
+    if let Ok(text) = std::env::var("TESTKIT_SEED") {
+        let seed = parse_seed(&text)
+            .unwrap_or_else(|| panic!("TESTKIT_SEED '{text}' is not a decimal or 0x-hex u64"));
+        run_case(cfg, strategy, &prop, seed, 0, 1);
+        return;
+    }
+    for i in 0..cfg.cases {
+        let case_seed = SplitMix64::nth_from(cfg.seed, i as u64);
+        run_case(cfg, strategy, &prop, case_seed, i, cfg.cases);
+    }
+}
+
+fn run_case<S: Strategy>(
+    cfg: &Config,
+    strategy: &S,
+    prop: &impl Fn(&S::Value) -> Result<(), String>,
+    case_seed: u64,
+    index: u32,
+    total: u32,
+) {
+    let mut rng = Xoshiro256::seed_from_u64(case_seed);
+    let value = strategy.generate(&mut rng);
+    if let Err(msg) = prop(&value) {
+        let (minimal, min_msg, steps) = shrink_failure(cfg, strategy, prop, value, msg);
+        panic!(
+            "property failed (case {index} of {total}, {steps} shrink steps)\n  \
+             case seed: {case_seed:#x} — reproduce with TESTKIT_SEED={case_seed:#x}\n  \
+             minimal failing input: {minimal:?}\n  error: {min_msg}"
+        );
+    }
+}
+
+/// Greedy first-improvement shrinking, bounded by `max_shrink_steps`
+/// property evaluations.
+fn shrink_failure<S: Strategy>(
+    cfg: &Config,
+    strategy: &S,
+    prop: &impl Fn(&S::Value) -> Result<(), String>,
+    mut value: S::Value,
+    mut msg: String,
+) -> (S::Value, String, u32) {
+    let mut budget = cfg.max_shrink_steps;
+    let mut steps = 0u32;
+    'outer: while budget > 0 {
+        for candidate in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(m) = prop(&candidate) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    let t = text.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// `proptest::prop_assert!` replacement: early-returns `Err(String)` from
+/// the property closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `proptest::prop_assert_eq!` replacement.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = Config::with_cases(24);
+        let counter = std::cell::Cell::new(0u32);
+        check(&cfg, &range(0u64..100), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 24);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let cfg = Config::with_cases(64);
+        let result = std::panic::catch_unwind(|| {
+            check(&cfg, &range(0u64..1000), |&v| {
+                if v >= 10 {
+                    Err(format!("{v} too big"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let err = result.expect_err("property must fail");
+        let text = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(text.contains("TESTKIT_SEED=0x"), "no seed in: {text}");
+        // Greedy halving toward the range's lower bound lands exactly on
+        // the smallest failing value.
+        assert!(
+            text.contains("minimal failing input: 10"),
+            "did not shrink to 10: {text}"
+        );
+    }
+
+    #[test]
+    fn vec_shrinking_drops_irrelevant_elements() {
+        let cfg = Config {
+            cases: 64,
+            max_shrink_steps: 2000,
+            ..Config::default()
+        };
+        let strat = vec_of(range(0u64..100), 1..40);
+        let result = std::panic::catch_unwind(|| {
+            check(&cfg, &strat, |v| {
+                if v.iter().any(|&x| x >= 90) {
+                    Err("contains a large element".into())
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let text = result
+            .expect_err("must fail")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap();
+        // The minimal counterexample is a single large element.
+        let input = text
+            .split("minimal failing input: ")
+            .nth(1)
+            .unwrap()
+            .split('\n')
+            .next()
+            .unwrap();
+        let elems = input.matches(',').count() + 1;
+        assert!(elems <= 2, "poorly shrunk vector: {input}");
+    }
+
+    #[test]
+    fn tuples_generate_and_shrink_componentwise() {
+        let cfg = Config::with_cases(32);
+        check(&cfg, &(range(0u64..8), any_bool()), |&(v, _)| {
+            prop_assert!(v < 8, "range violated: {v}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn cases_are_deterministic_for_a_fixed_seed() {
+        let cfg = Config::default();
+        let collect = || {
+            let out = std::cell::RefCell::new(Vec::new());
+            check(&cfg, &range(0u64..1_000_000), |&v| {
+                out.borrow_mut().push(v);
+                Ok(())
+            });
+            out.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

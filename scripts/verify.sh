@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Hermetic-build verification: the workspace must build, test, and bench
+# with zero network access and zero non-workspace crates in the
+# dependency graph (DESIGN.md §6).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKSPACE_CRATES="hstencil hstencil-testkit hstencil-core hstencil-bench lx2-isa lx2-sim"
+
+echo "==> offline release build"
+cargo build --release --workspace --offline
+
+echo "==> offline test suite"
+cargo test -q --workspace --offline
+
+echo "==> dependency-graph audit (workspace crates only)"
+# Every node in the resolved graph must be one of ours; any external
+# crate name here means the hermetic policy was broken.
+tree="$(cargo tree --workspace --offline --edges normal,dev,build --prefix none --format '{p}')"
+bad="$(echo "$tree" | awk 'NF {print $1}' | sort -u | grep -vxF -e ${WORKSPACE_CRATES// / -e } || true)"
+if [ -n "$bad" ]; then
+    echo "ERROR: non-workspace crates in the dependency graph:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "    graph contains only: $(echo "$tree" | awk 'NF {print $1}' | sort -u | tr '\n' ' ')"
+
+echo "==> OK: hermetic build verified"
