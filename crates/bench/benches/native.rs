@@ -1,0 +1,247 @@
+//! Wall-clock benchmark of the **native executor v2** — the first point
+//! on the repo's real-hardware perf trajectory (ISSUE 2). Unlike
+//! `benches/kernels.rs`, nothing here is simulated: these are host
+//! wall-clock numbers for `hstencil_core::native`.
+//!
+//! Covers in-cache (256²) and out-of-cache (4096², 192³) grids for
+//! star2d5p, box2d9p and heat3d, the persistent-pool parallel path, and
+//! three kernel generations side by side:
+//!
+//! * `seed`   — the frozen seed executor (`native::baseline`),
+//! * `scalar` — the v2 `mul_add` chain, forced scalar dispatch,
+//! * the detected best dispatch (`avx2+fma` on x86-64).
+//!
+//! Writes `BENCH_native.json` at the repository root via the testkit
+//! JSON writer; `scripts/verify.sh` runs this bench in smoke mode
+//! (`-- --smoke`, one sample) and gates on the file parsing with the
+//! testkit JSON reader (`check_bench_json`). Later PRs compare their
+//! numbers against this file's — regenerate it on the same machine when
+//! touching the native executor.
+
+use hstencil_bench::runner::{workload_2d, workload_3d};
+use hstencil_core::native::{self, baseline, pool::ThreadPool};
+use hstencil_core::{presets, Dispatch, Grid2d, Grid3d, StencilSpec};
+use hstencil_testkit::{Harness, Json, Summary, ToJson};
+
+/// One (stencil, size, threads, kernel) measurement destined for JSON.
+struct Row {
+    stencil: String,
+    dims: usize,
+    size: usize,
+    threads: usize,
+    kernel: &'static str,
+    elems: u64,
+    summary: Summary,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        let s = &self.summary;
+        Json::object([
+            ("stencil", self.stencil.to_json()),
+            ("dims", self.dims.to_json()),
+            ("size", self.size.to_json()),
+            ("threads", self.threads.to_json()),
+            ("kernel", self.kernel.to_json()),
+            ("samples", s.samples.to_json()),
+            ("median_s", s.median.to_json()),
+            ("p10_s", s.p10.to_json()),
+            ("p90_s", s.p90.to_json()),
+            ("mean_s", s.mean.to_json()),
+            ("elems_per_s", (self.elems as f64 / s.median).to_json()),
+        ])
+    }
+}
+
+/// Which kernel generation a 2-D config times.
+#[derive(Clone, Copy, PartialEq)]
+enum Kernel {
+    Seed,
+    Forced(Dispatch),
+    Best,
+}
+
+impl Kernel {
+    fn label(self) -> &'static str {
+        match self {
+            Kernel::Seed => "seed",
+            Kernel::Forced(Dispatch::Scalar) => "scalar",
+            Kernel::Forced(Dispatch::Avx2Fma) => "avx2+fma",
+            Kernel::Best => Dispatch::detect().label(),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_2d(
+    h: &Harness,
+    rows: &mut Vec<Row>,
+    pool: &ThreadPool,
+    spec: &StencilSpec,
+    size: usize,
+    threads: usize,
+    kernel: Kernel,
+    warmup: usize,
+    samples: usize,
+) {
+    let grid = workload_2d(size, size, spec.radius(), 42);
+    let mut out = Grid2d::zeros(size, size, spec.radius());
+    let elems = (size * size) as u64;
+    let group = h
+        .group("native2d")
+        .warmup(warmup)
+        .sample_size(samples)
+        .throughput_elems(elems);
+    let id = format!("{}/{}/t{}/{}", spec.name(), size, threads, kernel.label());
+    let summary = group.bench(&id, || match kernel {
+        Kernel::Seed => baseline::apply_2d(spec, &grid, &mut out),
+        Kernel::Forced(d) => {
+            native::apply_2d_parallel_in(pool, d, spec, &grid, &mut out, threads)
+        }
+        Kernel::Best => {
+            native::apply_2d_parallel_in(pool, Dispatch::detect(), spec, &grid, &mut out, threads)
+        }
+    });
+    if let Some(summary) = summary {
+        rows.push(Row {
+            stencil: spec.name().to_string(),
+            dims: 2,
+            size,
+            threads,
+            kernel: kernel.label(),
+            elems,
+            summary,
+        });
+    }
+}
+
+fn bench_3d(
+    h: &Harness,
+    rows: &mut Vec<Row>,
+    pool: &ThreadPool,
+    spec: &StencilSpec,
+    size: usize,
+    threads: usize,
+    warmup: usize,
+    samples: usize,
+) {
+    let grid = workload_3d(size, size, size, spec.radius(), 42);
+    let mut out = Grid3d::zeros(size, size, size, spec.radius());
+    let elems = (size * size * size) as u64;
+    let group = h
+        .group("native3d")
+        .warmup(warmup)
+        .sample_size(samples)
+        .throughput_elems(elems);
+    let label = Dispatch::detect().label();
+    let id = format!("{}/{}/t{}/{}", spec.name(), size, threads, label);
+    let summary = group.bench(&id, || {
+        native::apply_3d_parallel_in(pool, Dispatch::detect(), spec, &grid, &mut out, threads)
+    });
+    if let Some(summary) = summary {
+        rows.push(Row {
+            stencil: spec.name().to_string(),
+            dims: 3,
+            size,
+            threads,
+            kernel: label,
+            elems,
+            summary,
+        });
+    }
+}
+
+fn median_of(rows: &[Row], stencil: &str, size: usize, threads: usize, kernel: &str) -> Option<f64> {
+    rows.iter()
+        .find(|r| {
+            r.stencil == stencil && r.size == size && r.threads == threads && r.kernel == kernel
+        })
+        .map(|r| r.summary.median)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let h = Harness::from_args();
+    let pool = ThreadPool::new();
+    // In-cache configs need a few warmup passes (first-touch faults and
+    // frequency ramp dominate a cold ~70 µs run); out-of-cache runs are
+    // long enough that one warmup pass suffices.
+    let (warm_in, warm_out, n_in, n_out) = if smoke { (0, 0, 1, 1) } else { (3, 1, 9, 7) };
+    let mut rows = Vec::new();
+
+    let star = presets::star2d5p();
+    let boxs = presets::box2d9p();
+    // In-cache 2-D.
+    for spec in [&star, &boxs] {
+        bench_2d(&h, &mut rows, &pool, spec, 256, 1, Kernel::Best, warm_in, n_in);
+    }
+    bench_2d(&h, &mut rows, &pool, &star, 256, 1, Kernel::Seed, warm_in, n_in);
+    // Out-of-cache 2-D: the acceptance case (4096² star2d5p) across the
+    // three kernel generations plus the pool-parallel path.
+    bench_2d(&h, &mut rows, &pool, &star, 4096, 1, Kernel::Seed, warm_out, n_out);
+    bench_2d(
+        &h,
+        &mut rows,
+        &pool,
+        &star,
+        4096,
+        1,
+        Kernel::Forced(Dispatch::Scalar),
+        warm_out,
+        n_out,
+    );
+    bench_2d(&h, &mut rows, &pool, &star, 4096, 1, Kernel::Best, warm_out, n_out);
+    bench_2d(&h, &mut rows, &pool, &star, 4096, 2, Kernel::Best, warm_out, n_out);
+    bench_2d(&h, &mut rows, &pool, &boxs, 4096, 1, Kernel::Best, warm_out, n_out);
+    // 3-D (heat3d): in-cache-ish and out-of-cache.
+    let heat3 = presets::heat3d();
+    bench_3d(&h, &mut rows, &pool, &heat3, 64, 1, warm_in, n_in);
+    bench_3d(&h, &mut rows, &pool, &heat3, 192, 1, warm_out, n_out);
+
+    let best = Dispatch::detect().label();
+    let speedup = match (
+        median_of(&rows, "star2d5p", 4096, 1, "seed"),
+        median_of(&rows, "star2d5p", 4096, 1, best),
+    ) {
+        (Some(seed), Some(v2)) if v2 > 0.0 => Some(seed / v2),
+        _ => None,
+    };
+    if let Some(s) = speedup {
+        println!("speedup star2d5p/4096/t1 {best} vs seed: {s:.2}x");
+    }
+
+    let doc = Json::object([
+        ("bench", "native_executor_v2".to_json()),
+        ("smoke", smoke.to_json()),
+        ("dispatch", best.to_json()),
+        (
+            "host_threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .to_json(),
+        ),
+        ("pool_threads_spawned", pool.spawned_threads().to_json()),
+        (
+            "results",
+            Json::array(rows.iter().map(Row::to_json)),
+        ),
+        (
+            "speedup_star2d5p_4096_t1_vs_seed",
+            speedup.to_json(),
+        ),
+    ]);
+
+    // The trajectory file lives at the repo root, independent of the
+    // cwd cargo gives bench binaries.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_native.json");
+    match std::fs::write(&path, doc.to_pretty() + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! CI gate for `BENCH_native.json` (scripts/verify.sh): the file must
+//! exist, parse with the testkit JSON reader, and carry the
+//! median/p10/p90 + throughput fields for at least six
+//! (stencil, size, threads) configurations.
+//!
+//! Exit codes: 0 ok, 1 malformed/incomplete, 2 missing/unreadable.
+
+use hstencil_testkit::Json;
+
+fn fail(code: i32, msg: String) -> ! {
+    eprintln!("check_bench_json: {msg}");
+    std::process::exit(code);
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_native.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail(2, format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(1, format!("{path}: {e}")),
+    };
+    if doc.get("bench").and_then(Json::as_str) != Some("native_executor_v2") {
+        fail(1, format!("{path}: missing or wrong 'bench' tag"));
+    }
+    let results = match doc.get("results").and_then(Json::as_array) {
+        Some(r) => r,
+        None => fail(1, format!("{path}: 'results' is not an array")),
+    };
+    let mut configs = std::collections::BTreeSet::new();
+    for (i, row) in results.iter().enumerate() {
+        let stencil = row
+            .get("stencil")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(1, format!("{path}: results[{i}] lacks 'stencil'")));
+        for key in ["median_s", "p10_s", "p90_s", "elems_per_s"] {
+            match row.get(key).and_then(Json::as_f64) {
+                Some(v) if v > 0.0 && v.is_finite() => {}
+                _ => fail(
+                    1,
+                    format!("{path}: results[{i}] ({stencil}) lacks positive '{key}'"),
+                ),
+            }
+        }
+        let size = row.get("size").and_then(Json::as_f64).unwrap_or_else(|| {
+            fail(1, format!("{path}: results[{i}] ({stencil}) lacks 'size'"))
+        });
+        let threads = row.get("threads").and_then(Json::as_f64).unwrap_or_else(|| {
+            fail(1, format!("{path}: results[{i}] ({stencil}) lacks 'threads'"))
+        });
+        configs.insert(format!("{stencil}/{size}/{threads}"));
+    }
+    if configs.len() < 6 {
+        fail(
+            1,
+            format!(
+                "{path}: only {} distinct (stencil, size, threads) configurations; need >= 6",
+                configs.len()
+            ),
+        );
+    }
+    println!(
+        "check_bench_json: {path} ok ({} rows, {} configurations)",
+        results.len(),
+        configs.len()
+    );
+}

@@ -121,6 +121,27 @@ impl Grid2d {
         &mut self.data
     }
 
+    /// A zeroed grid of the same shape whose *halo* cells are copied
+    /// from `self` — the cheap way to build a ping-pong destination that
+    /// carries a Dirichlet boundary without paying for a full interior
+    /// copy (`O(perimeter * halo)` instead of `O(h * w)`).
+    pub fn halo_image(&self) -> Grid2d {
+        let mut g = Grid2d::zeros(self.h, self.w, self.halo);
+        let r = self.halo as isize;
+        let (h, w) = (self.h as isize, self.w as isize);
+        for i in (-r..0).chain(h..h + r) {
+            for j in -r..w + r {
+                g.set(i, j, self.at(i, j));
+            }
+        }
+        for i in 0..h {
+            for j in (-r..0).chain(w..w + r) {
+                g.set(i, j, self.at(i, j));
+            }
+        }
+        g
+    }
+
     /// Maximum absolute interior difference against another grid of the
     /// same interior shape.
     pub fn max_interior_diff(&self, other: &Grid2d) -> f64 {
@@ -268,6 +289,34 @@ impl Grid3d {
         &mut self.data
     }
 
+    /// A zeroed grid of the same shape whose *halo* cells are copied
+    /// from `self` (the 3-D analogue of [`Grid2d::halo_image`]).
+    pub fn halo_image(&self) -> Grid3d {
+        let mut g = Grid3d::zeros(self.d, self.h, self.w, self.halo);
+        let r = self.halo as isize;
+        let (d, h, w) = (self.d as isize, self.h as isize, self.w as isize);
+        for k in (-r..0).chain(d..d + r) {
+            for i in -r..h + r {
+                for j in -r..w + r {
+                    g.set(k, i, j, self.at(k, i, j));
+                }
+            }
+        }
+        for k in 0..d {
+            for i in (-r..0).chain(h..h + r) {
+                for j in -r..w + r {
+                    g.set(k, i, j, self.at(k, i, j));
+                }
+            }
+            for i in 0..h {
+                for j in (-r..0).chain(w..w + r) {
+                    g.set(k, i, j, self.at(k, i, j));
+                }
+            }
+        }
+        g
+    }
+
     /// Maximum absolute interior difference against another grid.
     pub fn max_interior_diff(&self, other: &Grid3d) -> f64 {
         assert_eq!((self.d, self.h, self.w), (other.d, other.h, other.w));
@@ -334,6 +383,36 @@ mod tests {
         assert!(a.max_interior_diff(&b) > 90.0);
         let (i, j, _, _) = a.first_mismatch(&b, 1e-9).unwrap();
         assert_eq!((i, j), (2, 3));
+    }
+
+    #[test]
+    fn halo_image_copies_halo_zeros_interior() {
+        let g = Grid2d::from_fn(6, 9, 2, |i, j| (i * 100 + j) as f64);
+        let img = g.halo_image();
+        for i in -2..8i64 {
+            for j in -2..11i64 {
+                let (i, j) = (i as isize, j as isize);
+                let interior = i >= 0 && i < 6 && j >= 0 && j < 9;
+                let want = if interior { 0.0 } else { g.at(i, j) };
+                assert_eq!(img.at(i, j), want, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_image_3d_copies_halo_zeros_interior() {
+        let g = Grid3d::from_fn(3, 4, 5, 1, |k, i, j| (k * 100 + i * 10 + j) as f64);
+        let img = g.halo_image();
+        for k in -1..4isize {
+            for i in -1..5isize {
+                for j in -1..6isize {
+                    let interior =
+                        k >= 0 && k < 3 && i >= 0 && i < 4 && j >= 0 && j < 5;
+                    let want = if interior { 0.0 } else { g.at(k, i, j) };
+                    assert_eq!(img.at(k, i, j), want, "({k},{i},{j})");
+                }
+            }
+        }
     }
 
     #[test]

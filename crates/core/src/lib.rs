@@ -21,7 +21,9 @@
 //! ## Layers
 //!
 //! * [`stencil`] / [`grid`] — problem definition (star/box/Heat, 2-D/3-D).
-//! * [`mod@reference`] / [`native`] — ground truth and a fast host executor.
+//! * [`mod@reference`] / [`native`] — ground truth and the v2 host
+//!   executor (persistent worker pool, runtime-dispatched AVX2+FMA
+//!   micro-kernels with a bit-identical scalar fallback, 2-D and 3-D).
 //! * [`kernels`] — the method kernels (auto, vector-only, STOP
 //!   matrix-only, Mat-ortho, naive hybrid, HStencil in-place, Apple M4).
 //! * [`plan`] / [`report`] — run a method on a simulated machine and read
@@ -48,6 +50,7 @@ pub use grid::{Grid2d, Grid3d};
 pub use kernels::{Kernel, KernelCtx, KernelOptions, Plane};
 pub use method::Method;
 pub use multicore::{run_multicore, run_multicore_steps, MulticoreReport};
+pub use native::{pool::ThreadPool, Dispatch};
 pub use plan::{RunOutcome, RunOutcome3d, StencilPlan};
 pub use report::RunReport;
 pub use stencil::{presets, Pattern, StencilSpec};

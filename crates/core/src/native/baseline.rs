@@ -1,0 +1,73 @@
+//! The seed executor, preserved verbatim as the recorded wall-clock
+//! baseline.
+//!
+//! This is the tap-per-pass auto-vectorized loop the repository started
+//! with: for every output row it makes one full pass over the row *per
+//! tap*, re-reading and re-writing the destination each time, and it
+//! rounds twice per tap (`mul` then `add`). `BENCH_native.json` times it
+//! next to the v2 executor so every later PR's speedup is measured
+//! against the same fixed origin — do not "optimize" this module.
+
+use crate::grid::Grid2d;
+use crate::stencil::StencilSpec;
+
+/// One sweep of a 2-D stencil, seed implementation (single-threaded,
+/// one row pass per tap, no FMA).
+pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
+    assert_eq!(spec.dims(), 2);
+    assert_eq!((a.h(), a.w()), (b.h(), b.w()));
+    assert!(a.halo() >= spec.radius() && b.halo() >= spec.radius());
+    let r = spec.radius() as isize;
+    let taps: Vec<(isize, isize, f64)> = (-r..=r)
+        .flat_map(|di| (-r..=r).map(move |dj| (di, dj)))
+        .filter_map(|(di, dj)| {
+            let c = spec.c2(di, dj);
+            (c != 0.0).then_some((di, dj, c))
+        })
+        .collect();
+
+    let (h, w) = (a.h(), a.w());
+    let stride = a.stride() as isize;
+    let a_org = a.origin() as isize;
+    let b_org = b.origin() as isize;
+    let b_stride = b.stride() as isize;
+    let a_raw = a.raw();
+    let out = b.raw_mut();
+
+    for i in 0..h as isize {
+        let row_out = (b_org + i * b_stride) as usize;
+        let dst = &mut out[row_out..row_out + w];
+        let (di0, dj0, c0) = taps[0];
+        let src0 = (a_org + (i + di0) * stride + dj0) as usize;
+        let s0 = &a_raw[src0..src0 + w];
+        for (d, &s) in dst.iter_mut().zip(s0) {
+            *d = c0 * s;
+        }
+        for &(di, dj, c) in &taps[1..] {
+            let src = (a_org + (i + di) * stride + dj) as usize;
+            let s = &a_raw[src..src + w];
+            for (d, &sv) in dst.iter_mut().zip(s) {
+                *d += c * sv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::stencil::presets;
+
+    #[test]
+    fn baseline_matches_reference() {
+        for spec in presets::suite_2d() {
+            let a = Grid2d::from_fn(20, 33, spec.radius(), |i, j| ((i * 31 + j * 7) % 17) as f64);
+            let mut want = Grid2d::zeros(20, 33, spec.radius());
+            let mut got = Grid2d::zeros(20, 33, spec.radius());
+            reference::apply_2d(&spec, &a, &mut want);
+            apply_2d(&spec, &a, &mut got);
+            assert!(want.max_interior_diff(&got) < 1e-12, "{}", spec.name());
+        }
+    }
+}

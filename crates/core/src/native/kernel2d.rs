@@ -1,0 +1,390 @@
+//! Register-blocked 2-D micro-kernels with runtime SIMD dispatch.
+//!
+//! Both dispatch paths compute every output element as the *same*
+//! fused-multiply-add chain over the nonzero taps in canonical
+//! `(di, dj)` ascending order, starting from `0.0`:
+//!
+//! ```text
+//! acc <- fma(c_tap, a[i+di, j+dj], acc)      for each tap in order
+//! ```
+//!
+//! `_mm256_fmadd_pd` and `f64::mul_add` both round once per step, so the
+//! AVX2 path and the scalar fallback are **bit-identical** — dispatch can
+//! never change results, only speed (asserted by the
+//! `native_dispatch` property suite).
+//!
+//! The AVX2 path is the in-register analogue of the paper's in-place
+//! accumulation (HStencil §3, Algorithm 2): it processes *two output
+//! rows × eight columns* per step, so every input row vector it loads is
+//! reused by all taps of both rows that touch it instead of being
+//! re-fetched once per tap the way the seed's tap-per-pass loop did.
+
+use super::tile;
+use super::Dispatch;
+use crate::stencil::StencilSpec;
+
+/// Preprocessed nonzero taps of a 2-D stencil.
+pub(crate) struct Taps2 {
+    /// Radius.
+    pub r: isize,
+    /// Canonical `(di, dj, c)` chain — the bit-exactness contract.
+    pub flat: Vec<(isize, isize, f64)>,
+    /// Taps grouped by input row for one output row: `single[di + r]`
+    /// lists `(dj, c)` ascending (nonzero only).
+    pub single: Vec<Vec<(isize, f64)>>,
+    /// Taps grouped by input row for an output row *pair* `(i, i+1)`:
+    /// `pair[e + r]` (input row `i + e`, `e` in `-r ..= r+1`) lists
+    /// `(dj, c_row_i, c_row_i1)` merged ascending by `dj`; a zero
+    /// coefficient means the tap does not touch that output row.
+    pub pair: Vec<Vec<(isize, f64, f64)>>,
+}
+
+impl Taps2 {
+    pub fn new(spec: &StencilSpec) -> Taps2 {
+        assert_eq!(spec.dims(), 2);
+        let r = spec.radius() as isize;
+        let mut flat = Vec::new();
+        let mut single = vec![Vec::new(); (2 * r + 1) as usize];
+        for di in -r..=r {
+            for dj in -r..=r {
+                let c = spec.c2(di, dj);
+                if c != 0.0 {
+                    flat.push((di, dj, c));
+                    single[(di + r) as usize].push((dj, c));
+                }
+            }
+        }
+        let mut pair = Vec::with_capacity((2 * r + 2) as usize);
+        for e in -r..=(r + 1) {
+            // Output row i sees input row i+e as tap di = e; output row
+            // i+1 sees it as di = e-1. Merge the two dj lists.
+            let a = Self::row(&single, e, r);
+            let b = Self::row(&single, e - 1, r);
+            let mut merged: Vec<(isize, f64, f64)> = Vec::new();
+            let (mut ia, mut ib) = (0usize, 0usize);
+            while ia < a.len() || ib < b.len() {
+                let next_a = a.get(ia).map(|t| t.0);
+                let next_b = b.get(ib).map(|t| t.0);
+                match (next_a, next_b) {
+                    (Some(da), Some(db)) if da == db => {
+                        merged.push((da, a[ia].1, b[ib].1));
+                        ia += 1;
+                        ib += 1;
+                    }
+                    (Some(da), Some(db)) if da < db => {
+                        merged.push((da, a[ia].1, 0.0));
+                        ia += 1;
+                    }
+                    (Some(_), Some(db)) => {
+                        merged.push((db, 0.0, b[ib].1));
+                        ib += 1;
+                    }
+                    (Some(da), None) => {
+                        merged.push((da, a[ia].1, 0.0));
+                        ia += 1;
+                    }
+                    (None, Some(db)) => {
+                        merged.push((db, 0.0, b[ib].1));
+                        ib += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            pair.push(merged);
+        }
+        Taps2 {
+            r,
+            flat,
+            single,
+            pair,
+        }
+    }
+
+    fn row(single: &[Vec<(isize, f64)>], di: isize, r: isize) -> &[(isize, f64)] {
+        if di < -r || di > r {
+            &[]
+        } else {
+            &single[(di + r) as usize]
+        }
+    }
+
+    /// Rows resident while the pair kernel streams one column tile
+    /// (input rows of the pair plus the two output rows).
+    pub fn rows_in_flight(&self) -> usize {
+        (2 * self.r + 2) as usize + 2
+    }
+}
+
+/// The canonical scalar chain for one element; also the SIMD tail path.
+#[inline]
+fn scalar_point(flat: &[(isize, isize, f64)], a: &[f64], base: isize, stride: isize) -> f64 {
+    let mut acc = 0.0f64;
+    for &(di, dj, c) in flat {
+        acc = c.mul_add(a[(base + di * stride + dj) as usize], acc);
+    }
+    acc
+}
+
+/// Scalar sweep of one row segment: `dst[jj]` = chain at `(i, j0 + jj)`
+/// where `base` is the flat index of `(i, j0)` in `a`.
+fn scalar_row(flat: &[(isize, isize, f64)], a: &[f64], base: isize, stride: isize, dst: &mut [f64]) {
+    for (jj, d) in dst.iter_mut().enumerate() {
+        *d = scalar_point(flat, a, base + jj as isize, stride);
+    }
+}
+
+/// Sweeps output rows `i_lo .. i_hi` of a band. `dst[0]` must be element
+/// `(i_lo, 0)` of the output grid and rows are `b_stride` apart; `a_org`
+/// is the flat index of `(0, 0)` in `a`.
+///
+/// Column tiles are sized so the rows in flight stay cache-resident
+/// ([`tile::col_block`]); within a tile the AVX2 path walks row pairs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_band_2d(
+    dispatch: Dispatch,
+    taps: &Taps2,
+    a: &[f64],
+    a_org: isize,
+    a_stride: isize,
+    w: usize,
+    dst: &mut [f64],
+    b_stride: usize,
+    i_lo: usize,
+    i_hi: usize,
+) {
+    let cb = tile::col_block(w, taps.rows_in_flight());
+    let mut j0 = 0usize;
+    while j0 < w {
+        let jw = cb.min(w - j0);
+        match dispatch {
+            Dispatch::Scalar => {
+                for i in i_lo..i_hi {
+                    let base = a_org + i as isize * a_stride + j0 as isize;
+                    let off = (i - i_lo) * b_stride + j0;
+                    scalar_row(&taps.flat, a, base, a_stride, &mut dst[off..off + jw]);
+                }
+            }
+            Dispatch::Avx2Fma => {
+                assert!(
+                    Dispatch::avx2_available(),
+                    "AVX2+FMA dispatch forced on a machine without it"
+                );
+                #[cfg(target_arch = "x86_64")]
+                {
+                    let mut i = i_lo;
+                    while i < i_hi {
+                        let base = a_org + i as isize * a_stride + j0 as isize;
+                        let off = (i - i_lo) * b_stride + j0;
+                        if i + 1 < i_hi {
+                            let (head, tail) = dst.split_at_mut(off + b_stride);
+                            // SAFETY: feature availability asserted above.
+                            unsafe {
+                                avx2::row_pair(
+                                    taps,
+                                    a,
+                                    base,
+                                    a_stride,
+                                    &mut head[off..off + jw],
+                                    &mut tail[..jw],
+                                );
+                            }
+                            i += 2;
+                        } else {
+                            // SAFETY: feature availability asserted above.
+                            unsafe {
+                                avx2::row_single(
+                                    taps,
+                                    a,
+                                    base,
+                                    a_stride,
+                                    &mut dst[off..off + jw],
+                                );
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                unreachable!("avx2_available() is false off x86-64");
+            }
+        }
+        j0 += jw;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{scalar_point, Taps2};
+    use std::arch::x86_64::*;
+
+    /// Two output rows, eight columns per step (four 4-lane
+    /// accumulators live across the whole tap chain). `base` is the
+    /// flat index of `(i, j0)`; `dst0`/`dst1` are the two output row
+    /// segments (equal length).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA support.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn row_pair(
+        taps: &Taps2,
+        a: &[f64],
+        base: isize,
+        stride: isize,
+        dst0: &mut [f64],
+        dst1: &mut [f64],
+    ) {
+        debug_assert_eq!(dst0.len(), dst1.len());
+        let jw = dst0.len();
+        let ap = a.as_ptr();
+        let r = taps.r;
+        let mut j = 0usize;
+        while j + 8 <= jw {
+            let mut acc00 = _mm256_setzero_pd();
+            let mut acc01 = _mm256_setzero_pd();
+            let mut acc10 = _mm256_setzero_pd();
+            let mut acc11 = _mm256_setzero_pd();
+            for (p, row_taps) in taps.pair.iter().enumerate() {
+                let e = p as isize - r;
+                let row_base = base + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let v0 = _mm256_loadu_pd(ptr);
+                    let v1 = _mm256_loadu_pd(ptr.add(4));
+                    if c0 != 0.0 {
+                        let cv = _mm256_set1_pd(c0);
+                        acc00 = _mm256_fmadd_pd(cv, v0, acc00);
+                        acc01 = _mm256_fmadd_pd(cv, v1, acc01);
+                    }
+                    if c1 != 0.0 {
+                        let cv = _mm256_set1_pd(c1);
+                        acc10 = _mm256_fmadd_pd(cv, v0, acc10);
+                        acc11 = _mm256_fmadd_pd(cv, v1, acc11);
+                    }
+                }
+            }
+            _mm256_storeu_pd(dst0.as_mut_ptr().add(j), acc00);
+            _mm256_storeu_pd(dst0.as_mut_ptr().add(j + 4), acc01);
+            _mm256_storeu_pd(dst1.as_mut_ptr().add(j), acc10);
+            _mm256_storeu_pd(dst1.as_mut_ptr().add(j + 4), acc11);
+            j += 8;
+        }
+        while j + 4 <= jw {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            for (p, row_taps) in taps.pair.iter().enumerate() {
+                let e = p as isize - r;
+                let row_base = base + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let v = _mm256_loadu_pd(ap.offset(row_base + dj));
+                    if c0 != 0.0 {
+                        acc0 = _mm256_fmadd_pd(_mm256_set1_pd(c0), v, acc0);
+                    }
+                    if c1 != 0.0 {
+                        acc1 = _mm256_fmadd_pd(_mm256_set1_pd(c1), v, acc1);
+                    }
+                }
+            }
+            _mm256_storeu_pd(dst0.as_mut_ptr().add(j), acc0);
+            _mm256_storeu_pd(dst1.as_mut_ptr().add(j), acc1);
+            j += 4;
+        }
+        while j < jw {
+            dst0[j] = scalar_point(&taps.flat, a, base + j as isize, stride);
+            dst1[j] = scalar_point(&taps.flat, a, base + stride + j as isize, stride);
+            j += 1;
+        }
+    }
+
+    /// One output row (the odd last row of a band), eight columns per
+    /// step.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA support.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn row_single(
+        taps: &Taps2,
+        a: &[f64],
+        base: isize,
+        stride: isize,
+        dst: &mut [f64],
+    ) {
+        let jw = dst.len();
+        let ap = a.as_ptr();
+        let r = taps.r;
+        let mut j = 0usize;
+        while j + 8 <= jw {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            for (p, row_taps) in taps.single.iter().enumerate() {
+                let di = p as isize - r;
+                let row_base = base + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let cv = _mm256_set1_pd(c);
+                    acc0 = _mm256_fmadd_pd(cv, _mm256_loadu_pd(ptr), acc0);
+                    acc1 = _mm256_fmadd_pd(cv, _mm256_loadu_pd(ptr.add(4)), acc1);
+                }
+            }
+            _mm256_storeu_pd(dst.as_mut_ptr().add(j), acc0);
+            _mm256_storeu_pd(dst.as_mut_ptr().add(j + 4), acc1);
+            j += 8;
+        }
+        while j + 4 <= jw {
+            let mut acc = _mm256_setzero_pd();
+            for (p, row_taps) in taps.single.iter().enumerate() {
+                let di = p as isize - r;
+                let row_base = base + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let v = _mm256_loadu_pd(ap.offset(row_base + dj));
+                    acc = _mm256_fmadd_pd(_mm256_set1_pd(c), v, acc);
+                }
+            }
+            _mm256_storeu_pd(dst.as_mut_ptr().add(j), acc);
+            j += 4;
+        }
+        while j < jw {
+            dst[j] = scalar_point(&taps.flat, a, base + j as isize, stride);
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::presets;
+
+    #[test]
+    fn pair_merge_covers_both_rows_in_canonical_order() {
+        let taps = Taps2::new(&presets::star2d9p());
+        assert_eq!(taps.pair.len(), 2 * 2 + 2);
+        let mut from_pair_row0 = Vec::new();
+        let mut from_pair_row1 = Vec::new();
+        for (p, row) in taps.pair.iter().enumerate() {
+            let e = p as isize - taps.r;
+            for &(dj, c0, c1) in row {
+                // dj strictly ascending within one input row.
+                assert!(c0 != 0.0 || c1 != 0.0);
+                if c0 != 0.0 {
+                    from_pair_row0.push((e, dj, c0));
+                }
+                if c1 != 0.0 {
+                    from_pair_row1.push((e - 1, dj, c1));
+                }
+            }
+        }
+        assert_eq!(from_pair_row0, taps.flat);
+        assert_eq!(from_pair_row1, taps.flat);
+    }
+
+    #[test]
+    fn flat_taps_are_sorted_and_nonzero() {
+        for spec in presets::suite_2d() {
+            let taps = Taps2::new(&spec);
+            assert_eq!(taps.flat.len(), spec.points());
+            let mut sorted = taps.flat.clone();
+            sorted.sort_by_key(|&(di, dj, _)| (di, dj));
+            assert_eq!(sorted, taps.flat, "{}", spec.name());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! 3-D micro-kernels with the same dispatch / bit-exactness contract as
+//! [`super::kernel2d`]: every output element is one FMA chain over the
+//! nonzero taps in canonical `(dk, di, dj)` ascending order, so the AVX2
+//! path and the `mul_add` scalar fallback agree bit-for-bit.
+//!
+//! The vector path register-blocks one output row (eight columns per
+//! step) across the full tap chain; input rows are walked grouped by
+//! `(dk, di)` so each pencil of loads stays within one cache line run.
+
+use super::tile;
+use super::Dispatch;
+use crate::stencil::StencilSpec;
+
+/// Preprocessed nonzero taps of a 3-D stencil.
+pub(crate) struct Taps3 {
+    /// Canonical `(dk, di, dj, c)` chain — the bit-exactness contract.
+    pub flat: Vec<(isize, isize, isize, f64)>,
+    /// Taps grouped by input row: `(dk, di, [(dj, c)...])` in canonical
+    /// order (rows with no nonzero taps omitted).
+    pub rows: Vec<(isize, isize, Vec<(isize, f64)>)>,
+}
+
+impl Taps3 {
+    pub fn new(spec: &StencilSpec) -> Taps3 {
+        assert_eq!(spec.dims(), 3);
+        let r = spec.radius() as isize;
+        let mut flat = Vec::new();
+        let mut rows: Vec<(isize, isize, Vec<(isize, f64)>)> = Vec::new();
+        for dk in -r..=r {
+            for di in -r..=r {
+                let mut row = Vec::new();
+                for dj in -r..=r {
+                    let c = spec.c3(dk, di, dj);
+                    if c != 0.0 {
+                        flat.push((dk, di, dj, c));
+                        row.push((dj, c));
+                    }
+                }
+                if !row.is_empty() {
+                    rows.push((dk, di, row));
+                }
+            }
+        }
+        Taps3 { flat, rows }
+    }
+
+    /// Rows resident while one column tile streams (all input rows the
+    /// chain touches plus the output row).
+    pub fn rows_in_flight(&self) -> usize {
+        self.rows.len() + 1
+    }
+}
+
+/// The canonical scalar chain for one element; also the SIMD tail path.
+#[inline]
+fn scalar_point(
+    flat: &[(isize, isize, isize, f64)],
+    a: &[f64],
+    base: isize,
+    plane_stride: isize,
+    stride: isize,
+) -> f64 {
+    let mut acc = 0.0f64;
+    for &(dk, di, dj, c) in flat {
+        acc = c.mul_add(a[(base + dk * plane_stride + di * stride + dj) as usize], acc);
+    }
+    acc
+}
+
+/// Sweeps the flattened output rows `t_lo .. t_hi` (row `t` is plane
+/// `t / h`, row `t % h`). `dst[0]` must be element `(k_lo, i_lo, 0)`
+/// of the output grid where `t_lo = k_lo * h + i_lo`; `strides` are the
+/// output grid's `(plane_stride, stride)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_band_3d(
+    dispatch: Dispatch,
+    taps: &Taps3,
+    a: &[f64],
+    a_org: isize,
+    a_plane_stride: isize,
+    a_stride: isize,
+    h: usize,
+    w: usize,
+    dst: &mut [f64],
+    b_plane_stride: usize,
+    b_stride: usize,
+    t_lo: usize,
+    t_hi: usize,
+) {
+    let (k_lo, i_lo) = (t_lo / h, t_lo % h);
+    let band_org = k_lo * b_plane_stride + i_lo * b_stride;
+    let cb = tile::col_block(w, taps.rows_in_flight());
+    let mut j0 = 0usize;
+    while j0 < w {
+        let jw = cb.min(w - j0);
+        for t in t_lo..t_hi {
+            let (k, i) = (t / h, t % h);
+            let base = a_org + k as isize * a_plane_stride + i as isize * a_stride + j0 as isize;
+            let off = k * b_plane_stride + i * b_stride + j0 - band_org;
+            let row = &mut dst[off..off + jw];
+            match dispatch {
+                Dispatch::Scalar => {
+                    for (jj, d) in row.iter_mut().enumerate() {
+                        *d = scalar_point(
+                            &taps.flat,
+                            a,
+                            base + jj as isize,
+                            a_plane_stride,
+                            a_stride,
+                        );
+                    }
+                }
+                Dispatch::Avx2Fma => {
+                    assert!(
+                        Dispatch::avx2_available(),
+                        "AVX2+FMA dispatch forced on a machine without it"
+                    );
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: feature availability asserted above.
+                    unsafe {
+                        avx2::row_single(taps, a, base, a_plane_stride, a_stride, row);
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    unreachable!("avx2_available() is false off x86-64");
+                }
+            }
+        }
+        j0 += jw;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{scalar_point, Taps3};
+    use std::arch::x86_64::*;
+
+    /// One output row, eight columns per step.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA support.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn row_single(
+        taps: &Taps3,
+        a: &[f64],
+        base: isize,
+        plane_stride: isize,
+        stride: isize,
+        dst: &mut [f64],
+    ) {
+        let jw = dst.len();
+        let ap = a.as_ptr();
+        let mut j = 0usize;
+        while j + 8 <= jw {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            for &(dk, di, ref row_taps) in &taps.rows {
+                let row_base = base + dk * plane_stride + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let cv = _mm256_set1_pd(c);
+                    acc0 = _mm256_fmadd_pd(cv, _mm256_loadu_pd(ptr), acc0);
+                    acc1 = _mm256_fmadd_pd(cv, _mm256_loadu_pd(ptr.add(4)), acc1);
+                }
+            }
+            _mm256_storeu_pd(dst.as_mut_ptr().add(j), acc0);
+            _mm256_storeu_pd(dst.as_mut_ptr().add(j + 4), acc1);
+            j += 8;
+        }
+        while j + 4 <= jw {
+            let mut acc = _mm256_setzero_pd();
+            for &(dk, di, ref row_taps) in &taps.rows {
+                let row_base = base + dk * plane_stride + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let v = _mm256_loadu_pd(ap.offset(row_base + dj));
+                    acc = _mm256_fmadd_pd(_mm256_set1_pd(c), v, acc);
+                }
+            }
+            _mm256_storeu_pd(dst.as_mut_ptr().add(j), acc);
+            j += 4;
+        }
+        while j < jw {
+            dst[j] = scalar_point(&taps.flat, a, base + j as isize, plane_stride, stride);
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::presets;
+
+    #[test]
+    fn flat_taps_match_point_counts_and_order() {
+        for spec in presets::suite_3d() {
+            let taps = Taps3::new(&spec);
+            assert_eq!(taps.flat.len(), spec.points(), "{}", spec.name());
+            let mut sorted = taps.flat.clone();
+            sorted.sort_by_key(|&(dk, di, dj, _)| (dk, di, dj));
+            assert_eq!(sorted, taps.flat);
+            let from_rows: usize = taps.rows.iter().map(|(_, _, r)| r.len()).sum();
+            assert_eq!(from_rows, spec.points());
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Optimized pure-Rust executor (v2).
+//!
+//! For users who want stencil *answers* on the host machine rather than
+//! a simulation. Three layers (DESIGN.md §3.3 "Native executor"):
+//!
+//! 1. **Persistent worker pool** ([`pool`]) — `apply_2d_parallel`,
+//!    `apply_3d_parallel` and `time_steps` dispatch row bands to a
+//!    spawn-once pool instead of re-entering `std::thread::scope` per
+//!    sweep.
+//! 2. **Runtime-dispatched micro-kernels** — on x86-64 with AVX2 + FMA
+//!    (checked once via `is_x86_feature_detected!`) a register-blocked
+//!    `std::arch` path processes two output rows × eight columns per
+//!    step; everywhere else a `f64::mul_add` scalar fallback runs the
+//!    *same* FMA chain, so both [`Dispatch`] paths are bit-identical.
+//! 3. **Cache-blocked sweep tiling** — bands are walked in column tiles
+//!    sized to keep the in-flight rows cache-resident on out-of-cache
+//!    grids.
+//!
+//! The seed executor is preserved in [`baseline`] and timed side by side
+//! in `BENCH_native.json` (see `crates/bench/benches/native.rs`), the
+//! recorded origin of the wall-clock trajectory.
+//!
+//! Verified against [`crate::reference`] by unit tests and the
+//! `native_dispatch` property suite; used by the examples for large
+//! time-stepped workloads.
+
+pub mod baseline;
+pub mod pool;
+
+mod kernel2d;
+mod kernel3d;
+mod tile;
+
+use crate::grid::{Grid2d, Grid3d};
+use crate::stencil::StencilSpec;
+use kernel2d::Taps2;
+use kernel3d::Taps3;
+use pool::ThreadPool;
+use std::sync::Mutex;
+
+/// Which micro-kernel family executes a sweep. Both paths compute the
+/// identical FMA chain per element, so they agree bit-for-bit; dispatch
+/// only changes speed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dispatch {
+    /// Portable `f64::mul_add` chain (single rounding per tap).
+    Scalar,
+    /// AVX2 + FMA register-blocked `std::arch` kernels (x86-64 only).
+    Avx2Fma,
+}
+
+impl Dispatch {
+    /// True if the AVX2 + FMA path can run on this machine.
+    pub fn avx2_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// The best dispatch for this machine (what the plain `apply_*`
+    /// entry points use).
+    pub fn detect() -> Dispatch {
+        if Dispatch::avx2_available() {
+            Dispatch::Avx2Fma
+        } else {
+            Dispatch::Scalar
+        }
+    }
+
+    /// Every dispatch runnable on this machine (scalar first). The
+    /// property suite cross-checks all of them for bit-identity.
+    pub fn candidates() -> Vec<Dispatch> {
+        let mut v = vec![Dispatch::Scalar];
+        if Dispatch::avx2_available() {
+            v.push(Dispatch::Avx2Fma);
+        }
+        v
+    }
+
+    /// Stable label for reports and `BENCH_native.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dispatch::Scalar => "scalar",
+            Dispatch::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+fn assert_shapes_2d(spec: &StencilSpec, a: &Grid2d, b: &Grid2d) {
+    assert_eq!(spec.dims(), 2);
+    assert_eq!((a.h(), a.w()), (b.h(), b.w()));
+    assert!(a.halo() >= spec.radius() && b.halo() >= spec.radius());
+}
+
+fn assert_shapes_3d(spec: &StencilSpec, a: &Grid3d, b: &Grid3d) {
+    assert_eq!(spec.dims(), 3);
+    assert_eq!((a.d(), a.h(), a.w()), (b.d(), b.h(), b.w()));
+    assert!(a.halo() >= spec.radius() && b.halo() >= spec.radius());
+}
+
+/// One sweep of a 2-D stencil, single-threaded, best dispatch.
+pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
+    apply_2d_with(Dispatch::detect(), spec, a, b);
+}
+
+/// One single-threaded 2-D sweep on an explicit dispatch path.
+///
+/// # Panics
+/// Panics on shape/halo mismatch or if `Avx2Fma` is forced on a machine
+/// without AVX2 + FMA.
+pub fn apply_2d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
+    assert_shapes_2d(spec, a, b);
+    let taps = Taps2::new(spec);
+    let (h, w) = (a.h(), a.w());
+    let (a_org, a_stride) = (a.origin() as isize, a.stride() as isize);
+    let (b_org, b_stride) = (b.origin(), b.stride());
+    let a_raw = a.raw();
+    let end = b_org + (h - 1) * b_stride + w;
+    let dst = &mut b.raw_mut()[b_org..end];
+    kernel2d::sweep_band_2d(dispatch, &taps, a_raw, a_org, a_stride, w, dst, b_stride, 0, h);
+}
+
+/// One sweep of a 2-D stencil with rows distributed over `threads`
+/// lanes of the shared persistent pool.
+pub fn apply_2d_parallel(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d, threads: usize) {
+    apply_2d_parallel_in(ThreadPool::global(), Dispatch::detect(), spec, a, b, threads);
+}
+
+/// One parallel 2-D sweep on an explicit pool and dispatch path.
+/// Workers own contiguous row bands (disjoint `split_at_mut` slices of
+/// the output); tiny grids fall back to the serial kernel.
+pub fn apply_2d_parallel_in(
+    pool: &ThreadPool,
+    dispatch: Dispatch,
+    spec: &StencilSpec,
+    a: &Grid2d,
+    b: &mut Grid2d,
+    threads: usize,
+) {
+    assert!(threads >= 1);
+    if threads == 1 || a.h() < 2 * threads {
+        apply_2d_with(dispatch, spec, a, b);
+        return;
+    }
+    assert_shapes_2d(spec, a, b);
+    let taps = Taps2::new(spec);
+    let (h, w) = (a.h(), a.w());
+    let (a_org, a_stride) = (a.origin() as isize, a.stride() as isize);
+    let (b_org, b_stride) = (b.origin(), b.stride());
+    let a_raw = a.raw();
+
+    struct Band<'a> {
+        dst: &'a mut [f64],
+        i_lo: usize,
+        i_hi: usize,
+    }
+
+    let rows_per = h.div_ceil(threads);
+    let mut bands: Vec<Option<Band>> = Vec::with_capacity(threads);
+    let mut rest = b.raw_mut();
+    let mut consumed = 0usize;
+    for t in 0..threads {
+        let i_lo = t * rows_per;
+        if i_lo >= h {
+            break;
+        }
+        let i_hi = ((t + 1) * rows_per).min(h);
+        let start = b_org + i_lo * b_stride;
+        let end = b_org + (i_hi - 1) * b_stride + w;
+        let (_, tail) = rest.split_at_mut(start - consumed);
+        let (band, tail2) = tail.split_at_mut(end - start);
+        rest = tail2;
+        consumed = end;
+        bands.push(Some(Band {
+            dst: band,
+            i_lo,
+            i_hi,
+        }));
+    }
+    let lanes = bands.len();
+    let bands = Mutex::new(bands);
+    pool.run(lanes, &|lane, _| {
+        let band = bands.lock().unwrap()[lane].take();
+        if let Some(band) = band {
+            kernel2d::sweep_band_2d(
+                dispatch, &taps, a_raw, a_org, a_stride, w, band.dst, b_stride, band.i_lo,
+                band.i_hi,
+            );
+        }
+    });
+}
+
+/// One sweep of a 3-D stencil, single-threaded, best dispatch.
+pub fn apply_3d(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
+    apply_3d_with(Dispatch::detect(), spec, a, b);
+}
+
+/// One single-threaded 3-D sweep on an explicit dispatch path.
+pub fn apply_3d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
+    assert_shapes_3d(spec, a, b);
+    let taps = Taps3::new(spec);
+    let (d, h, w) = (a.d(), a.h(), a.w());
+    let (b_org, b_ps, b_stride) = (b.origin(), b.plane_stride(), b.stride());
+    let a_raw = a.raw();
+    let (a_org, a_ps, a_stride) = (
+        a.origin() as isize,
+        a.plane_stride() as isize,
+        a.stride() as isize,
+    );
+    let end = b_org + (d - 1) * b_ps + (h - 1) * b_stride + w;
+    let dst = &mut b.raw_mut()[b_org..end];
+    kernel3d::sweep_band_3d(
+        dispatch, &taps, a_raw, a_org, a_ps, a_stride, h, w, dst, b_ps, b_stride, 0, d * h,
+    );
+}
+
+/// One sweep of a 3-D stencil with `(plane, row)` pencils distributed
+/// over `threads` lanes of the shared persistent pool.
+pub fn apply_3d_parallel(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d, threads: usize) {
+    apply_3d_parallel_in(ThreadPool::global(), Dispatch::detect(), spec, a, b, threads);
+}
+
+/// One parallel 3-D sweep on an explicit pool and dispatch path. Bands
+/// are contiguous ranges of the flattened `(k, i)` row index, so the
+/// split stays balanced even when the grid has few planes.
+pub fn apply_3d_parallel_in(
+    pool: &ThreadPool,
+    dispatch: Dispatch,
+    spec: &StencilSpec,
+    a: &Grid3d,
+    b: &mut Grid3d,
+    threads: usize,
+) {
+    assert!(threads >= 1);
+    if threads == 1 || a.d() * a.h() < 2 * threads {
+        apply_3d_with(dispatch, spec, a, b);
+        return;
+    }
+    assert_shapes_3d(spec, a, b);
+    let taps = Taps3::new(spec);
+    let (d, h, w) = (a.d(), a.h(), a.w());
+    let (b_org, b_ps, b_stride) = (b.origin(), b.plane_stride(), b.stride());
+    let a_raw = a.raw();
+    let (a_org, a_ps, a_stride) = (
+        a.origin() as isize,
+        a.plane_stride() as isize,
+        a.stride() as isize,
+    );
+
+    struct Band<'a> {
+        dst: &'a mut [f64],
+        t_lo: usize,
+        t_hi: usize,
+    }
+
+    let rows = d * h;
+    let rows_per = rows.div_ceil(threads);
+    let flat_row = |t: usize| b_org + (t / h) * b_ps + (t % h) * b_stride;
+    let mut bands: Vec<Option<Band>> = Vec::with_capacity(threads);
+    let mut rest = b.raw_mut();
+    let mut consumed = 0usize;
+    for t in 0..threads {
+        let t_lo = t * rows_per;
+        if t_lo >= rows {
+            break;
+        }
+        let t_hi = ((t + 1) * rows_per).min(rows);
+        let start = flat_row(t_lo);
+        let end = flat_row(t_hi - 1) + w;
+        let (_, tail) = rest.split_at_mut(start - consumed);
+        let (band, tail2) = tail.split_at_mut(end - start);
+        rest = tail2;
+        consumed = end;
+        bands.push(Some(Band {
+            dst: band,
+            t_lo,
+            t_hi,
+        }));
+    }
+    let lanes = bands.len();
+    let bands = Mutex::new(bands);
+    pool.run(lanes, &|lane, _| {
+        let band = bands.lock().unwrap()[lane].take();
+        if let Some(band) = band {
+            kernel3d::sweep_band_3d(
+                dispatch, &taps, a_raw, a_org, a_ps, a_stride, h, w, band.dst, b_ps, b_stride,
+                band.t_lo, band.t_hi,
+            );
+        }
+    });
+}
+
+/// Runs `sweeps` time steps, ping-ponging between two buffers; returns
+/// the final state. Halo values are carried over between steps
+/// (Dirichlet boundary held at the initial halo).
+///
+/// Uses the shared persistent pool: worker threads are spawned at most
+/// once per process, not per sweep, and the ping buffer is the only
+/// extra allocation beyond the returned grid (a cheap
+/// [`Grid2d::halo_image`], not a full interior copy).
+pub fn time_steps(spec: &StencilSpec, init: &Grid2d, sweeps: usize, threads: usize) -> Grid2d {
+    time_steps_in(
+        ThreadPool::global(),
+        Dispatch::detect(),
+        spec,
+        init,
+        sweeps,
+        threads,
+    )
+}
+
+/// [`time_steps`] on an explicit pool and dispatch path (the pool API
+/// the spawn-count tests assert against).
+pub fn time_steps_in(
+    pool: &ThreadPool,
+    dispatch: Dispatch,
+    spec: &StencilSpec,
+    init: &Grid2d,
+    sweeps: usize,
+    threads: usize,
+) -> Grid2d {
+    if sweeps == 0 {
+        return init.clone();
+    }
+    let mut cur = init.halo_image();
+    apply_2d_parallel_in(pool, dispatch, spec, init, &mut cur, threads);
+    if sweeps == 1 {
+        return cur;
+    }
+    let mut ping = init.halo_image();
+    for _ in 1..sweeps {
+        apply_2d_parallel_in(pool, dispatch, spec, &cur, &mut ping, threads);
+        std::mem::swap(&mut cur, &mut ping);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::stencil::presets;
+
+    fn random_grid(h: usize, w: usize, halo: usize, seed: u64) -> Grid2d {
+        // Small deterministic LCG; avoids pulling rand into the lib.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Grid2d::from_fn(h, w, halo, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
+        })
+    }
+
+    fn random_grid_3d(d: usize, h: usize, w: usize, halo: usize, seed: u64) -> Grid3d {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Grid3d::from_fn(d, h, w, halo, |_, _, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
+        })
+    }
+
+    #[test]
+    fn native_matches_reference_all_presets() {
+        for spec in presets::suite_2d() {
+            let a = random_grid(24, 40, spec.radius(), 7);
+            let mut want = Grid2d::zeros(24, 40, spec.radius());
+            let mut got = Grid2d::zeros(24, 40, spec.radius());
+            reference::apply_2d(&spec, &a, &mut want);
+            apply_2d(&spec, &a, &mut got);
+            assert!(
+                want.max_interior_diff(&got) < 1e-12,
+                "{} diverges",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_paths_are_bit_identical() {
+        for spec in presets::suite_2d() {
+            let a = random_grid(33, 47, spec.radius(), 13);
+            let mut scalar = Grid2d::zeros(33, 47, spec.radius());
+            apply_2d_with(Dispatch::Scalar, &spec, &a, &mut scalar);
+            for d in Dispatch::candidates() {
+                let mut got = Grid2d::zeros(33, 47, spec.radius());
+                apply_2d_with(d, &spec, &a, &mut got);
+                assert_eq!(
+                    scalar.max_interior_diff(&got),
+                    0.0,
+                    "{} under {:?}",
+                    spec.name(),
+                    d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let spec = presets::box2d25p();
+        let a = random_grid(64, 48, 2, 11);
+        let mut serial = Grid2d::zeros(64, 48, 2);
+        let mut par = Grid2d::zeros(64, 48, 2);
+        apply_2d(&spec, &a, &mut serial);
+        for threads in [2, 3, 4, 7] {
+            apply_2d_parallel(&spec, &a, &mut par, threads);
+            assert_eq!(serial.max_interior_diff(&par), 0.0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_falls_back_for_tiny_grids() {
+        let spec = presets::star2d5p();
+        let a = random_grid(8, 8, 1, 3);
+        let mut out = Grid2d::zeros(8, 8, 1);
+        apply_2d_parallel(&spec, &a, &mut out, 16);
+        let mut want = Grid2d::zeros(8, 8, 1);
+        reference::apply_2d(&spec, &a, &mut want);
+        assert!(want.max_interior_diff(&out) < 1e-12);
+    }
+
+    #[test]
+    fn apply_3d_matches_reference_all_presets() {
+        for spec in presets::suite_3d() {
+            let r = spec.radius();
+            let a = random_grid_3d(6, 10, 21, r, 17);
+            let mut want = Grid3d::zeros(6, 10, 21, r);
+            let mut got = Grid3d::zeros(6, 10, 21, r);
+            reference::apply_3d(&spec, &a, &mut want);
+            apply_3d(&spec, &a, &mut got);
+            assert!(
+                want.max_interior_diff(&got) < 1e-12,
+                "{} diverges",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn apply_3d_dispatch_paths_are_bit_identical() {
+        for spec in presets::suite_3d() {
+            let r = spec.radius();
+            let a = random_grid_3d(5, 9, 13, r, 23);
+            let mut scalar = Grid3d::zeros(5, 9, 13, r);
+            apply_3d_with(Dispatch::Scalar, &spec, &a, &mut scalar);
+            for d in Dispatch::candidates() {
+                let mut got = Grid3d::zeros(5, 9, 13, r);
+                apply_3d_with(d, &spec, &a, &mut got);
+                assert_eq!(scalar.max_interior_diff(&got), 0.0, "{}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_3d_parallel_matches_serial() {
+        let spec = presets::box3d27p();
+        let a = random_grid_3d(7, 12, 18, 1, 29);
+        let mut serial = Grid3d::zeros(7, 12, 18, 1);
+        apply_3d(&spec, &a, &mut serial);
+        for threads in [2, 3, 5, 9] {
+            let mut par = Grid3d::zeros(7, 12, 18, 1);
+            apply_3d_parallel(&spec, &a, &mut par, threads);
+            assert_eq!(serial.max_interior_diff(&par), 0.0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn time_steps_preserve_constant_field() {
+        let spec = presets::heat2d();
+        let a = Grid2d::from_fn(16, 16, 1, |_, _| 5.0);
+        let out = time_steps(&spec, &a, 10, 2);
+        assert!((out.at(8, 8) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heat_steps_decay_towards_boundary() {
+        let spec = presets::heat2d();
+        let mut a = Grid2d::zeros(16, 16, 1);
+        a.set(8, 8, 1000.0);
+        let out = time_steps(&spec, &a, 50, 1);
+        assert!(out.at(8, 8) < 1000.0);
+        assert!(out.at(8, 8) > 0.0);
+        // Total heat leaks through the cold boundary, never grows.
+        let total: f64 = (0..16)
+            .flat_map(|i| (0..16).map(move |j| (i, j)))
+            .map(|(i, j)| out.at(i, j))
+            .sum();
+        assert!(total <= 1000.0 + 1e-9);
+    }
+
+    #[test]
+    fn time_steps_spawns_threads_at_most_once() {
+        let spec = presets::star2d5p();
+        let a = random_grid(32, 32, 1, 5);
+        let pool = ThreadPool::new();
+        let first = time_steps_in(&pool, Dispatch::detect(), &spec, &a, 25, 4);
+        assert_eq!(pool.spawned_threads(), 3, "one spawn per lane, ever");
+        let second = time_steps_in(&pool, Dispatch::detect(), &spec, &a, 25, 4);
+        assert_eq!(pool.spawned_threads(), 3, "second call reuses the pool");
+        assert_eq!(first.max_interior_diff(&second), 0.0);
+    }
+
+    #[test]
+    fn time_steps_matches_naive_ping_pong() {
+        // The halo-image fast path must be observationally identical to
+        // the seed's clone-twice ping-pong loop.
+        let spec = presets::box2d9p();
+        let a = random_grid(20, 28, 1, 41);
+        for sweeps in [0usize, 1, 2, 5] {
+            let fast = time_steps(&spec, &a, sweeps, 2);
+            let mut cur = a.clone();
+            let mut next = a.clone();
+            for _ in 0..sweeps {
+                apply_2d(&spec, &cur, &mut next);
+                std::mem::swap(&mut cur, &mut next);
+            }
+            assert_eq!(fast.max_interior_diff(&cur), 0.0, "sweeps={sweeps}");
+        }
+    }
+}

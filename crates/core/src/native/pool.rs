@@ -1,0 +1,254 @@
+//! A spawn-once persistent worker pool for the native executor.
+//!
+//! The seed executor re-entered `std::thread::scope` on every sweep, so a
+//! 100-step `time_steps` call paid 100 × `threads` OS thread spawns. This
+//! pool spawns each worker exactly once and reuses it for every
+//! subsequent sweep: jobs are dispatched over per-worker channels and
+//! completion is collected over a per-run channel, which doubles as the
+//! barrier that makes borrowing stack data from jobs sound.
+//!
+//! Zero-dependency by design (DESIGN.md §6): `std::thread` +
+//! `std::sync::mpsc` only.
+//!
+//! ```
+//! use hstencil_core::native::pool::ThreadPool;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let pool = ThreadPool::new();
+//! let hits = AtomicUsize::new(0);
+//! for _ in 0..10 {
+//!     pool.run(4, &|lane, lanes| {
+//!         assert!(lane < lanes);
+//!         hits.fetch_add(1, Ordering::Relaxed);
+//!     });
+//! }
+//! assert_eq!(hits.load(Ordering::Relaxed), 40);
+//! // 10 runs at 4 lanes, but only 3 threads ever spawned (lane 0 is
+//! // the caller).
+//! assert_eq!(pool.spawned_threads(), 3);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// The function type jobs run: `f(lane, lanes)` with `lane` in
+/// `0..lanes`. Lane 0 always executes on the calling thread.
+type JobFn<'a> = dyn Fn(usize, usize) + Sync + 'a;
+
+/// A unit of work sent to one worker. The raw pointer erases the
+/// caller's borrow lifetime; [`ThreadPool::run`] blocks until every job
+/// has signalled `done`, so the pointee outlives every dereference.
+struct Job {
+    f: *const JobFn<'static>,
+    lane: usize,
+    lanes: usize,
+    done: Sender<usize>,
+}
+
+// SAFETY: the closure behind `f` is `Sync` (shared by all lanes) and
+// `run` keeps the borrow alive until all `done` messages arrive.
+unsafe impl Send for Job {}
+
+enum Message {
+    Run(Job),
+    Exit,
+}
+
+struct Worker {
+    tx: Sender<Message>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A persistent worker pool. Workers are spawned lazily on first demand
+/// and then reused for every later [`ThreadPool::run`]; dropping the
+/// pool shuts them down.
+pub struct ThreadPool {
+    /// Guarded worker list; also serializes runs so two concurrent
+    /// `run` calls never interleave jobs on the same workers.
+    workers: Mutex<Vec<Worker>>,
+    /// Total OS threads ever spawned by this pool (monotonic).
+    spawned: AtomicUsize,
+}
+
+impl ThreadPool {
+    /// An empty pool; no threads are spawned until the first
+    /// [`ThreadPool::run`] that needs them.
+    pub fn new() -> ThreadPool {
+        ThreadPool {
+            workers: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide shared pool used by the `native` executor
+    /// entry points.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(ThreadPool::new)
+    }
+
+    /// Total OS threads this pool has ever spawned. A sweep loop that
+    /// reuses the pool leaves this constant across iterations — the
+    /// property `time_steps` tests assert.
+    pub fn spawned_threads(&self) -> usize {
+        self.spawned.load(Ordering::SeqCst)
+    }
+
+    /// Runs `f(lane, lanes)` once for every `lane` in `0..lanes` and
+    /// returns when all lanes have finished. Lane 0 runs on the calling
+    /// thread; lanes `1..lanes` run on pool workers (spawned now if the
+    /// pool is smaller than `lanes - 1`, reused otherwise).
+    ///
+    /// # Panics
+    /// Panics if `lanes == 0` or if a worker lane panicked.
+    pub fn run<'a>(&self, lanes: usize, f: &JobFn<'a>) {
+        assert!(lanes >= 1, "run needs at least one lane");
+        if lanes == 1 {
+            f(0, 1);
+            return;
+        }
+        let mut workers = self.workers.lock().unwrap();
+        while workers.len() < lanes - 1 {
+            workers.push(self.spawn_worker());
+        }
+        // SAFETY: widening the borrow to 'static is sound because this
+        // function does not return until every job has reported done
+        // (or panics, at which point the jobs holding the pointer have
+        // been dropped — see the recv loop below).
+        let f_static: &'static JobFn<'static> =
+            unsafe { std::mem::transmute::<&JobFn<'a>, &'static JobFn<'static>>(f) };
+        let (done_tx, done_rx): (Sender<usize>, Receiver<usize>) = mpsc::channel();
+        for (k, w) in workers.iter().take(lanes - 1).enumerate() {
+            let job = Job {
+                f: f_static as *const JobFn<'static>,
+                lane: k + 1,
+                lanes,
+                done: done_tx.clone(),
+            };
+            w.tx.send(Message::Run(job))
+                .expect("native pool worker hung up");
+        }
+        drop(done_tx);
+        f(0, lanes);
+        let mut finished = 0usize;
+        while finished < lanes - 1 {
+            match done_rx.recv() {
+                Ok(_) => finished += 1,
+                // Every pending Job owns a clone of the sender, so the
+                // channel only closes early if a worker unwound while
+                // holding its job — i.e. the closure panicked there.
+                Err(_) => panic!("native pool worker panicked"),
+            }
+        }
+    }
+
+    fn spawn_worker(&self) -> Worker {
+        let (tx, rx) = mpsc::channel::<Message>();
+        let handle = std::thread::Builder::new()
+            .name("hstencil-native".into())
+            .spawn(move || {
+                while let Ok(Message::Run(job)) = rx.recv() {
+                    // SAFETY: `run` keeps the closure borrow alive until
+                    // this job's `done` send is received.
+                    let f = unsafe { &*job.f };
+                    f(job.lane, job.lanes);
+                    let _ = job.done.send(job.lane);
+                }
+            })
+            .expect("failed to spawn native pool worker");
+        self.spawned.fetch_add(1, Ordering::SeqCst);
+        Worker {
+            tx,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        let mut workers = match self.workers.lock() {
+            Ok(w) => w,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for w in workers.iter() {
+            let _ = w.tx.send(Message::Exit);
+        }
+        for w in workers.iter_mut() {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_lane_runs_inline_without_spawning() {
+        let pool = ThreadPool::new();
+        let hits = AtomicUsize::new(0);
+        pool.run(1, &|lane, lanes| {
+            assert_eq!((lane, lanes), (0, 1));
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.spawned_threads(), 0);
+    }
+
+    #[test]
+    fn workers_are_spawned_once_and_reused() {
+        let pool = ThreadPool::new();
+        for round in 0..20 {
+            let seen = AtomicUsize::new(0);
+            pool.run(5, &|lane, _| {
+                seen.fetch_or(1 << lane, Ordering::Relaxed);
+            });
+            assert_eq!(seen.load(Ordering::Relaxed), 0b11111, "round {round}");
+        }
+        assert_eq!(pool.spawned_threads(), 4);
+    }
+
+    #[test]
+    fn pool_grows_to_the_largest_lane_count() {
+        let pool = ThreadPool::new();
+        pool.run(2, &|_, _| {});
+        assert_eq!(pool.spawned_threads(), 1);
+        pool.run(6, &|_, _| {});
+        assert_eq!(pool.spawned_threads(), 5);
+        // Shrinking the lane count must not spawn anything new.
+        pool.run(3, &|_, _| {});
+        assert_eq!(pool.spawned_threads(), 5);
+    }
+
+    #[test]
+    fn jobs_may_borrow_stack_data() {
+        let pool = ThreadPool::new();
+        let input: Vec<u64> = (0..64).collect();
+        let partial: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(4, &|lane, lanes| {
+            let chunk = input.len() / lanes;
+            let sum: u64 = input[lane * chunk..(lane + 1) * chunk].iter().sum();
+            partial[lane].store(sum as usize, Ordering::Relaxed);
+        });
+        let total: usize = partial.iter().map(|p| p.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, (0..64).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = ThreadPool::global() as *const ThreadPool;
+        let b = ThreadPool::global() as *const ThreadPool;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Cache-block sweep tiling.
+//!
+//! The micro-kernels walk each band in column tiles so that the set of
+//! input rows a tile touches stays resident in cache while every output
+//! row of the band streams over it. On out-of-cache grids (e.g. the
+//! 4096² bench case, 32 KiB per row) an untiled sweep would evict each
+//! input row between the output rows that reuse it; tiling turns those
+//! re-reads into cache hits.
+//!
+//! Tiling never changes results: the per-element FMA chain is the same
+//! regardless of which tile a column lands in.
+
+/// Cache budget one column tile should fit in, in bytes. Half a typical
+/// 256 KiB L2 slice — leaves room for the output rows and prefetch
+/// streams.
+const TILE_TARGET_BYTES: usize = 128 * 1024;
+
+/// Column-tile width (in elements) for a sweep whose kernel keeps
+/// `rows_in_flight` grid rows live per tile. Always a multiple of 8
+/// (one full AVX2 unroll) unless the grid itself is narrower, at least
+/// 64 columns so tile edges stay rare, and never wider than the grid.
+pub(crate) fn col_block(w: usize, rows_in_flight: usize) -> usize {
+    let cap = w.max(1);
+    let bytes_per_col = rows_in_flight.max(1) * std::mem::size_of::<f64>();
+    let raw = TILE_TARGET_BYTES / bytes_per_col;
+    let aligned = raw - raw % 8;
+    aligned.clamp(cap.min(64), cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_never_exceeds_width() {
+        for w in [1, 7, 63, 64, 100, 4096, 1 << 20] {
+            for rows in [3, 6, 30, 1000] {
+                let b = col_block(w, rows);
+                assert!(b >= 1 && b <= w, "w={w} rows={rows} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_is_simd_aligned_when_wide() {
+        let b = col_block(1 << 20, 6);
+        assert_eq!(b % 8, 0);
+        assert!(b >= 64);
+        // 6 rows * 8 B/col * block fits the tile budget.
+        assert!(6 * 8 * b <= TILE_TARGET_BYTES);
+    }
+
+    #[test]
+    fn narrow_grids_get_one_tile() {
+        assert_eq!(col_block(40, 6), 40);
+        assert_eq!(col_block(3, 1000), 3);
+    }
+
+    #[test]
+    fn huge_stencils_still_get_a_minimum_tile() {
+        // Even when rows_in_flight blows the budget, keep >= 64 cols.
+        assert_eq!(col_block(4096, 100_000), 64);
+    }
+}

@@ -303,6 +303,22 @@ pub mod presets {
         StencilSpec::new_3d(name, Pattern::Star, radius, t)
     }
 
+    /// Heat-3D: the explicit 7-point heat-equation update
+    /// `b = a + alpha (sum of neighbours - 6 a)` with `alpha = 0.1`
+    /// (the 3-D analogue of [`heat2d`]; the native-executor bench's
+    /// 3-D workload).
+    pub fn heat3d() -> StencilSpec {
+        let alpha = 0.1;
+        let n = 3usize;
+        let mut t = vec![0.0; n * n * n];
+        let idx = |dk: usize, di: usize, dj: usize| (dk * n + di) * n + dj;
+        for (dk, di, dj) in [(0, 1, 1), (2, 1, 1), (1, 0, 1), (1, 2, 1), (1, 1, 0), (1, 1, 2)] {
+            t[idx(dk, di, dj)] = alpha;
+        }
+        t[idx(1, 1, 1)] = 1.0 - 6.0 * alpha;
+        StencilSpec::new_3d("heat3d", Pattern::Star, 1, t)
+    }
+
     /// Box-3D27P (r = 1): the full 3×3×3 neighbourhood.
     pub fn box3d27p() -> StencilSpec {
         let n = 3;
@@ -400,6 +416,28 @@ mod tests {
             }
             assert!((sum - 1.0).abs() < 1e-12, "{} sums to {sum}", s.name());
         }
+    }
+
+    #[test]
+    fn heat3d_is_conservative_update() {
+        let s = heat3d();
+        assert_eq!(s.points(), 7);
+        assert_eq!(s.radius(), 1);
+        assert!((s.c3(0, 0, 0) - 0.4).abs() < 1e-12);
+        for (dk, di, dj) in [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)] {
+            assert!((s.c3(dk, di, dj) - 0.1).abs() < 1e-12);
+        }
+        assert_eq!(s.c3(1, 1, 0), 0.0);
+        let r = 1isize;
+        let mut sum = 0.0;
+        for dk in -r..=r {
+            for di in -r..=r {
+                for dj in -r..=r {
+                    sum += s.c3(dk, di, dj);
+                }
+            }
+        }
+        assert!((sum - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! * [`prop`] — a seeded property-testing harness with configurable case
 //!   counts, failing-seed reporting and bounded shrinking (replaces
 //!   `proptest`),
-//! * [`json`] — a hand-rolled JSON value/writer with a [`ToJson`] trait
+//! * [`json`] — a hand-rolled JSON value model with a writer, a
+//!   [`ToJson`] trait and a [`Json::parse`](json::Json::parse) reader
 //!   (replaces `serde` + `serde_json`),
 //! * [`bench`] — a `std::time` bench harness with warmup, sampling and
 //!   median/p10/p90 summaries (replaces `criterion`).
@@ -25,6 +26,6 @@ pub mod prop;
 pub mod rng;
 
 pub use bench::{BenchGroup, Harness, Summary};
-pub use json::{Json, ToJson};
+pub use json::{Json, ParseError, ToJson};
 pub use prop::{check, Config, Strategy};
 pub use rng::{Rng, SplitMix64, Xoshiro256};

@@ -25,4 +25,14 @@ if [ -n "$bad" ]; then
 fi
 echo "    graph contains only: $(echo "$tree" | awk 'NF {print $1}' | sort -u | tr '\n' ' ')"
 
+echo "==> native executor bench (smoke: 1 sample per config)"
+cargo bench -p hstencil-bench --bench native --offline -- --smoke
+if [ ! -f BENCH_native.json ]; then
+    echo "ERROR: bench did not produce BENCH_native.json" >&2
+    exit 1
+fi
+# Parse the artifact with the testkit JSON reader and check every
+# configuration carries median/p10/p90 + throughput fields.
+cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- BENCH_native.json
+
 echo "==> OK: hermetic build verified"
