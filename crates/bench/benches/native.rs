@@ -12,11 +12,15 @@
 //! * the detected best dispatch (`avx2+fma` on x86-64).
 //!
 //! Writes `BENCH_native.json` at the repository root via the testkit
-//! JSON writer; `scripts/verify.sh` runs this bench in smoke mode
-//! (`-- --smoke`, one sample) and gates on the file parsing with the
-//! testkit JSON reader (`check_bench_json`). Later PRs compare their
-//! numbers against this file's — regenerate it on the same machine when
-//! touching the native executor.
+//! JSON writer; `--out=PATH` redirects the artifact (note the `=` form —
+//! a bare path argument would be taken as the harness bench filter).
+//! `scripts/verify.sh` runs this bench in smoke mode (`-- --smoke`, one
+//! sample) with `--out=` pointed at a scratch file under `target/`, so
+//! smoke numbers never clobber the committed trajectory baseline, and
+//! gates on that file parsing with the testkit JSON reader
+//! (`check_bench_json`). Later PRs compare their numbers against the
+//! repo-root file — regenerate it (full mode, no `--out=`) on the same
+//! machine when touching the native executor.
 
 use hstencil_bench::runner::{workload_2d, workload_3d};
 use hstencil_core::native::{self, baseline, pool::ThreadPool};
@@ -233,10 +237,15 @@ fn main() {
     ]);
 
     // The trajectory file lives at the repo root, independent of the
-    // cwd cargo gives bench binaries.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_native.json");
+    // cwd cargo gives bench binaries; `--out=PATH` redirects it (used by
+    // verify.sh smoke runs to keep the recorded baseline untouched).
+    let path = std::env::args()
+        .find_map(|a| a.strip_prefix("--out=").map(std::path::PathBuf::from))
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_native.json")
+        });
     match std::fs::write(&path, doc.to_pretty() + "\n") {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => {

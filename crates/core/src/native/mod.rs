@@ -185,7 +185,9 @@ pub fn apply_2d_parallel_in(
     let lanes = bands.len();
     let bands = Mutex::new(bands);
     pool.run(lanes, &|lane, _| {
-        let band = bands.lock().unwrap()[lane].take();
+        // A poisoned lock just means another lane panicked; the slots
+        // are still per-lane disjoint, so don't cascade the panic.
+        let band = bands.lock().unwrap_or_else(|e| e.into_inner())[lane].take();
         if let Some(band) = band {
             kernel2d::sweep_band_2d(
                 dispatch, &taps, a_raw, a_org, a_stride, w, band.dst, b_stride, band.i_lo,
@@ -285,7 +287,9 @@ pub fn apply_3d_parallel_in(
     let lanes = bands.len();
     let bands = Mutex::new(bands);
     pool.run(lanes, &|lane, _| {
-        let band = bands.lock().unwrap()[lane].take();
+        // A poisoned lock just means another lane panicked; the slots
+        // are still per-lane disjoint, so don't cascade the panic.
+        let band = bands.lock().unwrap_or_else(|e| e.into_inner())[lane].take();
         if let Some(band) = band {
             kernel3d::sweep_band_3d(
                 dispatch, &taps, a_raw, a_org, a_ps, a_stride, h, w, band.dst, b_ps, b_stride,

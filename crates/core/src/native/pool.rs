@@ -56,6 +56,50 @@ enum Message {
     Exit,
 }
 
+/// The barrier that makes [`ThreadPool::run`]'s lifetime erasure sound.
+///
+/// Counts jobs actually handed to workers and refuses to let the owning
+/// frame end — normally *or by unwind* — until each one has sent `done`
+/// or been dropped (a worker unwinding drops its job, and with `tx`
+/// released that closes the channel). `Drop` runs the same drain, so a
+/// panic in the lane-0 closure or mid-dispatch cannot outrun workers
+/// still holding the erased borrow.
+struct DrainGuard {
+    /// Our keep-alive clone source; dropped at the start of the drain
+    /// so `recv` returning `Err` can only mean "no job holds a sender".
+    tx: Option<Sender<usize>>,
+    rx: Receiver<usize>,
+    /// Jobs successfully sent whose `done` has not been received yet.
+    outstanding: usize,
+    worker_panicked: bool,
+}
+
+impl DrainGuard {
+    fn drain(&mut self) {
+        self.tx.take();
+        while self.outstanding > 0 {
+            match self.rx.recv() {
+                Ok(_) => self.outstanding -= 1,
+                // All senders gone with jobs still outstanding: a worker
+                // unwound and dropped its job. No job can touch the
+                // borrow any more, so the barrier is satisfied; record
+                // the panic instead of panicking here (drain also runs
+                // from Drop during unwind, where panicking would abort).
+                Err(_) => {
+                    self.outstanding = 0;
+                    self.worker_panicked = true;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for DrainGuard {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
 struct Worker {
     tx: Sender<Message>,
     handle: Option<JoinHandle<()>>,
@@ -101,6 +145,12 @@ impl ThreadPool {
     /// thread; lanes `1..lanes` run on pool workers (spawned now if the
     /// pool is smaller than `lanes - 1`, reused otherwise).
     ///
+    /// The done-channel barrier holds on *every* exit path, including
+    /// unwinding: if the lane-0 call (or a mid-dispatch send) panics, a
+    /// drop guard still blocks until each outstanding job has either
+    /// finished or been dropped by a dying worker, so the borrow of `f`
+    /// never escapes this frame while a worker can still dereference it.
+    ///
     /// # Panics
     /// Panics if `lanes == 0` or if a worker lane panicked.
     pub fn run<'a>(&self, lanes: usize, f: &JobFn<'a>) {
@@ -109,38 +159,48 @@ impl ThreadPool {
             f(0, 1);
             return;
         }
-        let mut workers = self.workers.lock().unwrap();
+        // A poisoned lock only means an earlier `run` unwound (e.g. a
+        // lane-0 panic the caller caught); the worker list itself is
+        // still consistent, so keep the pool usable.
+        let mut workers = self
+            .workers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         while workers.len() < lanes - 1 {
             workers.push(self.spawn_worker());
         }
         // SAFETY: widening the borrow to 'static is sound because this
-        // function does not return until every job has reported done
-        // (or panics, at which point the jobs holding the pointer have
-        // been dropped — see the recv loop below).
+        // frame does not end — by return *or* by unwind — until every
+        // dispatched job has reported done or been dropped: `guard`
+        // below drains the done channel from `Drop` as well as on the
+        // normal path.
         let f_static: &'static JobFn<'static> =
             unsafe { std::mem::transmute::<&JobFn<'a>, &'static JobFn<'static>>(f) };
         let (done_tx, done_rx): (Sender<usize>, Receiver<usize>) = mpsc::channel();
+        let mut guard = DrainGuard {
+            tx: Some(done_tx),
+            rx: done_rx,
+            outstanding: 0,
+            worker_panicked: false,
+        };
         for (k, w) in workers.iter().take(lanes - 1).enumerate() {
             let job = Job {
                 f: f_static as *const JobFn<'static>,
                 lane: k + 1,
                 lanes,
-                done: done_tx.clone(),
+                done: guard.tx.as_ref().expect("sender taken early").clone(),
             };
+            // On failure the job (and its `done` sender) comes back in
+            // the SendError and is dropped here, so it never counts as
+            // outstanding and the guard's barrier stays exact.
             w.tx.send(Message::Run(job))
                 .expect("native pool worker hung up");
+            guard.outstanding += 1;
         }
-        drop(done_tx);
         f(0, lanes);
-        let mut finished = 0usize;
-        while finished < lanes - 1 {
-            match done_rx.recv() {
-                Ok(_) => finished += 1,
-                // Every pending Job owns a clone of the sender, so the
-                // channel only closes early if a worker unwound while
-                // holding its job — i.e. the closure panicked there.
-                Err(_) => panic!("native pool worker panicked"),
-            }
+        guard.drain();
+        if guard.worker_panicked {
+            panic!("native pool worker panicked");
         }
     }
 
@@ -243,6 +303,58 @@ mod tests {
         });
         let total: usize = partial.iter().map(|p| p.load(Ordering::Relaxed)).sum();
         assert_eq!(total, (0..64).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn lane0_panic_waits_for_workers_and_keeps_pool_usable() {
+        let pool = ThreadPool::new();
+        // One slot per lane, on this stack frame: if `run` unwound
+        // before the barrier, workers would still be writing here after
+        // catch_unwind returns (the UB the DrainGuard exists to stop).
+        let wrote: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, &|lane, _| {
+                if lane == 0 {
+                    panic!("lane 0 boom");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                wrote[lane].store(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(unwound.is_err());
+        for lane in 1..4 {
+            assert_eq!(
+                wrote[lane].load(Ordering::SeqCst),
+                1,
+                "lane {lane} must finish before run unwinds"
+            );
+        }
+        // The caught panic must not wedge or poison the pool.
+        let hits = AtomicUsize::new(0);
+        pool.run(4, &|_, _| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        assert_eq!(pool.spawned_threads(), 3);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_after_the_barrier() {
+        let pool = ThreadPool::new();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(3, &|lane, _| {
+                if lane == 2 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        let msg = unwound.expect_err("worker panic must propagate");
+        let msg = msg
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| msg.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert!(msg.contains("native pool worker panicked"), "got: {msg}");
     }
 
     #[test]

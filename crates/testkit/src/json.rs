@@ -354,16 +354,21 @@ impl Parser<'_> {
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
                 Some(_) => {
-                    // Copy one UTF-8 character (input is &str, so the
-                    // byte stream is valid UTF-8 already).
-                    let rest = &self.bytes[self.pos..];
-                    let ch = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid utf-8"))?
-                        .chars()
-                        .next()
-                        .unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    // Copy the whole run of plain bytes up to the next
+                    // quote, escape, or control byte in one slice. The
+                    // run can only end on an ASCII byte, so it never
+                    // splits a multi-byte UTF-8 character (input came
+                    // from &str, continuation bytes are all >= 0x80).
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(run);
                 }
             }
         }

@@ -26,13 +26,25 @@ fi
 echo "    graph contains only: $(echo "$tree" | awk 'NF {print $1}' | sort -u | tr '\n' ' ')"
 
 echo "==> native executor bench (smoke: 1 sample per config)"
-cargo bench -p hstencil-bench --bench native --offline -- --smoke
-if [ ! -f BENCH_native.json ]; then
-    echo "ERROR: bench did not produce BENCH_native.json" >&2
+# Smoke numbers are meaningless as a baseline, so write them to a
+# scratch path: the repo-root BENCH_native.json is the recorded
+# wall-clock trajectory and must only be replaced by real (non-smoke)
+# runs committed deliberately.
+SMOKE_JSON="$PWD/target/BENCH_native.smoke.json"
+rm -f "$SMOKE_JSON"
+cargo bench -p hstencil-bench --bench native --offline -- --smoke "--out=$SMOKE_JSON"
+if [ ! -f "$SMOKE_JSON" ]; then
+    echo "ERROR: bench did not produce $SMOKE_JSON" >&2
     exit 1
 fi
 # Parse the artifact with the testkit JSON reader and check every
 # configuration carries median/p10/p90 + throughput fields.
+cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- "$SMOKE_JSON"
+# The committed baseline must still exist and parse too.
+if [ ! -f BENCH_native.json ]; then
+    echo "ERROR: recorded baseline BENCH_native.json is missing" >&2
+    exit 1
+fi
 cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- BENCH_native.json
 
 echo "==> OK: hermetic build verified"
