@@ -99,9 +99,7 @@ fn bench_2d(
     let id = format!("{}/{}/t{}/{}", spec.name(), size, threads, kernel.label());
     let summary = group.bench(&id, || match kernel {
         Kernel::Seed => baseline::apply_2d(spec, &grid, &mut out),
-        Kernel::Forced(d) => {
-            native::apply_2d_parallel_in(pool, d, spec, &grid, &mut out, threads)
-        }
+        Kernel::Forced(d) => native::apply_2d_parallel_in(pool, d, spec, &grid, &mut out, threads),
         Kernel::Best => {
             native::apply_2d_parallel_in(pool, Dispatch::detect(), spec, &grid, &mut out, threads)
         }
@@ -119,6 +117,7 @@ fn bench_2d(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bench_3d(
     h: &Harness,
     rows: &mut Vec<Row>,
@@ -155,7 +154,13 @@ fn bench_3d(
     }
 }
 
-fn median_of(rows: &[Row], stencil: &str, size: usize, threads: usize, kernel: &str) -> Option<f64> {
+fn median_of(
+    rows: &[Row],
+    stencil: &str,
+    size: usize,
+    threads: usize,
+    kernel: &str,
+) -> Option<f64> {
     rows.iter()
         .find(|r| {
             r.stencil == stencil && r.size == size && r.threads == threads && r.kernel == kernel
@@ -177,12 +182,42 @@ fn main() {
     let boxs = presets::box2d9p();
     // In-cache 2-D.
     for spec in [&star, &boxs] {
-        bench_2d(&h, &mut rows, &pool, spec, 256, 1, Kernel::Best, warm_in, n_in);
+        bench_2d(
+            &h,
+            &mut rows,
+            &pool,
+            spec,
+            256,
+            1,
+            Kernel::Best,
+            warm_in,
+            n_in,
+        );
     }
-    bench_2d(&h, &mut rows, &pool, &star, 256, 1, Kernel::Seed, warm_in, n_in);
+    bench_2d(
+        &h,
+        &mut rows,
+        &pool,
+        &star,
+        256,
+        1,
+        Kernel::Seed,
+        warm_in,
+        n_in,
+    );
     // Out-of-cache 2-D: the acceptance case (4096² star2d5p) across the
     // three kernel generations plus the pool-parallel path.
-    bench_2d(&h, &mut rows, &pool, &star, 4096, 1, Kernel::Seed, warm_out, n_out);
+    bench_2d(
+        &h,
+        &mut rows,
+        &pool,
+        &star,
+        4096,
+        1,
+        Kernel::Seed,
+        warm_out,
+        n_out,
+    );
     bench_2d(
         &h,
         &mut rows,
@@ -194,9 +229,39 @@ fn main() {
         warm_out,
         n_out,
     );
-    bench_2d(&h, &mut rows, &pool, &star, 4096, 1, Kernel::Best, warm_out, n_out);
-    bench_2d(&h, &mut rows, &pool, &star, 4096, 2, Kernel::Best, warm_out, n_out);
-    bench_2d(&h, &mut rows, &pool, &boxs, 4096, 1, Kernel::Best, warm_out, n_out);
+    bench_2d(
+        &h,
+        &mut rows,
+        &pool,
+        &star,
+        4096,
+        1,
+        Kernel::Best,
+        warm_out,
+        n_out,
+    );
+    bench_2d(
+        &h,
+        &mut rows,
+        &pool,
+        &star,
+        4096,
+        2,
+        Kernel::Best,
+        warm_out,
+        n_out,
+    );
+    bench_2d(
+        &h,
+        &mut rows,
+        &pool,
+        &boxs,
+        4096,
+        1,
+        Kernel::Best,
+        warm_out,
+        n_out,
+    );
     // 3-D (heat3d): in-cache-ish and out-of-cache.
     let heat3 = presets::heat3d();
     bench_3d(&h, &mut rows, &pool, &heat3, 64, 1, warm_in, n_in);
@@ -226,14 +291,8 @@ fn main() {
                 .to_json(),
         ),
         ("pool_threads_spawned", pool.spawned_threads().to_json()),
-        (
-            "results",
-            Json::array(rows.iter().map(Row::to_json)),
-        ),
-        (
-            "speedup_star2d5p_4096_t1_vs_seed",
-            speedup.to_json(),
-        ),
+        ("results", Json::array(rows.iter().map(Row::to_json))),
+        ("speedup_star2d5p_4096_t1_vs_seed", speedup.to_json()),
     ]);
 
     // The trajectory file lives at the repo root, independent of the

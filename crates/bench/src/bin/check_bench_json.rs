@@ -46,12 +46,19 @@ fn main() {
                 ),
             }
         }
-        let size = row.get("size").and_then(Json::as_f64).unwrap_or_else(|| {
-            fail(1, format!("{path}: results[{i}] ({stencil}) lacks 'size'"))
-        });
-        let threads = row.get("threads").and_then(Json::as_f64).unwrap_or_else(|| {
-            fail(1, format!("{path}: results[{i}] ({stencil}) lacks 'threads'"))
-        });
+        let size = row
+            .get("size")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| fail(1, format!("{path}: results[{i}] ({stencil}) lacks 'size'")));
+        let threads = row
+            .get("threads")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| {
+                fail(
+                    1,
+                    format!("{path}: results[{i}] ({stencil}) lacks 'threads'"),
+                )
+            });
         configs.insert(format!("{stencil}/{size}/{threads}"));
     }
     if configs.len() < 6 {

@@ -1,0 +1,92 @@
+//! Conformance coverage run: executes the full `variants × properties ×
+//! instances` matrix and writes the coverage counts to a JSON artifact
+//! (`--out=PATH`, default `CONFORMANCE.json` at the workspace root —
+//! verify.sh redirects smoke runs into `target/`).
+//!
+//! Exit status is nonzero if any cell of the matrix fails, so the
+//! artifact can only ever describe a green matrix. The instance count
+//! follows the fast tier unless `CONFORMANCE_EXHAUSTIVE=1`.
+
+use hstencil_conformance::instance::InstanceStrategy;
+use hstencil_conformance::{case_count, exhaustive, registry, Instance, Outcome, PROPERTIES};
+use hstencil_testkit::prop::Strategy;
+use hstencil_testkit::rng::Xoshiro256;
+use hstencil_testkit::{Json, ToJson};
+
+/// Seed of the coverage instance stream (fixed: the artifact describes
+/// a reproducible run, replayable instance by instance).
+const COVERAGE_SEED: u64 = 0x5EED_C07E_11AB_0003;
+
+fn main() {
+    let n_instances = case_count(8, 48);
+    let strat = InstanceStrategy::any();
+    let mut rng = Xoshiro256::seed_from_u64(COVERAGE_SEED);
+    let instances: Vec<Instance> = (0..n_instances).map(|_| strat.generate(&mut rng)).collect();
+    let variants = registry();
+
+    let (mut checked, mut skipped) = (0u64, 0u64);
+    let mut failures: Vec<String> = Vec::new();
+    for inst in &instances {
+        for variant in &variants {
+            for (prop_name, prop) in PROPERTIES {
+                match prop(variant, inst) {
+                    Ok(Outcome::Checked) => checked += 1,
+                    Ok(Outcome::Skipped) => skipped += 1,
+                    Err(e) => {
+                        failures.push(format!("{} × {prop_name} × {inst:?}: {e}", variant.name()))
+                    }
+                }
+            }
+        }
+    }
+
+    let cells = variants.len() as u64 * PROPERTIES.len() as u64 * instances.len() as u64;
+    println!(
+        "conformance coverage: {} variants × {} properties × {} instances = {cells} cells \
+         ({checked} checked, {skipped} skipped, {} failed)",
+        variants.len(),
+        PROPERTIES.len(),
+        instances.len(),
+        failures.len(),
+    );
+    for f in &failures {
+        eprintln!("FAIL: {f}");
+    }
+
+    let doc = Json::object([
+        ("artifact", "conformance_coverage".to_json()),
+        ("exhaustive", exhaustive().to_json()),
+        ("seed", format!("{COVERAGE_SEED:#x}").to_json()),
+        (
+            "variants",
+            Json::array(variants.iter().map(|v| v.name().to_json())),
+        ),
+        (
+            "properties",
+            Json::array(PROPERTIES.iter().map(|(n, _)| n.to_json())),
+        ),
+        ("instances", (instances.len() as u64).to_json()),
+        ("matrix_cells", cells.to_json()),
+        ("checked", checked.to_json()),
+        ("skipped", skipped.to_json()),
+        ("failed", (failures.len() as u64).to_json()),
+    ]);
+
+    let path = std::env::args()
+        .find_map(|a| a.strip_prefix("--out=").map(std::path::PathBuf::from))
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("CONFORMANCE.json")
+        });
+    match std::fs::write(&path, doc.to_pretty() + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

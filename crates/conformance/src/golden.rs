@@ -1,0 +1,237 @@
+//! Golden `lx2-sim` traces: small canonical kernel programs whose
+//! instruction stream, pipe occupancy and counters are committed under
+//! `crates/conformance/golden/` and diffed structurally on every run.
+//!
+//! These pin the *timing and emission* behaviour that the differential
+//! matrix (which only checks values) cannot see: an accidental
+//! scheduling regression, a dropped prefetch, or a changed instruction
+//! mix shows up as a precise line diff. Regenerate deliberately with:
+//!
+//! ```text
+//! CONFORMANCE_BLESS=1 cargo test -p hstencil-conformance --test golden_traces
+//! ```
+
+use hstencil_core::kernels::{
+    inplace::InplaceKernel, ortho::OrthoKernel, vector::VectorKernel, Kernel, KernelCtx,
+    KernelOptions, Plane,
+};
+use hstencil_core::{presets, Grid2d, StencilSpec};
+use lx2_isa::{Program, VLEN};
+use lx2_sim::{execute_traced, Machine, MachineConfig, PerfCounters, Trace};
+use std::path::PathBuf;
+
+/// Names of all committed golden cases.
+pub const CASES: &[&str] = &[
+    "inplace_star2d5p",
+    "inplace_stop_box2d9p",
+    "vector_star2d9p",
+    "ortho_star2d9p",
+];
+
+/// Directory holding the committed traces.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// True when `CONFORMANCE_BLESS=1` asks for regeneration.
+pub fn blessing() -> bool {
+    std::env::var_os("CONFORMANCE_BLESS").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Fixed kernel options for golden emission: everything the paper's
+/// full configuration enables, two register blocks (so both the blocked
+/// and the per-block structure appear without bloating the trace).
+fn golden_opts() -> KernelOptions {
+    KernelOptions {
+        scheduling: true,
+        replacement: true,
+        prefetch: true,
+        reg_blocks: 2,
+        prefetch_dist: 4,
+        y_block: 256,
+        auto_schedule: false,
+    }
+}
+
+/// Renders one canonical case to its committed text form.
+pub fn render_case(name: &str) -> String {
+    match name {
+        "inplace_star2d5p" => trace_kernel(&mut InplaceKernel::new(true), &presets::star2d5p()),
+        "inplace_stop_box2d9p" => trace_kernel(&mut InplaceKernel::new_stop(), &presets::box2d9p()),
+        "vector_star2d9p" => trace_kernel(&mut VectorKernel::new(), &presets::star2d9p()),
+        "ortho_star2d9p" => trace_kernel(&mut OrthoKernel::new(), &presets::star2d9p()),
+        other => panic!("unknown golden case {other:?} (known: {CASES:?})"),
+    }
+}
+
+/// Emits one `(0, 0)` tile of `kernel` on a fixed 16×16 grid and renders
+/// the traced execution. Allocation order (input, output, then setup
+/// tables) is fixed, so every address in the disassembly is stable.
+fn trace_kernel(kernel: &mut dyn Kernel, spec: &StencilSpec) -> String {
+    let (h, w) = (16usize, 16usize);
+    let input = Grid2d::from_fn(h, w, spec.radius(), |i, j| {
+        ((i * 31 + j * 7).rem_euclid(17)) as f64 * 0.125
+    });
+    let mut mach = Machine::new(&MachineConfig::lx2());
+    let len = input.raw().len();
+    let ra = mach.alloc(len, VLEN);
+    let rb = mach.alloc(len, VLEN);
+    mach.mem.store_slice(ra.base, input.raw()).unwrap();
+    mach.mem.store_slice(rb.base, input.raw()).unwrap();
+    let ctx = KernelCtx {
+        h,
+        w,
+        stride: input.stride() as u64,
+        b0: rb.base + input.origin() as u64,
+        planes: vec![Plane {
+            base: ra.base + input.origin() as u64,
+            table: spec.plane_table_2d(),
+        }],
+        radius: spec.radius(),
+        opts: golden_opts(),
+    };
+    kernel.setup(&ctx, &mut mach).unwrap();
+    let mut prog = Program::with_capacity(4096);
+    kernel.emit_tile(&ctx, 0, 0, &mut prog);
+    let before = mach.counters();
+    let trace = execute_traced(&mut mach, &prog).unwrap();
+    let delta = mach.counters().delta(&before);
+    render(kernel.name(), spec, &trace, &delta)
+}
+
+fn render(kernel: &str, spec: &StencilSpec, trace: &Trace, c: &PerfCounters) -> String {
+    let mut out = String::new();
+    out.push_str("# hstencil-conformance golden trace\n");
+    out.push_str(&format!(
+        "# kernel {kernel} | stencil {} | tile (0,0) of 16x16 | machine lx2\n",
+        spec.name()
+    ));
+    out.push_str(
+        "# regenerate: CONFORMANCE_BLESS=1 cargo test -p hstencil-conformance --test golden_traces\n",
+    );
+    out.push_str("-- instructions (index, issue cycle, pipe, disassembly) --\n");
+    for (idx, e) in trace.entries().iter().enumerate() {
+        out.push_str(&format!(
+            "{idx:>4} {:>6} {:>6} {}\n",
+            e.issue, e.pipe, e.inst
+        ));
+    }
+    out.push_str("-- pipe occupancy --\n");
+    out.push_str(&trace.render_timeline(120));
+    out.push_str("-- counters (traced window) --\n");
+    let rows: &[(&str, u64)] = &[
+        ("instructions", c.instructions),
+        ("cycles", c.cycles),
+        ("active_cycles", c.active_cycles),
+        ("flops", c.flops),
+        ("fmopa", c.fmopa),
+        ("fmla", c.fmla),
+        ("fmlag", c.fmlag),
+        ("useful_matrix_macs", c.useful_matrix_macs),
+        ("l1_load_accesses", c.mem.l1_load_accesses),
+        ("l1_load_hits", c.mem.l1_load_hits),
+        ("l1_store_accesses", c.mem.l1_store_accesses),
+        ("l1_store_hits", c.mem.l1_store_hits),
+        ("l2_accesses", c.mem.l2_accesses),
+        ("l2_hits", c.mem.l2_hits),
+        ("dram_lines_read", c.mem.dram_lines_read),
+        ("dram_lines_written", c.mem.dram_lines_written),
+        ("hw_prefetches", c.mem.hw_prefetches),
+        ("sw_prefetches", c.mem.sw_prefetches),
+        ("late_prefetch_hits", c.mem.late_prefetch_hits),
+    ];
+    for (k, v) in rows {
+        out.push_str(&format!("{k} {v}\n"));
+    }
+    for (pipe, (n, busy)) in c.per_pipe.iter().zip(c.pipe_busy.iter()).enumerate() {
+        out.push_str(&format!("pipe{pipe}_insts {n}\npipe{pipe}_busy {busy}\n"));
+    }
+    out
+}
+
+/// Structural diff: the first differing line with context, or `None`
+/// when the texts match exactly.
+pub fn diff(expected: &str, actual: &str) -> Option<String> {
+    let (e, a): (Vec<&str>, Vec<&str>) = (expected.lines().collect(), actual.lines().collect());
+    let n = e.len().max(a.len());
+    for k in 0..n {
+        let (el, al) = (e.get(k).copied(), a.get(k).copied());
+        if el != al {
+            return Some(format!(
+                "first divergence at line {} ({} golden lines, {} actual):\n  golden: {}\n  actual: {}",
+                k + 1,
+                e.len(),
+                a.len(),
+                el.unwrap_or("<missing — golden file ends here>"),
+                al.unwrap_or("<missing — actual trace ends here>"),
+            ));
+        }
+    }
+    None
+}
+
+/// Checks one case against its committed trace (or rewrites it under
+/// `CONFORMANCE_BLESS=1`).
+pub fn check(name: &str) -> Result<(), String> {
+    let actual = render_case(name);
+    let path = golden_dir().join(format!("{name}.txt"));
+    if blessing() {
+        std::fs::create_dir_all(golden_dir())
+            .map_err(|e| format!("cannot create {}: {e}", golden_dir().display()))?;
+        std::fs::write(&path, &actual)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "missing golden file {} ({e}); regenerate with CONFORMANCE_BLESS=1",
+            path.display()
+        )
+    })?;
+    match diff(&expected, &actual) {
+        None => Ok(()),
+        Some(d) => Err(format!(
+            "golden trace {name:?} diverged — {d}\n(if the change is intended, regenerate with \
+             CONFORMANCE_BLESS=1 and commit the diff)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic() {
+        for name in CASES {
+            assert_eq!(render_case(name), render_case(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn traces_carry_instructions_counters_and_occupancy() {
+        let text = render_case("inplace_star2d5p");
+        assert!(text.contains("-- instructions"));
+        assert!(text.contains("-- pipe occupancy --"));
+        assert!(text.contains("\ninstructions "));
+        assert!(text.contains("fmopa "));
+        // The full configuration emits software prefetches; the golden
+        // trace must witness them.
+        let sw: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("sw_prefetches "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(sw > 0, "no PRFM in the canonical inplace trace:\n{text}");
+    }
+
+    #[test]
+    fn diff_pinpoints_the_first_divergence() {
+        assert!(diff("a\nb\nc", "a\nb\nc").is_none());
+        let d = diff("a\nb\nc", "a\nX\nc").unwrap();
+        assert!(d.contains("line 2") && d.contains("golden: b") && d.contains("actual: X"));
+        let d = diff("a", "a\nextra").unwrap();
+        assert!(d.contains("ends here"), "{d}");
+    }
+}

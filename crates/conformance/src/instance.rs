@@ -1,0 +1,356 @@
+//! Random stencil instances with shrinking.
+//!
+//! An [`Instance`] is a *complete* conformance input: stencil pattern,
+//! radius, a coefficient seed, a grid shape (including halo slack), and
+//! a field seed. Everything derived from it — the [`StencilSpec`], the
+//! input [`Grid2d`], translated or companion fields — is a pure function
+//! of the instance, so a shrunk instance printed by the property harness
+//! is a full reproduction recipe.
+//!
+//! Generation deliberately over-samples *awkward* grid shapes: widths
+//! and heights at tile-boundary values (multiples of `VLEN` and their
+//! ±1 neighbours) where overlapped remainder tiles and SIMD tails live.
+
+use hstencil_core::{Grid2d, Pattern, StencilSpec};
+use hstencil_testkit::prop::Strategy;
+use hstencil_testkit::rng::{Rng, Xoshiro256};
+use lx2_isa::VLEN;
+
+/// Smallest interior edge a simulated kernel accepts.
+pub const MIN_EDGE: usize = VLEN;
+/// Largest generated interior edge (kept modest: each instance runs
+/// through every simulated kernel).
+pub const MAX_EDGE: usize = 40;
+/// Largest generated radius (`hstencil_core::kernels::MAX_RADIUS`).
+pub const MAX_RADIUS: usize = 3;
+
+/// One randomized conformance input. All fields are plain data so the
+/// `Debug` form printed on failure is a complete reproduction recipe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Stencil shape (star or box).
+    pub pattern: Pattern,
+    /// Stencil radius, `1..=MAX_RADIUS`.
+    pub radius: usize,
+    /// Interior height.
+    pub h: usize,
+    /// Interior width.
+    pub w: usize,
+    /// Halo slack beyond the radius (`halo = radius + extra_halo`).
+    pub extra_halo: usize,
+    /// Seed of the dense coefficient table.
+    pub coeff_seed: u64,
+    /// Seed of the input field.
+    pub grid_seed: u64,
+}
+
+/// Deterministic field value at integer coordinates: a SplitMix64-style
+/// hash of `(seed, i, j)` mapped into `(-1, 1)`. Being a pure function
+/// of the *coordinates* (not of traversal order) is what makes
+/// translated windows of the same field exactly representable.
+pub fn field(seed: u64, i: isize, j: isize) -> f64 {
+    let mut z = seed
+        ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+impl Instance {
+    /// Effective halo width.
+    pub fn halo(&self) -> usize {
+        self.radius + self.extra_halo
+    }
+
+    /// The instance's stencil: a dense random table in `[-1, 1]` (star
+    /// patterns zero everything off the two axes).
+    pub fn spec(&self) -> StencilSpec {
+        let n = 2 * self.radius + 1;
+        let mut rng = Xoshiro256::seed_from_u64(self.coeff_seed);
+        let mut table = vec![0.0f64; n * n];
+        for (idx, c) in table.iter_mut().enumerate() {
+            let v = rng.gen_range(-1.0f64..1.0);
+            let (di, dj) = (idx / n, idx % n);
+            let on_axis = di == self.radius || dj == self.radius;
+            if self.pattern == Pattern::Box || on_axis {
+                *c = v;
+            }
+        }
+        StencilSpec::new_2d("conformance", self.pattern, self.radius, table)
+    }
+
+    /// The input grid: the window of [`field`]`(grid_seed)` translated
+    /// by `(di, dj)` (halo cells included).
+    pub fn input_shifted(&self, di: isize, dj: isize) -> Grid2d {
+        let seed = self.grid_seed;
+        Grid2d::from_fn(self.h, self.w, self.halo(), |i, j| {
+            field(seed, i + di, j + dj)
+        })
+    }
+
+    /// The input grid (unshifted window).
+    pub fn input(&self) -> Grid2d {
+        self.input_shifted(0, 0)
+    }
+
+    /// A sparse field of `k` point sources with random magnitudes in
+    /// `[-1, 1]`, placed on cells of the given checkerboard `parity`
+    /// (so two opposite-parity source sets never collide and their sum
+    /// is exact in floating point).
+    pub fn point_sources(&self, k: usize, parity: isize) -> Grid2d {
+        let halo = self.halo() as isize;
+        let mut rng =
+            Xoshiro256::seed_from_u64(self.grid_seed ^ 0xC0FF_EE00_0000_0000 ^ parity as u64);
+        let mut g = Grid2d::zeros(self.h, self.w, self.halo());
+        for _ in 0..k {
+            let i = rng.gen_range(-halo..self.h as isize + halo);
+            let mut j = rng.gen_range(-halo..self.w as isize + halo - 1);
+            if (i + j).rem_euclid(2) != parity {
+                j += 1;
+            }
+            g.set(i, j, rng.gen_range(-1.0f64..1.0));
+        }
+        g
+    }
+
+    /// Conditioning scale of the instance: `max|input| * Σ|c|` bounds
+    /// every output magnitude and every partial sum, so tolerances
+    /// measured in ULPs *of this scale* are summation-order-safe.
+    pub fn scale(&self) -> f64 {
+        let spec = self.spec();
+        let r = self.radius as isize;
+        let mut sum_abs = 0.0;
+        for di in -r..=r {
+            for dj in -r..=r {
+                sum_abs += spec.c2(di, dj).abs();
+            }
+        }
+        // Field values are bounded by 1 in magnitude.
+        sum_abs.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Strategy generating [`Instance`]s; shrinks one field at a time toward
+/// the minimal instance (star, radius 1, `MIN_EDGE`² grid, zero seeds).
+#[derive(Clone, Debug, Default)]
+pub struct InstanceStrategy {
+    /// Restrict generation to star patterns (for variants whose method
+    /// only supports star-shaped tables).
+    pub star_only: bool,
+}
+
+impl InstanceStrategy {
+    /// Instances over both patterns.
+    pub fn any() -> Self {
+        InstanceStrategy { star_only: false }
+    }
+
+    /// Star-pattern instances only.
+    pub fn star() -> Self {
+        InstanceStrategy { star_only: true }
+    }
+}
+
+/// Draw an edge length, over-sampling tile-boundary values.
+fn gen_edge(rng: &mut Xoshiro256) -> usize {
+    const AWKWARD: [usize; 9] = [8, 9, 15, 16, 17, 23, 25, 31, 33];
+    if rng.gen_range(0u32..2) == 0 {
+        AWKWARD[rng.gen_range(0usize..AWKWARD.len())]
+    } else {
+        rng.gen_range(MIN_EDGE..MAX_EDGE + 1)
+    }
+}
+
+impl Strategy for InstanceStrategy {
+    type Value = Instance;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> Instance {
+        let pattern = if self.star_only || rng.gen_range(0u32..2) == 0 {
+            Pattern::Star
+        } else {
+            Pattern::Box
+        };
+        Instance {
+            pattern,
+            radius: rng.gen_range(1usize..MAX_RADIUS + 1),
+            h: gen_edge(rng),
+            w: gen_edge(rng),
+            extra_halo: rng.gen_range(0usize..3),
+            coeff_seed: rng.next_u64(),
+            grid_seed: rng.next_u64(),
+        }
+    }
+
+    fn shrink(&self, v: &Instance) -> Vec<Instance> {
+        let mut out = Vec::new();
+        let mut push = |i: Instance| {
+            if &i != v {
+                out.push(i);
+            }
+        };
+        if v.pattern == Pattern::Box && !self.star_only {
+            push(Instance {
+                pattern: Pattern::Star,
+                ..v.clone()
+            });
+        }
+        if v.radius > 1 {
+            push(Instance {
+                radius: v.radius - 1,
+                ..v.clone()
+            });
+        }
+        for (h, w) in [
+            (MIN_EDGE.max(v.h / 2), v.w),
+            (v.h.saturating_sub(1).max(MIN_EDGE), v.w),
+            (v.h, MIN_EDGE.max(v.w / 2)),
+            (v.h, v.w.saturating_sub(1).max(MIN_EDGE)),
+        ] {
+            push(Instance { h, w, ..v.clone() });
+        }
+        if v.extra_halo > 0 {
+            push(Instance {
+                extra_halo: 0,
+                ..v.clone()
+            });
+        }
+        for coeff_seed in [v.coeff_seed >> 1, 0] {
+            push(Instance {
+                coeff_seed,
+                ..v.clone()
+            });
+        }
+        for grid_seed in [v.grid_seed >> 1, 0] {
+            push(Instance {
+                grid_seed,
+                ..v.clone()
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_data_is_deterministic() {
+        let inst = Instance {
+            pattern: Pattern::Box,
+            radius: 2,
+            h: 16,
+            w: 17,
+            extra_halo: 1,
+            coeff_seed: 42,
+            grid_seed: 7,
+        };
+        assert_eq!(inst.halo(), 3);
+        let (a, b) = (inst.input(), inst.input());
+        assert_eq!(a.raw(), b.raw());
+        let (s1, s2) = (inst.spec(), inst.spec());
+        assert_eq!(s1.c2(1, -2), s2.c2(1, -2));
+        assert!(inst.scale() > 0.0);
+    }
+
+    #[test]
+    fn star_instances_have_star_tables() {
+        let inst = Instance {
+            pattern: Pattern::Star,
+            radius: 2,
+            h: 8,
+            w: 8,
+            extra_halo: 0,
+            coeff_seed: 3,
+            grid_seed: 4,
+        };
+        let spec = inst.spec();
+        assert_eq!(spec.c2(1, 1), 0.0);
+        assert_eq!(spec.c2(-2, 2), 0.0);
+        assert_ne!(spec.c2(0, 2), 0.0);
+    }
+
+    #[test]
+    fn shifted_windows_share_the_field() {
+        let inst = Instance {
+            pattern: Pattern::Star,
+            radius: 1,
+            h: 10,
+            w: 12,
+            extra_halo: 0,
+            coeff_seed: 1,
+            grid_seed: 2,
+        };
+        let a = inst.input();
+        let b = inst.input_shifted(1, 1);
+        for i in 0..9 {
+            for j in 0..11 {
+                assert_eq!(b.at(i, j).to_bits(), a.at(i + 1, j + 1).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn point_source_parities_are_disjoint() {
+        let inst = Instance {
+            pattern: Pattern::Star,
+            radius: 1,
+            h: 12,
+            w: 12,
+            extra_halo: 0,
+            coeff_seed: 5,
+            grid_seed: 6,
+        };
+        let a = inst.point_sources(4, 0);
+        let b = inst.point_sources(4, 1);
+        let halo = inst.halo() as isize;
+        let mut nonzero = 0;
+        for i in -halo..inst.h as isize + halo {
+            for j in -halo..inst.w as isize + halo {
+                assert!(
+                    a.at(i, j) == 0.0 || b.at(i, j) == 0.0,
+                    "sources collide at ({i},{j})"
+                );
+                if a.at(i, j) != 0.0 || b.at(i, j) != 0.0 {
+                    nonzero += 1;
+                }
+            }
+        }
+        assert!(nonzero > 0, "no sources placed");
+    }
+
+    #[test]
+    fn shrinking_reaches_the_minimal_instance() {
+        let strat = InstanceStrategy::any();
+        let mut cur = Instance {
+            pattern: Pattern::Box,
+            radius: 3,
+            h: 33,
+            w: 40,
+            extra_halo: 2,
+            coeff_seed: u64::MAX,
+            grid_seed: u64::MAX,
+        };
+        // Greedy accept-first walk must terminate at the fixed point.
+        for _ in 0..200 {
+            match strat.shrink(&cur).into_iter().next() {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        assert_eq!(
+            cur,
+            Instance {
+                pattern: Pattern::Star,
+                radius: 1,
+                h: MIN_EDGE,
+                w: MIN_EDGE,
+                extra_halo: 0,
+                coeff_seed: 0,
+                grid_seed: 0,
+            }
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # hstencil-conformance
+//!
+//! Differential conformance harness for the workspace (DESIGN.md
+//! "Conformance & oracles"): every registered kernel/executor variant —
+//! the scalar reference, the native executor's dispatch paths, and each
+//! simulated method kernel — is run over randomized stencil instances
+//! and cross-checked with ULP-bounded comparison plus metamorphic
+//! oracles that need no reference at all.
+//!
+//! Layers:
+//!
+//! * [`instance`] — seeded random stencil instances (pattern × radius ×
+//!   coefficients × grid shape × field), with shrinking toward a minimal
+//!   failing instance and `TESTKIT_SEED` replay.
+//! * [`registry`] — the variant table. Adding a future kernel to the
+//!   whole oracle matrix is **one line** in [`registry::registry`].
+//! * [`ulp`] — ULP-bounded comparison conditioned on the instance
+//!   (different summation orders across matrix/vector/scalar paths are
+//!   legal; silent wrong reads are not).
+//! * [`oracle`] — the properties of the matrix: differential vs
+//!   reference, linearity in the coefficients, translation invariance,
+//!   and superposition of point sources.
+//! * [`golden`] — committed instruction/pipe-occupancy/counter traces
+//!   for small canonical `lx2-sim` programs, diffed structurally.
+//!
+//! The `coverage` bench binary runs the full matrix and writes the
+//! coverage counts (variants × properties × instances) to a JSON
+//! artifact (see EXPERIMENTS.md).
+
+pub mod golden;
+pub mod instance;
+pub mod oracle;
+pub mod registry;
+pub mod ulp;
+
+pub use instance::{Instance, InstanceStrategy};
+pub use oracle::{Outcome, PROPERTIES};
+pub use registry::{registry, RunResult, Variant};
+
+/// True when the extended (exhaustive) tier is requested via the
+/// `CONFORMANCE_EXHAUSTIVE` environment variable.
+pub fn exhaustive() -> bool {
+    std::env::var_os("CONFORMANCE_EXHAUSTIVE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Case count for a property: the fast tier runs `fast` cases (wired
+/// into `scripts/verify.sh`); `CONFORMANCE_EXHAUSTIVE=1` switches to the
+/// larger `full` count.
+pub fn case_count(fast: u32, full: u32) -> u32 {
+    if exhaustive() {
+        full
+    } else {
+        fast
+    }
+}

@@ -1,0 +1,223 @@
+//! The conformance properties, each checking one variant on one
+//! instance. The matrix the tests and the coverage bench run is
+//! `registry() × PROPERTIES × instances`.
+//!
+//! Besides the differential check against the scalar reference, three
+//! *metamorphic* oracles exploit the linearity of the stencil operator
+//! and need no reference at all — they catch bug classes (a wrong
+//! coefficient baked into a table, position-dependent windows) even if
+//! the reference itself were wrong:
+//!
+//! * **Linearity in the coefficients**: doubling every coefficient must
+//!   double every output *bit-exactly* — scaling by a power of two
+//!   commutes with every IEEE rounding in every summation order.
+//! * **Translation invariance**: the stencil is a convolution; running
+//!   on a one-cell-shifted window of the same field must shift the
+//!   output by one cell.
+//! * **Superposition of point sources**: the response to two disjoint
+//!   sparse source sets equals the sum of the individual responses
+//!   (the source sets live on opposite checkerboard parities, so their
+//!   sum is exact in floating point).
+
+use crate::instance::Instance;
+use crate::registry::{RunResult, Variant};
+use crate::ulp::{
+    compare_interior, scale_tolerance, DIFFERENTIAL_SCALE_ULPS, METAMORPHIC_SCALE_ULPS,
+};
+use hstencil_core::{reference, Grid2d, StencilSpec};
+
+/// How one (variant, property, instance) cell of the matrix resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The property was evaluated and held.
+    Checked,
+    /// The variant does not support the instance (counted separately so
+    /// coverage reports cannot silently shrink).
+    Skipped,
+}
+
+/// A property of the matrix: `Err` carries a human-readable failure.
+pub type Property = fn(&Variant, &Instance) -> Result<Outcome, String>;
+
+/// All registered properties, by stable name.
+pub const PROPERTIES: &[(&str, Property)] = &[
+    ("differential-vs-reference", check_differential),
+    ("linearity-coefficient-doubling", check_linearity),
+    ("translation-invariance", check_translation),
+    ("superposition-point-sources", check_superposition),
+];
+
+/// Runs the variant, mapping `Unsupported` to `None`.
+fn run(v: &Variant, spec: &StencilSpec, input: &Grid2d) -> Result<Option<Grid2d>, String> {
+    match v
+        .run(spec, input)
+        .map_err(|e| format!("[{}] {e}", v.name()))?
+    {
+        RunResult::Output(g) => Ok(Some(g)),
+        RunResult::Unsupported(_) => Ok(None),
+    }
+}
+
+/// The variant must agree with the scalar reference within the
+/// conditioning-scaled ULP budget.
+pub fn check_differential(v: &Variant, inst: &Instance) -> Result<Outcome, String> {
+    let (spec, input) = (inst.spec(), inst.input());
+    let Some(got) = run(v, &spec, &input)? else {
+        return Ok(Outcome::Skipped);
+    };
+    let mut want = input.clone();
+    reference::try_apply_2d(&spec, &input, &mut want)
+        .map_err(|e| format!("reference rejected the instance: {e}"))?;
+    let tol = scale_tolerance(inst.scale(), DIFFERENTIAL_SCALE_ULPS);
+    compare_interior(&want, &got, tol)
+        .map_err(|m| format!("[{}] diverges from reference: {m}", v.name()))?;
+    Ok(Outcome::Checked)
+}
+
+/// Doubling every coefficient must double every output bit-exactly.
+pub fn check_linearity(v: &Variant, inst: &Instance) -> Result<Outcome, String> {
+    let (spec, input) = (inst.spec(), inst.input());
+    let r = inst.radius;
+    let n = 2 * r + 1;
+    let mut doubled = vec![0.0f64; n * n];
+    for (idx, c) in doubled.iter_mut().enumerate() {
+        let (di, dj) = (
+            (idx / n) as isize - r as isize,
+            (idx % n) as isize - r as isize,
+        );
+        *c = 2.0 * spec.c2(di, dj);
+    }
+    let spec2 = StencilSpec::new_2d("conformance-x2", inst.pattern, r, doubled);
+    let (out1, out2) = match (run(v, &spec, &input)?, run(v, &spec2, &input)?) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Ok(Outcome::Skipped),
+    };
+    for i in 0..inst.h as isize {
+        for j in 0..inst.w as isize {
+            let (want, got) = (2.0 * out1.at(i, j), out2.at(i, j));
+            if want.to_bits() != got.to_bits() {
+                return Err(format!(
+                    "[{}] not linear in the coefficients at ({i}, {j}): \
+                     2*V(c)={want:e} but V(2c)={got:e}",
+                    v.name()
+                ));
+            }
+        }
+    }
+    Ok(Outcome::Checked)
+}
+
+/// Running on a `(1, 1)`-shifted window of the same field must shift
+/// the output by `(1, 1)` over the overlap.
+pub fn check_translation(v: &Variant, inst: &Instance) -> Result<Outcome, String> {
+    let spec = inst.spec();
+    let (out_a, out_b) = match (
+        run(v, &spec, &inst.input())?,
+        run(v, &spec, &inst.input_shifted(1, 1))?,
+    ) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Ok(Outcome::Skipped),
+    };
+    let tol = scale_tolerance(inst.scale(), DIFFERENTIAL_SCALE_ULPS);
+    for i in 0..inst.h as isize - 1 {
+        for j in 0..inst.w as isize - 1 {
+            let (want, got) = (out_a.at(i + 1, j + 1), out_b.at(i, j));
+            // Negated so a NaN difference can never pass.
+            let within = (want - got).abs() <= tol;
+            if !within {
+                return Err(format!(
+                    "[{}] not translation invariant at ({i}, {j}): \
+                     shifted-window output {got:e} vs unshifted {want:e} (tol {tol:e})",
+                    v.name()
+                ));
+            }
+        }
+    }
+    Ok(Outcome::Checked)
+}
+
+/// `V(a + b) ≈ V(a) + V(b)` for disjoint point-source fields.
+pub fn check_superposition(v: &Variant, inst: &Instance) -> Result<Outcome, String> {
+    let spec = inst.spec();
+    let a = inst.point_sources(3, 0);
+    let b = inst.point_sources(3, 1);
+    // Disjoint supports: every cell-wise sum has one zero addend, so the
+    // combined input is exact.
+    let combined = Grid2d::from_fn(inst.h, inst.w, inst.halo(), |i, j| a.at(i, j) + b.at(i, j));
+    let (oa, ob, oc) = match (
+        run(v, &spec, &a)?,
+        run(v, &spec, &b)?,
+        run(v, &spec, &combined)?,
+    ) {
+        (Some(x), Some(y), Some(z)) => (x, y, z),
+        _ => return Ok(Outcome::Skipped),
+    };
+    let tol = scale_tolerance(inst.scale(), METAMORPHIC_SCALE_ULPS);
+    for i in 0..inst.h as isize {
+        for j in 0..inst.w as isize {
+            let (want, got) = (oa.at(i, j) + ob.at(i, j), oc.at(i, j));
+            // Negated so a NaN difference can never pass.
+            let within = (want - got).abs() <= tol;
+            if !within {
+                return Err(format!(
+                    "[{}] superposition broken at ({i}, {j}): \
+                     V(a)+V(b)={want:e} but V(a+b)={got:e} (tol {tol:e})",
+                    v.name()
+                ));
+            }
+        }
+    }
+    Ok(Outcome::Checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hstencil_core::Pattern;
+
+    fn small_instance(pattern: Pattern) -> Instance {
+        Instance {
+            pattern,
+            radius: 1,
+            h: 8,
+            w: 9,
+            extra_halo: 0,
+            coeff_seed: 11,
+            grid_seed: 12,
+        }
+    }
+
+    #[test]
+    fn every_property_holds_for_the_reference_variant() {
+        let v = Variant::reference();
+        for pattern in [Pattern::Star, Pattern::Box] {
+            let inst = small_instance(pattern);
+            for (name, prop) in PROPERTIES {
+                assert_eq!(
+                    prop(&v, &inst).unwrap_or_else(|e| panic!("{name}: {e}")),
+                    Outcome::Checked,
+                    "{name} skipped on reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differential_catches_the_injected_fault() {
+        let v = Variant::reference().with_off_by_one();
+        let err = check_differential(&v, &small_instance(Pattern::Star)).unwrap_err();
+        assert!(err.contains("diverges from reference"), "{err}");
+        assert!(err.contains("off-by-one"), "{err}");
+    }
+
+    #[test]
+    fn metamorphic_oracles_also_catch_the_injected_fault() {
+        // The faulty window clamps at the right halo edge, so it is not
+        // a pure translation — the translation oracle flags it at the
+        // boundary even without consulting the reference.
+        let v = Variant::reference().with_off_by_one();
+        let inst = small_instance(Pattern::Star);
+        let err = check_translation(&v, &inst).unwrap_err();
+        assert!(err.contains("not translation invariant"), "{err}");
+    }
+}

@@ -1,0 +1,217 @@
+//! The variant registry: every kernel/executor the workspace can run a
+//! 2-D stencil sweep on, behind one uniform `run` signature.
+//!
+//! [`registry`] is the single source of truth for the conformance
+//! matrix — the differential test, the metamorphic oracles, the
+//! fault-injection test and the coverage bench all iterate it. Adding a
+//! future kernel to all of them is **one line** here (a
+//! [`Variant::sim`] / [`Variant::native`] constructor call).
+
+use crate::instance::Instance;
+use hstencil_core::{
+    native, reference, Dispatch, Grid2d, Method, Pattern, PlanError, StencilPlan, StencilSpec,
+    ThreadPool,
+};
+use lx2_sim::MachineConfig;
+
+/// What running a variant on an instance produced.
+#[derive(Debug)]
+pub enum RunResult {
+    /// The computed output grid.
+    Output(Grid2d),
+    /// The variant's method does not support this instance (e.g.
+    /// Mat-ortho on box-shaped tables) — a *skip*, not a failure.
+    Unsupported(String),
+}
+
+type Runner = Box<dyn Fn(&StencilSpec, &Grid2d) -> Result<RunResult, String>>;
+
+/// One registered kernel/executor variant.
+pub struct Variant {
+    name: String,
+    star_only: bool,
+    runner: Runner,
+}
+
+impl Variant {
+    /// The variant's display name (stable; used in reports and JSON).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True if the variant's method only accepts star-shaped tables.
+    /// Star-only variants report box instances as unsupported; the
+    /// harness counts them as skips.
+    pub fn star_only(&self) -> bool {
+        self.star_only
+    }
+
+    /// Whether the variant can run this instance at all.
+    pub fn supports(&self, inst: &Instance) -> bool {
+        !(self.star_only && inst.pattern == Pattern::Box)
+    }
+
+    /// Runs one sweep. `Err` is a *conformance failure* (crash or wrong
+    /// machine state); `Ok(Unsupported)` is a legal skip.
+    pub fn run(&self, spec: &StencilSpec, input: &Grid2d) -> Result<RunResult, String> {
+        (self.runner)(spec, input)
+    }
+
+    /// The scalar reference itself (anchors the differential matrix and
+    /// lets fault injection prove the harness catches a broken oracle).
+    pub fn reference() -> Variant {
+        Variant {
+            name: "reference".into(),
+            star_only: false,
+            runner: Box::new(|spec, a| {
+                let mut out = a.clone();
+                reference::try_apply_2d(spec, a, &mut out)
+                    .map_err(|e| format!("reference rejected a valid instance: {e}"))?;
+                Ok(RunResult::Output(out))
+            }),
+        }
+    }
+
+    /// A native-executor dispatch path, single-threaded.
+    pub fn native(dispatch: Dispatch) -> Variant {
+        Variant {
+            name: format!("native/{}", dispatch.label()),
+            star_only: false,
+            runner: Box::new(move |spec, a| {
+                let mut out = a.clone();
+                native::try_apply_2d_with(dispatch, spec, a, &mut out)
+                    .map_err(|e| format!("native rejected a valid instance: {e}"))?;
+                Ok(RunResult::Output(out))
+            }),
+        }
+    }
+
+    /// The native executor's pool-parallel path (`threads` lanes of the
+    /// global persistent pool, best dispatch).
+    pub fn native_parallel(threads: usize) -> Variant {
+        Variant {
+            name: format!("native/parallel{threads}"),
+            star_only: false,
+            runner: Box::new(move |spec, a| {
+                let mut out = a.clone();
+                native::apply_2d_parallel_in(
+                    ThreadPool::global(),
+                    Dispatch::detect(),
+                    spec,
+                    a,
+                    &mut out,
+                    threads,
+                );
+                Ok(RunResult::Output(out))
+            }),
+        }
+    }
+
+    /// A simulated method kernel on a machine model (via
+    /// [`StencilPlan`], so the full emit → schedule → execute path runs).
+    pub fn sim(tag: &str, method: Method, cfg: fn() -> MachineConfig, star_only: bool) -> Variant {
+        Variant {
+            name: format!("sim/{tag}"),
+            star_only,
+            runner: Box::new(move |spec, a| {
+                let plan = StencilPlan::new(spec, method).warmup(0);
+                match plan.run_2d(&cfg(), a) {
+                    Ok(out) => Ok(RunResult::Output(out.output)),
+                    Err(PlanError::MethodUnsupported { reason, .. }) => {
+                        Ok(RunResult::Unsupported(reason.to_string()))
+                    }
+                    Err(e) => Err(format!("simulated run failed: {e}")),
+                }
+            }),
+        }
+    }
+
+    /// Wraps the variant with an injected off-by-one fault: the sweep
+    /// sees the input window shifted one column right. Exists so the
+    /// test suite can prove the differential matrix *catches* a
+    /// plausible kernel bug with a shrunk, replayable counterexample.
+    pub fn with_off_by_one(self) -> Variant {
+        let inner = self.runner;
+        Variant {
+            name: format!("{}+off-by-one", self.name),
+            star_only: self.star_only,
+            runner: Box::new(move |spec, a| {
+                let lim = a.w() as isize + a.halo() as isize - 1;
+                let shifted =
+                    Grid2d::from_fn(a.h(), a.w(), a.halo(), |i, j| a.at(i, (j + 1).min(lim)));
+                inner(spec, &shifted)
+            }),
+        }
+    }
+}
+
+/// Every conformance variant runnable on this host. One line per
+/// kernel/executor; the AVX2 path registers only where it can execute.
+pub fn registry() -> Vec<Variant> {
+    let lx2 = MachineConfig::lx2;
+    let m4 = MachineConfig::apple_m4;
+    let mut v = vec![
+        Variant::reference(),
+        Variant::native(Dispatch::Scalar),
+        Variant::native_parallel(4),
+        Variant::sim("lx2/hstencil", Method::HStencil, lx2, false),
+        Variant::sim("lx2/vector-only", Method::VectorOnly, lx2, false),
+        Variant::sim("lx2/matrix-stop", Method::MatrixOnly, lx2, false),
+        Variant::sim("lx2/mat-ortho", Method::MatrixOrtho, lx2, true),
+        Variant::sim("lx2/naive-hybrid", Method::NaiveHybrid, lx2, false),
+        Variant::sim("lx2/auto", Method::Auto, lx2, false),
+        Variant::sim("m4/hstencil", Method::HStencil, m4, false),
+    ];
+    if Dispatch::avx2_available() {
+        v.push(Variant::native(Dispatch::Avx2Fma));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_meets_the_minimum_matrix_width() {
+        let names: Vec<String> = registry().iter().map(|v| v.name().to_string()).collect();
+        assert!(names.len() >= 6, "only {} variants: {names:?}", names.len());
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate names: {names:?}");
+        assert!(names.iter().any(|n| n == "reference"));
+        assert!(names.iter().any(|n| n.starts_with("native/")));
+        assert!(names.iter().any(|n| n.starts_with("sim/")));
+    }
+
+    #[test]
+    fn star_only_variants_skip_box_tables() {
+        let ortho = Variant::sim(
+            "lx2/mat-ortho",
+            Method::MatrixOrtho,
+            MachineConfig::lx2,
+            true,
+        );
+        let spec = hstencil_core::presets::box2d9p();
+        let grid = Grid2d::from_fn(8, 8, 1, |i, j| (i * j) as f64);
+        match ortho.run(&spec, &grid).unwrap() {
+            RunResult::Unsupported(reason) => assert!(reason.contains("star")),
+            RunResult::Output(_) => panic!("mat-ortho must not accept a box table"),
+        }
+    }
+
+    #[test]
+    fn off_by_one_wrapper_changes_the_answer() {
+        let v = Variant::reference();
+        let bad = Variant::reference().with_off_by_one();
+        assert!(bad.name().ends_with("+off-by-one"));
+        let spec = hstencil_core::presets::star2d5p();
+        let grid = Grid2d::from_fn(8, 8, 1, |i, j| ((3 * i + j) % 7) as f64);
+        let (a, b) = match (v.run(&spec, &grid).unwrap(), bad.run(&spec, &grid).unwrap()) {
+            (RunResult::Output(a), RunResult::Output(b)) => (a, b),
+            _ => panic!("reference cannot be unsupported"),
+        };
+        assert!(a.max_interior_diff(&b) > 0.1, "fault was not observable");
+    }
+}

@@ -1,0 +1,149 @@
+//! ULP-bounded grid comparison, conditioned on the instance.
+//!
+//! Different variants sum the same taps in different orders (matrix
+//! outer products, shifted vector chains, scalar FMA chains), so raw
+//! bit equality across variants is the wrong contract — but an absolute
+//! epsilon is worse, silently passing wrong-window reads on small-value
+//! fields. The middle ground used here: tolerances are measured in ULPs
+//! of the instance's *conditioning scale* `max|input| · Σ|c|`, which
+//! bounds every partial sum. Reordering `n` taps perturbs a result by at
+//! most `~2n` scale-ULPs (`n ≤ 49` for radius 3), so the bounds below
+//! hold mathematically for any summation order while an off-by-one
+//! window read shows up at ~10¹⁵ scale-ULPs.
+
+use hstencil_core::Grid2d;
+
+/// Scale-ULP budget for cross-variant differential comparison.
+pub const DIFFERENTIAL_SCALE_ULPS: u64 = 1024;
+/// Scale-ULP budget for metamorphic identities that add one extra
+/// rounding per output (superposition).
+pub const METAMORPHIC_SCALE_ULPS: u64 = 2048;
+
+/// The ULP of `x`: distance to the next representable magnitude.
+pub fn ulp_of(x: f64) -> f64 {
+    let a = x.abs().max(f64::MIN_POSITIVE);
+    f64::from_bits(a.to_bits() + 1) - a
+}
+
+/// Absolute tolerance equal to `ulps` ULPs of `scale`.
+pub fn scale_tolerance(scale: f64, ulps: u64) -> f64 {
+    ulps as f64 * ulp_of(scale)
+}
+
+/// Monotone total-order key: equal-magnitude floats of either sign map
+/// to keys whose distance counts representable values between them.
+fn key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | 0x8000_0000_0000_0000
+    }
+}
+
+/// Representable values between `a` and `b` (0 when bit-equal;
+/// `u64::MAX` if either is NaN).
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    key(a).abs_diff(key(b))
+}
+
+/// First interior cell where two grids differ by more than `tol`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mismatch {
+    /// Interior row of the offending cell.
+    pub i: usize,
+    /// Interior column of the offending cell.
+    pub j: usize,
+    /// Expected value.
+    pub want: f64,
+    /// Actual value.
+    pub got: f64,
+    /// The tolerance that was exceeded.
+    pub tol: f64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell ({}, {}): want {:e}, got {:e} (|diff| {:e} > tol {:e}, {} raw ulps apart)",
+            self.i,
+            self.j,
+            self.want,
+            self.got,
+            (self.want - self.got).abs(),
+            self.tol,
+            ulp_diff(self.want, self.got),
+        )
+    }
+}
+
+/// Compares interiors; NaN anywhere is a mismatch.
+pub fn compare_interior(want: &Grid2d, got: &Grid2d, tol: f64) -> Result<(), Mismatch> {
+    assert_eq!((want.h(), want.w()), (got.h(), got.w()));
+    for i in 0..want.h() {
+        for j in 0..want.w() {
+            let (a, b) = (
+                want.at(i as isize, j as isize),
+                got.at(i as isize, j as isize),
+            );
+            // Negated so a NaN difference can never pass.
+            let within = (a - b).abs() <= tol;
+            if !within {
+                return Err(Mismatch {
+                    i,
+                    j,
+                    want: a,
+                    got: b,
+                    tol,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_diff_counts_representable_steps() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(1.0, f64::from_bits(1.0f64.to_bits() + 3)), 3);
+        // Symmetric across zero: -0.0 and +0.0 are adjacent keys.
+        assert_eq!(ulp_diff(0.0, -0.0), 1);
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn tolerance_scales_with_the_conditioning_bound() {
+        // 1024 ULPs at scale 1.0 is ~2.3e-13 — far below any real bug's
+        // O(scale) signal, far above legal reorder noise.
+        let t = scale_tolerance(1.0, DIFFERENTIAL_SCALE_ULPS);
+        assert!(t > 1e-14 && t < 1e-12, "tolerance {t}");
+        assert!(scale_tolerance(1000.0, 1024) > t);
+    }
+
+    #[test]
+    fn compare_interior_reports_the_cell() {
+        let a = Grid2d::from_fn(8, 8, 1, |i, j| (i * 8 + j) as f64);
+        let mut b = a.clone();
+        b.set(3, 5, b.at(3, 5) + 1.0);
+        let m = compare_interior(&a, &b, 1e-9).unwrap_err();
+        assert_eq!((m.i, m.j), (3, 5));
+        assert!(m.to_string().contains("cell (3, 5)"));
+        assert!(compare_interior(&a, &a, 0.0).is_ok());
+    }
+
+    #[test]
+    fn nan_never_passes() {
+        let a = Grid2d::zeros(8, 8, 1);
+        let mut b = a.clone();
+        b.set(0, 0, f64::NAN);
+        assert!(compare_interior(&a, &b, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Degenerate-shape corpus: grids where the halo cannot cover the
+//! stencil radius, where the radius swallows the whole interior, or
+//! where input and output shapes disagree. Every executor entry point
+//! must refuse these with the matching typed [`GridError`] /
+//! [`PlanError`] — never panic, never read out of bounds.
+
+use hstencil_conformance::instance::{field, Instance};
+use hstencil_core::{
+    native, reference, Dispatch, Grid2d, Grid3d, GridError, Method, Pattern, PlanError,
+    StencilPlan, StencilSpec,
+};
+use lx2_sim::MachineConfig;
+
+fn spec_for(pattern: Pattern, radius: usize) -> StencilSpec {
+    Instance {
+        pattern,
+        radius,
+        h: 8,
+        w: 8,
+        extra_halo: 0,
+        coeff_seed: 0xDE6E,
+        grid_seed: 0xDE6E,
+    }
+    .spec()
+}
+
+fn noisy(h: usize, w: usize, halo: usize) -> Grid2d {
+    Grid2d::from_fn(h, w, halo, |i, j| field(0x0BAD_5EED, i, j))
+}
+
+/// Mirror of `Grid2d::check_stencil`'s contract for same-shaped
+/// in/out pairs: what a conforming executor must return.
+fn expected(h: usize, w: usize, halo: usize, radius: usize) -> Result<(), GridError> {
+    if halo < radius {
+        return Err(GridError::HaloTooSmall { halo, radius });
+    }
+    let interior = h.min(w);
+    if radius >= interior {
+        return Err(GridError::RadiusExceedsInterior { radius, interior });
+    }
+    Ok(())
+}
+
+#[test]
+fn degenerate_shapes_yield_typed_errors_never_panics() {
+    let sizes = [1usize, 2, 3, 4, 8, 9];
+    for pattern in [Pattern::Star, Pattern::Box] {
+        for radius in 1..=3usize {
+            let spec = spec_for(pattern, radius);
+            for h in sizes {
+                for w in sizes {
+                    for halo in 0..=3usize {
+                        let a = noisy(h, w, halo);
+                        let want = expected(h, w, halo, radius);
+                        let mut out = a.clone();
+                        let got = reference::try_apply_2d(&spec, &a, &mut out);
+                        assert_eq!(got, want, "reference on {h}x{w} halo={halo} r={radius}");
+                        for dispatch in Dispatch::candidates() {
+                            let mut out = a.clone();
+                            let got = native::try_apply_2d_with(dispatch, &spec, &a, &mut out);
+                            assert_eq!(
+                                got,
+                                want,
+                                "native/{} on {h}x{w} halo={halo} r={radius}",
+                                dispatch.label()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shape_mismatch_is_reported_before_anything_else() {
+    let spec = spec_for(Pattern::Star, 1);
+    let a = noisy(8, 8, 1);
+    // Mismatched interior, *and* a halo that would also be too small:
+    // the shape mismatch must win (it is checked first).
+    let mut out = noisy(8, 9, 0);
+    let want = Err(GridError::ShapeMismatch {
+        a: [1, 8, 8],
+        b: [1, 8, 9],
+    });
+    assert_eq!(reference::try_apply_2d(&spec, &a, &mut out), want);
+    for dispatch in Dispatch::candidates() {
+        let mut out = noisy(8, 9, 0);
+        assert_eq!(
+            native::try_apply_2d_with(dispatch, &spec, &a, &mut out),
+            want,
+            "native/{}",
+            dispatch.label()
+        );
+    }
+}
+
+#[test]
+fn degenerate_3d_shapes_are_rejected_too() {
+    let spec = hstencil_core::presets::star3d7p();
+    // Halo narrower than the radius.
+    let thin = Grid3d::from_fn(6, 8, 8, 0, |k, i, j| field(3, i + k, j));
+    let mut out = thin.clone();
+    assert_eq!(
+        native::try_apply_3d_with(Dispatch::Scalar, &spec, &thin, &mut out),
+        Err(GridError::HaloTooSmall { halo: 0, radius: 1 })
+    );
+    // Radius swallows the depth axis.
+    let flat = Grid3d::from_fn(1, 8, 8, 1, |k, i, j| field(4, i + k, j));
+    let mut out = flat.clone();
+    assert_eq!(
+        native::try_apply_3d_with(Dispatch::Scalar, &spec, &flat, &mut out),
+        Err(GridError::RadiusExceedsInterior {
+            radius: 1,
+            interior: 1
+        })
+    );
+}
+
+#[test]
+fn the_plan_layer_refuses_degenerate_grids_with_plan_errors() {
+    let spec = spec_for(Pattern::Star, 2);
+    let cfg = MachineConfig::lx2();
+    for method in [Method::HStencil, Method::VectorOnly, Method::Auto] {
+        // Halo narrower than the radius.
+        let got = StencilPlan::new(&spec, method)
+            .warmup(0)
+            .run_2d(&cfg, &noisy(16, 16, 1));
+        assert!(
+            matches!(got, Err(PlanError::GridTooSmall { min: 2, got: 1 })),
+            "{method:?} halo<radius: {got:?}",
+            got = got.map(|_| ())
+        );
+        // Interior below one vector tile.
+        let got = StencilPlan::new(&spec, method)
+            .warmup(0)
+            .run_2d(&cfg, &noisy(4, 16, 2));
+        assert!(
+            matches!(got, Err(PlanError::GridTooSmall { .. })),
+            "{method:?} h<VLEN: {got:?}",
+            got = got.map(|_| ())
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Compares every committed golden lx2-sim trace against a fresh
+//! render. Regenerate deliberately with:
+//!
+//! ```text
+//! CONFORMANCE_BLESS=1 cargo test -p hstencil-conformance --test golden_traces
+//! ```
+
+use hstencil_conformance::golden::{check, golden_dir, CASES};
+
+#[test]
+fn committed_golden_traces_match_fresh_renders() {
+    assert!(CASES.len() >= 3, "golden corpus shrank: {CASES:?}");
+    for name in CASES {
+        if let Err(e) = check(name) {
+            panic!("{e}");
+        }
+    }
+}
+
+#[test]
+fn golden_directory_has_no_orphan_traces() {
+    // Every committed file must correspond to a registered case, so a
+    // renamed case cannot leave a stale trace silently passing.
+    let Ok(dir) = std::fs::read_dir(golden_dir()) else {
+        return; // nothing committed yet (blessing run will create it)
+    };
+    for entry in dir {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        let stem = name.trim_end_matches(".txt");
+        assert!(
+            CASES.contains(&stem),
+            "orphan golden file {name:?} (known cases: {CASES:?})"
+        );
+    }
+}

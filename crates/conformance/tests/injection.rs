@@ -1,0 +1,62 @@
+//! Fault-injection acceptance test: an off-by-one deliberately injected
+//! into *each* registered variant must be caught by the differential
+//! matrix, and the failure must come with a shrunk counterexample and a
+//! copy-pasteable `TESTKIT_SEED` replay line.
+
+use hstencil_conformance::oracle::check_differential;
+use hstencil_conformance::{registry, InstanceStrategy, Outcome};
+use hstencil_testkit::prop::{self, Config};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast::<String>()
+        .map(|s| *s)
+        .or_else(|p| p.downcast::<&'static str>().map(|s| s.to_string()))
+        .unwrap_or_else(|_| "<non-string panic payload>".into())
+}
+
+#[test]
+fn off_by_one_in_any_variant_is_caught_with_a_replayable_counterexample() {
+    let n = registry().len();
+    for k in 0..n {
+        let faulty = registry().swap_remove(k).with_off_by_one();
+        let name = faulty.name().to_string();
+        let cfg = Config {
+            cases: 3,
+            seed: 0x0FF5_E701 + k as u64,
+            max_shrink_steps: 48,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Star instances so even star-only methods actually run
+            // (a skipped run can hide nothing *and* catch nothing).
+            prop::check(
+                &cfg,
+                &InstanceStrategy::star(),
+                |inst| match check_differential(&faulty, inst)? {
+                    Outcome::Checked => Ok(()),
+                    Outcome::Skipped => Err(format!("{name} skipped a star instance")),
+                },
+            );
+        }));
+        let text = panic_text(outcome.expect_err(&format!(
+            "the harness failed to catch the fault injected into {name}"
+        )));
+        assert!(
+            text.contains("minimal failing input"),
+            "[{name}] no shrunk counterexample in:\n{text}"
+        );
+        assert!(
+            text.contains("replay: TESTKIT_SEED=0x"),
+            "[{name}] no replay line in:\n{text}"
+        );
+        assert!(
+            text.contains("Instance"),
+            "[{name}] counterexample does not show the instance:\n{text}"
+        );
+        assert!(
+            text.contains(&name),
+            "[{name}] failure does not identify the faulty variant:\n{text}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The differential conformance matrix: every registered variant against
+//! the scalar reference on randomized instances, with ULP-bounded
+//! comparison and shrinking/replay on failure (TESTKIT_SEED).
+//!
+//! Fast tier by default; `CONFORMANCE_EXHAUSTIVE=1` widens the sweep.
+
+use hstencil_conformance::oracle::check_differential;
+use hstencil_conformance::{case_count, registry, InstanceStrategy, Outcome};
+use hstencil_core::{native, reference, Dispatch, Grid3d, Method, StencilPlan};
+use hstencil_testkit::prop::{self, Config};
+use hstencil_testkit::prop_assert;
+use lx2_sim::MachineConfig;
+
+#[test]
+fn every_variant_matches_the_reference_on_random_instances() {
+    let cfg = Config::with_cases(case_count(8, 48));
+    let variants = registry();
+    prop::check(&cfg, &InstanceStrategy::any(), |inst| {
+        let mut checked = 0usize;
+        for v in &variants {
+            match check_differential(v, inst)? {
+                Outcome::Checked => checked += 1,
+                Outcome::Skipped => {
+                    // Skips must be *declared* (star-only method on a box
+                    // instance), never silent.
+                    prop_assert!(
+                        !v.supports(inst),
+                        "{} skipped an instance it claims to support: {inst:?}",
+                        v.name()
+                    );
+                }
+            }
+        }
+        // The acceptance floor: at least 6 variants actually ran.
+        prop_assert!(checked >= 6, "only {checked} variants ran on {inst:?}");
+        Ok(())
+    });
+}
+
+#[test]
+fn star_instances_cover_the_full_registry() {
+    // On star tables no variant may skip: the whole registry must run.
+    let cfg = Config::with_cases(case_count(4, 16));
+    let variants = registry();
+    prop::check(&cfg, &InstanceStrategy::star(), |inst| {
+        for v in &variants {
+            prop_assert!(
+                check_differential(v, inst)? == Outcome::Checked,
+                "{} skipped a star instance: {inst:?}",
+                v.name()
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn native_3d_and_simulated_3d_match_the_reference() {
+    // The 2-D matrix is the registry's home; this pins the 3-D paths of
+    // the native executor and the simulated HStencil kernel to the 3-D
+    // reference on one noisy grid per preset.
+    for spec in [
+        hstencil_core::presets::star3d7p(),
+        hstencil_core::presets::box3d27p(),
+    ] {
+        let r = spec.radius();
+        let grid = Grid3d::from_fn(10, 12, 12, r, |k, i, j| {
+            hstencil_conformance::instance::field(0xD3D0 + r as u64, i * 64 + k, j)
+        });
+        let mut want = grid.clone();
+        reference::apply_3d(&spec, &grid, &mut want);
+        for dispatch in Dispatch::candidates() {
+            let mut got = grid.clone();
+            native::try_apply_3d_with(dispatch, &spec, &grid, &mut got)
+                .unwrap_or_else(|e| panic!("native 3-D {}: {e}", dispatch.label()));
+            let diff = want.max_interior_diff(&got);
+            assert!(
+                diff < 1e-11,
+                "{} 3-D {} diverges by {diff}",
+                spec.name(),
+                dispatch.label()
+            );
+        }
+        let out = StencilPlan::new(&spec, Method::HStencil)
+            .warmup(0)
+            .run_3d(&MachineConfig::lx2(), &grid)
+            .unwrap_or_else(|e| panic!("sim 3-D {}: {e}", spec.name()));
+        let diff = want.max_interior_diff(&out.output);
+        assert!(diff < 1e-9, "sim 3-D {} diverges by {diff}", spec.name());
+    }
+}

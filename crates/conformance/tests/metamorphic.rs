@@ -1,0 +1,65 @@
+//! The metamorphic half of the matrix: linearity, translation
+//! invariance and superposition over every registered variant, on
+//! randomized instances. These oracles need no reference output, so
+//! they would keep catching bugs even if the reference itself broke.
+
+use hstencil_conformance::{case_count, registry, InstanceStrategy, PROPERTIES};
+use hstencil_testkit::prop::{self, Config};
+use hstencil_testkit::prop_assert;
+
+fn metamorphic_properties() -> Vec<&'static (&'static str, hstencil_conformance::oracle::Property)>
+{
+    PROPERTIES
+        .iter()
+        .filter(|(name, _)| *name != "differential-vs-reference")
+        .collect()
+}
+
+#[test]
+fn at_least_three_metamorphic_properties_are_registered() {
+    assert!(
+        metamorphic_properties().len() >= 3,
+        "matrix needs >= 3 metamorphic oracles, found {:?}",
+        metamorphic_properties()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn metamorphic_oracles_hold_across_the_registry() {
+    let cfg = Config::with_cases(case_count(6, 24));
+    let variants = registry();
+    let props = metamorphic_properties();
+    prop::check(&cfg, &InstanceStrategy::any(), |inst| {
+        for v in &variants {
+            for (name, prop_fn) in &props {
+                prop_fn(v, inst).map_err(|e| format!("{name}: {e}"))?;
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn linearity_is_bit_exact_even_through_the_simulator() {
+    // Narrow re-statement of the strongest oracle: power-of-two
+    // coefficient scaling commutes with every IEEE rounding, so even
+    // the simulated FMOPA/FMLA pipelines must reproduce the doubled
+    // outputs to the last bit. A star-only sweep also exercises the
+    // Mat-ortho kernel, which the `any()` strategy can skip past.
+    let cfg = Config::with_cases(case_count(4, 12));
+    let variants = registry();
+    prop::check(&cfg, &InstanceStrategy::star(), |inst| {
+        for v in &variants {
+            prop_assert!(
+                hstencil_conformance::oracle::check_linearity(v, inst)?
+                    == hstencil_conformance::Outcome::Checked,
+                "{} skipped a star instance",
+                v.name()
+            );
+        }
+        Ok(())
+    });
+}

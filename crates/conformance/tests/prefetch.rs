@@ -1,0 +1,77 @@
+//! Prefetch transparency at the plan layer: Algorithm 3's software
+//! prefetch stream is a performance hint. Toggling it must leave every
+//! simulated output bit-identical and show up only in the counters.
+
+use hstencil_conformance::{case_count, InstanceStrategy};
+use hstencil_core::{presets, Method, StencilPlan, StencilSpec};
+use hstencil_testkit::prop::{self, Config};
+use hstencil_testkit::prop_assert;
+use lx2_sim::MachineConfig;
+
+fn run_with_prefetch(
+    spec: &StencilSpec,
+    method: Method,
+    input: &hstencil_core::Grid2d,
+    on: bool,
+) -> (Vec<u64>, u64) {
+    let out = StencilPlan::new(spec, method)
+        .warmup(0)
+        .prefetch(on)
+        .run_2d(&MachineConfig::lx2(), input)
+        .unwrap_or_else(|e| panic!("{} prefetch={on}: {e}", spec.name()));
+    let bits = out.output.raw().iter().map(|x| x.to_bits()).collect();
+    (bits, out.report.counters.mem.sw_prefetches)
+}
+
+#[test]
+fn prefetch_changes_counters_never_results() {
+    for spec in [
+        presets::star2d5p(),
+        presets::box2d9p(),
+        presets::star2d13p(),
+    ] {
+        let input = hstencil_core::Grid2d::from_fn(24, 24, spec.radius(), |i, j| {
+            hstencil_conformance::instance::field(0x9F, i, j)
+        });
+        for method in [Method::HStencil, Method::MatrixOnly, Method::VectorOnly] {
+            let (bits_on, sw_on) = run_with_prefetch(&spec, method, &input, true);
+            let (bits_off, sw_off) = run_with_prefetch(&spec, method, &input, false);
+            assert_eq!(
+                bits_on,
+                bits_off,
+                "{} {method:?}: prefetch changed the output",
+                spec.name()
+            );
+            assert_eq!(
+                sw_off,
+                0,
+                "{} {method:?}: PRFM emitted with prefetch disabled",
+                spec.name()
+            );
+            if method == Method::HStencil {
+                assert!(
+                    sw_on > 0,
+                    "{} {method:?}: full configuration emitted no PRFM",
+                    spec.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prefetch_transparency_holds_on_random_instances() {
+    let cfg = Config::with_cases(case_count(4, 12));
+    prop::check(&cfg, &InstanceStrategy::any(), |inst| {
+        let (spec, input) = (inst.spec(), inst.input());
+        let (bits_on, sw_on) = run_with_prefetch(&spec, Method::HStencil, &input, true);
+        let (bits_off, sw_off) = run_with_prefetch(&spec, Method::HStencil, &input, false);
+        prop_assert!(
+            bits_on == bits_off,
+            "prefetch changed the simulated output on {inst:?}"
+        );
+        prop_assert!(sw_off == 0, "PRFM emitted with prefetch disabled");
+        prop_assert!(sw_on > 0, "no PRFM in the full configuration on {inst:?}");
+        Ok(())
+    });
+}

@@ -6,10 +6,71 @@
 //! use aligned `LD1D` for block loads and `EXT` for shifts.
 
 use lx2_isa::VLEN;
+use std::fmt;
 
 fn round_up(x: usize, to: usize) -> usize {
     x.div_ceil(to) * to
 }
+
+/// Typed rejection of grid/stencil shape combinations that the apply
+/// entry points cannot execute meaningfully.
+///
+/// Before this existed, degenerate shapes were a caller contract: a halo
+/// narrower than the stencil radius would in release builds silently
+/// read cells of the *neighbouring row* (the padded layout keeps the
+/// index in bounds), and a radius reaching past the interior relies on
+/// boundary data no solver initialises. Both are now first-class errors
+/// the conformance fuzzer's degenerate-shape corpus exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridError {
+    /// The grid's halo is narrower than the stencil radius; neighbour
+    /// reads would wrap into adjacent rows of the padded layout.
+    HaloTooSmall {
+        /// Halo width of the offending grid.
+        halo: usize,
+        /// Stencil radius that the halo must cover.
+        radius: usize,
+    },
+    /// The stencil radius is at least as large as an interior dimension,
+    /// so every output cell depends on *both* opposing boundaries at
+    /// once — outside the paper's (and the kernels') operating envelope.
+    RadiusExceedsInterior {
+        /// Stencil radius.
+        radius: usize,
+        /// Smallest interior dimension.
+        interior: usize,
+    },
+    /// Input and output grids have different interior shapes
+    /// (`d` is 1 for 2-D grids).
+    ShapeMismatch {
+        /// Input interior `[d, h, w]`.
+        a: [usize; 3],
+        /// Output interior `[d, h, w]`.
+        b: [usize; 3],
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::HaloTooSmall { halo, radius } => write!(
+                f,
+                "halo {halo} narrower than stencil radius {radius}: \
+                 neighbour reads would alias adjacent rows"
+            ),
+            GridError::RadiusExceedsInterior { radius, interior } => write!(
+                f,
+                "stencil radius {radius} reaches across the whole \
+                 interior (smallest dimension {interior})"
+            ),
+            GridError::ShapeMismatch { a, b } => {
+                write!(f, "interior shapes differ: input {a:?} vs output {b:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
 
 /// A 2-D grid with halo padding and vector-aligned rows.
 ///
@@ -140,6 +201,31 @@ impl Grid2d {
             }
         }
         g
+    }
+
+    /// Checks that this grid can serve as input or output of a stencil
+    /// sweep of `radius`, and that `out` matches its interior shape.
+    ///
+    /// Returns the first violated constraint as a typed [`GridError`]
+    /// instead of panicking (or, worse, silently aliasing rows in a
+    /// release build) — the contract the conformance fuzzer's
+    /// degenerate-shape corpus pins down.
+    pub fn check_stencil(&self, radius: usize, out: &Grid2d) -> Result<(), GridError> {
+        if (self.h, self.w) != (out.h, out.w) {
+            return Err(GridError::ShapeMismatch {
+                a: [1, self.h, self.w],
+                b: [1, out.h, out.w],
+            });
+        }
+        let halo = self.halo.min(out.halo);
+        if halo < radius {
+            return Err(GridError::HaloTooSmall { halo, radius });
+        }
+        let interior = self.h.min(self.w);
+        if radius > 0 && radius >= interior {
+            return Err(GridError::RadiusExceedsInterior { radius, interior });
+        }
+        Ok(())
     }
 
     /// Maximum absolute interior difference against another grid of the
@@ -317,6 +403,25 @@ impl Grid3d {
         g
     }
 
+    /// The 3-D analogue of [`Grid2d::check_stencil`].
+    pub fn check_stencil(&self, radius: usize, out: &Grid3d) -> Result<(), GridError> {
+        if (self.d, self.h, self.w) != (out.d, out.h, out.w) {
+            return Err(GridError::ShapeMismatch {
+                a: [self.d, self.h, self.w],
+                b: [out.d, out.h, out.w],
+            });
+        }
+        let halo = self.halo.min(out.halo);
+        if halo < radius {
+            return Err(GridError::HaloTooSmall { halo, radius });
+        }
+        let interior = self.d.min(self.h).min(self.w);
+        if radius > 0 && radius >= interior {
+            return Err(GridError::RadiusExceedsInterior { radius, interior });
+        }
+        Ok(())
+    }
+
     /// Maximum absolute interior difference against another grid.
     pub fn max_interior_diff(&self, other: &Grid3d) -> f64 {
         assert_eq!((self.d, self.h, self.w), (other.d, other.h, other.w));
@@ -392,7 +497,7 @@ mod tests {
         for i in -2..8i64 {
             for j in -2..11i64 {
                 let (i, j) = (i as isize, j as isize);
-                let interior = i >= 0 && i < 6 && j >= 0 && j < 9;
+                let interior = (0..6).contains(&i) && (0..9).contains(&j);
                 let want = if interior { 0.0 } else { g.at(i, j) };
                 assert_eq!(img.at(i, j), want, "({i},{j})");
             }
@@ -407,12 +512,83 @@ mod tests {
             for i in -1..5isize {
                 for j in -1..6isize {
                     let interior =
-                        k >= 0 && k < 3 && i >= 0 && i < 4 && j >= 0 && j < 5;
+                        (0..3).contains(&k) && (0..4).contains(&i) && (0..5).contains(&j);
                     let want = if interior { 0.0 } else { g.at(k, i, j) };
                     assert_eq!(img.at(k, i, j), want, "({k},{i},{j})");
                 }
             }
         }
+    }
+
+    #[test]
+    fn check_stencil_rejects_degenerate_shapes() {
+        let a = Grid2d::zeros(8, 8, 1);
+        let b = Grid2d::zeros(8, 8, 1);
+        assert_eq!(a.check_stencil(1, &b), Ok(()));
+        // Halo narrower than radius: the silent wrong-row read path.
+        assert_eq!(
+            a.check_stencil(2, &b),
+            Err(GridError::HaloTooSmall { halo: 1, radius: 2 })
+        );
+        // The *narrower* of the two halos governs.
+        let wide = Grid2d::zeros(8, 8, 3);
+        assert_eq!(
+            wide.check_stencil(2, &b),
+            Err(GridError::HaloTooSmall { halo: 1, radius: 2 })
+        );
+        // Radius reaching across the interior.
+        let tiny = Grid2d::zeros(2, 16, 3);
+        let tiny_b = Grid2d::zeros(2, 16, 3);
+        assert_eq!(
+            tiny.check_stencil(3, &tiny_b),
+            Err(GridError::RadiusExceedsInterior {
+                radius: 3,
+                interior: 2
+            })
+        );
+        // Shape mismatch wins over everything else.
+        let other = Grid2d::zeros(8, 9, 1);
+        assert_eq!(
+            a.check_stencil(1, &other),
+            Err(GridError::ShapeMismatch {
+                a: [1, 8, 8],
+                b: [1, 8, 9]
+            })
+        );
+        // Radius 0 is degenerate-but-legal (pure pointwise scaling).
+        let dot = Grid2d::zeros(1, 1, 0);
+        let dot_b = Grid2d::zeros(1, 1, 0);
+        assert_eq!(dot.check_stencil(0, &dot_b), Ok(()));
+    }
+
+    #[test]
+    fn check_stencil_3d_covers_depth() {
+        let a = Grid3d::zeros(2, 8, 8, 3);
+        let b = Grid3d::zeros(2, 8, 8, 3);
+        assert_eq!(a.check_stencil(1, &b), Ok(()));
+        assert_eq!(
+            a.check_stencil(2, &b),
+            Err(GridError::RadiusExceedsInterior {
+                radius: 2,
+                interior: 2
+            })
+        );
+        let shallow = Grid3d::zeros(2, 8, 8, 1);
+        assert_eq!(
+            a.check_stencil(2, &shallow),
+            Err(GridError::HaloTooSmall { halo: 1, radius: 2 })
+        );
+    }
+
+    #[test]
+    fn grid_error_messages_are_actionable() {
+        let e = GridError::HaloTooSmall { halo: 1, radius: 3 };
+        assert!(e.to_string().contains("halo 1"));
+        let e = GridError::RadiusExceedsInterior {
+            radius: 3,
+            interior: 2,
+        };
+        assert!(e.to_string().contains("radius 3"));
     }
 
     #[test]

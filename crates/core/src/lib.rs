@@ -46,7 +46,7 @@ pub mod stencil;
 pub mod table;
 
 pub use error::PlanError;
-pub use grid::{Grid2d, Grid3d};
+pub use grid::{Grid2d, Grid3d, GridError};
 pub use kernels::{Kernel, KernelCtx, KernelOptions, Plane};
 pub use method::Method;
 pub use multicore::{run_multicore, run_multicore_steps, MulticoreReport};

@@ -127,7 +127,13 @@ fn scalar_point(flat: &[(isize, isize, f64)], a: &[f64], base: isize, stride: is
 
 /// Scalar sweep of one row segment: `dst[jj]` = chain at `(i, j0 + jj)`
 /// where `base` is the flat index of `(i, j0)` in `a`.
-fn scalar_row(flat: &[(isize, isize, f64)], a: &[f64], base: isize, stride: isize, dst: &mut [f64]) {
+fn scalar_row(
+    flat: &[(isize, isize, f64)],
+    a: &[f64],
+    base: isize,
+    stride: isize,
+    dst: &mut [f64],
+) {
     for (jj, d) in dst.iter_mut().enumerate() {
         *d = scalar_point(flat, a, base + jj as isize, stride);
     }
@@ -192,13 +198,7 @@ pub(crate) fn sweep_band_2d(
                         } else {
                             // SAFETY: feature availability asserted above.
                             unsafe {
-                                avx2::row_single(
-                                    taps,
-                                    a,
-                                    base,
-                                    a_stride,
-                                    &mut dst[off..off + jw],
-                                );
+                                avx2::row_single(taps, a, base, a_stride, &mut dst[off..off + jw]);
                             }
                             i += 1;
                         }

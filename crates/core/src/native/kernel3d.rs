@@ -11,13 +11,16 @@ use super::tile;
 use super::Dispatch;
 use crate::stencil::StencilSpec;
 
+/// One input row's taps: `(dk, di, [(dj, c)...])` in canonical order.
+pub(crate) type TapRow = (isize, isize, Vec<(isize, f64)>);
+
 /// Preprocessed nonzero taps of a 3-D stencil.
 pub(crate) struct Taps3 {
     /// Canonical `(dk, di, dj, c)` chain — the bit-exactness contract.
     pub flat: Vec<(isize, isize, isize, f64)>,
-    /// Taps grouped by input row: `(dk, di, [(dj, c)...])` in canonical
-    /// order (rows with no nonzero taps omitted).
-    pub rows: Vec<(isize, isize, Vec<(isize, f64)>)>,
+    /// Taps grouped by input row in canonical order (rows with no
+    /// nonzero taps omitted).
+    pub rows: Vec<TapRow>,
 }
 
 impl Taps3 {
@@ -25,7 +28,7 @@ impl Taps3 {
         assert_eq!(spec.dims(), 3);
         let r = spec.radius() as isize;
         let mut flat = Vec::new();
-        let mut rows: Vec<(isize, isize, Vec<(isize, f64)>)> = Vec::new();
+        let mut rows: Vec<TapRow> = Vec::new();
         for dk in -r..=r {
             for di in -r..=r {
                 let mut row = Vec::new();
@@ -62,7 +65,10 @@ fn scalar_point(
 ) -> f64 {
     let mut acc = 0.0f64;
     for &(dk, di, dj, c) in flat {
-        acc = c.mul_add(a[(base + dk * plane_stride + di * stride + dj) as usize], acc);
+        acc = c.mul_add(
+            a[(base + dk * plane_stride + di * stride + dj) as usize],
+            acc,
+        );
     }
     acc
 }

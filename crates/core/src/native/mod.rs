@@ -31,7 +31,7 @@ mod kernel2d;
 mod kernel3d;
 mod tile;
 
-use crate::grid::{Grid2d, Grid3d};
+use crate::grid::{Grid2d, Grid3d, GridError};
 use crate::stencil::StencilSpec;
 use kernel2d::Taps2;
 use kernel3d::Taps3;
@@ -93,19 +93,33 @@ impl Dispatch {
 
 fn assert_shapes_2d(spec: &StencilSpec, a: &Grid2d, b: &Grid2d) {
     assert_eq!(spec.dims(), 2);
-    assert_eq!((a.h(), a.w()), (b.h(), b.w()));
-    assert!(a.halo() >= spec.radius() && b.halo() >= spec.radius());
+    a.check_stencil(spec.radius(), b)
+        .unwrap_or_else(|e| panic!("native 2-D sweep: {e}"));
 }
 
 fn assert_shapes_3d(spec: &StencilSpec, a: &Grid3d, b: &Grid3d) {
     assert_eq!(spec.dims(), 3);
-    assert_eq!((a.d(), a.h(), a.w()), (b.d(), b.h(), b.w()));
-    assert!(a.halo() >= spec.radius() && b.halo() >= spec.radius());
+    a.check_stencil(spec.radius(), b)
+        .unwrap_or_else(|e| panic!("native 3-D sweep: {e}"));
 }
 
 /// One sweep of a 2-D stencil, single-threaded, best dispatch.
 pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
     apply_2d_with(Dispatch::detect(), spec, a, b);
+}
+
+/// [`apply_2d_with`] with degenerate shapes rejected as a typed
+/// [`GridError`] instead of a panic.
+pub fn try_apply_2d_with(
+    dispatch: Dispatch,
+    spec: &StencilSpec,
+    a: &Grid2d,
+    b: &mut Grid2d,
+) -> Result<(), GridError> {
+    assert_eq!(spec.dims(), 2);
+    a.check_stencil(spec.radius(), b)?;
+    apply_2d_with(dispatch, spec, a, b);
+    Ok(())
 }
 
 /// One single-threaded 2-D sweep on an explicit dispatch path.
@@ -122,13 +136,22 @@ pub fn apply_2d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid2d, b: &mut
     let a_raw = a.raw();
     let end = b_org + (h - 1) * b_stride + w;
     let dst = &mut b.raw_mut()[b_org..end];
-    kernel2d::sweep_band_2d(dispatch, &taps, a_raw, a_org, a_stride, w, dst, b_stride, 0, h);
+    kernel2d::sweep_band_2d(
+        dispatch, &taps, a_raw, a_org, a_stride, w, dst, b_stride, 0, h,
+    );
 }
 
 /// One sweep of a 2-D stencil with rows distributed over `threads`
 /// lanes of the shared persistent pool.
 pub fn apply_2d_parallel(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d, threads: usize) {
-    apply_2d_parallel_in(ThreadPool::global(), Dispatch::detect(), spec, a, b, threads);
+    apply_2d_parallel_in(
+        ThreadPool::global(),
+        Dispatch::detect(),
+        spec,
+        a,
+        b,
+        threads,
+    );
 }
 
 /// One parallel 2-D sweep on an explicit pool and dispatch path.
@@ -202,6 +225,20 @@ pub fn apply_3d(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
     apply_3d_with(Dispatch::detect(), spec, a, b);
 }
 
+/// [`apply_3d_with`] with degenerate shapes rejected as a typed
+/// [`GridError`] instead of a panic.
+pub fn try_apply_3d_with(
+    dispatch: Dispatch,
+    spec: &StencilSpec,
+    a: &Grid3d,
+    b: &mut Grid3d,
+) -> Result<(), GridError> {
+    assert_eq!(spec.dims(), 3);
+    a.check_stencil(spec.radius(), b)?;
+    apply_3d_with(dispatch, spec, a, b);
+    Ok(())
+}
+
 /// One single-threaded 3-D sweep on an explicit dispatch path.
 pub fn apply_3d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
     assert_shapes_3d(spec, a, b);
@@ -217,14 +254,33 @@ pub fn apply_3d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid3d, b: &mut
     let end = b_org + (d - 1) * b_ps + (h - 1) * b_stride + w;
     let dst = &mut b.raw_mut()[b_org..end];
     kernel3d::sweep_band_3d(
-        dispatch, &taps, a_raw, a_org, a_ps, a_stride, h, w, dst, b_ps, b_stride, 0, d * h,
+        dispatch,
+        &taps,
+        a_raw,
+        a_org,
+        a_ps,
+        a_stride,
+        h,
+        w,
+        dst,
+        b_ps,
+        b_stride,
+        0,
+        d * h,
     );
 }
 
 /// One sweep of a 3-D stencil with `(plane, row)` pencils distributed
 /// over `threads` lanes of the shared persistent pool.
 pub fn apply_3d_parallel(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d, threads: usize) {
-    apply_3d_parallel_in(ThreadPool::global(), Dispatch::detect(), spec, a, b, threads);
+    apply_3d_parallel_in(
+        ThreadPool::global(),
+        Dispatch::detect(),
+        spec,
+        a,
+        b,
+        threads,
+    );
 }
 
 /// One parallel 3-D sweep on an explicit pool and dispatch path. Bands

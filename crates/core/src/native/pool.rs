@@ -322,9 +322,9 @@ mod tests {
             });
         }));
         assert!(unwound.is_err());
-        for lane in 1..4 {
+        for (lane, slot) in wrote.iter().enumerate().skip(1) {
             assert_eq!(
-                wrote[lane].load(Ordering::SeqCst),
+                slot.load(Ordering::SeqCst),
                 1,
                 "lane {lane} must finish before run unwinds"
             );

@@ -1,19 +1,25 @@
 //! Scalar reference implementations — the ground truth every kernel is
 //! verified against.
 
-use crate::grid::{Grid2d, Grid3d};
+use crate::grid::{Grid2d, Grid3d, GridError};
 use crate::stencil::StencilSpec;
 
 /// One 2-D stencil sweep: `b` interior = weighted sum of `a` neighbours.
 ///
 /// # Panics
-/// Panics if the spec is not 2-D, shapes differ, or halos are smaller than
-/// the radius.
+/// Panics if the spec is not 2-D or the shapes are degenerate; see
+/// [`try_apply_2d`] for the non-panicking form.
 pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
+    try_apply_2d(spec, a, b).unwrap_or_else(|e| panic!("reference::apply_2d: {e}"));
+}
+
+/// [`apply_2d`] with degenerate shapes rejected as a typed
+/// [`GridError`] instead of a panic (or a silent wrong-row read in
+/// release builds when the halo undercuts the radius).
+pub fn try_apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) -> Result<(), GridError> {
     assert_eq!(spec.dims(), 2);
-    assert_eq!((a.h(), a.w()), (b.h(), b.w()));
+    a.check_stencil(spec.radius(), b)?;
     let r = spec.radius() as isize;
-    assert!(a.halo() >= spec.radius() && b.halo() >= spec.radius());
     for i in 0..a.h() as isize {
         for j in 0..a.w() as isize {
             let mut acc = 0.0;
@@ -28,17 +34,23 @@ pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
             b.set(i, j, acc);
         }
     }
+    Ok(())
 }
 
 /// One 3-D stencil sweep.
 ///
 /// # Panics
-/// Panics if the spec is not 3-D, shapes differ, or halos are too small.
+/// Panics if the spec is not 3-D or the shapes are degenerate; see
+/// [`try_apply_3d`] for the non-panicking form.
 pub fn apply_3d(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
+    try_apply_3d(spec, a, b).unwrap_or_else(|e| panic!("reference::apply_3d: {e}"));
+}
+
+/// [`apply_3d`] with degenerate shapes rejected as a typed [`GridError`].
+pub fn try_apply_3d(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) -> Result<(), GridError> {
     assert_eq!(spec.dims(), 3);
-    assert_eq!((a.d(), a.h(), a.w()), (b.d(), b.h(), b.w()));
+    a.check_stencil(spec.radius(), b)?;
     let r = spec.radius() as isize;
-    assert!(a.halo() >= spec.radius() && b.halo() >= spec.radius());
     for k in 0..a.d() as isize {
         for i in 0..a.h() as isize {
             for j in 0..a.w() as isize {
@@ -57,6 +69,7 @@ pub fn apply_3d(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -117,6 +130,36 @@ mod tests {
         apply_2d(&spec, &a, &mut b);
         assert!(b.at(0, 4) > 0.0, "top row must see the halo");
         assert_eq!(b.at(2, 4), 0.0);
+    }
+
+    #[test]
+    fn degenerate_shapes_are_typed_errors() {
+        use crate::grid::GridError;
+        let spec = presets::star2d9p(); // radius 2
+        let a = Grid2d::zeros(8, 8, 1);
+        let mut b = Grid2d::zeros(8, 8, 1);
+        assert_eq!(
+            try_apply_2d(&spec, &a, &mut b),
+            Err(GridError::HaloTooSmall { halo: 1, radius: 2 })
+        );
+        let a = Grid2d::zeros(2, 16, 2);
+        let mut b = Grid2d::zeros(2, 16, 2);
+        assert_eq!(
+            try_apply_2d(&spec, &a, &mut b),
+            Err(GridError::RadiusExceedsInterior {
+                radius: 2,
+                interior: 2
+            })
+        );
+        // The panicking wrapper still panics, with the typed message.
+        let a = Grid2d::zeros(8, 8, 1);
+        let mut b = Grid2d::zeros(8, 8, 1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            apply_2d(&spec, &a, &mut b);
+        }))
+        .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("halo 1"), "got: {msg}");
     }
 
     #[test]

@@ -312,7 +312,14 @@ pub mod presets {
         let n = 3usize;
         let mut t = vec![0.0; n * n * n];
         let idx = |dk: usize, di: usize, dj: usize| (dk * n + di) * n + dj;
-        for (dk, di, dj) in [(0, 1, 1), (2, 1, 1), (1, 0, 1), (1, 2, 1), (1, 1, 0), (1, 1, 2)] {
+        for (dk, di, dj) in [
+            (0, 1, 1),
+            (2, 1, 1),
+            (1, 0, 1),
+            (1, 2, 1),
+            (1, 1, 0),
+            (1, 1, 2),
+        ] {
             t[idx(dk, di, dj)] = alpha;
         }
         t[idx(1, 1, 1)] = 1.0 - 6.0 * alpha;
@@ -424,7 +431,14 @@ mod tests {
         assert_eq!(s.points(), 7);
         assert_eq!(s.radius(), 1);
         assert!((s.c3(0, 0, 0) - 0.4).abs() < 1e-12);
-        for (dk, di, dj) in [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)] {
+        for (dk, di, dj) in [
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ] {
             assert!((s.c3(dk, di, dj) - 0.1).abs() < 1e-12);
         }
         assert_eq!(s.c3(1, 1, 0), 0.0);

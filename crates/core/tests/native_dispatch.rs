@@ -24,15 +24,24 @@ struct Case2d {
 
 fn case_2d_strategy() -> impl Strategy<Value = Case2d> {
     let dims = (
-        range(1usize..25),  // h
-        range(1usize..41),  // w
-        range(1usize..5),   // radius 1..=4
-        range(0usize..3),   // halo slack beyond the radius
-        range(1usize..9),   // threads
-        range(0usize..2),   // star (0) or box (1)
+        range(1usize..25), // h
+        range(1usize..41), // w
+        range(1usize..5),  // radius 1..=4
+        range(0usize..3),  // halo slack beyond the radius
+        range(1usize..9),  // threads
+        range(0usize..2),  // star (0) or box (1)
     );
-    (dims, vec_of(range(-2.0f64..2.0), 0..82), range(-4.0f64..4.0))
+    (
+        dims,
+        vec_of(range(-2.0f64..2.0), 0..82),
+        range(-4.0f64..4.0),
+    )
         .map(|((h, w, r, slack, threads, pattern), coeffs, fill_scale)| {
+            // The executors now reject radius >= min interior with a
+            // typed GridError (covered by the degenerate-shape corpus in
+            // hstencil-conformance); keep this strategy inside the valid
+            // envelope while still reaching the smallest legal shapes.
+            let (h, w) = (h.max(r + 1), w.max(r + 1));
             let n = 2 * r + 1;
             let mut table = vec![0.0; n * n];
             let pick = |k: usize| coeffs.get(k % coeffs.len().max(1)).copied().unwrap_or(0.7);
@@ -148,36 +157,37 @@ fn case_3d_strategy() -> impl Strategy<Value = Case3d> {
         range(0usize..2),  // halo slack
         range(1usize..7),  // threads
     );
-    (dims, vec_of(range(-1.5f64..1.5), 1..28))
-        .map(|((d, h, w, r, slack, threads), coeffs)| {
-            let n = 2 * r + 1;
-            let mut table = vec![0.0; n * n * n];
-            // Star core plus a few box corners so both row groupings and
-            // sparse planes get exercised.
-            let idx = |dk: usize, di: usize, dj: usize| (dk * n + di) * n + dj;
-            let pick = |k: usize| coeffs[k % coeffs.len()];
-            for q in 0..n {
-                table[idx(q, r, r)] = pick(q);
-                table[idx(r, q, r)] = pick(n + q);
-                table[idx(r, r, q)] = pick(2 * n + q);
-            }
-            table[idx(0, 0, 0)] = pick(3 * n);
-            table[idx(n - 1, n - 1, n - 1)] = pick(3 * n + 1);
-            let spec = StencilSpec::new_3d("prop-3d", Pattern::Box, r, table);
-            let halo = r + slack;
-            let mut v = 0.37;
-            let grid = Grid3d::from_fn(d, h, w, halo, |k, i, j| {
-                v = (v * 1.7 + 0.3 + (k as f64) * 0.02 + (i as f64) * 0.005 + (j as f64) * 0.001)
-                    % 3.0
-                    - 1.5;
-                v
-            });
-            Case3d {
-                spec,
-                grid,
-                threads,
-            }
-        })
+    (dims, vec_of(range(-1.5f64..1.5), 1..28)).map(|((d, h, w, r, slack, threads), coeffs)| {
+        // Stay inside the valid envelope (radius < min interior); the
+        // degenerate shapes are the conformance corpus's job now.
+        let (d, h, w) = (d.max(r + 1), h.max(r + 1), w.max(r + 1));
+        let n = 2 * r + 1;
+        let mut table = vec![0.0; n * n * n];
+        // Star core plus a few box corners so both row groupings and
+        // sparse planes get exercised.
+        let idx = |dk: usize, di: usize, dj: usize| (dk * n + di) * n + dj;
+        let pick = |k: usize| coeffs[k % coeffs.len()];
+        for q in 0..n {
+            table[idx(q, r, r)] = pick(q);
+            table[idx(r, q, r)] = pick(n + q);
+            table[idx(r, r, q)] = pick(2 * n + q);
+        }
+        table[idx(0, 0, 0)] = pick(3 * n);
+        table[idx(n - 1, n - 1, n - 1)] = pick(3 * n + 1);
+        let spec = StencilSpec::new_3d("prop-3d", Pattern::Box, r, table);
+        let halo = r + slack;
+        let mut v = 0.37;
+        let grid = Grid3d::from_fn(d, h, w, halo, |k, i, j| {
+            v = (v * 1.7 + 0.3 + (k as f64) * 0.02 + (i as f64) * 0.005 + (j as f64) * 0.001) % 3.0
+                - 1.5;
+            v
+        });
+        Case3d {
+            spec,
+            grid,
+            threads,
+        }
+    })
 }
 
 #[test]
@@ -232,7 +242,11 @@ fn apply_3d_matches_reference_and_parallel_is_bit_identical() {
             case.threads,
         );
         let pdiff = got.max_interior_diff(&par);
-        prop_assert!(pdiff == 0.0, "threads={} diverges by {pdiff:e}", case.threads);
+        prop_assert!(
+            pdiff == 0.0,
+            "threads={} diverges by {pdiff:e}",
+            case.threads
+        );
         Ok(())
     });
 }

@@ -1,0 +1,145 @@
+//! Oversubscription and tile-boundary coverage for the native executor:
+//! the persistent pool with more lanes than cores, and interior widths
+//! straddling the 8-lane vector tile (multiples of 8, ±1).
+
+use hstencil_core::{native, presets, reference, Dispatch, Grid2d, Grid3d, ThreadPool};
+
+fn noisy2(h: usize, w: usize, halo: usize, seed: u64) -> Grid2d {
+    Grid2d::from_fn(h, w, halo, |i, j| {
+        let x = (seed as i64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64)
+            .wrapping_add((i * 131 + j) as i64);
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    })
+}
+
+fn interior_bits(g: &Grid2d) -> Vec<u64> {
+    let mut out = Vec::with_capacity(g.h() * g.w());
+    for i in 0..g.h() as isize {
+        for j in 0..g.w() as isize {
+            out.push(g.at(i, j).to_bits());
+        }
+    }
+    out
+}
+
+#[test]
+fn oversubscribed_pool_matches_the_serial_sweep_bit_for_bit() {
+    // Band partitioning never changes a cell's accumulation chain, so
+    // any lane count — including far more lanes than this machine has
+    // cores — must reproduce the single-threaded answer exactly.
+    let pool = ThreadPool::new();
+    let dispatch = Dispatch::detect();
+    let spec = presets::star2d5p();
+    let a = noisy2(48, 40, spec.radius(), 0xA11);
+    let mut serial = a.clone();
+    native::apply_2d_with(dispatch, &spec, &a, &mut serial);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [1, 2, 3, cores, 2 * cores, 32, 64, 127] {
+        let mut out = a.clone();
+        native::apply_2d_parallel_in(&pool, dispatch, &spec, &a, &mut out, threads);
+        assert_eq!(
+            interior_bits(&serial),
+            interior_bits(&out),
+            "threads={threads} (cores={cores}) diverged from serial"
+        );
+    }
+    // Lane 0 always runs on the caller, so even the 127-lane sweep
+    // spawned at most 126 workers — and repeats reuse them.
+    let spawned = pool.spawned_threads();
+    assert!(spawned <= 126, "pool spawned {spawned} threads");
+    for _ in 0..8 {
+        let mut out = a.clone();
+        native::apply_2d_parallel_in(&pool, dispatch, &spec, &a, &mut out, 64);
+    }
+    assert_eq!(
+        pool.spawned_threads(),
+        spawned,
+        "oversubscribed sweeps kept spawning threads instead of reusing the pool"
+    );
+}
+
+#[test]
+fn oversubscription_matches_in_3d_too() {
+    let pool = ThreadPool::new();
+    let spec = presets::star3d7p();
+    let a = Grid3d::from_fn(6, 9, 17, spec.radius(), |k, i, j| {
+        ((k * 131 + i * 31 + j * 7).rem_euclid(23)) as f64 * 0.0625 - 0.5
+    });
+    let mut want = a.clone();
+    native::apply_3d_with(Dispatch::detect(), &spec, &a, &mut want);
+    for threads in [5, 48] {
+        let mut out = a.clone();
+        native::apply_3d_parallel_in(&pool, Dispatch::detect(), &spec, &a, &mut out, threads);
+        assert_eq!(want.max_interior_diff(&out), 0.0, "threads={threads}");
+    }
+}
+
+#[test]
+fn tile_boundary_widths_match_the_reference() {
+    // Widths at multiples of the 8-lane tile and one off either side:
+    // these exercise the full-tile fast path, the scalar remainder
+    // column, and the transition between them.
+    let widths = [7usize, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32, 33];
+    for spec in [
+        presets::star2d5p(),
+        presets::box2d25p(),
+        presets::star2d13p(),
+    ] {
+        let r = spec.radius();
+        for &w in &widths {
+            for h in [r + 2, 8, 13] {
+                if h.min(w) <= r {
+                    continue;
+                }
+                let a = noisy2(h, w, r, (w * 1000 + h) as u64);
+                let mut want = a.clone();
+                reference::apply_2d(&spec, &a, &mut want);
+                for dispatch in Dispatch::candidates() {
+                    let mut got = a.clone();
+                    native::try_apply_2d_with(dispatch, &spec, &a, &mut got).unwrap();
+                    let diff = want.max_interior_diff(&got);
+                    assert!(
+                        diff <= 1e-12,
+                        "{} {}x{w} via {}: diff {diff:e}",
+                        spec.name(),
+                        h,
+                        dispatch.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dispatch_paths_agree_bitwise_at_tile_boundaries() {
+    // Scalar and AVX2 share the same per-cell accumulation order, so
+    // where both are available they must agree to the last bit — at
+    // every width straddling a tile boundary.
+    let candidates = Dispatch::candidates();
+    if candidates.len() < 2 {
+        eprintln!("skipping: only {:?} available", candidates);
+        return;
+    }
+    let spec = presets::box2d9p();
+    for w in [7usize, 8, 9, 16, 17, 24, 25, 33] {
+        let a = noisy2(11, w, spec.radius(), w as u64);
+        let mut first: Option<(Dispatch, Vec<u64>)> = None;
+        for &dispatch in &candidates {
+            let mut out = a.clone();
+            native::apply_2d_with(dispatch, &spec, &a, &mut out);
+            let bits = interior_bits(&out);
+            match &first {
+                None => first = Some((dispatch, bits)),
+                Some((d0, want)) => assert_eq!(
+                    want,
+                    &bits,
+                    "w={w}: {} and {} disagree bitwise",
+                    d0.label(),
+                    dispatch.label()
+                ),
+            }
+        }
+    }
+}

@@ -65,7 +65,10 @@ fn odd_strip_and_grid_shapes_are_covered() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "out-of-cache simulation; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "out-of-cache simulation; run with --release"
+)]
 fn temporal_blocking_cuts_dram_traffic_out_of_cache() {
     // The point of the technique: intermediate sweeps stay cache-resident.
     // Strips must be sized so strip x height x buffers fits L2.

@@ -18,16 +18,13 @@ fn arb_za() -> impl Strategy<Value = ZaReg> {
 
 fn arb_inst() -> impl Strategy<Value = Inst> {
     one_of(vec![
-        Box::new(
-            (arb_vreg(), range(0u64..1_000_000)).map(|(vd, addr)| Inst::Ld1d { vd, addr }),
-        ) as Box<dyn Strategy<Value = Inst>>,
+        Box::new((arb_vreg(), range(0u64..1_000_000)).map(|(vd, addr)| Inst::Ld1d { vd, addr }))
+            as Box<dyn Strategy<Value = Inst>>,
         Box::new(
             (arb_vreg(), range(0u64..1_000_000), range(1u64..10_000))
                 .map(|(vd, addr, stride)| Inst::LdCol { vd, addr, stride }),
         ),
-        Box::new(
-            (arb_vreg(), range(0u64..1_000_000)).map(|(vs, addr)| Inst::St1d { vs, addr }),
-        ),
+        Box::new((arb_vreg(), range(0u64..1_000_000)).map(|(vs, addr)| Inst::St1d { vs, addr })),
         Box::new(
             (arb_za(), range(0u8..8), range(0u64..1_000_000))
                 .map(|(za, row, addr)| Inst::StZaRow { za, row, addr }),
@@ -55,10 +52,12 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         ),
         // Immediates restricted to values whose Display form parses back
         // exactly (plain decimal f64; Rust prints shortest roundtrip).
-        Box::new((arb_vreg(), range(-1000i32..1000)).map(|(vd, q)| Inst::DupImm {
-            vd,
-            imm: q as f64 / 8.0,
-        })),
+        Box::new(
+            (arb_vreg(), range(-1000i32..1000)).map(|(vd, q)| Inst::DupImm {
+                vd,
+                imm: q as f64 / 8.0,
+            }),
+        ),
         Box::new(
             (arb_za(), arb_vreg(), arb_vreg(), any_u8()).map(|(za, vn, vm, bits)| Inst::Fmopa {
                 za,
@@ -84,21 +83,29 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
                 }),
         ),
         Box::new(
-            (arb_vreg(), arb_za(), range(0u8..8))
-                .map(|(vd, za, row)| Inst::MovaToVec { vd, za, row }),
+            (arb_vreg(), arb_za(), range(0u8..8)).map(|(vd, za, row)| Inst::MovaToVec {
+                vd,
+                za,
+                row,
+            }),
         ),
         Box::new(
-            (arb_za(), range(0u8..8), arb_vreg())
-                .map(|(za, row, vs)| Inst::MovaFromVec { za, row, vs }),
+            (arb_za(), range(0u8..8), arb_vreg()).map(|(za, row, vs)| Inst::MovaFromVec {
+                za,
+                row,
+                vs,
+            }),
         ),
         Box::new((arb_za(), any_u8()).map(|(za, bits)| Inst::ZeroZa {
             za,
             mask: RowMask::from_bits(bits),
         })),
-        Box::new((range(0u64..1_000_000), any_bool()).map(|(addr, w)| Inst::Prfm {
-            addr,
-            kind: if w { MemKind::Write } else { MemKind::Read },
-        })),
+        Box::new(
+            (range(0u64..1_000_000), any_bool()).map(|(addr, w)| Inst::Prfm {
+                addr,
+                kind: if w { MemKind::Write } else { MemKind::Read },
+            }),
+        ),
     ])
 }
 

@@ -1,0 +1,182 @@
+//! Prefetch is a hint, never semantics: neither `PRFM` instructions nor
+//! the hardware stream prefetcher may change any architecturally
+//! visible state — registers (observed through a register dump to
+//! memory) and memory must be bit-identical with prefetching on or off.
+//! Only the counters may move.
+
+use hstencil_testkit::prop::{self, any_u64, Config};
+use hstencil_testkit::prop_assert;
+use hstencil_testkit::rng::{Rng, Xoshiro256};
+use lx2_isa::{Inst, MemKind, Program, VReg, VLEN};
+use lx2_sim::{Machine, MachineConfig, PerfCounters};
+
+const DATA_ELEMS: usize = 512;
+const SCRATCH_ELEMS: usize = 256;
+
+fn v(k: u64) -> VReg {
+    VReg::new(k as usize)
+}
+
+struct Layout {
+    data: u64,
+    scratch: u64,
+    dump: u64,
+}
+
+fn setup(cfg: &MachineConfig, seed: u64) -> (Machine, Layout) {
+    let mut mach = Machine::new(cfg);
+    let data = mach.alloc(DATA_ELEMS, VLEN).base;
+    let scratch = mach.alloc(SCRATCH_ELEMS, VLEN).base;
+    let dump = mach.alloc(8 * VLEN, VLEN).base;
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xDA7A);
+    let init: Vec<f64> = (0..DATA_ELEMS).map(|_| rng.gen_unit_f64() - 0.5).collect();
+    mach.mem.store_slice(data, &init).unwrap();
+    (
+        mach,
+        Layout {
+            data,
+            scratch,
+            dump,
+        },
+    )
+}
+
+/// A random compute/memory program over the fixed layout. When
+/// `with_prfm` is set, prefetch hints are interleaved with the same
+/// rng decisions, so the architectural instruction stream is identical.
+fn random_program(seed: u64, lay: &Layout, with_prfm: bool) -> (Program, u64) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut prog = Program::with_capacity(256);
+    let mut prfm = 0u64;
+    for _ in 0..48 {
+        if rng.gen_bool(0.4) {
+            // Hint ahead of a random data line; architecturally a no-op.
+            let kind = if rng.gen_bool(0.5) {
+                MemKind::Read
+            } else {
+                MemKind::Write
+            };
+            let addr = lay.data + rng.gen_range(0..(DATA_ELEMS - VLEN) as u64);
+            if with_prfm {
+                prfm += 1;
+                prog.push(Inst::Prfm { addr, kind });
+            }
+        }
+        match rng.gen_range(0u32..4) {
+            0 => prog.push(Inst::Ld1d {
+                vd: v(rng.gen_range(0..8)),
+                addr: lay.data + rng.gen_range(0..(DATA_ELEMS - VLEN) as u64),
+            }),
+            1 => prog.push(Inst::St1d {
+                vs: v(rng.gen_range(0..8)),
+                addr: lay.scratch + VLEN as u64 * rng.gen_range(0..(SCRATCH_ELEMS / VLEN) as u64),
+            }),
+            2 => prog.push(Inst::DupImm {
+                vd: v(rng.gen_range(0..8)),
+                imm: rng.gen_range(-4i64..5) as f64 * 0.5,
+            }),
+            _ => prog.push(Inst::Fmla {
+                vd: v(rng.gen_range(0..8)),
+                vn: v(rng.gen_range(0..8)),
+                vm: v(rng.gen_range(0..8)),
+            }),
+        }
+    }
+    // Dump every vector register so register state is memory-observable.
+    for k in 0..8u64 {
+        prog.push(Inst::St1d {
+            vs: v(k),
+            addr: lay.dump + k * VLEN as u64,
+        });
+    }
+    (prog, prfm)
+}
+
+/// Runs `seed`'s program and returns all observable memory plus the
+/// counter delta of the run.
+fn observe(cfg: &MachineConfig, seed: u64, with_prfm: bool) -> (Vec<u64>, u64, PerfCounters) {
+    let (mut mach, lay) = setup(cfg, seed);
+    let (prog, prfm) = random_program(seed, &lay, with_prfm);
+    let before = mach.counters();
+    mach.execute(&prog).unwrap();
+    let delta = mach.counters().delta(&before);
+    let total = DATA_ELEMS + SCRATCH_ELEMS + 8 * VLEN;
+    let mut memory = vec![0.0f64; total];
+    mach.mem.load_slice(lay.data, &mut memory).unwrap();
+    (memory.iter().map(|x| x.to_bits()).collect(), prfm, delta)
+}
+
+#[test]
+fn prfm_never_changes_results_only_counters() {
+    let cfg = MachineConfig::lx2();
+    prop::check(&Config::with_cases(12), &any_u64(), |&seed| {
+        let (mem_plain, _, c_plain) = observe(&cfg, seed, false);
+        let (mem_hinted, prfm, c_hinted) = observe(&cfg, seed, true);
+        prop_assert!(
+            mem_plain == mem_hinted,
+            "PRFM changed architectural state (seed {seed:#x})"
+        );
+        prop_assert!(
+            c_plain.mem.sw_prefetches == 0,
+            "plain run counted {} software prefetches",
+            c_plain.mem.sw_prefetches
+        );
+        prop_assert!(
+            c_hinted.mem.sw_prefetches == prfm,
+            "{} PRFM issued but {} counted",
+            prfm,
+            c_hinted.mem.sw_prefetches
+        );
+        prop_assert!(
+            c_plain.flops == c_hinted.flops,
+            "hints altered the flop count"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn hardware_prefetcher_never_changes_results_only_counters() {
+    let mut on = MachineConfig::lx2();
+    on.hw_prefetch.enabled = true;
+    let mut off = on.clone();
+    off.hw_prefetch.enabled = false;
+    prop::check(&Config::with_cases(12), &any_u64(), |&seed| {
+        let (mem_on, _, _c_on) = observe(&on, seed, false);
+        let (mem_off, _, c_off) = observe(&off, seed, false);
+        prop_assert!(
+            mem_on == mem_off,
+            "hardware prefetcher changed architectural state (seed {seed:#x})"
+        );
+        prop_assert!(
+            c_off.mem.hw_prefetches == 0,
+            "disabled prefetcher still issued {} prefetches",
+            c_off.mem.hw_prefetches
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn sequential_scans_train_the_hardware_prefetcher() {
+    // A long ascending scan must actually trigger the stream prefetcher
+    // when it is enabled — otherwise the transparency test above would
+    // pass vacuously.
+    let mut cfg = MachineConfig::lx2();
+    cfg.hw_prefetch.enabled = true;
+    let (mut mach, lay) = setup(&cfg, 1);
+    let mut prog = Program::with_capacity(80);
+    for i in 0..(DATA_ELEMS / VLEN) as u64 {
+        prog.push(Inst::Ld1d {
+            vd: v(i % 8),
+            addr: lay.data + i * VLEN as u64,
+        });
+    }
+    let before = mach.counters();
+    mach.execute(&prog).unwrap();
+    let delta = mach.counters().delta(&before);
+    assert!(
+        delta.mem.hw_prefetches > 0,
+        "sequential scan of {DATA_ELEMS} elements trained no prefetch stream"
+    );
+}

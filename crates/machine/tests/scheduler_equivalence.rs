@@ -30,8 +30,11 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             as Box<dyn Strategy<Value = Inst>>,
         Box::new((arb_vreg(), arb_addr()).map(|(vs, addr)| Inst::St1d { vs, addr })),
         Box::new(
-            (arb_za(), range(0u8..8), arb_addr())
-                .map(|(za, row, addr)| Inst::StZaRow { za, row, addr }),
+            (arb_za(), range(0u8..8), arb_addr()).map(|(za, row, addr)| Inst::StZaRow {
+                za,
+                row,
+                addr,
+            }),
         ),
         Box::new(
             (arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),

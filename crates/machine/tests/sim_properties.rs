@@ -20,9 +20,8 @@ fn arb_za() -> impl Strategy<Value = ZaReg> {
 /// Register-only compute instructions (no memory operands).
 fn arb_compute_inst() -> impl Strategy<Value = Inst> {
     one_of(vec![
-        Box::new(
-            (arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }),
-        ) as Box<dyn Strategy<Value = Inst>>,
+        Box::new((arb_vreg(), arb_vreg(), arb_vreg()).map(|(vd, vn, vm)| Inst::Fmla { vd, vn, vm }))
+            as Box<dyn Strategy<Value = Inst>>,
         Box::new(
             (arb_vreg(), arb_vreg(), arb_vreg(), range(0u8..8))
                 .map(|(vd, vn, vm, idx)| Inst::FmlaIdx { vd, vn, vm, idx }),
@@ -48,12 +47,18 @@ fn arb_compute_inst() -> impl Strategy<Value = Inst> {
             mask: RowMask::from_bits(m),
         })),
         Box::new(
-            (arb_vreg(), arb_za(), range(0u8..8))
-                .map(|(vd, za, row)| Inst::MovaToVec { vd, za, row }),
+            (arb_vreg(), arb_za(), range(0u8..8)).map(|(vd, za, row)| Inst::MovaToVec {
+                vd,
+                za,
+                row,
+            }),
         ),
         Box::new(
-            (arb_za(), range(0u8..8), arb_vreg())
-                .map(|(za, row, vs)| Inst::MovaFromVec { za, row, vs }),
+            (arb_za(), range(0u8..8), arb_vreg()).map(|(za, row, vs)| Inst::MovaFromVec {
+                za,
+                row,
+                vs,
+            }),
         ),
     ])
 }

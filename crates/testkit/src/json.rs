@@ -441,13 +441,13 @@ fn write_seq(
         }
         if let Some(w) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
         }
         item(out, i, depth + 1);
     }
     if let Some(w) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(w * depth));
+        out.extend(std::iter::repeat_n(' ', w * depth));
     }
     out.push(close);
 }
@@ -627,7 +627,10 @@ mod tests {
 
     #[test]
     fn parser_number_taxonomy() {
-        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
         assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
         assert_eq!(Json::parse("2.0").unwrap(), Json::Num(2.0));
         assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
@@ -637,8 +640,18 @@ mod tests {
     #[test]
     fn parser_rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\" 1}", "tru", "nul", "1..2", "\"abc", "[1] x",
-            "{\"a\":}", "'single'", "[01e]",
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "nul",
+            "1..2",
+            "\"abc",
+            "[1] x",
+            "{\"a\":}",
+            "'single'",
+            "[01e]",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }

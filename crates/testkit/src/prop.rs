@@ -289,7 +289,7 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
             }
             out.push(value[..n - 1].to_vec());
             for i in 0..n.min(16) {
-                if n - 1 >= min {
+                if n > min {
                     let mut v = value.clone();
                     v.remove(i);
                     out.push(v);
@@ -372,13 +372,36 @@ fn run_case<S: Strategy>(
     let mut rng = Xoshiro256::seed_from_u64(case_seed);
     let value = strategy.generate(&mut rng);
     if let Err(msg) = prop(&value) {
-        let (minimal, min_msg, steps) = shrink_failure(cfg, strategy, prop, value, msg);
+        let shrunk = shrink_failure(cfg, strategy, prop, value, msg);
+        // Replaying with the case seed regenerates the *original*
+        // failing input; the deterministic shrinker then re-derives the
+        // same minimal one. The test name (cargo names each test's
+        // thread after its path) makes the replay line copy-pasteable.
+        let test = std::thread::current()
+            .name()
+            .map(|n| format!(" cargo test {n}"))
+            .unwrap_or_default();
         panic!(
-            "property failed (case {index} of {total}, {steps} shrink steps)\n  \
-             case seed: {case_seed:#x} — reproduce with TESTKIT_SEED={case_seed:#x}\n  \
-             minimal failing input: {minimal:?}\n  error: {min_msg}"
+            "property failed (case {index} of {total})\n  \
+             shrunk: {steps} accepted steps in {evals} shrink evaluations (budget {budget})\n  \
+             minimal failing input: {minimal:?}\n  error: {msg}\n  \
+             replay: TESTKIT_SEED={case_seed:#x}{test}",
+            steps = shrunk.steps,
+            evals = shrunk.evals,
+            budget = cfg.max_shrink_steps,
+            minimal = shrunk.value,
+            msg = shrunk.msg,
         );
     }
+}
+
+struct Shrunk<V> {
+    value: V,
+    msg: String,
+    /// Accepted (still-failing) shrink candidates.
+    steps: u32,
+    /// Property evaluations spent shrinking (accepted + rejected).
+    evals: u32,
 }
 
 /// Greedy first-improvement shrinking, bounded by `max_shrink_steps`
@@ -387,27 +410,31 @@ fn shrink_failure<S: Strategy>(
     cfg: &Config,
     strategy: &S,
     prop: &impl Fn(&S::Value) -> Result<(), String>,
-    mut value: S::Value,
-    mut msg: String,
-) -> (S::Value, String, u32) {
-    let mut budget = cfg.max_shrink_steps;
-    let mut steps = 0u32;
-    'outer: while budget > 0 {
-        for candidate in strategy.shrink(&value) {
-            if budget == 0 {
+    value: S::Value,
+    msg: String,
+) -> Shrunk<S::Value> {
+    let mut out = Shrunk {
+        value,
+        msg,
+        steps: 0,
+        evals: 0,
+    };
+    'outer: while out.evals < cfg.max_shrink_steps {
+        for candidate in strategy.shrink(&out.value) {
+            if out.evals >= cfg.max_shrink_steps {
                 break 'outer;
             }
-            budget -= 1;
+            out.evals += 1;
             if let Err(m) = prop(&candidate) {
-                value = candidate;
-                msg = m;
-                steps += 1;
+                out.value = candidate;
+                out.msg = m;
+                out.steps += 1;
                 continue 'outer;
             }
         }
         break;
     }
-    (value, msg, steps)
+    out
 }
 
 fn parse_seed(text: &str) -> Option<u64> {
@@ -501,6 +528,41 @@ mod tests {
         assert!(
             text.contains("minimal failing input: 10"),
             "did not shrink to 10: {text}"
+        );
+    }
+
+    #[test]
+    fn failure_message_has_copy_pasteable_replay_line() {
+        let cfg = Config::with_cases(16);
+        let result = std::panic::catch_unwind(|| {
+            check(&cfg, &range(0u64..100), |&v| {
+                if v >= 5 {
+                    Err("too big".into())
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let text = result
+            .expect_err("must fail")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap();
+        // Shrink accounting: accepted steps, total evaluations, budget.
+        assert!(
+            text.contains("accepted steps in") && text.contains("shrink evaluations"),
+            "no shrink accounting in: {text}"
+        );
+        // The replay line carries the seed and (under cargo test) the
+        // test's own name, so it can be pasted verbatim.
+        let replay = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("replay:"))
+            .unwrap_or_else(|| panic!("no replay line in: {text}"));
+        assert!(replay.contains("TESTKIT_SEED=0x"), "{replay}");
+        assert!(
+            replay.contains("cargo test") && replay.contains("copy_pasteable_replay_line"),
+            "replay line not pasteable: {replay}"
         );
     }
 

@@ -5,13 +5,33 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-WORKSPACE_CRATES="hstencil hstencil-testkit hstencil-core hstencil-bench lx2-isa lx2-sim"
+WORKSPACE_CRATES="hstencil hstencil-testkit hstencil-core hstencil-bench hstencil-conformance lx2-isa lx2-sim"
+
+echo "==> formatting gate"
+cargo fmt --check
+
+echo "==> clippy gate (all targets, warnings are errors)"
+cargo clippy -q --workspace --offline --all-targets -- -D warnings
 
 echo "==> offline release build"
 cargo build --release --workspace --offline
 
 echo "==> offline test suite"
 cargo test -q --workspace --offline
+
+echo "==> conformance matrix (fast tier; CONFORMANCE_EXHAUSTIVE=1 widens it)"
+# Differential + metamorphic matrix over every registered variant,
+# golden lx2-sim traces, fault-injection self-check.
+cargo test -q -p hstencil-conformance --offline
+
+echo "==> conformance coverage artifact"
+COVERAGE_JSON="$PWD/target/CONFORMANCE.json"
+rm -f "$COVERAGE_JSON"
+cargo bench -p hstencil-conformance --bench coverage --offline -- "--out=$COVERAGE_JSON"
+if [ ! -f "$COVERAGE_JSON" ]; then
+    echo "ERROR: coverage run did not produce $COVERAGE_JSON" >&2
+    exit 1
+fi
 
 echo "==> dependency-graph audit (workspace crates only)"
 # Every node in the resolved graph must be one of ours; any external
