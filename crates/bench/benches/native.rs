@@ -27,11 +27,15 @@ use hstencil_core::native::{self, baseline, pool::ThreadPool};
 use hstencil_core::{presets, Dispatch, Grid2d, Grid3d, StencilSpec};
 use hstencil_testkit::{Harness, Json, Summary, ToJson};
 
-/// One (stencil, size, threads, kernel) measurement destined for JSON.
+/// One (stencil, size, sweeps, threads, kernel) measurement destined
+/// for JSON. `sweeps` is 1 for the single-sweep groups and > 1 for the
+/// multi-sweep (`time_steps`) group; `elems` counts every updated cell
+/// across all sweeps so `elems_per_s` stays comparable between the two.
 struct Row {
     stencil: String,
     dims: usize,
     size: usize,
+    sweeps: usize,
     threads: usize,
     kernel: &'static str,
     elems: u64,
@@ -45,6 +49,7 @@ impl Row {
             ("stencil", self.stencil.to_json()),
             ("dims", self.dims.to_json()),
             ("size", self.size.to_json()),
+            ("sweeps", self.sweeps.to_json()),
             ("threads", self.threads.to_json()),
             ("kernel", self.kernel.to_json()),
             ("samples", s.samples.to_json()),
@@ -109,8 +114,68 @@ fn bench_2d(
             stencil: spec.name().to_string(),
             dims: 2,
             size,
+            sweeps: 1,
             threads,
             kernel: kernel.label(),
+            elems,
+            summary,
+        });
+    }
+}
+
+/// One multi-sweep (`time_steps`) measurement: the naive full-grid
+/// ping-pong vs the temporally-tiled trapezoid pipeline (DESIGN.md §9),
+/// both forced through their real code paths so in-cache sizes measure
+/// the pipeline too.
+#[allow(clippy::too_many_arguments)]
+fn bench_multisweep(
+    h: &Harness,
+    rows: &mut Vec<Row>,
+    pool: &ThreadPool,
+    spec: &StencilSpec,
+    size: usize,
+    sweeps: usize,
+    temporal: bool,
+    warmup: usize,
+    samples: usize,
+) {
+    let grid = workload_2d(size, size, spec.radius(), 42);
+    let elems = (size * size * sweeps) as u64;
+    let group = h
+        .group("native2d_sweeps")
+        .warmup(warmup)
+        .sample_size(samples)
+        .throughput_elems(elems);
+    let kernel = if temporal { "temporal" } else { "naive" };
+    let id = format!("{}/{}/s{}/t1/{}", spec.name(), size, sweeps, kernel);
+    let summary = group.bench(&id, || {
+        let out = if temporal {
+            native::time_steps_temporal_in(
+                pool,
+                Dispatch::detect(),
+                spec,
+                &grid,
+                sweeps,
+                1,
+                native::Temporal {
+                    t_block: None,
+                    force_pipeline: true,
+                    tile: None,
+                },
+            )
+        } else {
+            native::time_steps_in(pool, Dispatch::detect(), spec, &grid, sweeps, 1)
+        };
+        std::hint::black_box(&out);
+    });
+    if let Some(summary) = summary {
+        rows.push(Row {
+            stencil: spec.name().to_string(),
+            dims: 2,
+            size,
+            sweeps,
+            threads: 1,
+            kernel,
             elems,
             summary,
         });
@@ -146,6 +211,7 @@ fn bench_3d(
             stencil: spec.name().to_string(),
             dims: 3,
             size,
+            sweeps: 1,
             threads,
             kernel: label,
             elems,
@@ -158,12 +224,17 @@ fn median_of(
     rows: &[Row],
     stencil: &str,
     size: usize,
+    sweeps: usize,
     threads: usize,
     kernel: &str,
 ) -> Option<f64> {
     rows.iter()
         .find(|r| {
-            r.stencil == stencil && r.size == size && r.threads == threads && r.kernel == kernel
+            r.stencil == stencil
+                && r.size == size
+                && r.sweeps == sweeps
+                && r.threads == threads
+                && r.kernel == kernel
         })
         .map(|r| r.summary.median)
 }
@@ -262,6 +333,21 @@ fn main() {
         warm_out,
         n_out,
     );
+    // Multi-sweep (sweeps=8): naive ping-pong vs the temporal trapezoid
+    // pipeline, in-cache through out-of-cache (the acceptance case is
+    // 4096², where naive is DRAM-bound and fusing 8 steps pays off).
+    const SWEEPS: usize = 8;
+    for size in [256usize, 2048, 4096] {
+        let (warm, n) = if size <= 256 {
+            (warm_in, n_in)
+        } else {
+            (warm_out, n_out)
+        };
+        for temporal in [false, true] {
+            bench_multisweep(&h, &mut rows, &pool, &star, size, SWEEPS, temporal, warm, n);
+        }
+    }
+
     // 3-D (heat3d): in-cache-ish and out-of-cache.
     let heat3 = presets::heat3d();
     bench_3d(&h, &mut rows, &pool, &heat3, 64, 1, warm_in, n_in);
@@ -269,14 +355,27 @@ fn main() {
 
     let best = Dispatch::detect().label();
     let speedup = match (
-        median_of(&rows, "star2d5p", 4096, 1, "seed"),
-        median_of(&rows, "star2d5p", 4096, 1, best),
+        median_of(&rows, "star2d5p", 4096, 1, 1, "seed"),
+        median_of(&rows, "star2d5p", 4096, 1, 1, best),
     ) {
         (Some(seed), Some(v2)) if v2 > 0.0 => Some(seed / v2),
         _ => None,
     };
     if let Some(s) = speedup {
         println!("speedup star2d5p/4096/t1 {best} vs seed: {s:.2}x");
+    }
+    let temporal_speedup = |size: usize| match (
+        median_of(&rows, "star2d5p", size, SWEEPS, 1, "naive"),
+        median_of(&rows, "star2d5p", size, SWEEPS, 1, "temporal"),
+    ) {
+        (Some(naive), Some(tmp)) if tmp > 0.0 => Some(naive / tmp),
+        _ => None,
+    };
+    let (t2048, t4096) = (temporal_speedup(2048), temporal_speedup(4096));
+    for (size, s) in [(2048, t2048), (4096, t4096)] {
+        if let Some(s) = s {
+            println!("speedup star2d5p/{size}/s{SWEEPS} temporal vs naive: {s:.2}x");
+        }
     }
 
     let doc = Json::object([
@@ -293,6 +392,8 @@ fn main() {
         ("pool_threads_spawned", pool.spawned_threads().to_json()),
         ("results", Json::array(rows.iter().map(Row::to_json))),
         ("speedup_star2d5p_4096_t1_vs_seed", speedup.to_json()),
+        ("speedup_temporal_star2d5p_2048_s8", t2048.to_json()),
+        ("speedup_temporal_star2d5p_4096_s8", t4096.to_json()),
     ]);
 
     // The trajectory file lives at the repo root, independent of the

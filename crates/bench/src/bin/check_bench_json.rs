@@ -1,9 +1,17 @@
 //! CI gate for `BENCH_native.json` (scripts/verify.sh): the file must
 //! exist, parse with the testkit JSON reader, and carry the
 //! median/p10/p90 + throughput fields for at least six
-//! (stencil, size, threads) configurations.
+//! (stencil, size, sweeps, threads) configurations.
 //!
-//! Exit codes: 0 ok, 1 malformed/incomplete, 2 missing/unreadable.
+//! Optional perf gates: `--gate-temporal=SIZE:MINRATIO` fails unless
+//! the star2d5p multi-sweep rows at `SIZE` show
+//! `naive_median / temporal_median >= MINRATIO` (e.g. `4096:1.3` pins
+//! the recorded temporal speedup; `2048:0.91` lets a smoke run tolerate
+//! 10% noise but still catches the pipeline regressing to slower than
+//! the naive ping-pong). May be passed more than once.
+//!
+//! Exit codes: 0 ok, 1 malformed/incomplete/gate failure, 2
+//! missing/unreadable.
 
 use hstencil_testkit::Json;
 
@@ -13,9 +21,25 @@ fn fail(code: i32, msg: String) -> ! {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_native.json".to_string());
+    let mut path: Option<String> = None;
+    let mut gates: Vec<(f64, f64)> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if let Some(spec) = arg.strip_prefix("--gate-temporal=") {
+            let parsed = spec.split_once(':').and_then(|(size, ratio)| {
+                Some((size.parse::<f64>().ok()?, ratio.parse::<f64>().ok()?))
+            });
+            match parsed {
+                Some(g) => gates.push(g),
+                None => fail(
+                    1,
+                    format!("bad --gate-temporal spec '{spec}' (want SIZE:MINRATIO)"),
+                ),
+            }
+        } else {
+            path = Some(arg);
+        }
+    }
+    let path = path.unwrap_or_else(|| "BENCH_native.json".to_string());
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => fail(2, format!("cannot read {path}: {e}")),
@@ -32,6 +56,8 @@ fn main() {
         None => fail(1, format!("{path}: 'results' is not an array")),
     };
     let mut configs = std::collections::BTreeSet::new();
+    // (size, kernel) -> median_s, for the star2d5p multi-sweep gates.
+    let mut multisweep: Vec<(f64, String, f64)> = Vec::new();
     for (i, row) in results.iter().enumerate() {
         let stencil = row
             .get("stencil")
@@ -50,6 +76,13 @@ fn main() {
             .get("size")
             .and_then(Json::as_f64)
             .unwrap_or_else(|| fail(1, format!("{path}: results[{i}] ({stencil}) lacks 'size'")));
+        let sweeps = match row.get("sweeps").and_then(Json::as_f64) {
+            Some(s) if s >= 1.0 => s,
+            _ => fail(
+                1,
+                format!("{path}: results[{i}] ({stencil}) lacks positive 'sweeps'"),
+            ),
+        };
         let threads = row
             .get("threads")
             .and_then(Json::as_f64)
@@ -59,16 +92,50 @@ fn main() {
                     format!("{path}: results[{i}] ({stencil}) lacks 'threads'"),
                 )
             });
-        configs.insert(format!("{stencil}/{size}/{threads}"));
+        if stencil == "star2d5p" && sweeps > 1.0 {
+            let kernel = row
+                .get("kernel")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| fail(1, format!("{path}: results[{i}] lacks 'kernel'")));
+            let median = row.get("median_s").and_then(Json::as_f64).unwrap();
+            multisweep.push((size, kernel.to_string(), median));
+        }
+        configs.insert(format!("{stencil}/{size}/s{sweeps}/{threads}"));
     }
     if configs.len() < 6 {
         fail(
             1,
             format!(
-                "{path}: only {} distinct (stencil, size, threads) configurations; need >= 6",
+                "{path}: only {} distinct (stencil, size, sweeps, threads) configurations; need >= 6",
                 configs.len()
             ),
         );
+    }
+    for (size, min_ratio) in &gates {
+        let median = |kernel: &str| {
+            multisweep
+                .iter()
+                .find(|(s, k, _)| s == size && k == kernel)
+                .map(|(_, _, m)| *m)
+        };
+        let (naive, temporal) = match (median("naive"), median("temporal")) {
+            (Some(n), Some(t)) if t > 0.0 => (n, t),
+            _ => fail(
+                1,
+                format!("{path}: no star2d5p multi-sweep naive/temporal pair at size {size}"),
+            ),
+        };
+        let ratio = naive / temporal;
+        if ratio < *min_ratio {
+            fail(
+                1,
+                format!(
+                    "{path}: temporal speedup at {size}^2 is {ratio:.3}x (naive {naive:.4}s / \
+                     temporal {temporal:.4}s), below the {min_ratio} gate"
+                ),
+            );
+        }
+        println!("check_bench_json: temporal gate {size}^2 ok ({ratio:.2}x >= {min_ratio})");
     }
     println!(
         "check_bench_json: {path} ok ({} rows, {} configurations)",

@@ -107,6 +107,35 @@ impl Variant {
         }
     }
 
+    /// The temporally-tiled native multi-sweep executor (DESIGN.md §9),
+    /// forced through the trapezoid pipeline for a single fused sweep so
+    /// the ghost-zone/scratch machinery itself faces the differential
+    /// ULP check and every metamorphic oracle.
+    pub fn native_temporal(threads: usize) -> Variant {
+        Variant {
+            name: format!("native/temporal{threads}"),
+            star_only: false,
+            runner: Box::new(move |spec, a| {
+                a.check_stencil(spec.radius(), a)
+                    .map_err(|e| format!("native temporal rejected a valid instance: {e}"))?;
+                let out = native::time_steps_temporal_in(
+                    ThreadPool::global(),
+                    Dispatch::detect(),
+                    spec,
+                    a,
+                    1,
+                    threads,
+                    native::Temporal {
+                        t_block: None,
+                        force_pipeline: true,
+                        tile: Some((8, 16)),
+                    },
+                );
+                Ok(RunResult::Output(out))
+            }),
+        }
+    }
+
     /// A simulated method kernel on a machine model (via
     /// [`StencilPlan`], so the full emit → schedule → execute path runs).
     pub fn sim(tag: &str, method: Method, cfg: fn() -> MachineConfig, star_only: bool) -> Variant {
@@ -154,6 +183,7 @@ pub fn registry() -> Vec<Variant> {
         Variant::reference(),
         Variant::native(Dispatch::Scalar),
         Variant::native_parallel(4),
+        Variant::native_temporal(3),
         Variant::sim("lx2/hstencil", Method::HStencil, lx2, false),
         Variant::sim("lx2/vector-only", Method::VectorOnly, lx2, false),
         Variant::sim("lx2/matrix-stop", Method::MatrixOnly, lx2, false),
@@ -176,6 +206,10 @@ mod tests {
     fn registry_meets_the_minimum_matrix_width() {
         let names: Vec<String> = registry().iter().map(|v| v.name().to_string()).collect();
         assert!(names.len() >= 6, "only {} variants: {names:?}", names.len());
+        assert!(
+            names.iter().any(|n| n.starts_with("native/temporal")),
+            "temporal executor missing from the matrix: {names:?}"
+        );
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

@@ -60,37 +60,7 @@ impl Taps2 {
             // i+1 sees it as di = e-1. Merge the two dj lists.
             let a = Self::row(&single, e, r);
             let b = Self::row(&single, e - 1, r);
-            let mut merged: Vec<(isize, f64, f64)> = Vec::new();
-            let (mut ia, mut ib) = (0usize, 0usize);
-            while ia < a.len() || ib < b.len() {
-                let next_a = a.get(ia).map(|t| t.0);
-                let next_b = b.get(ib).map(|t| t.0);
-                match (next_a, next_b) {
-                    (Some(da), Some(db)) if da == db => {
-                        merged.push((da, a[ia].1, b[ib].1));
-                        ia += 1;
-                        ib += 1;
-                    }
-                    (Some(da), Some(db)) if da < db => {
-                        merged.push((da, a[ia].1, 0.0));
-                        ia += 1;
-                    }
-                    (Some(_), Some(db)) => {
-                        merged.push((db, 0.0, b[ib].1));
-                        ib += 1;
-                    }
-                    (Some(da), None) => {
-                        merged.push((da, a[ia].1, 0.0));
-                        ia += 1;
-                    }
-                    (None, Some(db)) => {
-                        merged.push((db, 0.0, b[ib].1));
-                        ib += 1;
-                    }
-                    (None, None) => unreachable!(),
-                }
-            }
-            pair.push(merged);
+            pair.push(merge_pair_rows(a, b));
         }
         Taps2 {
             r,
@@ -113,6 +83,45 @@ impl Taps2 {
     pub fn rows_in_flight(&self) -> usize {
         (2 * self.r + 2) as usize + 2
     }
+}
+
+/// Merges the `(dj, c)` tap lists of one input row as seen by an output
+/// row pair `(i, i+1)` into one `(dj, c_row_i, c_row_i1)` list ascending
+/// by `dj` (a zero coefficient means the tap does not touch that output
+/// row). Shared by the 2-D pair tables and the 3-D `(dk, e)` pair
+/// grouping in [`super::kernel3d`].
+pub(crate) fn merge_pair_rows(a: &[(isize, f64)], b: &[(isize, f64)]) -> Vec<(isize, f64, f64)> {
+    let mut merged: Vec<(isize, f64, f64)> = Vec::new();
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < a.len() || ib < b.len() {
+        let next_a = a.get(ia).map(|t| t.0);
+        let next_b = b.get(ib).map(|t| t.0);
+        match (next_a, next_b) {
+            (Some(da), Some(db)) if da == db => {
+                merged.push((da, a[ia].1, b[ib].1));
+                ia += 1;
+                ib += 1;
+            }
+            (Some(da), Some(db)) if da < db => {
+                merged.push((da, a[ia].1, 0.0));
+                ia += 1;
+            }
+            (Some(_), Some(db)) => {
+                merged.push((db, 0.0, b[ib].1));
+                ib += 1;
+            }
+            (Some(da), None) => {
+                merged.push((da, a[ia].1, 0.0));
+                ia += 1;
+            }
+            (None, Some(db)) => {
+                merged.push((db, 0.0, b[ib].1));
+                ib += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    merged
 }
 
 /// The canonical scalar chain for one element; also the SIMD tail path.
@@ -177,6 +186,7 @@ pub(crate) fn sweep_band_2d(
                 );
                 #[cfg(target_arch = "x86_64")]
                 {
+                    let pf = super::prefetch::Prefetch::config();
                     let mut i = i_lo;
                     while i < i_hi {
                         let base = a_org + i as isize * a_stride + j0 as isize;
@@ -192,13 +202,21 @@ pub(crate) fn sweep_band_2d(
                                     a_stride,
                                     &mut head[off..off + jw],
                                     &mut tail[..jw],
+                                    pf,
                                 );
                             }
                             i += 2;
                         } else {
                             // SAFETY: feature availability asserted above.
                             unsafe {
-                                avx2::row_single(taps, a, base, a_stride, &mut dst[off..off + jw]);
+                                avx2::row_single(
+                                    taps,
+                                    a,
+                                    base,
+                                    a_stride,
+                                    &mut dst[off..off + jw],
+                                    pf,
+                                );
                             }
                             i += 1;
                         }
@@ -214,8 +232,36 @@ pub(crate) fn sweep_band_2d(
 
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
+    use super::super::prefetch::Prefetch;
     use super::{scalar_point, Taps2};
     use std::arch::x86_64::*;
+
+    /// Issues the Algorithm-3-style T0 prefetches for one 8-column step:
+    /// the next `rows` input rows below the deepest tap row (the rows the
+    /// following output pair will pull in) and the store stream `cols`
+    /// ahead of the current destination cursor. Pointers are built with
+    /// wrapping arithmetic — `_mm_prefetch` is a pure hint that never
+    /// faults, so running past a slice edge is safe by construction.
+    #[inline(always)]
+    unsafe fn hint_step(
+        ap: *const f64,
+        deep: isize,
+        stride: isize,
+        rows: usize,
+        dsts: &[*const f64],
+        j: usize,
+        cols: usize,
+    ) {
+        for q in 0..rows as isize {
+            let p = ap.wrapping_offset(deep + q * stride);
+            _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+        }
+        if cols > 0 {
+            for &d in dsts {
+                _mm_prefetch::<_MM_HINT_T0>(d.wrapping_add(j + cols) as *const i8);
+            }
+        }
+    }
 
     /// Two output rows, eight columns per step (four 4-lane
     /// accumulators live across the whole tap chain). `base` is the
@@ -232,13 +278,28 @@ mod avx2 {
         stride: isize,
         dst0: &mut [f64],
         dst1: &mut [f64],
+        pf: Prefetch,
     ) {
         debug_assert_eq!(dst0.len(), dst1.len());
         let jw = dst0.len();
         let ap = a.as_ptr();
         let r = taps.r;
+        // Deepest input row of this pair is base + (r+1)*stride; the
+        // prefetch stream runs `input_rows` rows below it (the rows the
+        // next pair down the band will newly touch).
+        let pf_deep = base + (r + 2) * stride;
+        let dst_ptrs = [dst0.as_ptr(), dst1.as_ptr()];
         let mut j = 0usize;
         while j + 8 <= jw {
+            hint_step(
+                ap,
+                pf_deep + j as isize,
+                stride,
+                pf.input_rows,
+                &dst_ptrs,
+                j,
+                pf.dst_cols,
+            );
             let mut acc00 = _mm256_setzero_pd();
             let mut acc01 = _mm256_setzero_pd();
             let mut acc10 = _mm256_setzero_pd();
@@ -307,12 +368,24 @@ mod avx2 {
         base: isize,
         stride: isize,
         dst: &mut [f64],
+        pf: Prefetch,
     ) {
         let jw = dst.len();
         let ap = a.as_ptr();
         let r = taps.r;
+        let pf_deep = base + (r + 1) * stride;
+        let dst_ptrs = [dst.as_ptr()];
         let mut j = 0usize;
         while j + 8 <= jw {
+            hint_step(
+                ap,
+                pf_deep + j as isize,
+                stride,
+                pf.input_rows,
+                &dst_ptrs,
+                j,
+                pf.dst_cols,
+            );
             let mut acc0 = _mm256_setzero_pd();
             let mut acc1 = _mm256_setzero_pd();
             for (p, row_taps) in taps.single.iter().enumerate() {

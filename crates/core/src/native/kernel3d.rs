@@ -3,16 +3,25 @@
 //! nonzero taps in canonical `(dk, di, dj)` ascending order, so the AVX2
 //! path and the `mul_add` scalar fallback agree bit-for-bit.
 //!
-//! The vector path register-blocks one output row (eight columns per
-//! step) across the full tap chain; input rows are walked grouped by
+//! The vector path register-blocks *two output rows × eight columns*
+//! per step whenever the flattened `(k, i)` walk has two rows left in
+//! the same plane (the same register-blocking the 2-D kernel uses, so
+//! each input row vector is loaded once and reused by every tap of both
+//! rows that touches it); odd trailing rows and plane seams fall back
+//! to the single-row kernel. Input rows are walked grouped by
 //! `(dk, di)` so each pencil of loads stays within one cache line run.
 
+use super::kernel2d::merge_pair_rows;
 use super::tile;
 use super::Dispatch;
 use crate::stencil::StencilSpec;
 
 /// One input row's taps: `(dk, di, [(dj, c)...])` in canonical order.
 pub(crate) type TapRow = (isize, isize, Vec<(isize, f64)>);
+
+/// `(dk, e, merged)` input-row entry for a fused output row pair; see
+/// [`Taps3::pairs`].
+pub(crate) type PairTapRow = (isize, isize, Vec<(isize, f64, f64)>);
 
 /// Preprocessed nonzero taps of a 3-D stencil.
 pub(crate) struct Taps3 {
@@ -21,14 +30,23 @@ pub(crate) struct Taps3 {
     /// Taps grouped by input row in canonical order (rows with no
     /// nonzero taps omitted).
     pub rows: Vec<TapRow>,
+    /// Taps grouped by input row for an output row *pair* `(k, i)`,
+    /// `(k, i+1)` within one plane: entry `(dk, e, merged)` covers input
+    /// row `(k + dk, i + e)` with `e` in `-r ..= r+1`; `merged` lists
+    /// `(dj, c_row_i, c_row_i1)` ascending by `dj` (zero coefficient =
+    /// tap does not touch that output row). `dk`-major so walking the
+    /// list applies taps in canonical order for both rows.
+    pub pairs: Vec<PairTapRow>,
 }
 
 impl Taps3 {
     pub fn new(spec: &StencilSpec) -> Taps3 {
         assert_eq!(spec.dims(), 3);
         let r = spec.radius() as isize;
+        let n = (2 * r + 1) as usize;
         let mut flat = Vec::new();
         let mut rows: Vec<TapRow> = Vec::new();
+        let mut singles = vec![Vec::new(); n * n];
         for dk in -r..=r {
             for di in -r..=r {
                 let mut row = Vec::new();
@@ -39,12 +57,32 @@ impl Taps3 {
                         row.push((dj, c));
                     }
                 }
+                singles[((dk + r) * (2 * r + 1) + (di + r)) as usize] = row.clone();
                 if !row.is_empty() {
                     rows.push((dk, di, row));
                 }
             }
         }
-        Taps3 { flat, rows }
+        let single = |dk: isize, di: isize| -> &[(isize, f64)] {
+            if di < -r || di > r {
+                &[]
+            } else {
+                &singles[((dk + r) * (2 * r + 1) + (di + r)) as usize]
+            }
+        };
+        // Output row i sees input row i+e as tap di = e; output row i+1
+        // sees it as di = e-1 — same merge as the 2-D pair table, once
+        // per dk plane.
+        let mut pairs = Vec::new();
+        for dk in -r..=r {
+            for e in -r..=(r + 1) {
+                let merged = merge_pair_rows(single(dk, e), single(dk, e - 1));
+                if !merged.is_empty() {
+                    pairs.push((dk, e, merged));
+                }
+            }
+        }
+        Taps3 { flat, rows, pairs }
     }
 
     /// Rows resident while one column tile streams (all input rows the
@@ -99,14 +137,14 @@ pub(crate) fn sweep_band_3d(
     let mut j0 = 0usize;
     while j0 < w {
         let jw = cb.min(w - j0);
-        for t in t_lo..t_hi {
-            let (k, i) = (t / h, t % h);
-            let base = a_org + k as isize * a_plane_stride + i as isize * a_stride + j0 as isize;
-            let off = k * b_plane_stride + i * b_stride + j0 - band_org;
-            let row = &mut dst[off..off + jw];
-            match dispatch {
-                Dispatch::Scalar => {
-                    for (jj, d) in row.iter_mut().enumerate() {
+        match dispatch {
+            Dispatch::Scalar => {
+                for t in t_lo..t_hi {
+                    let (k, i) = (t / h, t % h);
+                    let base =
+                        a_org + k as isize * a_plane_stride + i as isize * a_stride + j0 as isize;
+                    let off = k * b_plane_stride + i * b_stride + j0 - band_org;
+                    for (jj, d) in dst[off..off + jw].iter_mut().enumerate() {
                         *d = scalar_point(
                             &taps.flat,
                             a,
@@ -116,19 +154,57 @@ pub(crate) fn sweep_band_3d(
                         );
                     }
                 }
-                Dispatch::Avx2Fma => {
-                    assert!(
-                        Dispatch::avx2_available(),
-                        "AVX2+FMA dispatch forced on a machine without it"
-                    );
-                    #[cfg(target_arch = "x86_64")]
-                    // SAFETY: feature availability asserted above.
-                    unsafe {
-                        avx2::row_single(taps, a, base, a_plane_stride, a_stride, row);
+            }
+            Dispatch::Avx2Fma => {
+                assert!(
+                    Dispatch::avx2_available(),
+                    "AVX2+FMA dispatch forced on a machine without it"
+                );
+                #[cfg(target_arch = "x86_64")]
+                {
+                    let mut t = t_lo;
+                    while t < t_hi {
+                        let (k, i) = (t / h, t % h);
+                        let base = a_org
+                            + k as isize * a_plane_stride
+                            + i as isize * a_stride
+                            + j0 as isize;
+                        let off = k * b_plane_stride + i * b_stride + j0 - band_org;
+                        // Register-block two rows whenever the next
+                        // flattened row stays in the same plane.
+                        if t + 1 < t_hi && i + 1 < h {
+                            let (head, tail) = dst.split_at_mut(off + b_stride);
+                            // SAFETY: feature availability asserted above.
+                            unsafe {
+                                avx2::row_pair(
+                                    taps,
+                                    a,
+                                    base,
+                                    a_plane_stride,
+                                    a_stride,
+                                    &mut head[off..off + jw],
+                                    &mut tail[..jw],
+                                );
+                            }
+                            t += 2;
+                        } else {
+                            // SAFETY: feature availability asserted above.
+                            unsafe {
+                                avx2::row_single(
+                                    taps,
+                                    a,
+                                    base,
+                                    a_plane_stride,
+                                    a_stride,
+                                    &mut dst[off..off + jw],
+                                );
+                            }
+                            t += 1;
+                        }
                     }
-                    #[cfg(not(target_arch = "x86_64"))]
-                    unreachable!("avx2_available() is false off x86-64");
                 }
+                #[cfg(not(target_arch = "x86_64"))]
+                unreachable!("avx2_available() is false off x86-64");
             }
         }
         j0 += jw;
@@ -139,6 +215,88 @@ pub(crate) fn sweep_band_3d(
 mod avx2 {
     use super::{scalar_point, Taps3};
     use std::arch::x86_64::*;
+
+    /// Two output rows `(k, i)`, `(k, i+1)` of one plane, eight columns
+    /// per step (four 4-lane accumulators live across the whole tap
+    /// chain). `base` is the flat index of `(k, i, j0)`; `dst0`/`dst1`
+    /// are the two output row segments (equal length).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA support.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn row_pair(
+        taps: &Taps3,
+        a: &[f64],
+        base: isize,
+        plane_stride: isize,
+        stride: isize,
+        dst0: &mut [f64],
+        dst1: &mut [f64],
+    ) {
+        debug_assert_eq!(dst0.len(), dst1.len());
+        let jw = dst0.len();
+        let ap = a.as_ptr();
+        let mut j = 0usize;
+        while j + 8 <= jw {
+            let mut acc00 = _mm256_setzero_pd();
+            let mut acc01 = _mm256_setzero_pd();
+            let mut acc10 = _mm256_setzero_pd();
+            let mut acc11 = _mm256_setzero_pd();
+            for &(dk, e, ref row_taps) in &taps.pairs {
+                let row_base = base + dk * plane_stride + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let v0 = _mm256_loadu_pd(ptr);
+                    let v1 = _mm256_loadu_pd(ptr.add(4));
+                    if c0 != 0.0 {
+                        let cv = _mm256_set1_pd(c0);
+                        acc00 = _mm256_fmadd_pd(cv, v0, acc00);
+                        acc01 = _mm256_fmadd_pd(cv, v1, acc01);
+                    }
+                    if c1 != 0.0 {
+                        let cv = _mm256_set1_pd(c1);
+                        acc10 = _mm256_fmadd_pd(cv, v0, acc10);
+                        acc11 = _mm256_fmadd_pd(cv, v1, acc11);
+                    }
+                }
+            }
+            _mm256_storeu_pd(dst0.as_mut_ptr().add(j), acc00);
+            _mm256_storeu_pd(dst0.as_mut_ptr().add(j + 4), acc01);
+            _mm256_storeu_pd(dst1.as_mut_ptr().add(j), acc10);
+            _mm256_storeu_pd(dst1.as_mut_ptr().add(j + 4), acc11);
+            j += 8;
+        }
+        while j + 4 <= jw {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            for &(dk, e, ref row_taps) in &taps.pairs {
+                let row_base = base + dk * plane_stride + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let v = _mm256_loadu_pd(ap.offset(row_base + dj));
+                    if c0 != 0.0 {
+                        acc0 = _mm256_fmadd_pd(_mm256_set1_pd(c0), v, acc0);
+                    }
+                    if c1 != 0.0 {
+                        acc1 = _mm256_fmadd_pd(_mm256_set1_pd(c1), v, acc1);
+                    }
+                }
+            }
+            _mm256_storeu_pd(dst0.as_mut_ptr().add(j), acc0);
+            _mm256_storeu_pd(dst1.as_mut_ptr().add(j), acc1);
+            j += 4;
+        }
+        while j < jw {
+            dst0[j] = scalar_point(&taps.flat, a, base + j as isize, plane_stride, stride);
+            dst1[j] = scalar_point(
+                &taps.flat,
+                a,
+                base + stride + j as isize,
+                plane_stride,
+                stride,
+            );
+            j += 1;
+        }
+    }
 
     /// One output row, eight columns per step.
     ///
@@ -206,6 +364,31 @@ mod tests {
             assert_eq!(sorted, taps.flat);
             let from_rows: usize = taps.rows.iter().map(|(_, _, r)| r.len()).sum();
             assert_eq!(from_rows, spec.points());
+        }
+    }
+
+    #[test]
+    fn pair_grouping_covers_both_rows_in_canonical_order() {
+        // Walking `pairs` in order must replay the canonical flat chain
+        // for output row i (via c0) AND for row i+1 (via c1) — that is
+        // the whole bit-identity argument for the 3-D pair kernel.
+        for spec in presets::suite_3d() {
+            let taps = Taps3::new(&spec);
+            let mut row0 = Vec::new();
+            let mut row1 = Vec::new();
+            for &(dk, e, ref merged) in &taps.pairs {
+                for &(dj, c0, c1) in merged {
+                    assert!(c0 != 0.0 || c1 != 0.0, "{}", spec.name());
+                    if c0 != 0.0 {
+                        row0.push((dk, e, dj, c0));
+                    }
+                    if c1 != 0.0 {
+                        row1.push((dk, e - 1, dj, c1));
+                    }
+                }
+            }
+            assert_eq!(row0, taps.flat, "{}: row i chain", spec.name());
+            assert_eq!(row1, taps.flat, "{}: row i+1 chain", spec.name());
         }
     }
 }

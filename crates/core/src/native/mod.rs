@@ -15,6 +15,18 @@
 //! 3. **Cache-blocked sweep tiling** — bands are walked in column tiles
 //!    sized to keep the in-flight rows cache-resident on out-of-cache
 //!    grids.
+//! 4. **Temporal tiling for multi-sweep runs** ([`temporal`]) —
+//!    [`time_steps`] fuses `t_block` time steps per DRAM round-trip
+//!    through a skewed per-band pipeline, bit-identical to repeated
+//!    [`apply_2d`] calls.
+//! 5. **Software prefetch** ([`prefetch`]) — the AVX2 kernels hint the
+//!    next input rows and the destination store stream (the paper's
+//!    Algorithm 3 analogue); tunable via `HSTENCIL_PREFETCH`, never on
+//!    the scalar path.
+//!
+//! Dispatch is size-aware ([`Dispatch::for_width`]) and can be pinned
+//! with `HSTENCIL_DISPATCH=scalar|avx2` — both paths stay bit-identical
+//! either way, the override only changes speed.
 //!
 //! The seed executor is preserved in [`baseline`] and timed side by side
 //! in `BENCH_native.json` (see `crates/bench/benches/native.rs`), the
@@ -26,17 +38,22 @@
 
 pub mod baseline;
 pub mod pool;
+pub mod prefetch;
+pub mod temporal;
 
 mod kernel2d;
 mod kernel3d;
 mod tile;
+
+pub use prefetch::Prefetch;
+pub use temporal::{time_steps_temporal, time_steps_temporal_in, Temporal};
 
 use crate::grid::{Grid2d, Grid3d, GridError};
 use crate::stencil::StencilSpec;
 use kernel2d::Taps2;
 use kernel3d::Taps3;
 use pool::ThreadPool;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Which micro-kernel family executes a sweep. Both paths compute the
 /// identical FMA chain per element, so they agree bit-for-bit; dispatch
@@ -89,6 +106,47 @@ impl Dispatch {
             Dispatch::Avx2Fma => "avx2+fma",
         }
     }
+
+    /// Parses an `HSTENCIL_DISPATCH` value: `scalar` and `avx2` pin the
+    /// path, anything else (including `auto`) keeps the size-aware
+    /// heuristic. Pinning `avx2` on a machine without AVX2 + FMA is
+    /// ignored rather than deferred to a later kernel panic.
+    pub fn from_env_str(v: &str) -> Option<Dispatch> {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Dispatch::Scalar),
+            "avx2" | "avx2+fma" if Dispatch::avx2_available() => Some(Dispatch::Avx2Fma),
+            _ => None,
+        }
+    }
+
+    /// The process-wide `HSTENCIL_DISPATCH` override (env read once).
+    fn env_override() -> Option<Dispatch> {
+        static OVERRIDE: OnceLock<Option<Dispatch>> = OnceLock::new();
+        *OVERRIDE.get_or_init(|| {
+            std::env::var("HSTENCIL_DISPATCH")
+                .ok()
+                .and_then(|v| Dispatch::from_env_str(&v))
+        })
+    }
+
+    /// Size-aware dispatch for a sweep over rows of `w` interior
+    /// columns: rows too narrow to fill even one 4-lane vector step run
+    /// the scalar chain directly (the vector kernel would do the same
+    /// element-by-element tail work with extra per-row overhead),
+    /// everything else takes the AVX2 path when available. Both
+    /// choices are bit-identical, so the heuristic — and the
+    /// `HSTENCIL_DISPATCH` override that trumps it — can never change a
+    /// result.
+    pub fn for_width(w: usize) -> Dispatch {
+        if let Some(d) = Dispatch::env_override() {
+            return d;
+        }
+        if w < 4 || !Dispatch::avx2_available() {
+            Dispatch::Scalar
+        } else {
+            Dispatch::Avx2Fma
+        }
+    }
 }
 
 fn assert_shapes_2d(spec: &StencilSpec, a: &Grid2d, b: &Grid2d) {
@@ -103,9 +161,10 @@ fn assert_shapes_3d(spec: &StencilSpec, a: &Grid3d, b: &Grid3d) {
         .unwrap_or_else(|e| panic!("native 3-D sweep: {e}"));
 }
 
-/// One sweep of a 2-D stencil, single-threaded, best dispatch.
+/// One sweep of a 2-D stencil, single-threaded, best dispatch for the
+/// grid's shape ([`Dispatch::for_width`]).
 pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
-    apply_2d_with(Dispatch::detect(), spec, a, b);
+    apply_2d_with(Dispatch::for_width(a.w()), spec, a, b);
 }
 
 /// [`apply_2d_with`] with degenerate shapes rejected as a typed
@@ -146,7 +205,7 @@ pub fn apply_2d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid2d, b: &mut
 pub fn apply_2d_parallel(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d, threads: usize) {
     apply_2d_parallel_in(
         ThreadPool::global(),
-        Dispatch::detect(),
+        Dispatch::for_width(a.w()),
         spec,
         a,
         b,
@@ -220,9 +279,10 @@ pub fn apply_2d_parallel_in(
     });
 }
 
-/// One sweep of a 3-D stencil, single-threaded, best dispatch.
+/// One sweep of a 3-D stencil, single-threaded, best dispatch for the
+/// grid's shape ([`Dispatch::for_width`]).
 pub fn apply_3d(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
-    apply_3d_with(Dispatch::detect(), spec, a, b);
+    apply_3d_with(Dispatch::for_width(a.w()), spec, a, b);
 }
 
 /// [`apply_3d_with`] with degenerate shapes rejected as a typed
@@ -275,7 +335,7 @@ pub fn apply_3d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid3d, b: &mut
 pub fn apply_3d_parallel(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d, threads: usize) {
     apply_3d_parallel_in(
         ThreadPool::global(),
-        Dispatch::detect(),
+        Dispatch::for_width(a.w()),
         spec,
         a,
         b,
@@ -355,27 +415,28 @@ pub fn apply_3d_parallel_in(
     });
 }
 
-/// Runs `sweeps` time steps, ping-ponging between two buffers; returns
-/// the final state. Halo values are carried over between steps
-/// (Dirichlet boundary held at the initial halo).
+/// Runs `sweeps` time steps; returns the final state. Halo values are
+/// carried over between steps (Dirichlet boundary held at the initial
+/// halo).
 ///
-/// Uses the shared persistent pool: worker threads are spawned at most
-/// once per process, not per sweep, and the ping buffer is the only
-/// extra allocation beyond the returned grid (a cheap
-/// [`Grid2d::halo_image`], not a full interior copy).
+/// Out-of-cache multi-sweep runs go through the temporally-tiled
+/// pipeline ([`temporal::time_steps_temporal`]), which fuses `t_block`
+/// steps per DRAM round-trip; cache-resident runs ping-pong plain
+/// sweeps. Both schedules are bit-identical to `sweeps` sequential
+/// [`apply_2d`] calls, and both use the shared persistent pool (worker
+/// threads spawned at most once per process).
 pub fn time_steps(spec: &StencilSpec, init: &Grid2d, sweeps: usize, threads: usize) -> Grid2d {
-    time_steps_in(
-        ThreadPool::global(),
-        Dispatch::detect(),
-        spec,
-        init,
-        sweeps,
-        threads,
-    )
+    temporal::time_steps_temporal(spec, init, sweeps, threads)
 }
 
-/// [`time_steps`] on an explicit pool and dispatch path (the pool API
-/// the spawn-count tests assert against).
+/// The naive ping-pong multi-sweep schedule on an explicit pool and
+/// dispatch path: one full-grid sweep per time step, two buffers, no
+/// temporal fusion. The temporal executor delegates here for
+/// cache-resident working sets, the multi-sweep benchmark uses it as
+/// the traffic-bound baseline, and the spawn-count tests assert the
+/// pool contract against it. The ping buffer is the only extra
+/// allocation beyond the returned grid (a cheap [`Grid2d::halo_image`],
+/// not a full interior copy).
 pub fn time_steps_in(
     pool: &ThreadPool,
     dispatch: Dispatch,
@@ -566,6 +627,53 @@ mod tests {
         let second = time_steps_in(&pool, Dispatch::detect(), &spec, &a, 25, 4);
         assert_eq!(pool.spawned_threads(), 3, "second call reuses the pool");
         assert_eq!(first.max_interior_diff(&second), 0.0);
+    }
+
+    #[test]
+    fn dispatch_heuristic_is_bit_identical_to_both_paths() {
+        // Whatever `for_width` picks (including sub-vector widths that
+        // dispatch to scalar), the public entry point must agree
+        // bit-for-bit with an explicitly forced scalar sweep.
+        let spec = presets::star2d5p();
+        for w in [2usize, 3, 4, 7, 8, 33, 256] {
+            let a = random_grid(12, w, 1, 61);
+            let mut auto = Grid2d::zeros(12, w, 1);
+            apply_2d(&spec, &a, &mut auto);
+            let mut scalar = Grid2d::zeros(12, w, 1);
+            apply_2d_with(Dispatch::Scalar, &spec, &a, &mut scalar);
+            assert_eq!(scalar.max_interior_diff(&auto), 0.0, "w={w}");
+        }
+    }
+
+    #[test]
+    fn dispatch_for_width_prefers_scalar_below_one_vector() {
+        // Without an env override (none is set under `cargo test`),
+        // sub-vector rows go scalar; wide rows take SIMD when present.
+        assert_eq!(Dispatch::for_width(2), Dispatch::Scalar);
+        assert_eq!(Dispatch::for_width(3), Dispatch::Scalar);
+        if Dispatch::avx2_available() {
+            assert_eq!(Dispatch::for_width(4096), Dispatch::Avx2Fma);
+        } else {
+            assert_eq!(Dispatch::for_width(4096), Dispatch::Scalar);
+        }
+    }
+
+    #[test]
+    fn dispatch_env_parsing() {
+        assert_eq!(Dispatch::from_env_str("scalar"), Some(Dispatch::Scalar));
+        assert_eq!(Dispatch::from_env_str(" SCALAR "), Some(Dispatch::Scalar));
+        assert_eq!(Dispatch::from_env_str("auto"), None);
+        assert_eq!(Dispatch::from_env_str(""), None);
+        assert_eq!(Dispatch::from_env_str("bogus"), None);
+        let avx2 = Dispatch::from_env_str("avx2");
+        if Dispatch::avx2_available() {
+            assert_eq!(avx2, Some(Dispatch::Avx2Fma));
+            assert_eq!(Dispatch::from_env_str("avx2+fma"), Some(Dispatch::Avx2Fma));
+        } else {
+            // Pinning an unavailable path is ignored, not deferred to a
+            // later kernel panic.
+            assert_eq!(avx2, None);
+        }
     }
 
     #[test]

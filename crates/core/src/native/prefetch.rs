@@ -1,0 +1,103 @@
+//! Software-prefetch tuning for the AVX2 micro-kernels.
+//!
+//! The paper's Algorithm 3 (§3.3) issues spatial prefetches for the
+//! *next input row* and the *destination store row* while the current
+//! row is being computed, so the streaming loads of a memory-bound
+//! sweep are already in flight when the kernel reaches them. This
+//! module is the native x86 analogue: [`Prefetch`] says how far ahead
+//! of the tap window the input prefetch runs (in rows) and how far
+//! ahead of the store cursor the destination prefetch runs (in
+//! columns).
+//!
+//! Prefetch is a *hint* — `_mm_prefetch` never faults and never changes
+//! architectural state (the machine-model counterpart is pinned by
+//! `crates/machine/tests/prefetch_transparency.rs`) — so it cannot
+//! affect results. It is still wired **only** into the AVX2 dispatch
+//! path: the scalar fallback stays a pure `mul_add` chain with no
+//! `std::arch` calls at all, keeping the bit-identity contract between
+//! the two paths trivially auditable.
+//!
+//! Tuning: `HSTENCIL_PREFETCH=off` (or `0`) disables both streams;
+//! `HSTENCIL_PREFETCH=<rows>` moves the input prefetch distance. The
+//! variable is read once per process.
+
+use std::sync::OnceLock;
+
+/// Prefetch distances for the AVX2 sweep kernels. `input_rows == 0`
+/// and `dst_cols == 0` mean "emit no prefetch".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prefetch {
+    /// How many rows below the deepest tap row the input prefetch
+    /// targets. The pair kernel consumes two new input rows per step,
+    /// so distance `d` prefetches rows `i + r + d` and `i + r + d + 1`
+    /// at the current column while rows `i, i+1` are being computed.
+    pub input_rows: usize,
+    /// How many columns ahead of the store cursor the destination
+    /// prefetch targets (per output row in flight).
+    pub dst_cols: usize,
+}
+
+impl Prefetch {
+    /// Prefetch disabled (what the scalar path always uses).
+    pub const OFF: Prefetch = Prefetch {
+        input_rows: 0,
+        dst_cols: 0,
+    };
+
+    /// Default distances: next two input rows, half a tile of columns
+    /// ahead for the store stream. Chosen on the recorded bench host
+    /// (see `BENCH_native.json`); override with `HSTENCIL_PREFETCH`.
+    pub const DEFAULT: Prefetch = Prefetch {
+        input_rows: 2,
+        dst_cols: 64,
+    };
+
+    /// Parses an `HSTENCIL_PREFETCH` value. `off`/`0` disable, an
+    /// integer sets the input-row distance, anything else (including
+    /// empty) keeps the default.
+    pub fn from_env_str(v: Option<&str>) -> Prefetch {
+        match v.map(str::trim) {
+            Some("off") | Some("OFF") | Some("0") => Prefetch::OFF,
+            Some(s) => match s.parse::<usize>() {
+                Ok(rows) => Prefetch {
+                    input_rows: rows,
+                    ..Prefetch::DEFAULT
+                },
+                Err(_) => Prefetch::DEFAULT,
+            },
+            None => Prefetch::DEFAULT,
+        }
+    }
+
+    /// The process-wide configuration (env read once, then cached).
+    pub fn config() -> Prefetch {
+        static CONFIG: OnceLock<Prefetch> = OnceLock::new();
+        *CONFIG.get_or_init(|| {
+            Prefetch::from_env_str(std::env::var("HSTENCIL_PREFETCH").ok().as_deref())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(Prefetch::from_env_str(None), Prefetch::DEFAULT);
+        assert_eq!(Prefetch::from_env_str(Some("off")), Prefetch::OFF);
+        assert_eq!(Prefetch::from_env_str(Some("0")), Prefetch::OFF);
+        assert_eq!(Prefetch::from_env_str(Some("3")).input_rows, 3);
+        assert_eq!(
+            Prefetch::from_env_str(Some("3")).dst_cols,
+            Prefetch::DEFAULT.dst_cols
+        );
+        assert_eq!(Prefetch::from_env_str(Some("bogus")), Prefetch::DEFAULT);
+    }
+
+    #[test]
+    fn off_is_all_zero() {
+        assert_eq!(Prefetch::OFF.input_rows, 0);
+        assert_eq!(Prefetch::OFF.dst_cols, 0);
+    }
+}

@@ -27,6 +27,55 @@ pub(crate) fn col_block(w: usize, rows_in_flight: usize) -> usize {
     aligned.clamp(cap.min(64), cap)
 }
 
+/// Cache budget for the temporal pipeline's two scratch ping-pong
+/// buffers, in bytes. Sized so that at the default `t_block` the
+/// scratch levels plus the in-flight source/destination rows stay
+/// inside this host class's ~2 MiB private L2 with headroom for the
+/// prefetch streams.
+const SCRATCH_TARGET_BYTES: usize = 1_280 * 1024;
+
+/// Hard cap on fused time steps per superstep. Beyond this the ghost
+/// zone `g = r * (t - 1)` makes overlap recomputation dominate without
+/// buying more DRAM-traffic reduction.
+const T_BLOCK_CAP: usize = 8;
+
+/// Default trapezoid tile height (grid rows) for the temporal
+/// pipeline's base region, before the `r * (t - s)` ghost expansion.
+pub(crate) const TEMPORAL_TILE_ROWS: usize = 128;
+
+/// Default trapezoid tile width (grid columns). Wider than tall so the
+/// level-1 DRAM reads and final-level stores stream in long contiguous
+/// runs (4 KiB per row at the default width).
+pub(crate) const TEMPORAL_TILE_COLS: usize = 512;
+
+/// Element count (padded to a vector) of one scratch buffer for a
+/// `t`-deep trapezoid over a `th x tw` base tile at radius `r`: the
+/// widest level-1 extent `tile + 2 * r * (t - 1)` plus the `r`-wide
+/// Dirichlet frame on each side.
+pub(crate) fn temporal_scratch_elems(r: usize, t: usize, th: usize, tw: usize) -> usize {
+    let g = r * (t.saturating_sub(1)) + r;
+    let rows = th + 2 * g;
+    let stride = (tw + 2 * g).div_ceil(8) * 8;
+    rows * stride
+}
+
+/// Fused time steps per superstep for the temporal pipeline: the
+/// largest `t` whose two ping-pong scratch buffers (sized by
+/// [`temporal_scratch_elems`] for a `th x tw` tile) fit
+/// [`SCRATCH_TARGET_BYTES`], clamped to `1..=T_BLOCK_CAP` and never
+/// more than `sweeps`.
+pub(crate) fn temporal_block(sweeps: usize, r: usize, th: usize, tw: usize) -> usize {
+    let fits = |t: usize| {
+        2 * temporal_scratch_elems(r, t, th, tw) * std::mem::size_of::<f64>()
+            <= SCRATCH_TARGET_BYTES
+    };
+    let mut t = 1usize;
+    while t < T_BLOCK_CAP && t < sweeps && fits(t + 1) {
+        t += 1;
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +109,34 @@ mod tests {
     fn huge_stencils_still_get_a_minimum_tile() {
         // Even when rows_in_flight blows the budget, keep >= 64 cols.
         assert_eq!(col_block(4096, 100_000), 64);
+    }
+
+    #[test]
+    fn scratch_elems_cover_the_widest_level_and_its_frame() {
+        // r=1, t=8 trapezoid over the default tile: level 1 spans
+        // tile + 2*7 rows/cols and reads reach one more cell out.
+        let e = temporal_scratch_elems(1, 8, TEMPORAL_TILE_ROWS, TEMPORAL_TILE_COLS);
+        assert_eq!(e, (128 + 16) * (512 + 16));
+        // Stride stays vector-aligned for odd extents.
+        assert_eq!(temporal_scratch_elems(1, 2, 10, 10) % 8, 0);
+    }
+
+    #[test]
+    fn temporal_block_respects_sweeps_cap_and_budget() {
+        let (th, tw) = (TEMPORAL_TILE_ROWS, TEMPORAL_TILE_COLS);
+        // Never more fused steps than sweeps requested.
+        assert_eq!(temporal_block(1, 1, th, tw), 1);
+        assert_eq!(temporal_block(3, 1, th, tw), 3);
+        // r=1 over the default tile: both scratch buffers at the cap
+        // depth are ~1.2 MiB, inside the budget -> full cap.
+        assert_eq!(temporal_block(100, 1, th, tw), T_BLOCK_CAP);
+        // Wider stencils pay 2r per fused step in both dimensions and
+        // lose some depth, but still fuse usefully.
+        let t = temporal_block(100, 2, th, tw);
+        assert!((4..T_BLOCK_CAP).contains(&t), "t={t}");
+        // Enormous tiles: even depth 2 blows the budget -> plain sweeps.
+        assert_eq!(temporal_block(100, 1, 4096, 4096), 1);
+        // Degenerate sweeps=0 still yields a sane t=1.
+        assert_eq!(temporal_block(0, 1, th, tw), 1);
     }
 }

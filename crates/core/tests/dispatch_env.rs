@@ -1,0 +1,32 @@
+//! `HSTENCIL_DISPATCH` override, end to end. Lives in its own test
+//! binary because the override is read once per process (`OnceLock`):
+//! the env var must be set before the first dispatch decision, and no
+//! other test in this binary may want a different value.
+
+use hstencil_core::native::{self, Dispatch};
+use hstencil_core::{presets, Grid2d};
+
+#[test]
+fn scalar_override_pins_every_width_and_stays_bit_identical() {
+    // Set before any dispatch decision in this process.
+    std::env::set_var("HSTENCIL_DISPATCH", "scalar");
+
+    // The override trumps the size heuristic at every width, including
+    // ones the heuristic would send to AVX2.
+    for w in [1usize, 4, 8, 256, 4096] {
+        assert_eq!(Dispatch::for_width(w), Dispatch::Scalar, "w={w}");
+    }
+
+    // And the pinned path is exactly the scalar kernel: apply_2d (which
+    // routes through for_width) must agree bit-for-bit with forcing
+    // scalar explicitly.
+    let spec = presets::star2d5p();
+    let grid = Grid2d::from_fn(33, 47, 1, |i, j| {
+        ((i * 11 + j * 5) % 17) as f64 * 0.31 - 2.0
+    });
+    let mut via_env = Grid2d::zeros(33, 47, 1);
+    native::apply_2d(&spec, &grid, &mut via_env);
+    let mut forced = Grid2d::zeros(33, 47, 1);
+    native::apply_2d_with(Dispatch::Scalar, &spec, &grid, &mut forced);
+    assert_eq!(via_env.max_interior_diff(&forced), 0.0);
+}

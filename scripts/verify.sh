@@ -58,13 +58,17 @@ if [ ! -f "$SMOKE_JSON" ]; then
     exit 1
 fi
 # Parse the artifact with the testkit JSON reader and check every
-# configuration carries median/p10/p90 + throughput fields.
-cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- "$SMOKE_JSON"
-# The committed baseline must still exist and parse too.
+# configuration carries median/p10/p90 + throughput fields. The smoke
+# temporal gate (2048², min ratio 0.91) is deliberately loose — one
+# sample on a noisy host — but still fails if the temporal pipeline
+# regresses to slower than the naive ping-pong.
+cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- "$SMOKE_JSON" --gate-temporal=2048:0.91
+# The committed baseline must still exist, parse, and keep the recorded
+# temporal speedup on the out-of-cache acceptance case (ISSUE 4).
 if [ ! -f BENCH_native.json ]; then
     echo "ERROR: recorded baseline BENCH_native.json is missing" >&2
     exit 1
 fi
-cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- BENCH_native.json
+cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- BENCH_native.json --gate-temporal=4096:1.3
 
 echo "==> OK: hermetic build verified"
