@@ -76,6 +76,7 @@ impl Kernel {
             Kernel::Seed => "seed",
             Kernel::Forced(Dispatch::Scalar) => "scalar",
             Kernel::Forced(Dispatch::Avx2Fma) => "avx2+fma",
+            Kernel::Forced(Dispatch::Hybrid) => "hybrid8x8",
             Kernel::Best => Dispatch::detect().label(),
         }
     }
@@ -84,6 +85,7 @@ impl Kernel {
 #[allow(clippy::too_many_arguments)]
 fn bench_2d(
     h: &Harness,
+    group_name: &str,
     rows: &mut Vec<Row>,
     pool: &ThreadPool,
     spec: &StencilSpec,
@@ -97,7 +99,7 @@ fn bench_2d(
     let mut out = Grid2d::zeros(size, size, spec.radius());
     let elems = (size * size) as u64;
     let group = h
-        .group("native2d")
+        .group(group_name)
         .warmup(warmup)
         .sample_size(samples)
         .throughput_elems(elems);
@@ -239,6 +241,29 @@ fn median_of(
         .map(|r| r.summary.median)
 }
 
+/// Best (smallest) median across every row matching the config — the
+/// hybrid group and the main group both record the avx2+fma kernel at
+/// the acceptance size, and a ratio should compare best against best.
+fn min_median_of(
+    rows: &[Row],
+    stencil: &str,
+    size: usize,
+    sweeps: usize,
+    threads: usize,
+    kernel: &str,
+) -> Option<f64> {
+    rows.iter()
+        .filter(|r| {
+            r.stencil == stencil
+                && r.size == size
+                && r.sweeps == sweeps
+                && r.threads == threads
+                && r.kernel == kernel
+        })
+        .map(|r| r.summary.median)
+        .min_by(f64::total_cmp)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let h = Harness::from_args();
@@ -255,6 +280,7 @@ fn main() {
     for spec in [&star, &boxs] {
         bench_2d(
             &h,
+            "native2d",
             &mut rows,
             &pool,
             spec,
@@ -267,6 +293,7 @@ fn main() {
     }
     bench_2d(
         &h,
+        "native2d",
         &mut rows,
         &pool,
         &star,
@@ -280,6 +307,7 @@ fn main() {
     // three kernel generations plus the pool-parallel path.
     bench_2d(
         &h,
+        "native2d",
         &mut rows,
         &pool,
         &star,
@@ -291,6 +319,7 @@ fn main() {
     );
     bench_2d(
         &h,
+        "native2d",
         &mut rows,
         &pool,
         &star,
@@ -302,6 +331,7 @@ fn main() {
     );
     bench_2d(
         &h,
+        "native2d",
         &mut rows,
         &pool,
         &star,
@@ -313,6 +343,7 @@ fn main() {
     );
     bench_2d(
         &h,
+        "native2d",
         &mut rows,
         &pool,
         &star,
@@ -324,6 +355,7 @@ fn main() {
     );
     bench_2d(
         &h,
+        "native2d",
         &mut rows,
         &pool,
         &boxs,
@@ -333,6 +365,37 @@ fn main() {
         warm_out,
         n_out,
     );
+    // Hybrid 8×8 register-tile kernel vs the canonical 2×8 kernel
+    // (DESIGN.md §10): in-cache and out-of-cache, star and box, single
+    // thread so the ratio isolates the kernel schedule. The canonical
+    // side is the detected best bit-exact dispatch (avx2+fma on x86-64,
+    // scalar elsewhere — Hybrid always runs, it has a scalar fallback).
+    for spec in [&star, &boxs] {
+        for size in [256usize, 4096] {
+            let (warm, n) = if size <= 256 {
+                (warm_in, n_in)
+            } else {
+                (warm_out, n_out)
+            };
+            for kernel in [
+                Kernel::Forced(Dispatch::detect()),
+                Kernel::Forced(Dispatch::Hybrid),
+            ] {
+                bench_2d(
+                    &h,
+                    "native2d_hybrid",
+                    &mut rows,
+                    &pool,
+                    spec,
+                    size,
+                    1,
+                    kernel,
+                    warm,
+                    n,
+                );
+            }
+        }
+    }
     // Multi-sweep (sweeps=8): naive ping-pong vs the temporal trapezoid
     // pipeline, in-cache through out-of-cache (the acceptance case is
     // 4096², where naive is DRAM-bound and fusing 8 steps pays off).
@@ -377,6 +440,18 @@ fn main() {
             println!("speedup star2d5p/{size}/s{SWEEPS} temporal vs naive: {s:.2}x");
         }
     }
+    // The acceptance ratio: hybrid 8×8 vs the best canonical kernel on
+    // the out-of-cache single-sweep case (gated in verify.sh).
+    let hybrid_speedup = match (
+        min_median_of(&rows, "star2d5p", 4096, 1, 1, best),
+        min_median_of(&rows, "star2d5p", 4096, 1, 1, "hybrid8x8"),
+    ) {
+        (Some(canon), Some(hyb)) if hyb > 0.0 => Some(canon / hyb),
+        _ => None,
+    };
+    if let Some(s) = hybrid_speedup {
+        println!("speedup star2d5p/4096/t1 hybrid8x8 vs {best}: {s:.2}x");
+    }
 
     let doc = Json::object([
         ("bench", "native_executor_v2".to_json()),
@@ -394,6 +469,7 @@ fn main() {
         ("speedup_star2d5p_4096_t1_vs_seed", speedup.to_json()),
         ("speedup_temporal_star2d5p_2048_s8", t2048.to_json()),
         ("speedup_temporal_star2d5p_4096_s8", t4096.to_json()),
+        ("speedup_hybrid_star2d5p_4096_t1", hybrid_speedup.to_json()),
     ]);
 
     // The trajectory file lives at the repo root, independent of the

@@ -1,0 +1,125 @@
+//! Perf diff between two `BENCH_native.json` artifacts.
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--threshold=0.90] [--fail-on-regression]
+//! ```
+//!
+//! Prints one line per (stencil, size, sweeps, threads, kernel) case
+//! present in both files with the `old_median / new_median` ratio
+//! (> 1.00 means NEW is faster), and flags cases whose ratio falls
+//! below the threshold as regressions. Cases present in only one file
+//! are listed as added/removed. Exit code is 0 unless
+//! `--fail-on-regression` is passed and at least one case regressed —
+//! the default is report-only, which is how `scripts/verify.sh` runs
+//! it against the committed baseline (smoke samples are far too noisy
+//! to gate on; the real gates live in `check_bench_json`).
+//!
+//! Exit codes: 0 ok/report-only, 1 regression (with
+//! `--fail-on-regression`) or malformed input, 2 unreadable file.
+
+use hstencil_testkit::Json;
+use std::collections::BTreeMap;
+
+fn fail(code: i32, msg: String) -> ! {
+    eprintln!("bench_diff: {msg}");
+    std::process::exit(code);
+}
+
+/// `case key -> median_s`, min over duplicate rows (a kernel can appear
+/// in more than one bench group; best-vs-best is the stable comparison).
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(2, format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(1, format!("{path}: {e}")),
+    };
+    let results = match doc.get("results").and_then(Json::as_array) {
+        Some(r) => r,
+        None => fail(1, format!("{path}: 'results' is not an array")),
+    };
+    let mut cases = BTreeMap::new();
+    for (i, row) in results.iter().enumerate() {
+        let field = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| fail(1, format!("{path}: results[{i}] lacks numeric '{key}'")))
+        };
+        let stencil = row
+            .get("stencil")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(1, format!("{path}: results[{i}] lacks 'stencil'")));
+        let kernel = row.get("kernel").and_then(Json::as_str).unwrap_or("-");
+        let key = format!(
+            "{stencil}/{}/s{}/t{}/{kernel}",
+            field("size"),
+            field("sweeps"),
+            field("threads")
+        );
+        let median = field("median_s");
+        cases
+            .entry(key)
+            .and_modify(|m: &mut f64| *m = m.min(median))
+            .or_insert(median);
+    }
+    cases
+}
+
+fn main() {
+    let mut paths = Vec::new();
+    let mut threshold = 0.90f64;
+    let mut fail_on_regression = false;
+    for arg in std::env::args().skip(1) {
+        if let Some(t) = arg.strip_prefix("--threshold=") {
+            threshold = t
+                .parse()
+                .unwrap_or_else(|_| fail(1, format!("bad --threshold value '{t}'")));
+        } else if arg == "--fail-on-regression" {
+            fail_on_regression = true;
+        } else if arg.starts_with("--") {
+            fail(1, format!("unknown flag '{arg}'"));
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.len() != 2 {
+        fail(
+            1,
+            "usage: bench_diff OLD.json NEW.json [--threshold=0.90] [--fail-on-regression]".into(),
+        );
+    }
+    let (old, new) = (load(&paths[0]), load(&paths[1]));
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, &old_s) in &old {
+        let Some(&new_s) = new.get(key) else {
+            println!("removed    {key} (old {old_s:.4}s)");
+            continue;
+        };
+        compared += 1;
+        let ratio = old_s / new_s;
+        let mark = if ratio < threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else if ratio > 1.0 / threshold {
+            "improved "
+        } else {
+            "ok       "
+        };
+        println!("{mark}  {key}: {ratio:.2}x (old {old_s:.4}s -> new {new_s:.4}s)");
+    }
+    for (key, &new_s) in &new {
+        if !old.contains_key(key) {
+            println!("added      {key} (new {new_s:.4}s)");
+        }
+    }
+    println!(
+        "bench_diff: {compared} cases compared, {regressions} below the {threshold:.2} threshold"
+    );
+    if fail_on_regression && regressions > 0 {
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,11 @@
 //! `naive_median / temporal_median >= MINRATIO` (e.g. `4096:1.3` pins
 //! the recorded temporal speedup; `2048:0.91` lets a smoke run tolerate
 //! 10% noise but still catches the pipeline regressing to slower than
-//! the naive ping-pong). May be passed more than once.
+//! the naive ping-pong). `--gate-hybrid=SIZE:MINRATIO` does the same
+//! for the single-sweep single-thread star2d5p rows: best avx2+fma
+//! median / best hybrid8x8 median must reach MINRATIO (the acceptance
+//! gate is `4096:1.10`; smoke runs use a loose `4096:0.9`). Both may be
+//! passed more than once.
 //!
 //! Exit codes: 0 ok, 1 malformed/incomplete/gate failure, 2
 //! missing/unreadable.
@@ -23,18 +27,17 @@ fn fail(code: i32, msg: String) -> ! {
 fn main() {
     let mut path: Option<String> = None;
     let mut gates: Vec<(f64, f64)> = Vec::new();
+    let mut hybrid_gates: Vec<(f64, f64)> = Vec::new();
+    let parse_gate = |flag: &str, spec: &str| -> (f64, f64) {
+        spec.split_once(':')
+            .and_then(|(size, ratio)| Some((size.parse::<f64>().ok()?, ratio.parse::<f64>().ok()?)))
+            .unwrap_or_else(|| fail(1, format!("bad {flag} spec '{spec}' (want SIZE:MINRATIO)")))
+    };
     for arg in std::env::args().skip(1) {
         if let Some(spec) = arg.strip_prefix("--gate-temporal=") {
-            let parsed = spec.split_once(':').and_then(|(size, ratio)| {
-                Some((size.parse::<f64>().ok()?, ratio.parse::<f64>().ok()?))
-            });
-            match parsed {
-                Some(g) => gates.push(g),
-                None => fail(
-                    1,
-                    format!("bad --gate-temporal spec '{spec}' (want SIZE:MINRATIO)"),
-                ),
-            }
+            gates.push(parse_gate("--gate-temporal", spec));
+        } else if let Some(spec) = arg.strip_prefix("--gate-hybrid=") {
+            hybrid_gates.push(parse_gate("--gate-hybrid", spec));
         } else {
             path = Some(arg);
         }
@@ -58,6 +61,11 @@ fn main() {
     let mut configs = std::collections::BTreeSet::new();
     // (size, kernel) -> median_s, for the star2d5p multi-sweep gates.
     let mut multisweep: Vec<(f64, String, f64)> = Vec::new();
+    // (size, kernel) -> median_s for the single-sweep single-thread
+    // star2d5p rows (the hybrid-kernel gate). A kernel can appear in
+    // both the main and the hybrid bench group; keep every row and
+    // compare best against best.
+    let mut single: Vec<(f64, String, f64)> = Vec::new();
     for (i, row) in results.iter().enumerate() {
         let stencil = row
             .get("stencil")
@@ -100,6 +108,12 @@ fn main() {
             let median = row.get("median_s").and_then(Json::as_f64).unwrap();
             multisweep.push((size, kernel.to_string(), median));
         }
+        if stencil == "star2d5p" && sweeps == 1.0 && threads == 1.0 {
+            if let Some(kernel) = row.get("kernel").and_then(Json::as_str) {
+                let median = row.get("median_s").and_then(Json::as_f64).unwrap();
+                single.push((size, kernel.to_string(), median));
+            }
+        }
         configs.insert(format!("{stencil}/{size}/s{sweeps}/{threads}"));
     }
     if configs.len() < 6 {
@@ -136,6 +150,33 @@ fn main() {
             );
         }
         println!("check_bench_json: temporal gate {size}^2 ok ({ratio:.2}x >= {min_ratio})");
+    }
+    for (size, min_ratio) in &hybrid_gates {
+        let best_median = |kernel: &str| {
+            single
+                .iter()
+                .filter(|(s, k, _)| s == size && k == kernel)
+                .map(|(_, _, m)| *m)
+                .min_by(f64::total_cmp)
+        };
+        let (canon, hybrid) = match (best_median("avx2+fma"), best_median("hybrid8x8")) {
+            (Some(c), Some(h)) if h > 0.0 => (c, h),
+            _ => fail(
+                1,
+                format!("{path}: no star2d5p single-sweep avx2+fma/hybrid8x8 pair at size {size}"),
+            ),
+        };
+        let ratio = canon / hybrid;
+        if ratio < *min_ratio {
+            fail(
+                1,
+                format!(
+                    "{path}: hybrid speedup at {size}^2 is {ratio:.3}x (avx2+fma {canon:.4}s / \
+                     hybrid8x8 {hybrid:.4}s), below the {min_ratio} gate"
+                ),
+            );
+        }
+        println!("check_bench_json: hybrid gate {size}^2 ok ({ratio:.2}x >= {min_ratio})");
     }
     println!(
         "check_bench_json: {path} ok ({} rows, {} configurations)",

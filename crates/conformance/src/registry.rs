@@ -191,6 +191,14 @@ pub fn registry() -> Vec<Variant> {
         Variant::sim("lx2/naive-hybrid", Method::NaiveHybrid, lx2, false),
         Variant::sim("lx2/auto", Method::Auto, lx2, false),
         Variant::sim("m4/hstencil", Method::HStencil, m4, false),
+        // The hybrid 8×8 register-tile kernel (Algorithm 2 on x86).
+        // Its accumulation order interleaves vertical rank-1 updates
+        // with a folded inner-MLA partial, reassociating the canonical
+        // tap sum — so it is ULP-bounded against the reference, NOT
+        // bit-exact like native/scalar vs native/avx2+fma. Registered
+        // unconditionally: off x86 (or at radius > 4) it runs its
+        // bit-identical scalar hybrid chain.
+        Variant::native(Dispatch::Hybrid),
     ];
     if Dispatch::avx2_available() {
         v.push(Variant::native(Dispatch::Avx2Fma));
@@ -217,6 +225,10 @@ mod tests {
         assert!(names.iter().any(|n| n == "reference"));
         assert!(names.iter().any(|n| n.starts_with("native/")));
         assert!(names.iter().any(|n| n.starts_with("sim/")));
+        assert!(
+            names.iter().any(|n| n == "native/hybrid8x8"),
+            "hybrid kernel missing from the matrix: {names:?}"
+        );
     }
 
     #[test]

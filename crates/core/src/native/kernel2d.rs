@@ -19,6 +19,7 @@
 //! reused by all taps of both rows that touch it instead of being
 //! re-fetched once per tap the way the seed's tap-per-pass loop did.
 
+use super::hybrid;
 use super::tile;
 use super::Dispatch;
 use crate::stencil::StencilSpec;
@@ -37,6 +38,10 @@ pub(crate) struct Taps2 {
     /// `(dj, c_row_i, c_row_i1)` merged ascending by `dj`; a zero
     /// coefficient means the tap does not touch that output row.
     pub pair: Vec<Vec<(isize, f64, f64)>>,
+    /// The same taps split for the hybrid 8×8 register-tile schedule
+    /// ([`super::hybrid`]): vertical rank-1 coefficients + inner MLA
+    /// taps.
+    pub hybrid: hybrid::TapsHybrid,
 }
 
 impl Taps2 {
@@ -67,6 +72,7 @@ impl Taps2 {
             flat,
             single,
             pair,
+            hybrid: hybrid::TapsHybrid::new(spec),
         }
     }
 
@@ -167,11 +173,28 @@ pub(crate) fn sweep_band_2d(
     i_lo: usize,
     i_hi: usize,
 ) {
+    if dispatch == Dispatch::Hybrid {
+        // The hybrid schedule owns its own column tiling (its
+        // rows-in-flight differ) and accumulation order; same
+        // band/slice contract.
+        return hybrid::sweep_band_hybrid(
+            &taps.hybrid,
+            a,
+            a_org,
+            a_stride,
+            w,
+            dst,
+            b_stride,
+            i_lo,
+            i_hi,
+        );
+    }
     let cb = tile::col_block(w, taps.rows_in_flight());
     let mut j0 = 0usize;
     while j0 < w {
         let jw = cb.min(w - j0);
         match dispatch {
+            Dispatch::Hybrid => unreachable!("handled above"),
             Dispatch::Scalar => {
                 for i in i_lo..i_hi {
                     let base = a_org + i as isize * a_stride + j0 as isize;

@@ -155,6 +155,9 @@ pub(crate) fn sweep_band_3d(
                     }
                 }
             }
+            // The hybrid register tile is 2-D only; the 3-D entry
+            // points narrow it away before reaching the kernel.
+            Dispatch::Hybrid => unreachable!("Dispatch::narrow_3d maps Hybrid before kernel3d"),
             Dispatch::Avx2Fma => {
                 assert!(
                     Dispatch::avx2_available(),

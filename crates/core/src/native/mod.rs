@@ -23,6 +23,19 @@
 //!    next input rows and the destination store stream (the paper's
 //!    Algorithm 3 analogue); tunable via `HSTENCIL_PREFETCH`, never on
 //!    the scalar path.
+//! 6. **Hybrid 8×8 register-tile kernel** ([`hybrid`], DESIGN.md §10) —
+//!    [`Dispatch::Hybrid`] keeps a full 8×8 output tile in sixteen ymm
+//!    accumulators, interleaving broadcast-FMA rank-1 updates (vertical
+//!    taps) with shifted-load vector MLA (inner taps) per the paper's
+//!    Algorithm 2, store-scattering rows as they complete — through a
+//!    non-temporal staging drain on streaming bands. Bit-identical to
+//!    itself across every decomposition, ULP-bounded vs the canonical
+//!    chain.
+//! 7. **Seeded autotuner** ([`tune`]) — per (pattern, radius, shape
+//!    class) plan cache choosing kernel + temporal geometry from a
+//!    deterministic seeded micro-benchmark, persisted to
+//!    `target/hstencil-tune.json`; `HSTENCIL_TUNE=off|force|<path>`
+//!    overrides, `off` restoring heuristic dispatch bit-for-bit.
 //!
 //! Dispatch is size-aware ([`Dispatch::for_width`]) and can be pinned
 //! with `HSTENCIL_DISPATCH=scalar|avx2` — both paths stay bit-identical
@@ -40,7 +53,9 @@ pub mod baseline;
 pub mod pool;
 pub mod prefetch;
 pub mod temporal;
+pub mod tune;
 
+mod hybrid;
 mod kernel2d;
 mod kernel3d;
 mod tile;
@@ -55,15 +70,23 @@ use kernel3d::Taps3;
 use pool::ThreadPool;
 use std::sync::{Mutex, OnceLock};
 
-/// Which micro-kernel family executes a sweep. Both paths compute the
-/// identical FMA chain per element, so they agree bit-for-bit; dispatch
-/// only changes speed.
+/// Which micro-kernel family executes a sweep. [`Dispatch::Scalar`] and
+/// [`Dispatch::Avx2Fma`] compute the identical FMA chain per element,
+/// so they agree bit-for-bit; [`Dispatch::Hybrid`] uses the paper's
+/// Algorithm 2 accumulation order (see [`hybrid`]) — internally
+/// decomposition-invariant, but ULP-bounded (not bit-exact) against the
+/// canonical chain.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Dispatch {
     /// Portable `f64::mul_add` chain (single rounding per tap).
     Scalar,
     /// AVX2 + FMA register-blocked `std::arch` kernels (x86-64 only).
     Avx2Fma,
+    /// Hybrid 8×8 register-tile schedule (Algorithm 2: rank-1 vertical
+    /// updates + inner MLA + in-place fold + store scattering). 2-D
+    /// only; has a bit-identical scalar fallback, so it runs on every
+    /// host.
+    Hybrid,
 }
 
 impl Dispatch {
@@ -89,8 +112,11 @@ impl Dispatch {
         }
     }
 
-    /// Every dispatch runnable on this machine (scalar first). The
-    /// property suite cross-checks all of them for bit-identity.
+    /// The bit-identical dispatches runnable on this machine (scalar
+    /// first). The property suite cross-checks all of them for
+    /// bit-identity; [`Dispatch::Hybrid`] is deliberately *not* listed
+    /// — its accumulation order differs, so it is checked separately
+    /// (ULP-bounded) by `native_hybrid` and the conformance registry.
     pub fn candidates() -> Vec<Dispatch> {
         let mut v = vec![Dispatch::Scalar];
         if Dispatch::avx2_available() {
@@ -104,28 +130,58 @@ impl Dispatch {
         match self {
             Dispatch::Scalar => "scalar",
             Dispatch::Avx2Fma => "avx2+fma",
+            Dispatch::Hybrid => "hybrid8x8",
         }
     }
 
-    /// Parses an `HSTENCIL_DISPATCH` value: `scalar` and `avx2` pin the
-    /// path, anything else (including `auto`) keeps the size-aware
+    /// Parses an `HSTENCIL_DISPATCH` value: `scalar`, `avx2` and
+    /// `hybrid` pin the path, `auto` (or empty) keeps the size-aware
     /// heuristic. Pinning `avx2` on a machine without AVX2 + FMA is
-    /// ignored rather than deferred to a later kernel panic.
+    /// ignored rather than deferred to a later kernel panic (`hybrid`
+    /// is fine everywhere — it has a scalar fallback).
     pub fn from_env_str(v: &str) -> Option<Dispatch> {
         match v.trim().to_ascii_lowercase().as_str() {
             "scalar" => Some(Dispatch::Scalar),
             "avx2" | "avx2+fma" if Dispatch::avx2_available() => Some(Dispatch::Avx2Fma),
+            "hybrid" | "hybrid8x8" => Some(Dispatch::Hybrid),
             _ => None,
         }
     }
 
-    /// The process-wide `HSTENCIL_DISPATCH` override (env read once).
+    /// [`Dispatch::from_env_str`] plus a warning for values that are
+    /// neither a known dispatch nor the explicit `auto`/empty
+    /// "keep the heuristic" forms — so a typo in `HSTENCIL_DISPATCH`
+    /// names itself on stderr instead of silently running the default.
+    pub fn from_env_str_warn(v: &str) -> (Option<Dispatch>, Option<String>) {
+        let parsed = Dispatch::from_env_str(v);
+        if parsed.is_some() {
+            return (parsed, None);
+        }
+        let warn = match v.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => None,
+            "avx2" | "avx2+fma" => Some(format!(
+                "hstencil: HSTENCIL_DISPATCH={v:?} requests AVX2+FMA but this \
+                 machine lacks it; using the size-aware heuristic"
+            )),
+            _ => Some(format!(
+                "hstencil: ignoring malformed HSTENCIL_DISPATCH={v:?} \
+                 (expected scalar|avx2|hybrid|auto); using the size-aware heuristic"
+            )),
+        };
+        (None, warn)
+    }
+
+    /// The process-wide `HSTENCIL_DISPATCH` override (env read once;
+    /// malformed values warn on stderr once and keep the heuristic).
     fn env_override() -> Option<Dispatch> {
         static OVERRIDE: OnceLock<Option<Dispatch>> = OnceLock::new();
         *OVERRIDE.get_or_init(|| {
-            std::env::var("HSTENCIL_DISPATCH")
-                .ok()
-                .and_then(|v| Dispatch::from_env_str(&v))
+            let v = std::env::var("HSTENCIL_DISPATCH").ok()?;
+            let (parsed, warn) = Dispatch::from_env_str_warn(&v);
+            if let Some(w) = warn {
+                eprintln!("{w}");
+            }
+            parsed
         })
     }
 
@@ -147,6 +203,48 @@ impl Dispatch {
             Dispatch::Avx2Fma
         }
     }
+
+    /// Dispatch for one 2-D sweep of `spec` over an `h x w` grid, in
+    /// precedence order:
+    ///
+    /// 1. the `HSTENCIL_DISPATCH` env pin,
+    /// 2. the autotuner's cached plan for this (pattern, radius,
+    ///    shape-class) key ([`tune::plan_for`]),
+    /// 3. with tuning enabled but no plan recorded: the hybrid 8×8
+    ///    kernel for streaming (out-of-cache) shapes wide enough to
+    ///    vector-tile — the measured win on the recorded bench host,
+    /// 4. the PR 4 width heuristic ([`Dispatch::for_width`]).
+    ///
+    /// `HSTENCIL_TUNE=off` disables steps 2 *and* 3, restoring the PR 4
+    /// decision tree bit-for-bit.
+    pub fn for_sweep(spec: &StencilSpec, h: usize, w: usize) -> Dispatch {
+        if let Some(d) = Dispatch::env_override() {
+            return d;
+        }
+        if spec.dims() == 2 && tune::enabled() {
+            if let Some(plan) = tune::plan_for(spec, h, w) {
+                return plan.dispatch;
+            }
+            if Dispatch::avx2_available()
+                && w >= 8
+                && tune::ShapeClass::of(h, w) == tune::ShapeClass::Streaming
+            {
+                return Dispatch::Hybrid;
+            }
+        }
+        Dispatch::for_width(w)
+    }
+
+    /// Maps 2-D-only dispatches to their 3-D equivalent: the hybrid
+    /// register tile has no 3-D body, so a `Hybrid` pin or plan falls
+    /// back to the best canonical kernel. The 3-D entry points apply
+    /// this, keeping [`kernel3d`]'s dispatch match two-way.
+    fn narrow_3d(self) -> Dispatch {
+        match self {
+            Dispatch::Hybrid => Dispatch::detect(),
+            d => d,
+        }
+    }
 }
 
 fn assert_shapes_2d(spec: &StencilSpec, a: &Grid2d, b: &Grid2d) {
@@ -162,9 +260,10 @@ fn assert_shapes_3d(spec: &StencilSpec, a: &Grid3d, b: &Grid3d) {
 }
 
 /// One sweep of a 2-D stencil, single-threaded, best dispatch for the
-/// grid's shape ([`Dispatch::for_width`]).
+/// stencil and grid shape ([`Dispatch::for_sweep`] — tuned plan or
+/// heuristic).
 pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
-    apply_2d_with(Dispatch::for_width(a.w()), spec, a, b);
+    apply_2d_with(Dispatch::for_sweep(spec, a.h(), a.w()), spec, a, b);
 }
 
 /// [`apply_2d_with`] with degenerate shapes rejected as a typed
@@ -205,7 +304,7 @@ pub fn apply_2d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid2d, b: &mut
 pub fn apply_2d_parallel(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d, threads: usize) {
     apply_2d_parallel_in(
         ThreadPool::global(),
-        Dispatch::for_width(a.w()),
+        Dispatch::for_sweep(spec, a.h(), a.w()),
         spec,
         a,
         b,
@@ -299,8 +398,10 @@ pub fn try_apply_3d_with(
     Ok(())
 }
 
-/// One single-threaded 3-D sweep on an explicit dispatch path.
+/// One single-threaded 3-D sweep on an explicit dispatch path (2-D-only
+/// dispatches are narrowed via [`Dispatch::narrow_3d`]).
 pub fn apply_3d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
+    let dispatch = dispatch.narrow_3d();
     assert_shapes_3d(spec, a, b);
     let taps = Taps3::new(spec);
     let (d, h, w) = (a.d(), a.h(), a.w());
@@ -354,6 +455,7 @@ pub fn apply_3d_parallel_in(
     b: &mut Grid3d,
     threads: usize,
 ) {
+    let dispatch = dispatch.narrow_3d();
     assert!(threads >= 1);
     if threads == 1 || a.d() * a.h() < 2 * threads {
         apply_3d_with(dispatch, spec, a, b);
@@ -665,6 +767,8 @@ mod tests {
         assert_eq!(Dispatch::from_env_str("auto"), None);
         assert_eq!(Dispatch::from_env_str(""), None);
         assert_eq!(Dispatch::from_env_str("bogus"), None);
+        assert_eq!(Dispatch::from_env_str("hybrid"), Some(Dispatch::Hybrid));
+        assert_eq!(Dispatch::from_env_str("HYBRID8x8"), Some(Dispatch::Hybrid));
         let avx2 = Dispatch::from_env_str("avx2");
         if Dispatch::avx2_available() {
             assert_eq!(avx2, Some(Dispatch::Avx2Fma));
@@ -673,6 +777,27 @@ mod tests {
             // Pinning an unavailable path is ignored, not deferred to a
             // later kernel panic.
             assert_eq!(avx2, None);
+        }
+    }
+
+    #[test]
+    fn dispatch_env_malformed_values_warn_with_value_and_default() {
+        let (parsed, warn) = Dispatch::from_env_str_warn("bogus");
+        assert_eq!(parsed, None);
+        let warn = warn.expect("malformed value must produce a warning");
+        assert!(warn.contains("HSTENCIL_DISPATCH"), "{warn}");
+        assert!(warn.contains("\"bogus\""), "names the bad value: {warn}");
+        assert!(warn.contains("heuristic"), "names the default: {warn}");
+        // The intentional "keep the heuristic" spellings stay silent.
+        assert_eq!(Dispatch::from_env_str_warn("auto"), (None, None));
+        assert_eq!(Dispatch::from_env_str_warn(""), (None, None));
+        assert!(Dispatch::from_env_str_warn("scalar").1.is_none());
+        assert!(Dispatch::from_env_str_warn("hybrid").1.is_none());
+        if !Dispatch::avx2_available() {
+            // Requesting a path the host lacks is a named warning too.
+            let (p, w) = Dispatch::from_env_str_warn("avx2");
+            assert_eq!(p, None);
+            assert!(w.unwrap().contains("AVX2"));
         }
     }
 

@@ -56,24 +56,50 @@ impl Prefetch {
     /// integer sets the input-row distance, anything else (including
     /// empty) keeps the default.
     pub fn from_env_str(v: Option<&str>) -> Prefetch {
+        Prefetch::from_env_str_warn(v).0
+    }
+
+    /// [`Prefetch::from_env_str`] plus a warning for values that parse
+    /// as neither `off` nor a row count — so a typo in
+    /// `HSTENCIL_PREFETCH` names itself on stderr instead of silently
+    /// running the default distances.
+    pub fn from_env_str_warn(v: Option<&str>) -> (Prefetch, Option<String>) {
         match v.map(str::trim) {
-            Some("off") | Some("OFF") | Some("0") => Prefetch::OFF,
+            Some("off") | Some("OFF") | Some("0") => (Prefetch::OFF, None),
+            Some("") | None => (Prefetch::DEFAULT, None),
             Some(s) => match s.parse::<usize>() {
-                Ok(rows) => Prefetch {
-                    input_rows: rows,
-                    ..Prefetch::DEFAULT
-                },
-                Err(_) => Prefetch::DEFAULT,
+                Ok(rows) => (
+                    Prefetch {
+                        input_rows: rows,
+                        ..Prefetch::DEFAULT
+                    },
+                    None,
+                ),
+                Err(_) => (
+                    Prefetch::DEFAULT,
+                    Some(format!(
+                        "hstencil: ignoring malformed HSTENCIL_PREFETCH={s:?} \
+                         (expected off|0|<input rows>); using default \
+                         input_rows={}, dst_cols={}",
+                        Prefetch::DEFAULT.input_rows,
+                        Prefetch::DEFAULT.dst_cols
+                    )),
+                ),
             },
-            None => Prefetch::DEFAULT,
         }
     }
 
-    /// The process-wide configuration (env read once, then cached).
+    /// The process-wide configuration (env read once, then cached;
+    /// malformed values warn on stderr once and keep the default).
     pub fn config() -> Prefetch {
         static CONFIG: OnceLock<Prefetch> = OnceLock::new();
         *CONFIG.get_or_init(|| {
-            Prefetch::from_env_str(std::env::var("HSTENCIL_PREFETCH").ok().as_deref())
+            let (pf, warn) =
+                Prefetch::from_env_str_warn(std::env::var("HSTENCIL_PREFETCH").ok().as_deref());
+            if let Some(w) = warn {
+                eprintln!("{w}");
+            }
+            pf
         })
     }
 }
@@ -93,6 +119,20 @@ mod tests {
             Prefetch::DEFAULT.dst_cols
         );
         assert_eq!(Prefetch::from_env_str(Some("bogus")), Prefetch::DEFAULT);
+    }
+
+    #[test]
+    fn malformed_values_warn_with_value_and_default() {
+        let (pf, warn) = Prefetch::from_env_str_warn(Some("bogus"));
+        assert_eq!(pf, Prefetch::DEFAULT);
+        let warn = warn.expect("malformed value must produce a warning");
+        assert!(warn.contains("HSTENCIL_PREFETCH"), "{warn}");
+        assert!(warn.contains("\"bogus\""), "names the bad value: {warn}");
+        assert!(warn.contains("input_rows=2"), "names the default: {warn}");
+        // Well-formed and intentionally-empty values stay silent.
+        for ok in [None, Some(""), Some("off"), Some("0"), Some("5")] {
+            assert!(Prefetch::from_env_str_warn(ok).1.is_none(), "{ok:?}");
+        }
     }
 
     #[test]

@@ -396,7 +396,7 @@ pub fn time_steps_temporal(
 ) -> Grid2d {
     time_steps_temporal_in(
         ThreadPool::global(),
-        Dispatch::for_width(init.w()),
+        Dispatch::for_sweep(spec, init.h(), init.w()),
         spec,
         init,
         sweeps,
@@ -432,12 +432,23 @@ pub fn time_steps_temporal_in(
         .unwrap_or_else(|e| panic!("native temporal sweep: {e}"));
     let r = spec.radius();
     let (h, w) = (init.h(), init.w());
+    // Explicit cfg overrides trump the autotuner's cached plan, which
+    // trumps the static defaults. The plan is only consulted when a
+    // knob is actually open, so callers that pin both (the tuner's own
+    // measurement loop included) never touch the cache.
+    let plan = if cfg.tile.is_none() || cfg.t_block.is_none() {
+        super::tune::plan_for(spec, h, w)
+    } else {
+        None
+    };
     let (th, tw) = cfg
         .tile
+        .or(plan.map(|p| p.tile))
         .unwrap_or((tile::TEMPORAL_TILE_ROWS, tile::TEMPORAL_TILE_COLS));
     assert!(th >= 1 && tw >= 1, "temporal tile must be non-empty");
     let t_block = cfg
         .t_block
+        .or(plan.map(|p| p.t_block))
         .unwrap_or_else(|| tile::temporal_block(sweeps, r, th, tw))
         .clamp(1, sweeps);
     let working_set = 2 * (h + 2 * init.halo()) * init.stride() * std::mem::size_of::<f64>();

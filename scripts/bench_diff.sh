@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Perf diff between two BENCH_native.json artifacts.
+#
+#   scripts/bench_diff.sh OLD.json NEW.json [--threshold=0.90] [--fail-on-regression]
+#
+# Prints per-case median ratios (old/new; > 1.00 means NEW is faster)
+# and flags cases below the threshold. Report-only by default — pass
+# --fail-on-regression to turn regressions into a nonzero exit, e.g.
+# when replacing the committed baseline after a deliberate perf change:
+#
+#   scripts/bench_diff.sh BENCH_native.json target/BENCH_native.new.json \
+#       --threshold=0.95 --fail-on-regression
+#
+# The heavy lifting lives in the workspace `bench_diff` binary so the
+# JSON parsing stays on the hermetic testkit reader (no jq dependency).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -q --release --offline -p hstencil-bench --bin bench_diff -- "$@"

@@ -59,16 +59,27 @@ if [ ! -f "$SMOKE_JSON" ]; then
 fi
 # Parse the artifact with the testkit JSON reader and check every
 # configuration carries median/p10/p90 + throughput fields. The smoke
-# temporal gate (2048², min ratio 0.91) is deliberately loose — one
-# sample on a noisy host — but still fails if the temporal pipeline
-# regresses to slower than the naive ping-pong.
-cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- "$SMOKE_JSON" --gate-temporal=2048:0.91
+# gates (temporal 2048² >= 0.91, hybrid 4096² >= 0.4) are deliberately
+# loose — one sample on a noisy shared host. The hybrid bound is the
+# loosest: its staged non-temporal store path swings with co-tenant
+# DRAM traffic (measured 1.36-1.45x on a quiet bus, ~0.75x when
+# neighbors saturate it — DESIGN.md §10), so 0.4 only catches the
+# catastrophic regression class (e.g. write-combining thrash, ~0.1x).
+cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- "$SMOKE_JSON" --gate-temporal=2048:0.91 --gate-hybrid=4096:0.4
 # The committed baseline must still exist, parse, and keep the recorded
-# temporal speedup on the out-of-cache acceptance case (ISSUE 4).
+# speedups on the out-of-cache acceptance cases: the temporal fusion
+# gate (ISSUE 4) and the hybrid 8x8 register-tile kernel gate (ISSUE 5,
+# >= 1.10x over avx2+fma on single-sweep 4096² star2d5p).
 if [ ! -f BENCH_native.json ]; then
     echo "ERROR: recorded baseline BENCH_native.json is missing" >&2
     exit 1
 fi
-cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- BENCH_native.json --gate-temporal=4096:1.3
+cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- BENCH_native.json --gate-temporal=4096:1.3 --gate-hybrid=4096:1.10
+
+echo "==> perf diff vs committed baseline (report-only)"
+# Smoke samples are too noisy to gate on; this is a human-readable
+# trend line. Deliberate baseline refreshes can rerun with
+# --fail-on-regression (see scripts/bench_diff.sh).
+./scripts/bench_diff.sh BENCH_native.json "$SMOKE_JSON" || true
 
 echo "==> OK: hermetic build verified"
