@@ -132,11 +132,13 @@ fn bench_2d(
 #[allow(clippy::too_many_arguments)]
 fn bench_multisweep(
     h: &Harness,
+    group_name: &str,
     rows: &mut Vec<Row>,
     pool: &ThreadPool,
     spec: &StencilSpec,
     size: usize,
     sweeps: usize,
+    threads: usize,
     temporal: bool,
     warmup: usize,
     samples: usize,
@@ -144,12 +146,19 @@ fn bench_multisweep(
     let grid = workload_2d(size, size, spec.radius(), 42);
     let elems = (size * size * sweeps) as u64;
     let group = h
-        .group("native2d_sweeps")
+        .group(group_name)
         .warmup(warmup)
         .sample_size(samples)
         .throughput_elems(elems);
     let kernel = if temporal { "temporal" } else { "naive" };
-    let id = format!("{}/{}/s{}/t1/{}", spec.name(), size, sweeps, kernel);
+    let id = format!(
+        "{}/{}/s{}/t{}/{}",
+        spec.name(),
+        size,
+        sweeps,
+        threads,
+        kernel
+    );
     let summary = group.bench(&id, || {
         let out = if temporal {
             native::time_steps_temporal_in(
@@ -158,7 +167,7 @@ fn bench_multisweep(
                 spec,
                 &grid,
                 sweeps,
-                1,
+                threads,
                 native::Temporal {
                     t_block: None,
                     force_pipeline: true,
@@ -166,7 +175,7 @@ fn bench_multisweep(
                 },
             )
         } else {
-            native::time_steps_in(pool, Dispatch::detect(), spec, &grid, sweeps, 1)
+            native::time_steps_in(pool, Dispatch::detect(), spec, &grid, sweeps, threads)
         };
         std::hint::black_box(&out);
     });
@@ -176,7 +185,7 @@ fn bench_multisweep(
             dims: 2,
             size,
             sweeps,
-            threads: 1,
+            threads,
             kernel,
             elems,
             summary,
@@ -262,6 +271,21 @@ fn min_median_of(
         })
         .map(|r| r.summary.median)
         .min_by(f64::total_cmp)
+}
+
+/// The saturated-machine tier's lane counts: 1, 2, 4 and every core the
+/// host has, deduped and sorted. Counts above `host_threads` are kept —
+/// an oversubscribed curve is still a real measurement (flat-to-negative
+/// scaling), and the `--gate-threads` gate skips ratios the recording
+/// host could not genuinely parallelize.
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut v = vec![1, 2, 4, max];
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
 fn main() {
@@ -407,7 +431,19 @@ fn main() {
             (warm_out, n_out)
         };
         for temporal in [false, true] {
-            bench_multisweep(&h, &mut rows, &pool, &star, size, SWEEPS, temporal, warm, n);
+            bench_multisweep(
+                &h,
+                "native2d_sweeps",
+                &mut rows,
+                &pool,
+                &star,
+                size,
+                SWEEPS,
+                1,
+                temporal,
+                warm,
+                n,
+            );
         }
     }
 
@@ -415,6 +451,58 @@ fn main() {
     let heat3 = presets::heat3d();
     bench_3d(&h, &mut rows, &pool, &heat3, 64, 1, warm_in, n_in);
     bench_3d(&h, &mut rows, &pool, &heat3, 192, 1, warm_out, n_out);
+
+    // Saturated-machine tier (ISSUE 6): the out-of-cache acceptance
+    // shapes at 1/2/4/all-core lane counts, one scaling curve per
+    // executor path — single-sweep best kernel (star + box), the hybrid
+    // 8×8 kernel (its staged-NT store policy is lane-aware), the
+    // temporal/naive multi-sweep pair, and the 3-D parallel path. The
+    // t1 points double as the scaling denominators in `check_bench_json
+    // --gate-threads`.
+    for &t in &thread_counts() {
+        for spec in [&star, &boxs] {
+            bench_2d(
+                &h,
+                "native_scaling",
+                &mut rows,
+                &pool,
+                spec,
+                4096,
+                t,
+                Kernel::Best,
+                warm_out,
+                n_out,
+            );
+        }
+        bench_2d(
+            &h,
+            "native_scaling",
+            &mut rows,
+            &pool,
+            &star,
+            4096,
+            t,
+            Kernel::Forced(Dispatch::Hybrid),
+            warm_out,
+            n_out,
+        );
+        for temporal in [false, true] {
+            bench_multisweep(
+                &h,
+                "native_scaling_sweeps",
+                &mut rows,
+                &pool,
+                &star,
+                4096,
+                SWEEPS,
+                t,
+                temporal,
+                warm_out,
+                n_out,
+            );
+        }
+        bench_3d(&h, &mut rows, &pool, &heat3, 192, t, warm_out, n_out);
+    }
 
     let best = Dispatch::detect().label();
     let speedup = match (
@@ -451,6 +539,21 @@ fn main() {
     };
     if let Some(s) = hybrid_speedup {
         println!("speedup star2d5p/4096/t1 hybrid8x8 vs {best}: {s:.2}x");
+    }
+    // Scaling summary: best-kernel wall-clock ratio t-vs-1 on the
+    // out-of-cache acceptance case (the same ratio `check_bench_json
+    // --gate-threads` recomputes from the JSON).
+    for &t in thread_counts().iter().filter(|&&t| t > 1) {
+        let ratio = match (
+            min_median_of(&rows, "star2d5p", 4096, 1, 1, best),
+            min_median_of(&rows, "star2d5p", 4096, 1, t, best),
+        ) {
+            (Some(one), Some(tn)) if tn > 0.0 => Some(one / tn),
+            _ => None,
+        };
+        if let Some(s) = ratio {
+            println!("scaling star2d5p/4096 {best} t{t} vs t1: {s:.2}x");
+        }
     }
 
     let doc = Json::object([

@@ -14,6 +14,13 @@
 //! it against the committed baseline (smoke samples are far too noisy
 //! to gate on; the real gates live in `check_bench_json`).
 //!
+//! After the per-case diff, a scaling section lists every
+//! (stencil, size, sweeps, kernel) config measured at more than one
+//! thread count, with its t-vs-t1 wall-clock ratios in OLD and NEW side
+//! by side — so a change that leaves single-thread medians intact but
+//! flattens the multi-core curve is visible in the report, not just in
+//! the raw per-thread rows.
+//!
 //! Exit codes: 0 ok/report-only, 1 regression (with
 //! `--fail-on-regression`) or malformed input, 2 unreadable file.
 
@@ -115,6 +122,56 @@ fn main() {
         if !old.contains_key(key) {
             println!("added      {key} (new {new_s:.4}s)");
         }
+    }
+    // Per-thread-count scaling: fold each artifact's cases into
+    // (stencil/size/sweeps/kernel) -> threads -> median and report the
+    // t-vs-t1 ratio curves side by side. `curves` keys look like
+    // "star2d5p/4096/s1/{t}/avx2+fma" with the thread segment abstracted
+    // out.
+    let curves = |cases: &BTreeMap<String, f64>| -> BTreeMap<String, BTreeMap<u64, f64>> {
+        let mut out: BTreeMap<String, BTreeMap<u64, f64>> = BTreeMap::new();
+        for (key, &median) in cases {
+            let parts: Vec<&str> = key.split('/').collect();
+            // stencil/size/sweeps/threads/kernel — skip anything else.
+            let [stencil, size, sweeps, threads, kernel] = parts[..] else {
+                continue;
+            };
+            let Some(t) = threads
+                .strip_prefix('t')
+                .and_then(|t| t.parse::<f64>().ok())
+            else {
+                continue;
+            };
+            let base = format!("{stencil}/{size}/{sweeps}/{{t}}/{kernel}");
+            out.entry(base).or_default().insert(t as u64, median);
+        }
+        out.retain(|_, by_t| by_t.len() > 1 && by_t.contains_key(&1));
+        out
+    };
+    let (old_curves, new_curves) = (curves(&old), curves(&new));
+    let mut bases: Vec<&String> = old_curves.keys().chain(new_curves.keys()).collect();
+    bases.sort();
+    bases.dedup();
+    if !bases.is_empty() {
+        println!("--- scaling (t-vs-t1 wall-clock ratio; higher is better) ---");
+    }
+    for base in bases {
+        let render = |c: Option<&BTreeMap<u64, f64>>| -> String {
+            let Some(by_t) = c else {
+                return "absent".to_string();
+            };
+            let one = by_t[&1];
+            by_t.iter()
+                .filter(|(t, _)| **t > 1)
+                .map(|(t, m)| format!("t{t} {:.2}x", one / m))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "scaling    {base}: old [{}] -> new [{}]",
+            render(old_curves.get(base)),
+            render(new_curves.get(base))
+        );
     }
     println!(
         "bench_diff: {compared} cases compared, {regressions} below the {threshold:.2} threshold"

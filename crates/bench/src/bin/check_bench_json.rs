@@ -14,6 +14,15 @@
 //! gate is `4096:1.10`; smoke runs use a loose `4096:0.9`). Both may be
 //! passed more than once.
 //!
+//! `--gate-threads=SIZE:LANES:MINRATIO` gates multi-core scaling: the
+//! best single-sweep star2d5p median at `LANES` threads must beat the
+//! best at 1 thread by `MINRATIO` (the acceptance gate is
+//! `4096:4:1.6`). When the artifact's recorded `host_threads` is below
+//! `LANES` the gate is *skipped with a notice* rather than failed — a
+//! 1-core recorder cannot genuinely run 4 lanes, and failing there
+//! would just teach people to delete the gate. All gate flags may be
+//! passed more than once.
+//!
 //! Exit codes: 0 ok, 1 malformed/incomplete/gate failure, 2
 //! missing/unreadable.
 
@@ -28,16 +37,34 @@ fn main() {
     let mut path: Option<String> = None;
     let mut gates: Vec<(f64, f64)> = Vec::new();
     let mut hybrid_gates: Vec<(f64, f64)> = Vec::new();
+    let mut thread_gates: Vec<(f64, f64, f64)> = Vec::new();
     let parse_gate = |flag: &str, spec: &str| -> (f64, f64) {
         spec.split_once(':')
             .and_then(|(size, ratio)| Some((size.parse::<f64>().ok()?, ratio.parse::<f64>().ok()?)))
             .unwrap_or_else(|| fail(1, format!("bad {flag} spec '{spec}' (want SIZE:MINRATIO)")))
+    };
+    let parse_thread_gate = |spec: &str| -> (f64, f64, f64) {
+        let mut it = spec.split(':');
+        match (
+            it.next().and_then(|s| s.parse::<f64>().ok()),
+            it.next().and_then(|s| s.parse::<f64>().ok()),
+            it.next().and_then(|s| s.parse::<f64>().ok()),
+            it.next(),
+        ) {
+            (Some(size), Some(lanes), Some(ratio), None) if lanes >= 2.0 => (size, lanes, ratio),
+            _ => fail(
+                1,
+                format!("bad --gate-threads spec '{spec}' (want SIZE:LANES:MINRATIO, LANES >= 2)"),
+            ),
+        }
     };
     for arg in std::env::args().skip(1) {
         if let Some(spec) = arg.strip_prefix("--gate-temporal=") {
             gates.push(parse_gate("--gate-temporal", spec));
         } else if let Some(spec) = arg.strip_prefix("--gate-hybrid=") {
             hybrid_gates.push(parse_gate("--gate-hybrid", spec));
+        } else if let Some(spec) = arg.strip_prefix("--gate-threads=") {
+            thread_gates.push(parse_thread_gate(spec));
         } else {
             path = Some(arg);
         }
@@ -66,6 +93,10 @@ fn main() {
     // both the main and the hybrid bench group; keep every row and
     // compare best against best.
     let mut single: Vec<(f64, String, f64)> = Vec::new();
+    // (size, threads) -> median_s across every single-sweep star2d5p
+    // row (the scaling gate compares best-of-any-kernel at LANES
+    // against best-of-any-kernel at 1 thread).
+    let mut scaling: Vec<(f64, f64, f64)> = Vec::new();
     for (i, row) in results.iter().enumerate() {
         let stencil = row
             .get("stencil")
@@ -112,6 +143,16 @@ fn main() {
             if let Some(kernel) = row.get("kernel").and_then(Json::as_str) {
                 let median = row.get("median_s").and_then(Json::as_f64).unwrap();
                 single.push((size, kernel.to_string(), median));
+            }
+        }
+        if stencil == "star2d5p" && sweeps == 1.0 {
+            if let Some(kernel) = row.get("kernel").and_then(Json::as_str) {
+                // The seed executor ignores the pool; keep it out of
+                // the scaling denominator.
+                if kernel != "seed" {
+                    let median = row.get("median_s").and_then(Json::as_f64).unwrap();
+                    scaling.push((size, threads, median));
+                }
             }
         }
         configs.insert(format!("{stencil}/{size}/s{sweeps}/{threads}"));
@@ -177,6 +218,53 @@ fn main() {
             );
         }
         println!("check_bench_json: hybrid gate {size}^2 ok ({ratio:.2}x >= {min_ratio})");
+    }
+    let host_threads = doc.get("host_threads").and_then(Json::as_f64);
+    for (size, lanes, min_ratio) in &thread_gates {
+        match host_threads {
+            Some(h) if h >= *lanes => {}
+            _ => {
+                let host = host_threads
+                    .map(|h| format!("{h}"))
+                    .unwrap_or_else(|| "an unrecorded number of".to_string());
+                println!(
+                    "check_bench_json: threads gate {size}^2 t{lanes} SKIPPED \
+                     (artifact recorded on a host with {host} threads; \
+                     {lanes} lanes cannot genuinely run in parallel there)"
+                );
+                continue;
+            }
+        }
+        let best_at = |threads: f64| {
+            scaling
+                .iter()
+                .filter(|(s, t, _)| *s == *size && *t == threads)
+                .map(|(_, _, m)| *m)
+                .min_by(f64::total_cmp)
+        };
+        let (one, many) = match (best_at(1.0), best_at(*lanes)) {
+            (Some(o), Some(m)) if m > 0.0 => (o, m),
+            _ => fail(
+                1,
+                format!(
+                    "{path}: no star2d5p single-sweep rows at size {size} for both \
+                     1 and {lanes} threads (run the scaling bench tier)"
+                ),
+            ),
+        };
+        let ratio = one / many;
+        if ratio < *min_ratio {
+            fail(
+                1,
+                format!(
+                    "{path}: scaling at {size}^2 is {ratio:.3}x at {lanes} threads \
+                     (t1 {one:.4}s / t{lanes} {many:.4}s), below the {min_ratio} gate"
+                ),
+            );
+        }
+        println!(
+            "check_bench_json: threads gate {size}^2 t{lanes} ok ({ratio:.2}x >= {min_ratio})"
+        );
     }
     println!(
         "check_bench_json: {path} ok ({} rows, {} configurations)",

@@ -89,14 +89,26 @@ impl Variant {
     /// The native executor's pool-parallel path (`threads` lanes of the
     /// global persistent pool, best dispatch).
     pub fn native_parallel(threads: usize) -> Variant {
+        Self::native_parallel_with(
+            format!("native/parallel{threads}"),
+            Dispatch::detect(),
+            threads,
+        )
+    }
+
+    /// A pool-parallel run of one *specific* dispatch path. Exists so
+    /// the matrix pins kernels whose store path is lane-aware (the
+    /// hybrid staged-NT policy) at a thread count that flips the
+    /// policy, not just at the auto-detected best kernel.
+    pub fn native_parallel_with(name: String, dispatch: Dispatch, threads: usize) -> Variant {
         Variant {
-            name: format!("native/parallel{threads}"),
+            name,
             star_only: false,
             runner: Box::new(move |spec, a| {
                 let mut out = a.clone();
                 native::apply_2d_parallel_in(
                     ThreadPool::global(),
-                    Dispatch::detect(),
+                    dispatch,
                     spec,
                     a,
                     &mut out,
@@ -182,8 +194,13 @@ pub fn registry() -> Vec<Variant> {
     let mut v = vec![
         Variant::reference(),
         Variant::native(Dispatch::Scalar),
+        Variant::native_parallel(2),
         Variant::native_parallel(4),
         Variant::native_temporal(3),
+        // The hybrid kernel under the pool at 3 lanes: per-lane bands
+        // shrink below the staged-NT threshold, so this pins the
+        // direct-store side of the lane-aware policy in the matrix.
+        Variant::native_parallel_with("native/hybrid8x8-par3".into(), Dispatch::Hybrid, 3),
         Variant::sim("lx2/hstencil", Method::HStencil, lx2, false),
         Variant::sim("lx2/vector-only", Method::VectorOnly, lx2, false),
         Variant::sim("lx2/matrix-stop", Method::MatrixOnly, lx2, false),
@@ -229,6 +246,16 @@ mod tests {
             names.iter().any(|n| n == "native/hybrid8x8"),
             "hybrid kernel missing from the matrix: {names:?}"
         );
+        for needed in [
+            "native/parallel2",
+            "native/parallel4",
+            "native/hybrid8x8-par3",
+        ] {
+            assert!(
+                names.iter().any(|n| n == needed),
+                "thread-scaling variant {needed} missing from the matrix: {names:?}"
+            );
+        }
     }
 
     #[test]

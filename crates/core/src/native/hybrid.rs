@@ -37,7 +37,13 @@
 //!    *directly* from the register tile — eight interleaved row
 //!    streams — thrashes the write-combining buffers and is ~10×
 //!    slower on the recorded bench host; one open NT stream at a time
-//!    is the shape WC hardware likes.
+//!    is the shape WC hardware likes. The staging decision is
+//!    **lane-aware** ([`staged_store_policy`]): each concurrent band
+//!    adds its own NT stream, and past [`MAX_NT_LANES`] streams the
+//!    DRAM-bus collision outweighs the saved read-for-ownership, so
+//!    saturated sweeps fall back to plain stores per band.
+//!    `HSTENCIL_NT=direct|staged` pins the choice; each staging lane
+//!    fences its own stores once per band before the pool barrier.
 //!
 //! # Accumulation order (the hybrid chain)
 //!
@@ -62,6 +68,7 @@
 
 use super::tile;
 use crate::stencil::StencilSpec;
+use std::sync::OnceLock;
 
 /// Radii with a monomorphized AVX2 tile body; larger radii take the
 /// scalar hybrid chain (bit-identical, just slower).
@@ -150,6 +157,90 @@ pub(crate) fn scalar_point_hybrid(taps: &TapsHybrid, a: &[f64], base: isize, str
 /// sweep.
 const STAGE_MIN_BAND_BYTES: usize = 4 << 20;
 
+/// Concurrent lanes beyond which the auto store policy abandons staged
+/// NT stores. Each lane's drain keeps one open sequential
+/// write-combining stream; up to two streams the memory controller
+/// services them as long bursts, but past that the interleaved NT
+/// traffic from sibling bands collides on the DRAM bus badly enough
+/// that plain (allocating) stores win back the read-for-ownership cost
+/// — DESIGN.md §10's contention caveat turned into a measured policy.
+const MAX_NT_LANES: usize = 2;
+
+/// Non-temporal store policy for streaming hybrid bands
+/// (`HSTENCIL_NT`): `auto` (default) stages when the band working set
+/// is streaming-sized *and* at most [`MAX_NT_LANES`] lanes run
+/// concurrently; `direct` / `staged` pin the path either way. Like
+/// `HSTENCIL_DISPATCH`, the policy only moves stores — both paths
+/// retire bit-identical values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum NtPolicy {
+    /// Band-size and lane-count aware heuristic (the default).
+    Auto,
+    /// Always plain stores, never a staging buffer.
+    Direct,
+    /// Always stage + NT-drain (when the vector tile runs at all).
+    Staged,
+}
+
+impl NtPolicy {
+    /// Parses an `HSTENCIL_NT` value; `None` means "keep auto".
+    pub(crate) fn from_env_str(v: &str) -> Option<NtPolicy> {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "direct" => Some(NtPolicy::Direct),
+            "staged" => Some(NtPolicy::Staged),
+            _ => None,
+        }
+    }
+
+    /// [`NtPolicy::from_env_str`] plus a warning for values that are
+    /// neither a known policy nor the explicit `auto`/empty spellings —
+    /// same convention as `HSTENCIL_DISPATCH`/`HSTENCIL_PREFETCH`.
+    pub(crate) fn from_env_str_warn(v: &str) -> (Option<NtPolicy>, Option<String>) {
+        let parsed = NtPolicy::from_env_str(v);
+        if parsed.is_some() {
+            return (parsed, None);
+        }
+        let warn = match v.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => None,
+            _ => Some(format!(
+                "hstencil: ignoring malformed HSTENCIL_NT={v:?} \
+                 (expected auto|direct|staged); using the lane-aware auto policy"
+            )),
+        };
+        (None, warn)
+    }
+
+    /// The process-wide `HSTENCIL_NT` override (env read once;
+    /// malformed values warn on stderr once and keep the auto policy).
+    fn env_override() -> Option<NtPolicy> {
+        static OVERRIDE: OnceLock<Option<NtPolicy>> = OnceLock::new();
+        *OVERRIDE.get_or_init(|| {
+            let v = std::env::var("HSTENCIL_NT").ok()?;
+            let (parsed, warn) = NtPolicy::from_env_str_warn(&v);
+            if let Some(w) = warn {
+                eprintln!("{w}");
+            }
+            parsed
+        })
+    }
+}
+
+/// Whether a band of `band_bytes` working set swept by one of `lanes`
+/// concurrent lanes should retire rows through the staged NT drain
+/// under `policy` (`None` = auto). Pure so the policy table is unit
+/// testable without touching the environment.
+pub(crate) fn staged_store_policy(
+    policy: Option<NtPolicy>,
+    lanes: usize,
+    band_bytes: usize,
+) -> bool {
+    match policy.unwrap_or(NtPolicy::Auto) {
+        NtPolicy::Direct => false,
+        NtPolicy::Staged => true,
+        NtPolicy::Auto => band_bytes > STAGE_MIN_BAND_BYTES && lanes <= MAX_NT_LANES,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep_band_hybrid(
     taps: &TapsHybrid,
@@ -161,6 +252,7 @@ pub(crate) fn sweep_band_hybrid(
     b_stride: usize,
     i_lo: usize,
     i_hi: usize,
+    lanes: usize,
 ) {
     // Unlike the 2×8 kernel's `rows_in_flight`, the reuse window here
     // is tiny (outputs live in registers), so the 4096² bench case gets
@@ -176,12 +268,16 @@ pub(crate) fn sweep_band_hybrid(
     // copy phase after each group (which costs ~25% wall-clock: the
     // bus then alternates read-only and write-only half-phases).
     #[cfg(target_arch = "x86_64")]
-    let mut stage =
-        if vector_ok && 2 * (i_hi - i_lo) * w * std::mem::size_of::<f64>() > STAGE_MIN_BAND_BYTES {
+    let mut stage = {
+        let band_bytes = 2 * (i_hi - i_lo) * w * std::mem::size_of::<f64>();
+        if vector_ok && staged_store_policy(NtPolicy::env_override(), lanes, band_bytes) {
             vec![0.0f64; 2 * 8 * cb]
         } else {
             Vec::new()
-        };
+        }
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = lanes;
     let mut j0 = 0usize;
     while j0 < w {
         let jw = cb.min(w - j0);
@@ -241,9 +337,15 @@ pub(crate) fn sweep_band_hybrid(
     }
     #[cfg(target_arch = "x86_64")]
     if !stage.is_empty() {
-        // Make the non-temporal stores globally visible before the band
-        // is handed back (the thread pool's join is not a WC flush).
-        // SAFETY: sfence is unconditionally available on x86-64.
+        // One sfence per band, on the lane that issued the NT stores:
+        // weakly-ordered stores must be globally visible before this
+        // lane reaches the pool's done-channel barrier (the barrier
+        // orders the channel message, not the WC buffers), and the
+        // fence must run on the storing thread — a single fence after
+        // the join could not flush sibling lanes' write-combining
+        // buffers. Per-band (not per-tile) placement keeps it off the
+        // hot path. SAFETY: sfence is unconditionally available on
+        // x86-64.
         unsafe { std::arch::x86_64::_mm_sfence() };
     }
 }
@@ -556,5 +658,51 @@ mod tests {
     fn reuse_rows_counts_the_inner_mla_window() {
         let taps = TapsHybrid::new(&presets::star2d5p());
         assert_eq!(taps.reuse_rows(), 4); // 2r+1 input rows + 1 store stream
+    }
+
+    #[test]
+    fn nt_env_parsing() {
+        assert_eq!(NtPolicy::from_env_str("direct"), Some(NtPolicy::Direct));
+        assert_eq!(NtPolicy::from_env_str(" STAGED "), Some(NtPolicy::Staged));
+        assert_eq!(NtPolicy::from_env_str("auto"), None);
+        assert_eq!(NtPolicy::from_env_str(""), None);
+        assert_eq!(NtPolicy::from_env_str("bogus"), None);
+    }
+
+    #[test]
+    fn nt_malformed_values_warn_with_value_and_default() {
+        let (parsed, warn) = NtPolicy::from_env_str_warn("bogus");
+        assert_eq!(parsed, None);
+        let warn = warn.expect("malformed value must produce a warning");
+        assert!(warn.contains("HSTENCIL_NT"), "{warn}");
+        assert!(warn.contains("\"bogus\""), "names the bad value: {warn}");
+        assert!(warn.contains("auto policy"), "names the default: {warn}");
+        // The intentional "keep auto" spellings stay silent.
+        assert_eq!(NtPolicy::from_env_str_warn("auto"), (None, None));
+        assert_eq!(NtPolicy::from_env_str_warn(""), (None, None));
+        assert!(NtPolicy::from_env_str_warn("direct").1.is_none());
+        assert!(NtPolicy::from_env_str_warn("staged").1.is_none());
+    }
+
+    #[test]
+    fn staged_store_policy_is_band_and_lane_aware() {
+        let big = STAGE_MIN_BAND_BYTES + 1;
+        let small = STAGE_MIN_BAND_BYTES;
+        // Auto: streaming bands stage while at most MAX_NT_LANES
+        // concurrent NT streams exist; more lanes fall back to direct.
+        assert!(staged_store_policy(None, 1, big));
+        assert!(staged_store_policy(None, 2, big));
+        assert!(!staged_store_policy(None, 3, big), "NT streams collide");
+        assert!(!staged_store_policy(None, 8, big));
+        // Auto: cache-resident bands never stage, at any lane count.
+        assert!(!staged_store_policy(None, 1, small));
+        assert!(!staged_store_policy(None, 2, small));
+        // Pins trump both dimensions.
+        for lanes in [1usize, 2, 3, 16] {
+            for bytes in [small, big] {
+                assert!(!staged_store_policy(Some(NtPolicy::Direct), lanes, bytes));
+                assert!(staged_store_policy(Some(NtPolicy::Staged), lanes, bytes));
+            }
+        }
     }
 }

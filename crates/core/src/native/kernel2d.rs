@@ -156,7 +156,10 @@ fn scalar_row(
 
 /// Sweeps output rows `i_lo .. i_hi` of a band. `dst[0]` must be element
 /// `(i_lo, 0)` of the output grid and rows are `b_stride` apart; `a_org`
-/// is the flat index of `(0, 0)` in `a`.
+/// is the flat index of `(0, 0)` in `a`. `lanes` is the number of pool
+/// lanes sweeping sibling bands concurrently (1 for a serial sweep) —
+/// it feeds the hybrid path's non-temporal store policy and can never
+/// change results.
 ///
 /// Column tiles are sized so the rows in flight stay cache-resident
 /// ([`tile::col_block`]); within a tile the AVX2 path walks row pairs.
@@ -172,6 +175,7 @@ pub(crate) fn sweep_band_2d(
     b_stride: usize,
     i_lo: usize,
     i_hi: usize,
+    lanes: usize,
 ) {
     if dispatch == Dispatch::Hybrid {
         // The hybrid schedule owns its own column tiling (its
@@ -187,8 +191,10 @@ pub(crate) fn sweep_band_2d(
             b_stride,
             i_lo,
             i_hi,
+            lanes,
         );
     }
+    let _ = lanes; // only the hybrid store policy is lane-aware
     let cb = tile::col_block(w, taps.rows_in_flight());
     let mut j0 = 0usize;
     while j0 < w {

@@ -32,10 +32,17 @@
 //!    itself across every decomposition, ULP-bounded vs the canonical
 //!    chain.
 //! 7. **Seeded autotuner** ([`tune`]) — per (pattern, radius, shape
-//!    class) plan cache choosing kernel + temporal geometry from a
-//!    deterministic seeded micro-benchmark, persisted to
-//!    `target/hstencil-tune.json`; `HSTENCIL_TUNE=off|force|<path>`
+//!    class, thread count) plan cache choosing kernel + temporal
+//!    geometry from a deterministic seeded micro-benchmark, persisted
+//!    to `target/hstencil-tune.json`; `HSTENCIL_TUNE=off|force|<path>`
 //!    overrides, `off` restoring heuristic dispatch bit-for-bit.
+//! 8. **Multi-core scaling as a first-class axis** (DESIGN.md §11) —
+//!    band splits are balanced ([`lane_span`]: lane loads differ by at
+//!    most one row, never an idle lane), the hybrid kernel's NT-store
+//!    choice is lane-aware (`HSTENCIL_NT`, [`hybrid`]), and
+//!    `HSTENCIL_THREADS` ([`threads`]) pins the lane count of every
+//!    auto entry point. Thread count can never change results — every
+//!    kernel is invariant to band decomposition.
 //!
 //! Dispatch is size-aware ([`Dispatch::for_width`]) and can be pinned
 //! with `HSTENCIL_DISPATCH=scalar|avx2` — both paths stay bit-identical
@@ -53,6 +60,7 @@ pub mod baseline;
 pub mod pool;
 pub mod prefetch;
 pub mod temporal;
+pub mod threads;
 pub mod tune;
 
 mod hybrid;
@@ -204,12 +212,14 @@ impl Dispatch {
         }
     }
 
-    /// Dispatch for one 2-D sweep of `spec` over an `h x w` grid, in
-    /// precedence order:
+    /// Dispatch for one 2-D sweep of `spec` over an `h x w` grid split
+    /// across `threads` lanes, in precedence order:
     ///
     /// 1. the `HSTENCIL_DISPATCH` env pin,
     /// 2. the autotuner's cached plan for this (pattern, radius,
-    ///    shape-class) key ([`tune::plan_for`]),
+    ///    shape-class, thread-count) key ([`tune::plan_for`]) — a
+    ///    dispatch tuned single-threaded never silently governs a
+    ///    saturated sweep,
     /// 3. with tuning enabled but no plan recorded: the hybrid 8×8
     ///    kernel for streaming (out-of-cache) shapes wide enough to
     ///    vector-tile — the measured win on the recorded bench host,
@@ -217,12 +227,12 @@ impl Dispatch {
     ///
     /// `HSTENCIL_TUNE=off` disables steps 2 *and* 3, restoring the PR 4
     /// decision tree bit-for-bit.
-    pub fn for_sweep(spec: &StencilSpec, h: usize, w: usize) -> Dispatch {
+    pub fn for_sweep(spec: &StencilSpec, h: usize, w: usize, threads: usize) -> Dispatch {
         if let Some(d) = Dispatch::env_override() {
             return d;
         }
         if spec.dims() == 2 && tune::enabled() {
-            if let Some(plan) = tune::plan_for(spec, h, w) {
+            if let Some(plan) = tune::plan_for(spec, h, w, threads) {
                 return plan.dispatch;
             }
             if Dispatch::avx2_available()
@@ -263,7 +273,7 @@ fn assert_shapes_3d(spec: &StencilSpec, a: &Grid3d, b: &Grid3d) {
 /// stencil and grid shape ([`Dispatch::for_sweep`] — tuned plan or
 /// heuristic).
 pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
-    apply_2d_with(Dispatch::for_sweep(spec, a.h(), a.w()), spec, a, b);
+    apply_2d_with(Dispatch::for_sweep(spec, a.h(), a.w(), 1), spec, a, b);
 }
 
 /// [`apply_2d_with`] with degenerate shapes rejected as a typed
@@ -295,16 +305,32 @@ pub fn apply_2d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid2d, b: &mut
     let end = b_org + (h - 1) * b_stride + w;
     let dst = &mut b.raw_mut()[b_org..end];
     kernel2d::sweep_band_2d(
-        dispatch, &taps, a_raw, a_org, a_stride, w, dst, b_stride, 0, h,
+        dispatch, &taps, a_raw, a_org, a_stride, w, dst, b_stride, 0, h, 1,
     );
 }
 
+/// Balanced contiguous split of `total` rows over `lanes`: lane `lane`
+/// owns `[lo, hi)` with the first `total % lanes` lanes one row taller,
+/// so lane loads differ by at most one row. The previous plain
+/// `div_ceil` split could idle whole lanes (12 rows over 5 lanes gave
+/// bands of 3/3/3/3 and a fifth lane with nothing to do — a 25% tail
+/// imbalance where 3/3/2/2/2 has 20% less critical-path work).
+pub fn lane_span(total: usize, lanes: usize, lane: usize) -> (usize, usize) {
+    debug_assert!(lanes >= 1 && lane < lanes);
+    let base = total / lanes;
+    let rem = total % lanes;
+    let lo = lane * base + lane.min(rem);
+    (lo, lo + base + usize::from(lane < rem))
+}
+
 /// One sweep of a 2-D stencil with rows distributed over `threads`
-/// lanes of the shared persistent pool.
+/// lanes of the shared persistent pool (`HSTENCIL_THREADS` pins the
+/// lane count process-wide, trumping `threads`).
 pub fn apply_2d_parallel(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d, threads: usize) {
+    let threads = threads::resolve(threads);
     apply_2d_parallel_in(
         ThreadPool::global(),
-        Dispatch::for_sweep(spec, a.h(), a.w()),
+        Dispatch::for_sweep(spec, a.h(), a.w(), threads),
         spec,
         a,
         b,
@@ -341,16 +367,14 @@ pub fn apply_2d_parallel_in(
         i_hi: usize,
     }
 
-    let rows_per = h.div_ceil(threads);
     let mut bands: Vec<Option<Band>> = Vec::with_capacity(threads);
     let mut rest = b.raw_mut();
     let mut consumed = 0usize;
     for t in 0..threads {
-        let i_lo = t * rows_per;
-        if i_lo >= h {
+        let (i_lo, i_hi) = lane_span(h, threads, t);
+        if i_lo >= i_hi {
             break;
         }
-        let i_hi = ((t + 1) * rows_per).min(h);
         let start = b_org + i_lo * b_stride;
         let end = b_org + (i_hi - 1) * b_stride + w;
         let (_, tail) = rest.split_at_mut(start - consumed);
@@ -372,7 +396,7 @@ pub fn apply_2d_parallel_in(
         if let Some(band) = band {
             kernel2d::sweep_band_2d(
                 dispatch, &taps, a_raw, a_org, a_stride, w, band.dst, b_stride, band.i_lo,
-                band.i_hi,
+                band.i_hi, lanes,
             );
         }
     });
@@ -432,8 +456,11 @@ pub fn apply_3d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid3d, b: &mut
 }
 
 /// One sweep of a 3-D stencil with `(plane, row)` pencils distributed
-/// over `threads` lanes of the shared persistent pool.
+/// over `threads` lanes of the shared persistent pool
+/// (`HSTENCIL_THREADS` pins the lane count process-wide, trumping
+/// `threads`).
 pub fn apply_3d_parallel(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d, threads: usize) {
+    let threads = threads::resolve(threads);
     apply_3d_parallel_in(
         ThreadPool::global(),
         Dispatch::for_width(a.w()),
@@ -479,17 +506,15 @@ pub fn apply_3d_parallel_in(
     }
 
     let rows = d * h;
-    let rows_per = rows.div_ceil(threads);
     let flat_row = |t: usize| b_org + (t / h) * b_ps + (t % h) * b_stride;
     let mut bands: Vec<Option<Band>> = Vec::with_capacity(threads);
     let mut rest = b.raw_mut();
     let mut consumed = 0usize;
     for t in 0..threads {
-        let t_lo = t * rows_per;
-        if t_lo >= rows {
+        let (t_lo, t_hi) = lane_span(rows, threads, t);
+        if t_lo >= t_hi {
             break;
         }
-        let t_hi = ((t + 1) * rows_per).min(rows);
         let start = flat_row(t_lo);
         let end = flat_row(t_hi - 1) + w;
         let (_, tail) = rest.split_at_mut(start - consumed);
@@ -526,7 +551,8 @@ pub fn apply_3d_parallel_in(
 /// steps per DRAM round-trip; cache-resident runs ping-pong plain
 /// sweeps. Both schedules are bit-identical to `sweeps` sequential
 /// [`apply_2d`] calls, and both use the shared persistent pool (worker
-/// threads spawned at most once per process).
+/// threads spawned at most once per process). `HSTENCIL_THREADS` pins
+/// the lane count process-wide, trumping `threads`.
 pub fn time_steps(spec: &StencilSpec, init: &Grid2d, sweeps: usize, threads: usize) -> Grid2d {
     temporal::time_steps_temporal(spec, init, sweeps, threads)
 }
@@ -624,6 +650,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn lane_span_is_balanced_and_covers_every_row() {
+        for total in [1usize, 2, 5, 12, 13, 100, 4096] {
+            for lanes in [1usize, 2, 3, 5, 7, 16] {
+                let spans: Vec<_> = (0..lanes).map(|k| lane_span(total, lanes, k)).collect();
+                // Contiguous, in-order, exact cover.
+                assert_eq!(spans[0].0, 0);
+                assert_eq!(spans[lanes - 1].1, total);
+                for k in 1..lanes {
+                    assert_eq!(spans[k].0, spans[k - 1].1, "total={total} lanes={lanes}");
+                }
+                // Balanced: lane loads differ by at most one row, and
+                // no lane idles unless there are fewer rows than lanes.
+                let sizes: Vec<_> = spans.iter().map(|&(lo, hi)| hi - lo).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "total={total} lanes={lanes} {sizes:?}");
+                if total >= lanes {
+                    assert!(*min >= 1, "idle lane: total={total} lanes={lanes}");
+                }
+            }
+        }
+        // The div_ceil regression case: 12 rows over 5 lanes must not
+        // leave a lane empty while another sweeps a 3-row band.
+        let spans: Vec<_> = (0..5).map(|k| lane_span(12, 5, k)).collect();
+        assert_eq!(spans, vec![(0, 3), (3, 6), (6, 8), (8, 10), (10, 12)]);
     }
 
     #[test]

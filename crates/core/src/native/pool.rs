@@ -56,14 +56,20 @@ enum Message {
     Exit,
 }
 
+/// Reported on the done channel instead of a lane index when the lane's
+/// job panicked (the worker catches the unwind, so its thread — and the
+/// pool — outlive the panic; the caller re-raises after the barrier).
+const LANE_PANICKED: usize = usize::MAX;
+
 /// The barrier that makes [`ThreadPool::run`]'s lifetime erasure sound.
 ///
 /// Counts jobs actually handed to workers and refuses to let the owning
-/// frame end — normally *or by unwind* — until each one has sent `done`
-/// or been dropped (a worker unwinding drops its job, and with `tx`
-/// released that closes the channel). `Drop` runs the same drain, so a
-/// panic in the lane-0 closure or mid-dispatch cannot outrun workers
-/// still holding the erased borrow.
+/// frame end — normally *or by unwind* — until each one has reported
+/// `done` (its lane index, or [`LANE_PANICKED`]) or been dropped (a
+/// worker *thread* dying drops its job, and with `tx` released that
+/// closes the channel). `Drop` runs the same drain, so a panic in the
+/// lane-0 closure or mid-dispatch cannot outrun workers still holding
+/// the erased borrow.
 struct DrainGuard {
     /// Our keep-alive clone source; dropped at the start of the drain
     /// so `recv` returning `Err` can only mean "no job holds a sender".
@@ -79,12 +85,21 @@ impl DrainGuard {
         self.tx.take();
         while self.outstanding > 0 {
             match self.rx.recv() {
+                Ok(LANE_PANICKED) => {
+                    // The lane's job panicked but its worker caught the
+                    // unwind and reported in: the barrier advances and
+                    // the panic is re-raised after it (never from here —
+                    // drain also runs from Drop during unwind, where
+                    // panicking would abort).
+                    self.outstanding -= 1;
+                    self.worker_panicked = true;
+                }
                 Ok(_) => self.outstanding -= 1,
                 // All senders gone with jobs still outstanding: a worker
-                // unwound and dropped its job. No job can touch the
-                // borrow any more, so the barrier is satisfied; record
-                // the panic instead of panicking here (drain also runs
-                // from Drop during unwind, where panicking would abort).
+                // *thread* died mid-job without reporting (not a caught
+                // job panic — something unwound the worker loop itself)
+                // and dropped its job. No job can touch the borrow any
+                // more, so the barrier is satisfied; record the failure.
                 Err(_) => {
                     self.outstanding = 0;
                     self.worker_panicked = true;
@@ -143,7 +158,11 @@ impl ThreadPool {
     /// Runs `f(lane, lanes)` once for every `lane` in `0..lanes` and
     /// returns when all lanes have finished. Lane 0 runs on the calling
     /// thread; lanes `1..lanes` run on pool workers (spawned now if the
-    /// pool is smaller than `lanes - 1`, reused otherwise).
+    /// pool is smaller than `lanes - 1`, reused otherwise). A panic can
+    /// never wedge the shared pool: workers catch a panicking job and
+    /// report it through the barrier (re-raised here, thread intact),
+    /// and a worker whose *thread* is nonetheless dead is evicted and
+    /// respawned on first contact instead of rejecting every later run.
     ///
     /// The done-channel barrier holds on *every* exit path, including
     /// unwinding: if the lane-0 call (or a mid-dispatch send) panics, a
@@ -183,18 +202,33 @@ impl ThreadPool {
             outstanding: 0,
             worker_panicked: false,
         };
-        for (k, w) in workers.iter().take(lanes - 1).enumerate() {
+        for k in 0..lanes - 1 {
             let job = Job {
                 f: f_static as *const JobFn<'static>,
                 lane: k + 1,
                 lanes,
                 done: guard.tx.as_ref().expect("sender taken early").clone(),
             };
-            // On failure the job (and its `done` sender) comes back in
-            // the SendError and is dropped here, so it never counts as
-            // outstanding and the guard's barrier stays exact.
-            w.tx.send(Message::Run(job))
-                .expect("native pool worker hung up");
+            // A failed send means worker `k`'s thread is gone (job
+            // panics are caught in the worker loop, but the loop itself
+            // can still unwind — e.g. a panic payload whose Drop
+            // panics): its receiver is dropped, so the channel rejects
+            // the job and hands it back in the SendError. Evict the
+            // dead worker, reap its thread, and dispatch the same job
+            // to a fresh replacement — a dead worker must never wedge
+            // the process-wide pool.
+            if let Err(rejected) = workers[k].tx.send(Message::Run(job)) {
+                let mut dead = std::mem::replace(&mut workers[k], self.spawn_worker());
+                if let Some(h) = dead.handle.take() {
+                    // The thread already unwound; join only reaps it
+                    // (and reports the stale panic payload, ignored).
+                    let _ = h.join();
+                }
+                workers[k]
+                    .tx
+                    .send(rejected.0)
+                    .expect("freshly spawned native pool worker hung up");
+            }
             guard.outstanding += 1;
         }
         f(0, lanes);
@@ -213,8 +247,22 @@ impl ThreadPool {
                     // SAFETY: `run` keeps the closure borrow alive until
                     // this job's `done` send is received.
                     let f = unsafe { &*job.f };
-                    f(job.lane, job.lanes);
-                    let _ = job.done.send(job.lane);
+                    // Catch a panicking job so the worker thread — and
+                    // with it the process-wide pool — survives: a dead
+                    // worker would reject every later dispatch, and
+                    // detecting the death only via the failed send is
+                    // racy (the receiver outlives the job for a moment
+                    // while the thread unwinds, so a recovery run could
+                    // enqueue a job no one will ever take). The panic is
+                    // reported through the barrier instead and re-raised
+                    // by the caller.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f(job.lane, job.lanes)
+                    }));
+                    let _ = job.done.send(match outcome {
+                        Ok(()) => job.lane,
+                        Err(_) => LANE_PANICKED,
+                    });
                 }
             })
             .expect("failed to spawn native pool worker");
@@ -355,6 +403,111 @@ mod tests {
             .or_else(|| msg.downcast_ref::<String>().map(String::as_str))
             .unwrap_or("");
         assert!(msg.contains("native pool worker panicked"), "got: {msg}");
+    }
+
+    #[test]
+    fn pool_survives_worker_panic() {
+        // Regression for the wedged-pool bug: a worker panic used to
+        // kill the worker thread, leave the dead Worker in the list, and
+        // make every later `run` die on "native pool worker hung up".
+        // The worker now catches the job panic (thread intact) and the
+        // caller re-raises it; the same pool must keep executing every
+        // lane afterwards.
+        let pool = ThreadPool::new();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(3, &|lane, _| {
+                if lane == 2 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        assert!(unwound.is_err(), "worker panic must propagate");
+        assert_eq!(pool.spawned_threads(), 2);
+        // The same scenario's pool runs again: all lanes execute.
+        for round in 0..3 {
+            let seen = AtomicUsize::new(0);
+            pool.run(3, &|lane, _| {
+                seen.fetch_or(1 << lane, Ordering::SeqCst);
+            });
+            assert_eq!(seen.load(Ordering::SeqCst), 0b111, "round {round}");
+        }
+        // No respawn was needed: the panicking lane's thread survived.
+        assert_eq!(pool.spawned_threads(), 2);
+    }
+
+    #[test]
+    fn dead_workers_are_evicted_and_respawned_on_dispatch() {
+        // The defense-in-depth half of the wedged-pool fix: if a worker
+        // thread is genuinely gone (here simulated by swapping in a
+        // Worker whose receiver is already dropped — exactly the state
+        // the old bug left behind), `run` must evict it, respawn a
+        // replacement and still execute every lane, instead of
+        // panicking on the failed send forever.
+        let pool = ThreadPool::new();
+        pool.run(4, &|_, _| {});
+        assert_eq!(pool.spawned_threads(), 3);
+        {
+            let mut workers = pool.workers.lock().unwrap();
+            let (tx, _dropped_rx) = mpsc::channel::<Message>();
+            let mut real = std::mem::replace(&mut workers[1], Worker { tx, handle: None });
+            let _ = real.tx.send(Message::Exit);
+            if let Some(h) = real.handle.take() {
+                let _ = h.join();
+            }
+        }
+        for round in 0..3 {
+            let seen = AtomicUsize::new(0);
+            pool.run(4, &|lane, _| {
+                seen.fetch_or(1 << lane, Ordering::SeqCst);
+            });
+            assert_eq!(seen.load(Ordering::SeqCst), 0b1111, "round {round}");
+        }
+        // Exactly one respawn: the dead slot, once, nothing else.
+        assert_eq!(pool.spawned_threads(), 4);
+    }
+
+    #[test]
+    fn repeated_worker_panics_keep_the_pool_usable() {
+        let pool = ThreadPool::new();
+        for round in 0..4 {
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(4, &|lane, _| {
+                    if lane == 3 {
+                        panic!("boom {round}");
+                    }
+                });
+            }));
+            assert!(unwound.is_err(), "round {round}");
+            let seen = AtomicUsize::new(0);
+            pool.run(4, &|lane, _| {
+                seen.fetch_or(1 << lane, Ordering::SeqCst);
+            });
+            assert_eq!(seen.load(Ordering::SeqCst), 0b1111, "round {round}");
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_serialize_on_the_shared_worker_list() {
+        // Two OS threads drive the same pool at once; the workers Mutex
+        // serializes the runs, so every lane of every run must execute
+        // exactly its own job set.
+        let pool = ThreadPool::new();
+        std::thread::scope(|s| {
+            for caller in 0..2usize {
+                let pool = &pool;
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let seen = AtomicUsize::new(0);
+                        pool.run(4, &|lane, lanes| {
+                            assert_eq!(lanes, 4, "caller {caller}");
+                            seen.fetch_or(1 << lane, Ordering::SeqCst);
+                        });
+                        assert_eq!(seen.load(Ordering::SeqCst), 0b1111, "caller {caller}");
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.spawned_threads(), 3);
     }
 
     #[test]

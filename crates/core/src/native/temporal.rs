@@ -145,6 +145,7 @@ fn tile_pipeline(
     (tc0, tc1): (isize, isize),
     steps: usize,
     scratch: &mut Scratch,
+    lanes: usize,
 ) {
     debug_assert!(steps >= 2);
     let r = taps.r;
@@ -219,6 +220,7 @@ fn tile_pipeline(
                 scratch.stride,
                 a0 as usize,
                 a1 as usize,
+                lanes,
             );
         } else {
             let a_org = -rr0 * ss + (c0 - cc0);
@@ -235,6 +237,7 @@ fn tile_pipeline(
                     dst_stride,
                     tr0 as usize,
                     tr1 as usize,
+                    lanes,
                 );
             } else {
                 let off = idx(a0, c0);
@@ -249,6 +252,7 @@ fn tile_pipeline(
                     scratch.stride,
                     a0 as usize,
                     a1 as usize,
+                    lanes,
                 );
             }
         }
@@ -275,12 +279,13 @@ fn band_pipeline(
     steps: usize,
     (th, tw): (usize, usize),
     scratch: &mut Scratch,
+    lanes: usize,
 ) {
     debug_assert!(steps >= 1);
     if steps == 1 {
         // Depth-1 superstep: a plain banded sweep, no scratch involved.
         kernel2d::sweep_band_2d(
-            dispatch, taps, src, src_org, src_stride, w, dst, dst_stride, lo, hi,
+            dispatch, taps, src, src_org, src_stride, w, dst, dst_stride, lo, hi, lanes,
         );
         return;
     }
@@ -305,6 +310,7 @@ fn band_pipeline(
                 (tc0 as isize, tc1 as isize),
                 steps,
                 scratch,
+                lanes,
             );
             tc0 = tc1;
         }
@@ -340,7 +346,7 @@ fn superstep(
         let mut sc = scratch[0].lock().unwrap_or_else(|e| e.into_inner());
         band_pipeline(
             dispatch, taps, src_raw, src_org, src_stride, h, w, dslice, b_stride, 0, h, steps,
-            tile_hw, &mut sc,
+            tile_hw, &mut sc, 1,
         );
         return;
     }
@@ -351,16 +357,14 @@ fn superstep(
         hi: usize,
     }
 
-    let rows_per = h.div_ceil(nb);
     let mut bands: Vec<Option<Band>> = Vec::with_capacity(nb);
     let mut rest = dst.raw_mut();
     let mut consumed = 0usize;
     for t in 0..nb {
-        let lo = t * rows_per;
-        if lo >= h {
+        let (lo, hi) = super::lane_span(h, nb, t);
+        if lo >= hi {
             break;
         }
-        let hi = ((t + 1) * rows_per).min(h);
         let start = b_org + lo * b_stride;
         let end = b_org + (hi - 1) * b_stride + w;
         let (_, tail) = rest.split_at_mut(start - consumed);
@@ -379,7 +383,7 @@ fn superstep(
             let mut sc = scratch[lane].lock().unwrap_or_else(|e| e.into_inner());
             band_pipeline(
                 dispatch, taps, src_raw, src_org, src_stride, h, w, band.dst, b_stride, band.lo,
-                band.hi, steps, tile_hw, &mut sc,
+                band.hi, steps, tile_hw, &mut sc, lanes,
             );
         }
     });
@@ -394,9 +398,10 @@ pub fn time_steps_temporal(
     sweeps: usize,
     threads: usize,
 ) -> Grid2d {
+    let threads = super::threads::resolve(threads);
     time_steps_temporal_in(
         ThreadPool::global(),
-        Dispatch::for_sweep(spec, init.h(), init.w()),
+        Dispatch::for_sweep(spec, init.h(), init.w(), threads),
         spec,
         init,
         sweeps,
@@ -437,7 +442,7 @@ pub fn time_steps_temporal_in(
     // knob is actually open, so callers that pin both (the tuner's own
     // measurement loop included) never touch the cache.
     let plan = if cfg.tile.is_none() || cfg.t_block.is_none() {
-        super::tune::plan_for(spec, h, w)
+        super::tune::plan_for(spec, h, w, threads)
     } else {
         None
     };

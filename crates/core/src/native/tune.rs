@@ -4,10 +4,15 @@
 //! micro-kernel family runs a sweep ([`Dispatch::for_width`]), the
 //! temporal trapezoid tile and the fused depth (`tile.rs` defaults).
 //! This module makes them data-driven: a [`Plan`] per
-//! **(pattern, radius, shape class)** key records the dispatch, the
-//! temporal tile geometry and the `t_block` that measured fastest on
-//! *this* host, persisted as JSON so later processes (and the bench
-//! suite) reuse the decision without re-measuring.
+//! **(pattern, radius, shape class, thread count)** key records the
+//! dispatch, the temporal tile geometry and the `t_block` that measured
+//! fastest on *this* host, persisted as JSON so later processes (and
+//! the bench suite) reuse the decision without re-measuring. The thread
+//! count is part of the key because the winning schedule changes with
+//! lane count (concurrent NT streams, per-lane cache share): before
+//! schema v2 a dispatch tuned single-threaded silently governed
+//! saturated sweeps. v1 plan files (no thread dimension) are rejected
+//! as stale on load, never misapplied.
 //!
 //! # Modes (`HSTENCIL_TUNE`, read once per process)
 //!
@@ -79,13 +84,22 @@ impl ShapeClass {
     }
 }
 
-/// The cache key: stencil pattern, radius, shape class.
-pub fn plan_key(spec: &StencilSpec, class: ShapeClass) -> String {
+/// The cache key: stencil pattern, radius, shape class, thread count.
+pub fn plan_key(spec: &StencilSpec, class: ShapeClass, threads: usize) -> String {
     let pattern = match spec.pattern() {
         Pattern::Star => "star",
         Pattern::Box => "box",
     };
-    format!("{pattern}/r{}/{}", spec.radius(), class.label())
+    format!("{pattern}/r{}/{}/t{threads}", spec.radius(), class.label())
+}
+
+/// True when `key` carries the schema-v2 thread dimension (a trailing
+/// `/t<lanes>` segment). v1 keys fail this and are dropped on parse.
+fn key_has_thread_dim(key: &str) -> bool {
+    key.rsplit('/')
+        .next()
+        .and_then(|seg| seg.strip_prefix('t'))
+        .is_some_and(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()))
 }
 
 /// One tuned decision: which kernel family sweeps, and the temporal
@@ -131,6 +145,11 @@ impl Plan {
     }
 }
 
+/// The persisted schema version. v1 keys had no thread dimension, so a
+/// plan tuned at one lane count governed every other; v2 appends
+/// `/t<lanes>` to the key and v1 documents are rejected as stale.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// The persisted plan cache: key → [`Plan`], with a JSON round-trip via
 /// the testkit value model.
 #[derive(Default, Clone, Debug, PartialEq)]
@@ -164,7 +183,7 @@ impl PlanSet {
     pub fn render(&self) -> String {
         let doc = Json::object([
             ("tool", "hstencil-tune".to_json()),
-            ("version", 1u64.to_json()),
+            ("version", SCHEMA_VERSION.to_json()),
             (
                 "plans",
                 Json::array(self.plans.iter().map(|(k, p)| p.to_json(k))),
@@ -173,13 +192,24 @@ impl PlanSet {
         doc.to_pretty() + "\n"
     }
 
-    /// Parses a rendered set. Unknown keys are ignored; entries whose
-    /// dispatch cannot run on this host are dropped (a plan file is
-    /// host-specific, not portable).
+    /// Parses a rendered set. Documents from another schema version are
+    /// an error — in particular v1 files, whose keys carry no thread
+    /// dimension, are stale rather than portable: silently keeping them
+    /// would re-introduce the single-thread-plan-governs-parallel-sweep
+    /// bug this version exists to fix. Within a current document,
+    /// unknown keys are ignored, keyless (thread-dimension-free) rows
+    /// are dropped, and entries whose dispatch cannot run on this host
+    /// are dropped (a plan file is host-specific, not portable).
     pub fn parse(text: &str) -> Result<PlanSet, String> {
         let doc = Json::parse(text).map_err(|e| e.to_string())?;
         if doc.get("tool").and_then(Json::as_str) != Some("hstencil-tune") {
             return Err("missing or wrong 'tool' tag".into());
+        }
+        let version = doc.get("version").and_then(Json::as_f64);
+        if version != Some(SCHEMA_VERSION as f64) {
+            return Err(format!(
+                "stale or unknown schema version {version:?} (want {SCHEMA_VERSION};                  pre-thread-key plans must be re-tuned, not reused)"
+            ));
         }
         let rows = doc
             .get("plans")
@@ -188,7 +218,9 @@ impl PlanSet {
         let mut set = PlanSet::default();
         for row in rows {
             if let Some((key, plan)) = Plan::from_json(row) {
-                set.plans.insert(key, plan);
+                if key_has_thread_dim(&key) {
+                    set.plans.insert(key, plan);
+                }
             }
         }
         Ok(set)
@@ -278,8 +310,13 @@ fn tune_seed() -> u64 {
 /// superstep over a representative grid of the key's shape class
 /// (normalized per fused sweep), timed with the testkit bench summary
 /// (median of 3). Exercises the candidate's kernel, tile geometry and
-/// fused depth in one number.
-pub fn measure_wall_clock(spec: &StencilSpec, class: ShapeClass) -> impl FnMut(&Candidate) -> f64 {
+/// fused depth in one number — at the key's own `threads`, so a plan
+/// records the schedule that actually won at that lane count.
+pub fn measure_wall_clock(
+    spec: &StencilSpec,
+    class: ShapeClass,
+    threads: usize,
+) -> impl FnMut(&Candidate) -> f64 {
     let (h, w) = match class {
         ShapeClass::Resident => (192usize, 192usize),
         ShapeClass::Streaming => (1280usize, 1280usize),
@@ -298,7 +335,7 @@ pub fn measure_wall_clock(spec: &StencilSpec, class: ShapeClass) -> impl FnMut(&
                     &spec,
                     &grid,
                     sweeps,
-                    1,
+                    threads,
                     Temporal {
                         t_block: Some(cand.t_block),
                         force_pipeline: true,
@@ -358,7 +395,7 @@ fn cache() -> &'static Mutex<PlanSet> {
                 Ok(set) => set,
                 Err(e) => {
                     eprintln!(
-                        "hstencil: ignoring malformed tune cache {}: {e}",
+                        "hstencil: ignoring stale or malformed tune cache {}: {e}",
                         path.display()
                     );
                     PlanSet::default()
@@ -388,11 +425,12 @@ fn persist(set: &PlanSet, path: &Path) {
     }
 }
 
-/// The cached plan for a 2-D sweep of `spec` over an `h x w` grid, or
-/// `None` when tuning is off / nothing is recorded for the key. In
-/// `force` mode a miss runs the wall-clock tuner once, memoizes the
-/// winner and persists the cache.
-pub fn plan_for(spec: &StencilSpec, h: usize, w: usize) -> Option<Plan> {
+/// The cached plan for a 2-D sweep of `spec` over an `h x w` grid split
+/// across `threads` lanes, or `None` when tuning is off / nothing is
+/// recorded for the key. In `force` mode a miss runs the wall-clock
+/// tuner once (at the key's own lane count), memoizes the winner and
+/// persists the cache.
+pub fn plan_for(spec: &StencilSpec, h: usize, w: usize, threads: usize) -> Option<Plan> {
     if spec.dims() != 2 {
         return None;
     }
@@ -402,7 +440,7 @@ pub fn plan_for(spec: &StencilSpec, h: usize, w: usize) -> Option<Plan> {
         Mode::File(_) => false,
     };
     let class = ShapeClass::of(h, w);
-    let key = plan_key(spec, class);
+    let key = plan_key(spec, class, threads);
     let mut set = cache().lock().unwrap_or_else(|e| e.into_inner());
     if let Some(plan) = set.get(&key) {
         return Some(plan);
@@ -410,7 +448,7 @@ pub fn plan_for(spec: &StencilSpec, h: usize, w: usize) -> Option<Plan> {
     if !force {
         return None;
     }
-    let mut measure = measure_wall_clock(spec, class);
+    let mut measure = measure_wall_clock(spec, class, threads);
     let plan = run_tuner_with(class, &mut measure);
     set.insert(key, plan);
     persist(&set, &default_path());
@@ -432,11 +470,36 @@ mod tests {
     }
 
     #[test]
-    fn plan_keys_are_stable() {
+    fn plan_keys_are_stable_and_thread_aware() {
         let star = presets::star2d5p();
         let boxs = presets::box2d25p();
-        assert_eq!(plan_key(&star, ShapeClass::Streaming), "star/r1/streaming");
-        assert_eq!(plan_key(&boxs, ShapeClass::Resident), "box/r2/resident");
+        assert_eq!(
+            plan_key(&star, ShapeClass::Streaming, 1),
+            "star/r1/streaming/t1"
+        );
+        assert_eq!(
+            plan_key(&star, ShapeClass::Streaming, 4),
+            "star/r1/streaming/t4"
+        );
+        assert_eq!(
+            plan_key(&boxs, ShapeClass::Resident, 16),
+            "box/r2/resident/t16"
+        );
+        // Distinct lane counts are distinct cache entries.
+        assert_ne!(
+            plan_key(&star, ShapeClass::Streaming, 1),
+            plan_key(&star, ShapeClass::Streaming, 4)
+        );
+        for threads in [1usize, 2, 4, 96] {
+            assert!(key_has_thread_dim(&plan_key(
+                &star,
+                ShapeClass::Streaming,
+                threads
+            )));
+        }
+        assert!(!key_has_thread_dim("star/r1/streaming"));
+        assert!(!key_has_thread_dim("star/r1/streaming/t"));
+        assert!(!key_has_thread_dim("star/r1/streaming/tx4"));
     }
 
     #[test]
@@ -476,7 +539,7 @@ mod tests {
     fn plan_set_round_trips_byte_identically() {
         let mut set = PlanSet::default();
         set.insert(
-            "star/r1/streaming".into(),
+            "star/r1/streaming/t1".into(),
             Plan {
                 dispatch: Dispatch::Hybrid,
                 tile: (128, 512),
@@ -484,7 +547,15 @@ mod tests {
             },
         );
         set.insert(
-            "box/r2/resident".into(),
+            "star/r1/streaming/t4".into(),
+            Plan {
+                dispatch: Dispatch::Scalar,
+                tile: (128, 512),
+                t_block: 4,
+            },
+        );
+        set.insert(
+            "box/r2/resident/t2".into(),
             Plan {
                 dispatch: Dispatch::Scalar,
                 tile: (64, 512),
@@ -501,17 +572,69 @@ mod tests {
     fn parse_rejects_foreign_documents() {
         assert!(PlanSet::parse("{}").is_err());
         assert!(PlanSet::parse("not json").is_err());
-        assert!(PlanSet::parse("{\"tool\":\"hstencil-tune\",\"plans\":4}").is_err());
+        assert!(PlanSet::parse("{\"tool\":\"hstencil-tune\",\"version\":2,\"plans\":4}").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_stale_v1_documents() {
+        // The exact shape PR 5 persisted: version 1, keys without a
+        // thread dimension. Reusing such a plan would let a
+        // single-thread tuning govern saturated sweeps, so the file is
+        // rejected as stale (the loader warns and re-tunes), never
+        // partially applied.
+        let v1 = "{\"tool\":\"hstencil-tune\",\"version\":1,\"plans\":[\
+                  {\"key\":\"star/r1/streaming\",\"dispatch\":\"hybrid8x8\",\
+                  \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8}]}";
+        let err = PlanSet::parse(v1).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+        assert!(err.contains("version"), "{err}");
+        // Versionless documents are equally stale.
+        let v0 = "{\"tool\":\"hstencil-tune\",\"plans\":[]}";
+        assert!(PlanSet::parse(v0).is_err());
+    }
+
+    #[test]
+    fn parse_drops_keyless_rows_in_current_documents() {
+        // A current-version document smuggling a thread-dimension-free
+        // key (hand-edited, or merged from an old file) has that row
+        // dropped rather than misapplied to every lane count.
+        let text = "{\"tool\":\"hstencil-tune\",\"version\":2,\"plans\":[\
+                    {\"key\":\"star/r1/streaming\",\"dispatch\":\"scalar\",\
+                    \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8},\
+                    {\"key\":\"star/r1/streaming/t2\",\"dispatch\":\"scalar\",\
+                    \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8}]}";
+        let set = PlanSet::parse(text).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.get("star/r1/streaming").is_none());
+        assert!(set.get("star/r1/streaming/t2").is_some());
     }
 
     #[test]
     fn parse_drops_unrunnable_entries() {
         // A dispatch label this host cannot run (or garbage) is dropped,
         // not an error — plan files are host-specific.
-        let text = "{\"tool\":\"hstencil-tune\",\"version\":1,\"plans\":[\
-                    {\"key\":\"star/r1/streaming\",\"dispatch\":\"riscv-rvv\",\
+        let text = "{\"tool\":\"hstencil-tune\",\"version\":2,\"plans\":[\
+                    {\"key\":\"star/r1/streaming/t1\",\"dispatch\":\"riscv-rvv\",\
                     \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8}]}";
         let set = PlanSet::parse(text).unwrap();
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn rendered_sets_round_trip_through_the_current_version() {
+        // What render() writes, parse() accepts — the old-format
+        // rejection above must never bite the current writer.
+        let mut set = PlanSet::default();
+        set.insert(
+            "box/r1/streaming/t8".into(),
+            Plan {
+                dispatch: Dispatch::Scalar,
+                tile: (64, 256),
+                t_block: 2,
+            },
+        );
+        let text = set.render();
+        assert!(text.contains("\"version\": 2"), "{text}");
+        assert_eq!(PlanSet::parse(&text).unwrap(), set);
     }
 }

@@ -1,15 +1,23 @@
-//! `HSTENCIL_DISPATCH` override, end to end. Lives in its own test
-//! binary because the override is read once per process (`OnceLock`):
-//! the env var must be set before the first dispatch decision, and no
-//! other test in this binary may want a different value.
+//! `HSTENCIL_DISPATCH` / `HSTENCIL_THREADS` overrides, end to end.
+//! Lives in its own test binary because the overrides are read once per
+//! process (`OnceLock`): the env vars must be set before the first
+//! dispatch/thread decision, no other test in this binary may want a
+//! different value, and — since tests run concurrently — *every* test
+//! here sets *both* vars (to the same values) before touching any
+//! override-reading API.
 
-use hstencil_core::native::{self, Dispatch};
+use hstencil_core::native::{self, pool::ThreadPool, threads, Dispatch};
 use hstencil_core::{presets, Grid2d};
+
+fn pin_env() {
+    std::env::set_var("HSTENCIL_DISPATCH", "scalar");
+    std::env::set_var("HSTENCIL_THREADS", "2");
+}
 
 #[test]
 fn scalar_override_pins_every_width_and_stays_bit_identical() {
     // Set before any dispatch decision in this process.
-    std::env::set_var("HSTENCIL_DISPATCH", "scalar");
+    pin_env();
 
     // The override trumps the size heuristic at every width, including
     // ones the heuristic would send to AVX2.
@@ -29,4 +37,34 @@ fn scalar_override_pins_every_width_and_stays_bit_identical() {
     let mut forced = Grid2d::zeros(33, 47, 1);
     native::apply_2d_with(Dispatch::Scalar, &spec, &grid, &mut forced);
     assert_eq!(via_env.max_interior_diff(&forced), 0.0);
+}
+
+#[test]
+fn threads_override_pins_the_lane_count_process_wide() {
+    // Set before any thread-count decision in this process.
+    pin_env();
+
+    // The pin trumps every caller request, including "fewer".
+    assert_eq!(threads::resolve(1), 2);
+    assert_eq!(threads::resolve(7), 2);
+    assert_eq!(threads::auto(), 2);
+
+    // End to end: a 5-thread request on the auto entry point runs 2
+    // lanes on the shared pool (1 spawned worker — this binary's only
+    // user of the global pool), and the result stays bit-identical to
+    // the serial sweep; the override can only ever change speed.
+    let spec = presets::star2d5p();
+    let grid = Grid2d::from_fn(64, 40, 1, |i, j| {
+        ((i * 13 + j * 7) % 23) as f64 * 0.17 - 1.5
+    });
+    let mut par = Grid2d::zeros(64, 40, 1);
+    native::apply_2d_parallel(&spec, &grid, &mut par, 5);
+    let mut serial = Grid2d::zeros(64, 40, 1);
+    native::apply_2d_with(Dispatch::Scalar, &spec, &grid, &mut serial);
+    assert_eq!(serial.max_interior_diff(&par), 0.0);
+    assert_eq!(
+        ThreadPool::global().spawned_threads(),
+        1,
+        "HSTENCIL_THREADS=2 must cap the lane count at 2 (1 worker + caller)"
+    );
 }
