@@ -11,6 +11,13 @@
 //! * `scalar` — the v2 `mul_add` chain, forced scalar dispatch,
 //! * the detected best dispatch (`avx2+fma` on x86-64).
 //!
+//! Two element-genericity groups ride along (DESIGN.md §12):
+//! `native2d_f32` times the best schedule at f32 vs f64 (the in-cache
+//! ratio is gated by `check_bench_json --gate-f32`), and
+//! `native2d_avx512` times the AVX-512 trait instances against the
+//! AVX2 ones at both element widths — recorded only on hosts with
+//! `avx512f`, absent (with a printed notice) elsewhere.
+//!
 //! Writes `BENCH_native.json` at the repository root via the testkit
 //! JSON writer; `--out=PATH` redirects the artifact (note the `=` form —
 //! a bare path argument would be taken as the harness bench filter).
@@ -24,13 +31,16 @@
 
 use hstencil_bench::runner::{workload_2d, workload_3d};
 use hstencil_core::native::{self, baseline, pool::ThreadPool};
-use hstencil_core::{presets, Dispatch, Grid2d, Grid3d, StencilSpec};
+use hstencil_core::{
+    presets, Dispatch, Dtype, Grid2d, Grid2dT, Grid3d, NativeElement, StencilSpec,
+};
 use hstencil_testkit::{Harness, Json, Summary, ToJson};
 
-/// One (stencil, size, sweeps, threads, kernel) measurement destined
-/// for JSON. `sweeps` is 1 for the single-sweep groups and > 1 for the
-/// multi-sweep (`time_steps`) group; `elems` counts every updated cell
-/// across all sweeps so `elems_per_s` stays comparable between the two.
+/// One (stencil, size, sweeps, threads, kernel, dtype) measurement
+/// destined for JSON. `sweeps` is 1 for the single-sweep groups and > 1
+/// for the multi-sweep (`time_steps`) group; `elems` counts every
+/// updated cell across all sweeps so `elems_per_s` stays comparable
+/// between the two.
 struct Row {
     stencil: String,
     dims: usize,
@@ -38,6 +48,7 @@ struct Row {
     sweeps: usize,
     threads: usize,
     kernel: &'static str,
+    dtype: &'static str,
     elems: u64,
     summary: Summary,
 }
@@ -52,6 +63,7 @@ impl Row {
             ("sweeps", self.sweeps.to_json()),
             ("threads", self.threads.to_json()),
             ("kernel", self.kernel.to_json()),
+            ("dtype", self.dtype.to_json()),
             ("samples", s.samples.to_json()),
             ("median_s", s.median.to_json()),
             ("p10_s", s.p10.to_json()),
@@ -76,9 +88,71 @@ impl Kernel {
             Kernel::Seed => "seed",
             Kernel::Forced(Dispatch::Scalar) => "scalar",
             Kernel::Forced(Dispatch::Avx2Fma) => "avx2+fma",
+            Kernel::Forced(Dispatch::Avx512) => "avx512",
             Kernel::Forced(Dispatch::Hybrid) => "hybrid8x8",
             Kernel::Best => Dispatch::detect().label(),
         }
+    }
+}
+
+/// [`bench_2d`] over an explicit element type. The seed executor is
+/// f64-only, so `Kernel::Seed` with `E = f32` is rejected at the call
+/// site (no config does this). f64 rows keep the pre-dtype bench id so
+/// the recorded trajectory stays diffable; other dtypes insert their
+/// label.
+#[allow(clippy::too_many_arguments)]
+fn bench_2d_e<E: NativeElement>(
+    h: &Harness,
+    group_name: &str,
+    rows: &mut Vec<Row>,
+    pool: &ThreadPool,
+    spec: &StencilSpec,
+    size: usize,
+    threads: usize,
+    kernel: Kernel,
+    warmup: usize,
+    samples: usize,
+) {
+    let grid = Grid2dT::<E>::convert_from(&workload_2d(size, size, spec.radius(), 42));
+    let mut out = Grid2dT::<E>::zeros(size, size, spec.radius());
+    let elems = (size * size) as u64;
+    let group = h
+        .group(group_name)
+        .warmup(warmup)
+        .sample_size(samples)
+        .throughput_elems(elems);
+    let dtype = E::DTYPE.label();
+    let id = if E::DTYPE == Dtype::F64 {
+        format!("{}/{}/t{}/{}", spec.name(), size, threads, kernel.label())
+    } else {
+        format!(
+            "{}/{}/t{}/{}/{}",
+            spec.name(),
+            size,
+            threads,
+            dtype,
+            kernel.label()
+        )
+    };
+    let summary = group.bench(&id, || match kernel {
+        Kernel::Seed => unreachable!("seed executor benches go through bench_2d (f64 only)"),
+        Kernel::Forced(d) => native::apply_2d_parallel_in(pool, d, spec, &grid, &mut out, threads),
+        Kernel::Best => {
+            native::apply_2d_parallel_in(pool, Dispatch::detect(), spec, &grid, &mut out, threads)
+        }
+    });
+    if let Some(summary) = summary {
+        rows.push(Row {
+            stencil: spec.name().to_string(),
+            dims: 2,
+            size,
+            sweeps: 1,
+            threads,
+            kernel: kernel.label(),
+            dtype,
+            elems,
+            summary,
+        });
     }
 }
 
@@ -95,6 +169,12 @@ fn bench_2d(
     warmup: usize,
     samples: usize,
 ) {
+    if kernel != Kernel::Seed {
+        bench_2d_e::<f64>(
+            h, group_name, rows, pool, spec, size, threads, kernel, warmup, samples,
+        );
+        return;
+    }
     let grid = workload_2d(size, size, spec.radius(), 42);
     let mut out = Grid2d::zeros(size, size, spec.radius());
     let elems = (size * size) as u64;
@@ -104,13 +184,7 @@ fn bench_2d(
         .sample_size(samples)
         .throughput_elems(elems);
     let id = format!("{}/{}/t{}/{}", spec.name(), size, threads, kernel.label());
-    let summary = group.bench(&id, || match kernel {
-        Kernel::Seed => baseline::apply_2d(spec, &grid, &mut out),
-        Kernel::Forced(d) => native::apply_2d_parallel_in(pool, d, spec, &grid, &mut out, threads),
-        Kernel::Best => {
-            native::apply_2d_parallel_in(pool, Dispatch::detect(), spec, &grid, &mut out, threads)
-        }
-    });
+    let summary = group.bench(&id, || baseline::apply_2d(spec, &grid, &mut out));
     if let Some(summary) = summary {
         rows.push(Row {
             stencil: spec.name().to_string(),
@@ -119,6 +193,7 @@ fn bench_2d(
             sweeps: 1,
             threads,
             kernel: kernel.label(),
+            dtype: "f64",
             elems,
             summary,
         });
@@ -187,6 +262,7 @@ fn bench_multisweep(
             sweeps,
             threads,
             kernel,
+            dtype: "f64",
             elems,
             summary,
         });
@@ -225,6 +301,7 @@ fn bench_3d(
             sweeps: 1,
             threads,
             kernel: label,
+            dtype: "f64",
             elems,
             summary,
         });
@@ -246,6 +323,7 @@ fn median_of(
                 && r.sweeps == sweeps
                 && r.threads == threads
                 && r.kernel == kernel
+                && r.dtype == "f64"
         })
         .map(|r| r.summary.median)
 }
@@ -253,6 +331,7 @@ fn median_of(
 /// Best (smallest) median across every row matching the config — the
 /// hybrid group and the main group both record the avx2+fma kernel at
 /// the acceptance size, and a ratio should compare best against best.
+/// Ratios are always within one dtype.
 fn min_median_of(
     rows: &[Row],
     stencil: &str,
@@ -260,6 +339,7 @@ fn min_median_of(
     sweeps: usize,
     threads: usize,
     kernel: &str,
+    dtype: &str,
 ) -> Option<f64> {
     rows.iter()
         .filter(|r| {
@@ -268,6 +348,23 @@ fn min_median_of(
                 && r.sweeps == sweeps
                 && r.threads == threads
                 && r.kernel == kernel
+                && r.dtype == dtype
+        })
+        .map(|r| r.summary.median)
+        .min_by(f64::total_cmp)
+}
+
+/// Best median at a (size, dtype) across every non-seed kernel — the
+/// f32-vs-f64 ratio compares the best schedule each element type has.
+fn min_median_any_kernel(rows: &[Row], stencil: &str, size: usize, dtype: &str) -> Option<f64> {
+    rows.iter()
+        .filter(|r| {
+            r.stencil == stencil
+                && r.size == size
+                && r.sweeps == 1
+                && r.threads == 1
+                && r.kernel != "seed"
+                && r.dtype == dtype
         })
         .map(|r| r.summary.median)
         .min_by(f64::total_cmp)
@@ -420,6 +517,85 @@ fn main() {
             }
         }
     }
+    // f32 vs f64 (DESIGN.md §12): the same best schedule at half the
+    // element width — in-cache the vector kernels retire twice the
+    // lanes per FMA, out-of-cache the sweep moves half the bytes. The
+    // acceptance gate (`check_bench_json --gate-f32`) pins the in-cache
+    // 256² ratio.
+    for size in [256usize, 4096] {
+        let (warm, n) = if size <= 256 {
+            (warm_in, n_in)
+        } else {
+            (warm_out, n_out)
+        };
+        bench_2d_e::<f64>(
+            &h,
+            "native2d_f32",
+            &mut rows,
+            &pool,
+            &star,
+            size,
+            1,
+            Kernel::Best,
+            warm,
+            n,
+        );
+        bench_2d_e::<f32>(
+            &h,
+            "native2d_f32",
+            &mut rows,
+            &pool,
+            &star,
+            size,
+            1,
+            Kernel::Best,
+            warm,
+            n,
+        );
+    }
+    // AVX-512 vs AVX2 at both element widths. Recorded only where the
+    // host has avx512f — the group is absent (with a notice) elsewhere,
+    // and gates over it skip rather than fail.
+    if Dispatch::avx512_available() {
+        for size in [256usize, 4096] {
+            let (warm, n) = if size <= 256 {
+                (warm_in, n_in)
+            } else {
+                (warm_out, n_out)
+            };
+            for kernel in [
+                Kernel::Forced(Dispatch::detect()),
+                Kernel::Forced(Dispatch::Avx512),
+            ] {
+                bench_2d_e::<f64>(
+                    &h,
+                    "native2d_avx512",
+                    &mut rows,
+                    &pool,
+                    &star,
+                    size,
+                    1,
+                    kernel,
+                    warm,
+                    n,
+                );
+                bench_2d_e::<f32>(
+                    &h,
+                    "native2d_avx512",
+                    &mut rows,
+                    &pool,
+                    &star,
+                    size,
+                    1,
+                    kernel,
+                    warm,
+                    n,
+                );
+            }
+        }
+    } else {
+        println!("native2d_avx512 group skipped: host lacks avx512f");
+    }
     // Multi-sweep (sweeps=8): naive ping-pong vs the temporal trapezoid
     // pipeline, in-cache through out-of-cache (the acceptance case is
     // 4096², where naive is DRAM-bound and fusing 8 steps pays off).
@@ -531,8 +707,8 @@ fn main() {
     // The acceptance ratio: hybrid 8×8 vs the best canonical kernel on
     // the out-of-cache single-sweep case (gated in verify.sh).
     let hybrid_speedup = match (
-        min_median_of(&rows, "star2d5p", 4096, 1, 1, best),
-        min_median_of(&rows, "star2d5p", 4096, 1, 1, "hybrid8x8"),
+        min_median_of(&rows, "star2d5p", 4096, 1, 1, best, "f64"),
+        min_median_of(&rows, "star2d5p", 4096, 1, 1, "hybrid8x8", "f64"),
     ) {
         (Some(canon), Some(hyb)) if hyb > 0.0 => Some(canon / hyb),
         _ => None,
@@ -540,13 +716,45 @@ fn main() {
     if let Some(s) = hybrid_speedup {
         println!("speedup star2d5p/4096/t1 hybrid8x8 vs {best}: {s:.2}x");
     }
+    // f32-vs-f64 ratio per size (best non-seed kernel each side; the
+    // in-cache point is the `--gate-f32` acceptance ratio).
+    let f32_speedup = |size: usize| match (
+        min_median_any_kernel(&rows, "star2d5p", size, "f64"),
+        min_median_any_kernel(&rows, "star2d5p", size, "f32"),
+    ) {
+        (Some(w), Some(n)) if n > 0.0 => Some(w / n),
+        _ => None,
+    };
+    let (f32_256, f32_4096) = (f32_speedup(256), f32_speedup(4096));
+    for (size, s) in [(256, f32_256), (4096, f32_4096)] {
+        if let Some(s) = s {
+            println!("speedup star2d5p/{size}/t1 f32 vs f64: {s:.2}x");
+        }
+    }
+    // avx512-vs-avx2 ratio per (size, dtype), where recorded.
+    let avx512_speedup = |size: usize, dtype: &str| match (
+        min_median_of(&rows, "star2d5p", size, 1, 1, best, dtype),
+        min_median_of(&rows, "star2d5p", size, 1, 1, "avx512", dtype),
+    ) {
+        (Some(canon), Some(wide)) if wide > 0.0 => Some(canon / wide),
+        _ => None,
+    };
+    let avx512_256 = avx512_speedup(256, "f64");
+    let avx512_4096 = avx512_speedup(4096, "f64");
+    for size in [256usize, 4096] {
+        for dtype in ["f64", "f32"] {
+            if let Some(s) = avx512_speedup(size, dtype) {
+                println!("speedup star2d5p/{size}/t1/{dtype} avx512 vs {best}: {s:.2}x");
+            }
+        }
+    }
     // Scaling summary: best-kernel wall-clock ratio t-vs-1 on the
     // out-of-cache acceptance case (the same ratio `check_bench_json
     // --gate-threads` recomputes from the JSON).
     for &t in thread_counts().iter().filter(|&&t| t > 1) {
         let ratio = match (
-            min_median_of(&rows, "star2d5p", 4096, 1, 1, best),
-            min_median_of(&rows, "star2d5p", 4096, 1, t, best),
+            min_median_of(&rows, "star2d5p", 4096, 1, 1, best, "f64"),
+            min_median_of(&rows, "star2d5p", 4096, 1, t, best, "f64"),
         ) {
             (Some(one), Some(tn)) if tn > 0.0 => Some(one / tn),
             _ => None,
@@ -560,6 +768,7 @@ fn main() {
         ("bench", "native_executor_v2".to_json()),
         ("smoke", smoke.to_json()),
         ("dispatch", best.to_json()),
+        ("avx512_available", Dispatch::avx512_available().to_json()),
         (
             "host_threads",
             std::thread::available_parallelism()
@@ -573,6 +782,10 @@ fn main() {
         ("speedup_temporal_star2d5p_2048_s8", t2048.to_json()),
         ("speedup_temporal_star2d5p_4096_s8", t4096.to_json()),
         ("speedup_hybrid_star2d5p_4096_t1", hybrid_speedup.to_json()),
+        ("speedup_f32_star2d5p_256_t1", f32_256.to_json()),
+        ("speedup_f32_star2d5p_4096_t1", f32_4096.to_json()),
+        ("speedup_avx512_star2d5p_256_t1", avx512_256.to_json()),
+        ("speedup_avx512_star2d5p_4096_t1", avx512_4096.to_json()),
     ]);
 
     // The trajectory file lives at the repo root, independent of the

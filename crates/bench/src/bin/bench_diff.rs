@@ -59,8 +59,17 @@ fn load(path: &str) -> BTreeMap<String, f64> {
             .and_then(Json::as_str)
             .unwrap_or_else(|| fail(1, format!("{path}: results[{i}] lacks 'stencil'")));
         let kernel = row.get("kernel").and_then(Json::as_str).unwrap_or("-");
+        // Rows recorded before the dtype axis existed are all f64; f64
+        // keeps the bare key so old and new artifacts stay comparable,
+        // other dtypes get their own cases instead of colliding.
+        let dtype = row.get("dtype").and_then(Json::as_str).unwrap_or("f64");
+        let dtype_seg = if dtype == "f64" {
+            String::new()
+        } else {
+            format!("/{dtype}")
+        };
         let key = format!(
-            "{stencil}/{}/s{}/t{}/{kernel}",
+            "{stencil}/{}{dtype_seg}/s{}/t{}/{kernel}",
             field("size"),
             field("sweeps"),
             field("threads")

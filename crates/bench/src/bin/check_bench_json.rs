@@ -23,10 +23,69 @@
 //! would just teach people to delete the gate. All gate flags may be
 //! passed more than once.
 //!
+//! `--gate-f32=SIZE:MINRATIO` gates element-width scaling: the best
+//! single-sweep single-thread star2d5p f64 median at `SIZE` divided by
+//! the best f32 median must reach `MINRATIO` (the acceptance gate is
+//! `256:1.3` — in-cache, f32 retires twice the lanes per FMA). When
+//! the artifact carries *no* f32 rows at `SIZE` — recorded before the
+//! `native2d_f32` group existed, or by a bench tier that skipped it —
+//! the gate is skipped with a notice naming the absent group, never
+//! silently passed and never failed. The pre-dtype gates above always
+//! compare f64 rows only (rows without a `dtype` field are f64).
+//!
 //! Exit codes: 0 ok, 1 malformed/incomplete/gate failure, 2
 //! missing/unreadable.
 
 use hstencil_testkit::Json;
+
+/// Outcome of one `--gate-f32` evaluation, factored pure so the
+/// absent-group skip contract is unit-testable.
+#[derive(Debug, PartialEq)]
+enum F32Gate {
+    /// Ratio met the bound.
+    Ok(f64),
+    /// The artifact has no f32 rows at this size — skip with a notice.
+    Skipped(String),
+    /// Rows present, ratio below the bound.
+    Fail(String),
+}
+
+/// Evaluates one f32 gate over `(size, dtype, median_s)` tuples of the
+/// single-sweep single-thread non-seed star2d5p rows.
+fn eval_f32_gate(rows: &[(f64, String, f64)], size: f64, min_ratio: f64) -> F32Gate {
+    let best = |dtype: &str| {
+        rows.iter()
+            .filter(|(s, d, _)| *s == size && d == dtype)
+            .map(|(_, _, m)| *m)
+            .min_by(f64::total_cmp)
+    };
+    let f32_best = match best("f32") {
+        Some(m) if m > 0.0 => m,
+        _ => {
+            return F32Gate::Skipped(format!(
+                "f32 gate {size}^2 SKIPPED (no f32 rows at this size — the artifact \
+                 predates the native2d_f32 bench group or the recording tier skipped it)"
+            ))
+        }
+    };
+    let f64_best = match best("f64") {
+        Some(m) if m > 0.0 => m,
+        _ => {
+            return F32Gate::Fail(format!(
+                "f32 rows exist at {size}^2 but no f64 denominator row does"
+            ))
+        }
+    };
+    let ratio = f64_best / f32_best;
+    if ratio < min_ratio {
+        F32Gate::Fail(format!(
+            "f32 speedup at {size}^2 is {ratio:.3}x (f64 {f64_best:.4}s / \
+             f32 {f32_best:.4}s), below the {min_ratio} gate"
+        ))
+    } else {
+        F32Gate::Ok(ratio)
+    }
+}
 
 fn fail(code: i32, msg: String) -> ! {
     eprintln!("check_bench_json: {msg}");
@@ -38,6 +97,7 @@ fn main() {
     let mut gates: Vec<(f64, f64)> = Vec::new();
     let mut hybrid_gates: Vec<(f64, f64)> = Vec::new();
     let mut thread_gates: Vec<(f64, f64, f64)> = Vec::new();
+    let mut f32_gates: Vec<(f64, f64)> = Vec::new();
     let parse_gate = |flag: &str, spec: &str| -> (f64, f64) {
         spec.split_once(':')
             .and_then(|(size, ratio)| Some((size.parse::<f64>().ok()?, ratio.parse::<f64>().ok()?)))
@@ -65,6 +125,8 @@ fn main() {
             hybrid_gates.push(parse_gate("--gate-hybrid", spec));
         } else if let Some(spec) = arg.strip_prefix("--gate-threads=") {
             thread_gates.push(parse_thread_gate(spec));
+        } else if let Some(spec) = arg.strip_prefix("--gate-f32=") {
+            f32_gates.push(parse_gate("--gate-f32", spec));
         } else {
             path = Some(arg);
         }
@@ -97,6 +159,9 @@ fn main() {
     // row (the scaling gate compares best-of-any-kernel at LANES
     // against best-of-any-kernel at 1 thread).
     let mut scaling: Vec<(f64, f64, f64)> = Vec::new();
+    // (size, dtype) -> median_s for the single-sweep single-thread
+    // non-seed star2d5p rows at every element width (the f32 gate).
+    let mut widths: Vec<(f64, String, f64)> = Vec::new();
     for (i, row) in results.iter().enumerate() {
         let stencil = row
             .get("stencil")
@@ -131,7 +196,9 @@ fn main() {
                     format!("{path}: results[{i}] ({stencil}) lacks 'threads'"),
                 )
             });
-        if stencil == "star2d5p" && sweeps > 1.0 {
+        // Rows recorded before the dtype axis existed are all f64.
+        let dtype = row.get("dtype").and_then(Json::as_str).unwrap_or("f64");
+        if stencil == "star2d5p" && sweeps > 1.0 && dtype == "f64" {
             let kernel = row
                 .get("kernel")
                 .and_then(Json::as_str)
@@ -142,10 +209,15 @@ fn main() {
         if stencil == "star2d5p" && sweeps == 1.0 && threads == 1.0 {
             if let Some(kernel) = row.get("kernel").and_then(Json::as_str) {
                 let median = row.get("median_s").and_then(Json::as_f64).unwrap();
-                single.push((size, kernel.to_string(), median));
+                if dtype == "f64" {
+                    single.push((size, kernel.to_string(), median));
+                }
+                if kernel != "seed" {
+                    widths.push((size, dtype.to_string(), median));
+                }
             }
         }
-        if stencil == "star2d5p" && sweeps == 1.0 {
+        if stencil == "star2d5p" && sweeps == 1.0 && dtype == "f64" {
             if let Some(kernel) = row.get("kernel").and_then(Json::as_str) {
                 // The seed executor ignores the pool; keep it out of
                 // the scaling denominator.
@@ -266,9 +338,77 @@ fn main() {
             "check_bench_json: threads gate {size}^2 t{lanes} ok ({ratio:.2}x >= {min_ratio})"
         );
     }
+    for (size, min_ratio) in &f32_gates {
+        match eval_f32_gate(&widths, *size, *min_ratio) {
+            F32Gate::Ok(ratio) => {
+                println!("check_bench_json: f32 gate {size}^2 ok ({ratio:.2}x >= {min_ratio})")
+            }
+            F32Gate::Skipped(notice) => println!("check_bench_json: {notice}"),
+            F32Gate::Fail(msg) => fail(1, format!("{path}: {msg}")),
+        }
+    }
     println!(
         "check_bench_json: {path} ok ({} rows, {} configurations)",
         results.len(),
         configs.len()
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{eval_f32_gate, F32Gate};
+
+    fn row(size: f64, dtype: &str, median: f64) -> (f64, String, f64) {
+        (size, dtype.to_string(), median)
+    }
+
+    #[test]
+    fn absent_f32_rows_skip_with_notice_instead_of_passing_silently() {
+        let rows = [row(256.0, "f64", 1.0e-4)];
+        match eval_f32_gate(&rows, 256.0, 1.3) {
+            F32Gate::Skipped(notice) => {
+                assert!(notice.contains("SKIPPED"), "notice: {notice}");
+                assert!(notice.contains("256"), "notice names the size: {notice}");
+            }
+            other => panic!("expected Skipped, got {other:?}"),
+        }
+        // A different size with f32 rows present is unaffected.
+        let rows = [row(256.0, "f64", 1.0e-4), row(512.0, "f32", 1.0e-4)];
+        assert!(matches!(
+            eval_f32_gate(&rows, 256.0, 1.3),
+            F32Gate::Skipped(_)
+        ));
+    }
+
+    #[test]
+    fn ratio_uses_the_best_median_per_dtype() {
+        let rows = [
+            row(256.0, "f64", 2.0e-4),
+            row(256.0, "f64", 1.5e-4), // best f64
+            row(256.0, "f32", 3.0e-4),
+            row(256.0, "f32", 1.0e-4), // best f32
+        ];
+        match eval_f32_gate(&rows, 256.0, 1.3) {
+            F32Gate::Ok(ratio) => assert!((ratio - 1.5).abs() < 1e-12, "ratio: {ratio}"),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ratio_below_the_bound_fails_with_both_medians_in_the_message() {
+        let rows = [row(256.0, "f64", 1.0e-4), row(256.0, "f32", 1.0e-4)];
+        match eval_f32_gate(&rows, 256.0, 1.3) {
+            F32Gate::Fail(msg) => {
+                assert!(msg.contains("1.000x"), "msg: {msg}");
+                assert!(msg.contains("below the 1.3 gate"), "msg: {msg}");
+            }
+            other => panic!("expected Fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_f64_denominator_is_a_hard_failure_not_a_skip() {
+        let rows = [row(256.0, "f32", 1.0e-4)];
+        assert!(matches!(eval_f32_gate(&rows, 256.0, 1.3), F32Gate::Fail(_)));
+    }
 }

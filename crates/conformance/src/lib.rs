@@ -12,7 +12,7 @@
 //! * [`instance`] — seeded random stencil instances (pattern × radius ×
 //!   coefficients × grid shape × field), with shrinking toward a minimal
 //!   failing instance and `TESTKIT_SEED` replay.
-//! * [`registry`] — the variant table. Adding a future kernel to the
+//! * [`mod@registry`] — the variant table. Adding a future kernel to the
 //!   whole oracle matrix is **one line** in [`registry::registry`].
 //! * [`ulp`] — ULP-bounded comparison conditioned on the instance
 //!   (different summation orders across matrix/vector/scalar paths are

@@ -22,7 +22,7 @@
 use crate::instance::Instance;
 use crate::registry::{RunResult, Variant};
 use crate::ulp::{
-    compare_interior, scale_tolerance, DIFFERENTIAL_SCALE_ULPS, METAMORPHIC_SCALE_ULPS,
+    compare_interior, scale_tolerance_for, DIFFERENTIAL_SCALE_ULPS, METAMORPHIC_SCALE_ULPS,
 };
 use hstencil_core::{reference, Grid2d, StencilSpec};
 
@@ -47,6 +47,15 @@ pub const PROPERTIES: &[(&str, Property)] = &[
     ("superposition-point-sources", check_superposition),
 ];
 
+/// The variant's tolerance for a `ulps` budget on this instance: ULPs
+/// of the conditioning scale, measured at the precision the variant
+/// computes in ([`Variant::dtype`]). An `f32` variant held to `f64`
+/// ULPs would fail on its own legal rounding; an `f32` budget is still
+/// ~10^4 below the O(scale) signal of a real bug.
+fn tolerance(v: &Variant, inst: &Instance, ulps: u64) -> f64 {
+    scale_tolerance_for(v.dtype(), inst.scale(), ulps)
+}
+
 /// Runs the variant, mapping `Unsupported` to `None`.
 fn run(v: &Variant, spec: &StencilSpec, input: &Grid2d) -> Result<Option<Grid2d>, String> {
     match v
@@ -68,7 +77,7 @@ pub fn check_differential(v: &Variant, inst: &Instance) -> Result<Outcome, Strin
     let mut want = input.clone();
     reference::try_apply_2d(&spec, &input, &mut want)
         .map_err(|e| format!("reference rejected the instance: {e}"))?;
-    let tol = scale_tolerance(inst.scale(), DIFFERENTIAL_SCALE_ULPS);
+    let tol = tolerance(v, inst, DIFFERENTIAL_SCALE_ULPS);
     compare_interior(&want, &got, tol)
         .map_err(|m| format!("[{}] diverges from reference: {m}", v.name()))?;
     Ok(Outcome::Checked)
@@ -118,7 +127,7 @@ pub fn check_translation(v: &Variant, inst: &Instance) -> Result<Outcome, String
         (Some(a), Some(b)) => (a, b),
         _ => return Ok(Outcome::Skipped),
     };
-    let tol = scale_tolerance(inst.scale(), DIFFERENTIAL_SCALE_ULPS);
+    let tol = tolerance(v, inst, DIFFERENTIAL_SCALE_ULPS);
     for i in 0..inst.h as isize - 1 {
         for j in 0..inst.w as isize - 1 {
             let (want, got) = (out_a.at(i + 1, j + 1), out_b.at(i, j));
@@ -152,7 +161,7 @@ pub fn check_superposition(v: &Variant, inst: &Instance) -> Result<Outcome, Stri
         (Some(x), Some(y), Some(z)) => (x, y, z),
         _ => return Ok(Outcome::Skipped),
     };
-    let tol = scale_tolerance(inst.scale(), METAMORPHIC_SCALE_ULPS);
+    let tol = tolerance(v, inst, METAMORPHIC_SCALE_ULPS);
     for i in 0..inst.h as isize {
         for j in 0..inst.w as isize {
             let (want, got) = (oa.at(i, j) + ob.at(i, j), oc.at(i, j));

@@ -9,8 +9,8 @@
 
 use crate::instance::Instance;
 use hstencil_core::{
-    native, reference, Dispatch, Grid2d, Method, Pattern, PlanError, StencilPlan, StencilSpec,
-    ThreadPool,
+    native, reference, Dispatch, Dtype, Grid2d, Grid2dT, Method, Pattern, PlanError, StencilPlan,
+    StencilSpec, ThreadPool,
 };
 use lx2_sim::MachineConfig;
 
@@ -30,6 +30,7 @@ type Runner = Box<dyn Fn(&StencilSpec, &Grid2d) -> Result<RunResult, String>>;
 pub struct Variant {
     name: String,
     star_only: bool,
+    dtype: Dtype,
     runner: Runner,
 }
 
@@ -37,6 +38,14 @@ impl Variant {
     /// The variant's display name (stable; used in reports and JSON).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The element type the variant computes in. The oracles size their
+    /// ULP budgets at this precision: an `f32` sweep's legal rounding
+    /// noise is ~2^29 times the `f64` floor, and holding it to the
+    /// `f64` budget would flag every correct `f32` kernel.
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
     }
 
     /// True if the variant's method only accepts star-shaped tables.
@@ -63,6 +72,7 @@ impl Variant {
         Variant {
             name: "reference".into(),
             star_only: false,
+            dtype: Dtype::F64,
             runner: Box::new(|spec, a| {
                 let mut out = a.clone();
                 reference::try_apply_2d(spec, a, &mut out)
@@ -77,11 +87,32 @@ impl Variant {
         Variant {
             name: format!("native/{}", dispatch.label()),
             star_only: false,
+            dtype: Dtype::F64,
             runner: Box::new(move |spec, a| {
                 let mut out = a.clone();
                 native::try_apply_2d_with(dispatch, spec, a, &mut out)
                     .map_err(|e| format!("native rejected a valid instance: {e}"))?;
                 Ok(RunResult::Output(out))
+            }),
+        }
+    }
+
+    /// A native-executor dispatch path computing in `f32`: the `f64`
+    /// instance input is rounded element-wise to `f32`, the sweep runs
+    /// entirely at that precision, and the output is widened back (an
+    /// exact conversion). The oracles see [`Variant::dtype`] and size
+    /// their budgets in `f32` ULPs of the conditioning scale.
+    pub fn native_f32(dispatch: Dispatch) -> Variant {
+        Variant {
+            name: format!("native/f32/{}", dispatch.label()),
+            star_only: false,
+            dtype: Dtype::F32,
+            runner: Box::new(move |spec, a| {
+                let a32 = Grid2dT::<f32>::convert_from(a);
+                let mut out32 = a32.clone();
+                native::try_apply_2d_with(dispatch, spec, &a32, &mut out32)
+                    .map_err(|e| format!("native f32 rejected a valid instance: {e}"))?;
+                Ok(RunResult::Output(Grid2d::convert_from(&out32)))
             }),
         }
     }
@@ -104,6 +135,7 @@ impl Variant {
         Variant {
             name,
             star_only: false,
+            dtype: Dtype::F64,
             runner: Box::new(move |spec, a| {
                 let mut out = a.clone();
                 native::apply_2d_parallel_in(
@@ -127,6 +159,7 @@ impl Variant {
         Variant {
             name: format!("native/temporal{threads}"),
             star_only: false,
+            dtype: Dtype::F64,
             runner: Box::new(move |spec, a| {
                 a.check_stencil(spec.radius(), a)
                     .map_err(|e| format!("native temporal rejected a valid instance: {e}"))?;
@@ -154,6 +187,7 @@ impl Variant {
         Variant {
             name: format!("sim/{tag}"),
             star_only,
+            dtype: Dtype::F64,
             runner: Box::new(move |spec, a| {
                 let plan = StencilPlan::new(spec, method).warmup(0);
                 match plan.run_2d(&cfg(), a) {
@@ -176,6 +210,7 @@ impl Variant {
         Variant {
             name: format!("{}+off-by-one", self.name),
             star_only: self.star_only,
+            dtype: self.dtype,
             runner: Box::new(move |spec, a| {
                 let lim = a.w() as isize + a.halo() as isize - 1;
                 let shifted =
@@ -220,6 +255,17 @@ pub fn registry() -> Vec<Variant> {
     if Dispatch::avx2_available() {
         v.push(Variant::native(Dispatch::Avx2Fma));
     }
+    // The f32 instantiation of the TileKernel trait (DESIGN.md §12),
+    // at the host's best canonical-chain dispatch. Judged at f32 ULP
+    // budgets via `Variant::dtype`.
+    v.push(Variant::native_f32(Dispatch::detect()));
+    // The AVX-512 instances register only where the host can execute
+    // them; on other hosts the matrix's coverage report simply lacks
+    // the avx512 rows (a visible, not silent, narrowing).
+    if Dispatch::avx512_available() {
+        v.push(Variant::native(Dispatch::Avx512));
+        v.push(Variant::native_f32(Dispatch::Avx512));
+    }
     v
 }
 
@@ -256,6 +302,39 @@ mod tests {
                 "thread-scaling variant {needed} missing from the matrix: {names:?}"
             );
         }
+        assert!(
+            names.iter().any(|n| n.starts_with("native/f32/")),
+            "f32 TileKernel instance missing from the matrix: {names:?}"
+        );
+        if Dispatch::avx512_available() {
+            for needed in ["native/avx512", "native/f32/avx512"] {
+                assert!(
+                    names.iter().any(|n| n == needed),
+                    "AVX-512 instance {needed} missing despite host support: {names:?}"
+                );
+            }
+        } else {
+            assert!(
+                !names.iter().any(|n| n.contains("avx512")),
+                "AVX-512 variants must not register without avx512f: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_variants_carry_their_dtype_and_everything_else_is_f64() {
+        for v in registry() {
+            let want = if v.name().starts_with("native/f32/") {
+                Dtype::F32
+            } else {
+                Dtype::F64
+            };
+            assert_eq!(v.dtype(), want, "{} has the wrong dtype", v.name());
+        }
+        // The fault wrapper preserves the wrapped variant's dtype, so
+        // injected f32 faults are still judged at f32 budgets.
+        let wrapped = Variant::native_f32(Dispatch::Scalar).with_off_by_one();
+        assert_eq!(wrapped.dtype(), Dtype::F32);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! hold mathematically for any summation order while an off-by-one
 //! window read shows up at ~10¹⁵ scale-ULPs.
 
-use hstencil_core::Grid2d;
+use hstencil_core::{Dtype, Grid2d};
 
 /// Scale-ULP budget for cross-variant differential comparison.
 pub const DIFFERENTIAL_SCALE_ULPS: u64 = 1024;
@@ -25,9 +25,30 @@ pub fn ulp_of(x: f64) -> f64 {
     f64::from_bits(a.to_bits() + 1) - a
 }
 
+/// The ULP of `x` *as an `f32`*, returned in `f64` so tolerances stay
+/// one type. An `f32` variant's inputs and per-tap FMAs each round at
+/// `f32` granularity, so its legal noise floor is `~2^29` times the
+/// `f64` one — budgets for such variants must be measured here.
+pub fn ulp_of_f32(x: f64) -> f64 {
+    let a = (x.abs() as f32).max(f32::MIN_POSITIVE);
+    (f32::from_bits(a.to_bits() + 1) - a) as f64
+}
+
 /// Absolute tolerance equal to `ulps` ULPs of `scale`.
 pub fn scale_tolerance(scale: f64, ulps: u64) -> f64 {
     ulps as f64 * ulp_of(scale)
+}
+
+/// Absolute tolerance equal to `ulps` ULPs of `scale`, measured at the
+/// precision the variant computed in. The same symbolic budget (e.g.
+/// [`DIFFERENTIAL_SCALE_ULPS`]) is valid for both dtypes because the
+/// reorder/rounding analysis it came from counts *roundings*, and each
+/// rounding is one ULP of whichever significand did the arithmetic.
+pub fn scale_tolerance_for(dtype: Dtype, scale: f64, ulps: u64) -> f64 {
+    match dtype {
+        Dtype::F32 => ulps as f64 * ulp_of_f32(scale),
+        Dtype::F64 => ulps as f64 * ulp_of(scale),
+    }
 }
 
 /// Monotone total-order key: equal-magnitude floats of either sign map
@@ -126,6 +147,22 @@ mod tests {
         let t = scale_tolerance(1.0, DIFFERENTIAL_SCALE_ULPS);
         assert!(t > 1e-14 && t < 1e-12, "tolerance {t}");
         assert!(scale_tolerance(1000.0, 1024) > t);
+    }
+
+    #[test]
+    fn f32_tolerance_sits_between_f32_noise_and_the_bug_signal() {
+        // 1024 f32-ULPs at scale 1.0 is ~1.2e-4: above the ~49-rounding
+        // noise of a radius-3 f32 sweep, still ~10^4 below an O(scale)
+        // wrong-window read.
+        let t = scale_tolerance_for(Dtype::F32, 1.0, DIFFERENTIAL_SCALE_ULPS);
+        assert!(t > 1e-5 && t < 1e-3, "tolerance {t}");
+        // The f64 budget is the degenerate case of the dtype-aware one.
+        assert_eq!(
+            scale_tolerance_for(Dtype::F64, 3.5, DIFFERENTIAL_SCALE_ULPS),
+            scale_tolerance(3.5, DIFFERENTIAL_SCALE_ULPS)
+        );
+        // The precision gap is 2^29 (52 - 23 significand bits).
+        assert_eq!(ulp_of_f32(1.0), (1u64 << 29) as f64 * ulp_of(1.0));
     }
 
     #[test]

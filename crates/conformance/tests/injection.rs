@@ -4,7 +4,8 @@
 //! copy-pasteable `TESTKIT_SEED` replay line.
 
 use hstencil_conformance::oracle::check_differential;
-use hstencil_conformance::{registry, InstanceStrategy, Outcome};
+use hstencil_conformance::{registry, InstanceStrategy, Outcome, Variant};
+use hstencil_core::Dispatch;
 use hstencil_testkit::prop::{self, Config};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -58,5 +59,46 @@ fn off_by_one_in_any_variant_is_caught_with_a_replayable_counterexample() {
             text.contains(&name),
             "[{name}] failure does not identify the faulty variant:\n{text}"
         );
+    }
+}
+
+/// The trait-instance restatement of the proof above, pinned to the
+/// AVX-512 `TileKernel` instance specifically: an off-by-one in its tap
+/// window must fall out of the shrinking harness as a minimal,
+/// replayable counterexample. Skips with a notice on hosts without
+/// avx512f (where the instance cannot execute at all).
+#[test]
+fn off_by_one_in_the_avx512_instance_shrinks_to_a_minimal_counterexample() {
+    if !Dispatch::avx512_available() {
+        println!(
+            "avx512 fault-injection proof SKIPPED: host lacks avx512f, \
+             the instance cannot execute here"
+        );
+        return;
+    }
+    let faulty = Variant::native(Dispatch::Avx512).with_off_by_one();
+    let cfg = Config {
+        cases: 4,
+        seed: 0x0FF5_E512,
+        max_shrink_steps: 64,
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        prop::check(
+            &cfg,
+            &InstanceStrategy::star(),
+            |inst| match check_differential(&faulty, inst)? {
+                Outcome::Checked => Ok(()),
+                Outcome::Skipped => Err("native/avx512 skipped a star instance".into()),
+            },
+        );
+    }));
+    let text = panic_text(outcome.expect_err("the off-by-one AVX-512 instance went undetected"));
+    for needle in [
+        "minimal failing input",
+        "replay: TESTKIT_SEED=0x",
+        "Instance",
+        "native/avx512+off-by-one",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }
 }

@@ -1,10 +1,15 @@
-//! Padded 2-D and 3-D grids.
+//! Padded 2-D and 3-D grids, generic over the element type.
 //!
 //! Grids carry a halo of `halo` cells on every side (boundary values read
 //! by the stencil but never written), and are laid out so the interior
 //! origin of every row is aligned to a vector boundary — kernels can then
 //! use aligned `LD1D` for block loads and `EXT` for shifts.
+//!
+//! [`Grid2dT`] / [`Grid3dT`] are generic over [`Element`] (`f64` or
+//! `f32`); the [`Grid2d`] / [`Grid3d`] aliases pin the reference `f64`
+//! instantiation every pre-existing call site uses.
 
+use crate::element::Element;
 use lx2_isa::VLEN;
 use std::fmt;
 
@@ -72,7 +77,8 @@ impl fmt::Display for GridError {
 
 impl std::error::Error for GridError {}
 
-/// A 2-D grid with halo padding and vector-aligned rows.
+/// A 2-D grid with halo padding and vector-aligned rows, generic over
+/// the element type ([`Grid2d`] is the `f64` alias).
 ///
 /// ```
 /// use hstencil_core::Grid2d;
@@ -82,40 +88,38 @@ impl std::error::Error for GridError {}
 /// assert_eq!(g.stride() % 8, 0);   // rows are vector aligned
 /// ```
 #[derive(Clone, Debug, PartialEq)]
-pub struct Grid2d {
+pub struct Grid2dT<E: Element> {
     h: usize,
     w: usize,
     halo: usize,
     stride: usize,
     left: usize,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl Grid2d {
+/// The reference `f64` 2-D grid every pre-existing call site uses.
+pub type Grid2d = Grid2dT<f64>;
+
+impl<E: Element> Grid2dT<E> {
     /// Builds a zeroed grid with interior `h x w` and halo width `halo`.
     pub fn zeros(h: usize, w: usize, halo: usize) -> Self {
         let left = round_up(halo, VLEN);
         let stride = round_up(left + w + halo, VLEN);
         let rows = h + 2 * halo;
-        Grid2d {
+        Grid2dT {
             h,
             w,
             halo,
             stride,
             left,
-            data: vec![0.0; rows * stride],
+            data: vec![E::ZERO; rows * stride],
         }
     }
 
     /// Builds a grid by evaluating `f(i, j)` over interior *and* halo
     /// cells (`i, j` may be negative or exceed the interior).
-    pub fn from_fn(
-        h: usize,
-        w: usize,
-        halo: usize,
-        mut f: impl FnMut(isize, isize) -> f64,
-    ) -> Self {
-        let mut g = Grid2d::zeros(h, w, halo);
+    pub fn from_fn(h: usize, w: usize, halo: usize, mut f: impl FnMut(isize, isize) -> E) -> Self {
+        let mut g = Grid2dT::zeros(h, w, halo);
         let r = halo as isize;
         for i in -r..(h as isize + r) {
             for j in -r..(w as isize + r) {
@@ -124,6 +128,15 @@ impl Grid2d {
             }
         }
         g
+    }
+
+    /// Element-wise conversion from another element type (round-to-
+    /// nearest through `f64`) — how the conformance harness derives the
+    /// `f32` image of an `f64` instance input.
+    pub fn convert_from<S: Element>(src: &Grid2dT<S>) -> Self {
+        Grid2dT::from_fn(src.h, src.w, src.halo, |i, j| {
+            E::from_f64(src.at(i, j).to_f64())
+        })
     }
 
     /// Interior height.
@@ -146,7 +159,7 @@ impl Grid2d {
         self.stride
     }
 
-    /// Flat offset of interior cell `(0, 0)` within [`Grid2d::raw`].
+    /// Flat offset of interior cell `(0, 0)` within [`Grid2dT::raw`].
     pub fn origin(&self) -> usize {
         self.halo * self.stride + self.left
     }
@@ -161,24 +174,24 @@ impl Grid2d {
 
     /// Value at `(i, j)` (halo coordinates allowed).
     #[inline]
-    pub fn at(&self, i: isize, j: isize) -> f64 {
+    pub fn at(&self, i: isize, j: isize) -> E {
         self.data[self.index(i, j)]
     }
 
     /// Sets the value at `(i, j)` (halo coordinates allowed).
     #[inline]
-    pub fn set(&mut self, i: isize, j: isize, v: f64) {
+    pub fn set(&mut self, i: isize, j: isize, v: E) {
         let idx = self.index(i, j);
         self.data[idx] = v;
     }
 
     /// The full padded backing array.
-    pub fn raw(&self) -> &[f64] {
+    pub fn raw(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable access to the padded backing array.
-    pub fn raw_mut(&mut self) -> &mut [f64] {
+    pub fn raw_mut(&mut self) -> &mut [E] {
         &mut self.data
     }
 
@@ -186,8 +199,8 @@ impl Grid2d {
     /// from `self` — the cheap way to build a ping-pong destination that
     /// carries a Dirichlet boundary without paying for a full interior
     /// copy (`O(perimeter * halo)` instead of `O(h * w)`).
-    pub fn halo_image(&self) -> Grid2d {
-        let mut g = Grid2d::zeros(self.h, self.w, self.halo);
+    pub fn halo_image(&self) -> Self {
+        let mut g = Grid2dT::zeros(self.h, self.w, self.halo);
         let r = self.halo as isize;
         let (h, w) = (self.h as isize, self.w as isize);
         for i in (-r..0).chain(h..h + r) {
@@ -210,7 +223,7 @@ impl Grid2d {
     /// instead of panicking (or, worse, silently aliasing rows in a
     /// release build) — the contract the conformance fuzzer's
     /// degenerate-shape corpus pins down.
-    pub fn check_stencil(&self, radius: usize, out: &Grid2d) -> Result<(), GridError> {
+    pub fn check_stencil(&self, radius: usize, out: &Self) -> Result<(), GridError> {
         if (self.h, self.w) != (out.h, out.w) {
             return Err(GridError::ShapeMismatch {
                 a: [1, self.h, self.w],
@@ -229,24 +242,24 @@ impl Grid2d {
     }
 
     /// Maximum absolute interior difference against another grid of the
-    /// same interior shape.
-    pub fn max_interior_diff(&self, other: &Grid2d) -> f64 {
+    /// same interior shape (widened to `f64`).
+    pub fn max_interior_diff(&self, other: &Self) -> f64 {
         assert_eq!((self.h, self.w), (other.h, other.w));
         let mut worst: f64 = 0.0;
         for i in 0..self.h as isize {
             for j in 0..self.w as isize {
-                worst = worst.max((self.at(i, j) - other.at(i, j)).abs());
+                worst = worst.max((self.at(i, j).to_f64() - other.at(i, j).to_f64()).abs());
             }
         }
         worst
     }
 
     /// First interior cell whose difference exceeds `tol`, if any.
-    pub fn first_mismatch(&self, other: &Grid2d, tol: f64) -> Option<(usize, usize, f64, f64)> {
+    pub fn first_mismatch(&self, other: &Self, tol: f64) -> Option<(usize, usize, f64, f64)> {
         assert_eq!((self.h, self.w), (other.h, other.w));
         for i in 0..self.h as isize {
             for j in 0..self.w as isize {
-                let (a, b) = (self.at(i, j), other.at(i, j));
+                let (a, b) = (self.at(i, j).to_f64(), other.at(i, j).to_f64());
                 if (a - b).abs() > tol * (1.0 + a.abs().max(b.abs())) {
                     return Some((i as usize, j as usize, a, b));
                 }
@@ -256,9 +269,10 @@ impl Grid2d {
     }
 }
 
-/// A 3-D grid (`d` planes of `h x w`) with halo padding on every side.
+/// A 3-D grid (`d` planes of `h x w`) with halo padding on every side,
+/// generic over the element type ([`Grid3d`] is the `f64` alias).
 #[derive(Clone, Debug, PartialEq)]
-pub struct Grid3d {
+pub struct Grid3dT<E: Element> {
     d: usize,
     h: usize,
     w: usize,
@@ -266,10 +280,13 @@ pub struct Grid3d {
     stride: usize,
     left: usize,
     plane_stride: usize,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl Grid3d {
+/// The reference `f64` 3-D grid every pre-existing call site uses.
+pub type Grid3d = Grid3dT<f64>;
+
+impl<E: Element> Grid3dT<E> {
     /// Builds a zeroed grid with interior `d x h x w` and halo `halo`.
     pub fn zeros(d: usize, h: usize, w: usize, halo: usize) -> Self {
         let left = round_up(halo, VLEN);
@@ -277,7 +294,7 @@ impl Grid3d {
         let rows = h + 2 * halo;
         let plane_stride = rows * stride;
         let planes = d + 2 * halo;
-        Grid3d {
+        Grid3dT {
             d,
             h,
             w,
@@ -285,7 +302,7 @@ impl Grid3d {
             stride,
             left,
             plane_stride,
-            data: vec![0.0; planes * plane_stride],
+            data: vec![E::ZERO; planes * plane_stride],
         }
     }
 
@@ -295,9 +312,9 @@ impl Grid3d {
         h: usize,
         w: usize,
         halo: usize,
-        mut f: impl FnMut(isize, isize, isize) -> f64,
+        mut f: impl FnMut(isize, isize, isize) -> E,
     ) -> Self {
-        let mut g = Grid3d::zeros(d, h, w, halo);
+        let mut g = Grid3dT::zeros(d, h, w, halo);
         let r = halo as isize;
         for k in -r..(d as isize + r) {
             for i in -r..(h as isize + r) {
@@ -308,6 +325,14 @@ impl Grid3d {
             }
         }
         g
+    }
+
+    /// Element-wise conversion from another element type (round-to-
+    /// nearest through `f64`).
+    pub fn convert_from<S: Element>(src: &Grid3dT<S>) -> Self {
+        Grid3dT::from_fn(src.d, src.h, src.w, src.halo, |k, i, j| {
+            E::from_f64(src.at(k, i, j).to_f64())
+        })
     }
 
     /// Interior depth (number of planes).
@@ -354,31 +379,31 @@ impl Grid3d {
 
     /// Value at `(k, i, j)`.
     #[inline]
-    pub fn at(&self, k: isize, i: isize, j: isize) -> f64 {
+    pub fn at(&self, k: isize, i: isize, j: isize) -> E {
         self.data[self.index(k, i, j)]
     }
 
     /// Sets the value at `(k, i, j)`.
     #[inline]
-    pub fn set(&mut self, k: isize, i: isize, j: isize, v: f64) {
+    pub fn set(&mut self, k: isize, i: isize, j: isize, v: E) {
         let idx = self.index(k, i, j);
         self.data[idx] = v;
     }
 
     /// The full padded backing array.
-    pub fn raw(&self) -> &[f64] {
+    pub fn raw(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable access to the padded backing array.
-    pub fn raw_mut(&mut self) -> &mut [f64] {
+    pub fn raw_mut(&mut self) -> &mut [E] {
         &mut self.data
     }
 
     /// A zeroed grid of the same shape whose *halo* cells are copied
-    /// from `self` (the 3-D analogue of [`Grid2d::halo_image`]).
-    pub fn halo_image(&self) -> Grid3d {
-        let mut g = Grid3d::zeros(self.d, self.h, self.w, self.halo);
+    /// from `self` (the 3-D analogue of [`Grid2dT::halo_image`]).
+    pub fn halo_image(&self) -> Self {
+        let mut g = Grid3dT::zeros(self.d, self.h, self.w, self.halo);
         let r = self.halo as isize;
         let (d, h, w) = (self.d as isize, self.h as isize, self.w as isize);
         for k in (-r..0).chain(d..d + r) {
@@ -403,8 +428,8 @@ impl Grid3d {
         g
     }
 
-    /// The 3-D analogue of [`Grid2d::check_stencil`].
-    pub fn check_stencil(&self, radius: usize, out: &Grid3d) -> Result<(), GridError> {
+    /// The 3-D analogue of [`Grid2dT::check_stencil`].
+    pub fn check_stencil(&self, radius: usize, out: &Self) -> Result<(), GridError> {
         if (self.d, self.h, self.w) != (out.d, out.h, out.w) {
             return Err(GridError::ShapeMismatch {
                 a: [self.d, self.h, self.w],
@@ -422,14 +447,16 @@ impl Grid3d {
         Ok(())
     }
 
-    /// Maximum absolute interior difference against another grid.
-    pub fn max_interior_diff(&self, other: &Grid3d) -> f64 {
+    /// Maximum absolute interior difference against another grid
+    /// (widened to `f64`).
+    pub fn max_interior_diff(&self, other: &Self) -> f64 {
         assert_eq!((self.d, self.h, self.w), (other.d, other.h, other.w));
         let mut worst: f64 = 0.0;
         for k in 0..self.d as isize {
             for i in 0..self.h as isize {
                 for j in 0..self.w as isize {
-                    worst = worst.max((self.at(k, i, j) - other.at(k, i, j)).abs());
+                    worst =
+                        worst.max((self.at(k, i, j).to_f64() - other.at(k, i, j).to_f64()).abs());
                 }
             }
         }
@@ -605,5 +632,18 @@ mod tests {
         let g = Grid3d::from_fn(3, 3, 3, 1, |k, i, j| (k * 10000 + i * 100 + j) as f64);
         assert_eq!(g.at(2, 1, 0), 20100.0);
         assert_eq!(g.at(-1, -1, -1), -10101.0);
+    }
+
+    #[test]
+    fn f32_grid_shares_the_layout_and_converts_exactly_back() {
+        let g64 = Grid2d::from_fn(6, 9, 2, |i, j| (i * 100 + j) as f64 + 0.5);
+        let g32 = Grid2dT::<f32>::convert_from(&g64);
+        assert_eq!((g32.h(), g32.w(), g32.halo()), (6, 9, 2));
+        assert_eq!(g32.stride(), g64.stride(), "layout is dtype-independent");
+        // Small integers + 0.5 are exactly representable in f32, so the
+        // round trip is lossless here.
+        let back = Grid2d::convert_from(&g32);
+        assert_eq!(back.max_interior_diff(&g64), 0.0);
+        assert_eq!(g32.at(-2, -2), -201.5f32);
     }
 }

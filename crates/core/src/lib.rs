@@ -33,6 +33,7 @@
 //!   (Tables 1 and 5).
 
 pub mod analysis;
+pub mod element;
 pub mod error;
 pub mod grid;
 pub mod kernels;
@@ -45,12 +46,13 @@ pub mod report;
 pub mod stencil;
 pub mod table;
 
+pub use element::{Dtype, Element};
 pub use error::PlanError;
-pub use grid::{Grid2d, Grid3d, GridError};
+pub use grid::{Grid2d, Grid2dT, Grid3d, Grid3dT, GridError};
 pub use kernels::{Kernel, KernelCtx, KernelOptions, Plane};
 pub use method::Method;
 pub use multicore::{run_multicore, run_multicore_steps, MulticoreReport};
-pub use native::{pool::ThreadPool, Dispatch};
+pub use native::{pool::ThreadPool, Dispatch, NativeElement, TileKernel};
 pub use plan::{RunOutcome, RunOutcome3d, StencilPlan};
 pub use report::RunReport;
 pub use stencil::{presets, Pattern, StencilSpec};

@@ -45,6 +45,19 @@
 //!    `HSTENCIL_NT=direct|staged` pins the choice; each staging lane
 //!    fences its own stores once per band before the pool barrier.
 //!
+//! # Element genericity
+//!
+//! The tap split ([`TapsHybrid`]) and the scalar hybrid chain
+//! ([`scalar_point_hybrid`]) are generic over
+//! [`Element`](crate::element::Element); coefficients are narrowed from
+//! the f64 master spec once at construction. The AVX2 register tile
+//! ([`sweep_band_hybrid`]) stays f64-only — it is the hand-tuned bench
+//! kernel and its body is untouched by the trait refactor. Other
+//! element types run [`sweep_band_hybrid_staged`]: the same schedule
+//! and accumulation order computed by the scalar chain, with completed
+//! row groups retired through a generic staged NT drain
+//! ([`stage::Drain`]) under the same lane-aware policy.
+//!
 //! # Accumulation order (the hybrid chain)
 //!
 //! Every hybrid code path — the AVX2 tile, the column-tail scalar loop,
@@ -67,6 +80,7 @@
 //! [`Dispatch::Avx2Fma`]: super::Dispatch::Avx2Fma
 
 use super::tile;
+use crate::element::Element;
 use crate::stencil::StencilSpec;
 use std::sync::OnceLock;
 
@@ -77,28 +91,30 @@ pub(crate) const MAX_VECTOR_RADIUS: usize = 4;
 /// Taps of a 2-D stencil split the way Algorithm 2 consumes them:
 /// outer-axis (vertical, `dj == 0`) coefficients for the rank-1
 /// updates, inner-axis (`dj != 0`) taps for the vector MLA partial.
-pub(crate) struct TapsHybrid {
+/// Coefficients are narrowed from the f64 master spec once here, so
+/// every downstream path of one element type sees identical constants.
+pub(crate) struct TapsHybrid<E: Element> {
     /// Radius.
     pub r: isize,
     /// `vert[di + r]` is the coefficient at `(di, 0)`; zeros are
     /// skipped by both paths.
-    pub vert: Vec<f64>,
+    pub vert: Vec<E>,
     /// `(di, dj, c)` taps with `dj != 0`, `(di, dj)` ascending, nonzero
-    /// only.
-    pub inner: Vec<(isize, isize, f64)>,
+    /// only (filtered on the f64 master coefficient, before narrowing).
+    pub inner: Vec<(isize, isize, E)>,
 }
 
-impl TapsHybrid {
-    pub fn new(spec: &StencilSpec) -> TapsHybrid {
+impl<E: Element> TapsHybrid<E> {
+    pub fn new(spec: &StencilSpec) -> TapsHybrid<E> {
         assert_eq!(spec.dims(), 2);
         let r = spec.radius() as isize;
-        let vert = (-r..=r).map(|di| spec.c2(di, 0)).collect();
+        let vert = (-r..=r).map(|di| E::from_f64(spec.c2(di, 0))).collect();
         let mut inner = Vec::new();
         for di in -r..=r {
             for dj in -r..=r {
                 let c = spec.c2(di, dj);
                 if dj != 0 && c != 0.0 {
-                    inner.push((di, dj, c));
+                    inner.push((di, dj, E::from_f64(c)));
                 }
             }
         }
@@ -118,33 +134,41 @@ impl TapsHybrid {
 /// The hybrid chain for one element — the bit-identity contract every
 /// hybrid code path computes (see module docs).
 #[inline]
-pub(crate) fn scalar_point_hybrid(taps: &TapsHybrid, a: &[f64], base: isize, stride: isize) -> f64 {
+pub(crate) fn scalar_point_hybrid<E: Element>(
+    taps: &TapsHybrid<E>,
+    a: &[E],
+    base: isize,
+    stride: isize,
+) -> E {
     let r = taps.r;
-    let mut acc = 0.0f64;
+    let mut acc = E::ZERO;
     for (t, &c) in taps.vert.iter().enumerate() {
-        if c != 0.0 {
+        if c.to_f64() != 0.0 {
             acc = c.mul_add(a[(base + (t as isize - r) * stride) as usize], acc);
         }
     }
-    let mut part = 0.0f64;
+    let mut part = E::ZERO;
     for &(di, dj, c) in &taps.inner {
         part = c.mul_add(a[(base + di * stride + dj) as usize], part);
     }
-    1.0f64.mul_add(part, acc)
+    E::ONE.mul_add(part, acc)
 }
 
-/// Sweeps output rows `i_lo .. i_hi` of a band with the hybrid chain —
-/// the [`super::Dispatch::Hybrid`] counterpart of
-/// [`super::kernel2d::sweep_band_2d`] (same slice/offset contract:
-/// `dst[0]` is element `(i_lo, 0)`, rows `b_stride` apart, `a_org` the
-/// flat index of `(0, 0)` in `a`).
-///
-/// Row groups of 8 inside a column tile take the AVX2 register-tile
-/// path where available; the leftover `i_hi - i_lo mod 8` rows, column
-/// tails narrower than one 8-lane step, radii above
-/// [`MAX_VECTOR_RADIUS`] and non-x86 hosts all run
-/// [`scalar_point_hybrid`] — bit-identical, so the split is invisible
-/// in the output.
+/// One output row of the hybrid chain — the row body behind
+/// `HybridTile::execute` in [`super::kernel`].
+#[inline]
+pub(crate) fn scalar_row_hybrid<E: Element>(
+    taps: &TapsHybrid<E>,
+    a: &[E],
+    base: isize,
+    stride: isize,
+    dst: &mut [E],
+) {
+    for (j, d) in dst.iter_mut().enumerate() {
+        *d = scalar_point_hybrid(taps, a, base + j as isize, stride);
+    }
+}
+
 /// Band working set (input + output bytes) above which the AVX2 path
 /// retires rows into an L2 staging buffer and streams each completed
 /// row to `dst` with sequential non-temporal stores. Streaming the
@@ -210,17 +234,13 @@ impl NtPolicy {
         (None, warn)
     }
 
-    /// The process-wide `HSTENCIL_NT` override (env read once;
-    /// malformed values warn on stderr once and keep the auto policy).
+    /// The process-wide `HSTENCIL_NT` override (env read once through
+    /// [`super::env::cached`]; malformed values warn on stderr once and
+    /// keep the auto policy).
     fn env_override() -> Option<NtPolicy> {
         static OVERRIDE: OnceLock<Option<NtPolicy>> = OnceLock::new();
-        *OVERRIDE.get_or_init(|| {
-            let v = std::env::var("HSTENCIL_NT").ok()?;
-            let (parsed, warn) = NtPolicy::from_env_str_warn(&v);
-            if let Some(w) = warn {
-                eprintln!("{w}");
-            }
-            parsed
+        super::env::cached(&OVERRIDE, "HSTENCIL_NT", |v| {
+            NtPolicy::from_env_str_warn(v.unwrap_or(""))
         })
     }
 }
@@ -241,9 +261,21 @@ pub(crate) fn staged_store_policy(
     }
 }
 
+/// Sweeps output rows `i_lo .. i_hi` of a band with the hybrid chain —
+/// the [`super::Dispatch::Hybrid`] counterpart of
+/// [`super::kernel2d::sweep_band_2d`] (same slice/offset contract:
+/// `dst[0]` is element `(i_lo, 0)`, rows `b_stride` apart, `a_org` the
+/// flat index of `(0, 0)` in `a`).
+///
+/// Row groups of 8 inside a column tile take the AVX2 register-tile
+/// path where available; the leftover `i_hi - i_lo mod 8` rows, column
+/// tails narrower than one 8-lane step, radii above
+/// [`MAX_VECTOR_RADIUS`] and non-x86 hosts all run
+/// [`scalar_point_hybrid`] — bit-identical, so the split is invisible
+/// in the output.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep_band_hybrid(
-    taps: &TapsHybrid,
+    taps: &TapsHybrid<f64>,
     a: &[f64],
     a_org: isize,
     a_stride: isize,
@@ -258,7 +290,7 @@ pub(crate) fn sweep_band_hybrid(
     // is tiny (outputs live in registers), so the 4096² bench case gets
     // full-width tiles — long uninterrupted DRAM streams. Tiling it
     // into narrow strips costs ~35% of the kernel's bandwidth.
-    let cb = tile::col_block(w, taps.reuse_rows());
+    let cb = tile::col_block(w, taps.reuse_rows(), std::mem::size_of::<f64>());
     #[cfg(target_arch = "x86_64")]
     let vector_ok =
         super::Dispatch::avx2_available() && taps.r as usize <= MAX_VECTOR_RADIUS && cb >= 8;
@@ -347,6 +379,208 @@ pub(crate) fn sweep_band_hybrid(
         // hot path. SAFETY: sfence is unconditionally available on
         // x86-64.
         unsafe { std::arch::x86_64::_mm_sfence() };
+    }
+}
+
+/// The element-generic hybrid band sweep — same slice/offset contract
+/// and accumulation order as [`sweep_band_hybrid`], computed by the
+/// scalar hybrid chain (no vectorized tile body exists for non-f64
+/// elements yet; DESIGN.md §12 records the gap). What *is* shared with
+/// the f64 fast path is the store schedule: under the same lane-aware
+/// [`staged_store_policy`], completed 8-row groups retire through the
+/// generic ping-pong staged NT drain ([`stage::Drain`]), so streaming
+/// f32 bands still skip the destination read-for-ownership.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_band_hybrid_staged<E: super::kernel::NativeElement>(
+    taps: &TapsHybrid<E>,
+    a: &[E],
+    a_org: isize,
+    a_stride: isize,
+    w: usize,
+    dst: &mut [E],
+    b_stride: usize,
+    i_lo: usize,
+    i_hi: usize,
+    lanes: usize,
+) {
+    let cb = tile::col_block(w, taps.reuse_rows(), std::mem::size_of::<E>());
+    #[cfg(target_arch = "x86_64")]
+    let mut stage_buf = {
+        let band_bytes = 2 * (i_hi - i_lo) * w * std::mem::size_of::<E>();
+        // NT stores need AVX (`vmovntps`/`vmovntpd` through
+        // `NativeElement::stream_chunk`); gate on the same detection
+        // the f64 path uses.
+        if super::Dispatch::avx2_available()
+            && staged_store_policy(NtPolicy::env_override(), lanes, band_bytes)
+        {
+            vec![E::ZERO; 2 * 8 * cb]
+        } else {
+            Vec::new()
+        }
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = lanes;
+    let mut j0 = 0usize;
+    while j0 < w {
+        let jw = cb.min(w - j0);
+        let mut i = i_lo;
+        #[cfg(target_arch = "x86_64")]
+        if !stage_buf.is_empty() && jw > 0 {
+            let (s0, s1) = stage_buf.split_at_mut(8 * cb);
+            let bufs = [s0.as_mut_ptr(), s1.as_mut_ptr()];
+            let mut cur = 0usize;
+            let mut drain = stage::Drain::<E>::idle();
+            while i + 8 <= i_hi {
+                for k in 0..8usize {
+                    let base = a_org + (i + k) as isize * a_stride + j0 as isize;
+                    // SAFETY: `bufs[cur]` covers the full 8 x jw group;
+                    // the drain's source is the *other* staging buffer.
+                    // One drain chunk per computed row keeps the NT
+                    // stream advancing at production rate, like the
+                    // f64 tile's per-step `drain.step(64)`.
+                    unsafe {
+                        let out = std::slice::from_raw_parts_mut(bufs[cur].add(k * jw), jw);
+                        scalar_row_hybrid(taps, a, base, a_stride, out);
+                        drain.step(jw);
+                    }
+                }
+                // SAFETY: finishes the previous group, then re-arms the
+                // drain on the group just computed.
+                unsafe {
+                    drain.finish();
+                    drain = stage::Drain::new(
+                        bufs[cur],
+                        dst.as_mut_ptr().add((i - i_lo) * b_stride + j0),
+                        b_stride,
+                        jw,
+                    );
+                }
+                cur ^= 1;
+                i += 8;
+            }
+            // SAFETY: drains the last group's staging buffer.
+            unsafe { drain.finish() };
+        }
+        for ii in i..i_hi {
+            let base = a_org + ii as isize * a_stride + j0 as isize;
+            let off = (ii - i_lo) * b_stride + j0;
+            for (jj, d) in dst[off..off + jw].iter_mut().enumerate() {
+                *d = scalar_point_hybrid(taps, a, base + jj as isize, a_stride);
+            }
+        }
+        j0 += jw;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if !stage_buf.is_empty() {
+        // Same fence contract as the f64 path: flush this lane's
+        // write-combining buffers before the pool barrier. SAFETY:
+        // sfence is unconditionally available on x86-64.
+        unsafe { std::arch::x86_64::_mm_sfence() };
+    }
+}
+
+/// Element-generic staged NT drain — the [`avx2::Drain`] schedule
+/// (scalar head to 32-byte alignment, chunked NT middle, scalar tail,
+/// row-major so consecutive steps extend one open WC stream) with the
+/// NT middle delegated to `NativeElement::stream_chunk` so one body
+/// serves every element width. The f64 fast path keeps its hand-tuned
+/// monomorphic drain; this one backs [`sweep_band_hybrid_staged`].
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod stage {
+    use super::super::kernel::NativeElement;
+
+    /// In-flight drain of one staged 8-row group (see the f64
+    /// `avx2::Drain` for the schedule rationale).
+    pub(crate) struct Drain<E> {
+        src: *const E,
+        dst: *mut E,
+        dst_stride: usize,
+        jw: usize,
+        k: usize,
+        j: usize,
+    }
+
+    impl<E: NativeElement> Drain<E> {
+        /// A drain with nothing to do (before the first group).
+        pub(crate) fn idle() -> Drain<E> {
+            Drain {
+                src: std::ptr::null(),
+                dst: std::ptr::null_mut(),
+                dst_stride: 0,
+                jw: 0,
+                k: 8,
+                j: 0,
+            }
+        }
+
+        /// Drain for a completed `8 x jw` staging group: staging row
+        /// `k` (stride `jw` from `src`) goes to `dst + k * dst_stride`.
+        pub(crate) fn new(src: *const E, dst: *mut E, dst_stride: usize, jw: usize) -> Drain<E> {
+            Drain {
+                src,
+                dst,
+                dst_stride,
+                jw,
+                k: 0,
+                j: 0,
+            }
+        }
+
+        /// Copies up to `max_elems` (clipped at the current row's end)
+        /// with sequential NT stores: scalar head until `dst` is
+        /// 32-byte aligned, `NativeElement::stream_chunk` middle,
+        /// scalar tail. Mid-row chunks are trimmed to end on a 32-byte
+        /// boundary so chunk seams never mix scalar and NT stores in
+        /// one cache line (each seam would cost a partial
+        /// write-combining flush).
+        ///
+        /// # Safety
+        /// The source/destination ranges promised to [`Drain::new`]
+        /// must still be valid and disjoint, and the caller must have
+        /// verified AVX support (the policy gate in
+        /// [`super::sweep_band_hybrid_staged`] does).
+        pub(crate) unsafe fn step(&mut self, max_elems: usize) {
+            if self.k >= 8 {
+                return;
+            }
+            let elem = std::mem::size_of::<E>();
+            let mut n = max_elems.min(self.jw - self.j);
+            let src = self.src.add(self.k * self.jw + self.j);
+            let dst = self.dst.add(self.k * self.dst_stride + self.j);
+            if self.j + n < self.jw {
+                n -= ((dst.add(n) as usize) & 31) / elem;
+            }
+            let mut i = 0usize;
+            while i < n && (dst.add(i) as usize) & 31 != 0 {
+                *dst.add(i) = *src.add(i);
+                i += 1;
+            }
+            let lane = 32 / elem;
+            let mid = (n - i) / lane * lane;
+            if mid > 0 {
+                E::stream_chunk(dst.add(i), src.add(i), mid);
+                i += mid;
+            }
+            while i < n {
+                *dst.add(i) = *src.add(i);
+                i += 1;
+            }
+            self.j += n;
+            if self.j >= self.jw {
+                self.j = 0;
+                self.k += 1;
+            }
+        }
+
+        /// Drains everything still pending.
+        ///
+        /// # Safety
+        /// Same contract as [`Drain::step`].
+        pub(crate) unsafe fn finish(&mut self) {
+            while self.k < 8 {
+                self.step(self.jw.max(1));
+            }
+        }
     }
 }
 
@@ -468,7 +702,7 @@ mod avx2 {
     /// `drain`'s ranges must be valid and disjoint from `out`.
     #[allow(clippy::too_many_arguments)]
     pub(super) unsafe fn group8(
-        taps: &TapsHybrid,
+        taps: &TapsHybrid<f64>,
         a: &[f64],
         a_org: isize,
         a_stride: isize,
@@ -507,7 +741,7 @@ mod avx2 {
     #[allow(clippy::too_many_arguments)]
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn group8_r<const R: usize>(
-        taps: &TapsHybrid,
+        taps: &TapsHybrid<f64>,
         a: &[f64],
         a_org: isize,
         a_stride: isize,
@@ -624,7 +858,7 @@ mod tests {
     #[test]
     fn taps_split_covers_every_nonzero_once() {
         for spec in presets::suite_2d() {
-            let taps = TapsHybrid::new(&spec);
+            let taps = TapsHybrid::<f64>::new(&spec);
             let nv = taps.vert.iter().filter(|&&c| c != 0.0).count();
             assert_eq!(nv + taps.inner.len(), spec.points(), "{}", spec.name());
             // Inner taps sorted, nonzero, never on the vertical axis.
@@ -640,7 +874,7 @@ mod tests {
         // Sanity (not bit-exactness, which is vs the vector path): the
         // hybrid chain is a reassociation of the same tap sum.
         let spec = presets::box2d9p();
-        let taps = TapsHybrid::new(&spec);
+        let taps = TapsHybrid::<f64>::new(&spec);
         let stride = 8isize;
         let a: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
         let base = 3 * stride + 3;
@@ -655,8 +889,25 @@ mod tests {
     }
 
     #[test]
+    fn f32_taps_narrow_the_f64_master_coefficients() {
+        for spec in presets::suite_2d() {
+            let t64 = TapsHybrid::<f64>::new(&spec);
+            let t32 = TapsHybrid::<f32>::new(&spec);
+            assert_eq!(t32.vert.len(), t64.vert.len(), "{}", spec.name());
+            for (c32, c64) in t32.vert.iter().zip(&t64.vert) {
+                assert_eq!(*c32, *c64 as f32, "{}", spec.name());
+            }
+            assert_eq!(t32.inner.len(), t64.inner.len(), "{}", spec.name());
+            for (&(di32, dj32, c32), &(di64, dj64, c64)) in t32.inner.iter().zip(&t64.inner) {
+                assert_eq!((di32, dj32), (di64, dj64), "{}", spec.name());
+                assert_eq!(c32, c64 as f32, "{}", spec.name());
+            }
+        }
+    }
+
+    #[test]
     fn reuse_rows_counts_the_inner_mla_window() {
-        let taps = TapsHybrid::new(&presets::star2d5p());
+        let taps = TapsHybrid::<f64>::new(&presets::star2d5p());
         assert_eq!(taps.reuse_rows(), 4); // 2r+1 input rows + 1 store stream
     }
 
@@ -702,6 +953,66 @@ mod tests {
             for bytes in [small, big] {
                 assert!(!staged_store_policy(Some(NtPolicy::Direct), lanes, bytes));
                 assert!(staged_store_policy(Some(NtPolicy::Staged), lanes, bytes));
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn generic_drain_streams_rows_bit_exactly() {
+        if !super::super::Dispatch::avx2_available() {
+            eprintln!("skipping: host has no AVX for NT stores");
+            return;
+        }
+        // Odd jw and a stride wider than jw exercise the scalar
+        // head/tail around the chunked NT middle at both widths.
+        fn check<E: super::super::kernel::NativeElement>(mk: impl Fn(usize) -> E) {
+            let (rows, jw, dst_stride) = (8usize, 13usize, 20usize);
+            let src: Vec<E> = (0..rows * jw).map(&mk).collect();
+            let mut dst = vec![E::ZERO; rows * dst_stride];
+            let mut drain = stage::Drain::new(src.as_ptr(), dst.as_mut_ptr(), dst_stride, jw);
+            // SAFETY: ranges built above; AVX verified at entry.
+            unsafe {
+                drain.step(5); // partial row
+                drain.step(3); // still partial
+                drain.finish();
+                std::arch::x86_64::_mm_sfence();
+            }
+            for k in 0..rows {
+                for j in 0..jw {
+                    assert_eq!(
+                        dst[k * dst_stride + j].to_f64(),
+                        src[k * jw + j].to_f64(),
+                        "row {k} col {j}"
+                    );
+                }
+            }
+        }
+        check::<f32>(|i| (i as f32).sin());
+        check::<f64>(|i| (i as f64).sin());
+    }
+
+    #[test]
+    fn generic_staged_sweep_matches_the_scalar_chain_pointwise() {
+        // Small band => the auto policy keeps direct stores, but the
+        // full tile/band walk (column blocking, row indexing) runs; the
+        // result must equal the per-point hybrid chain exactly.
+        let spec = presets::star2d5p();
+        let taps = TapsHybrid::<f32>::new(&spec);
+        let r = spec.radius();
+        let (h, w) = (11usize, 23usize);
+        let a_stride = (w + 2 * r) as isize;
+        let a: Vec<f32> = (0..(h + 2 * r) * (w + 2 * r))
+            .map(|i| (i as f32 * 0.37).cos())
+            .collect();
+        let a_org = r as isize * a_stride + r as isize;
+        let mut dst = vec![0.0f32; h * w];
+        sweep_band_hybrid_staged(&taps, &a, a_org, a_stride, w, &mut dst, w, 0, h, 1);
+        for i in 0..h {
+            for j in 0..w {
+                let base = a_org + i as isize * a_stride + j as isize;
+                let want = scalar_point_hybrid(&taps, &a, base, a_stride);
+                assert_eq!(dst[i * w + j], want, "({i}, {j})");
             }
         }
     }

@@ -1,6 +1,7 @@
-//! Register-blocked 2-D micro-kernels with runtime SIMD dispatch.
+//! Register-blocked 2-D micro-kernels with runtime SIMD dispatch,
+//! generic over the element type.
 //!
-//! Both dispatch paths compute every output element as the *same*
+//! Every dispatch path computes every output element as the *same*
 //! fused-multiply-add chain over the nonzero taps in canonical
 //! `(di, dj)` ascending order, starting from `0.0`:
 //!
@@ -8,44 +9,53 @@
 //! acc <- fma(c_tap, a[i+di, j+dj], acc)      for each tap in order
 //! ```
 //!
-//! `_mm256_fmadd_pd` and `f64::mul_add` both round once per step, so the
-//! AVX2 path and the scalar fallback are **bit-identical** — dispatch can
-//! never change results, only speed (asserted by the
-//! `native_dispatch` property suite).
+//! `_mm256_fmadd_pd`, `_mm512_fmadd_pd` and `f64::mul_add` (and the
+//! `_ps`/`f32` counterparts) all round once per step, so every SIMD
+//! path and the scalar fallback are **bit-identical** within one
+//! element type — dispatch can never change results, only speed
+//! (asserted by the `native_dispatch` property suite).
 //!
-//! The AVX2 path is the in-register analogue of the paper's in-place
-//! accumulation (HStencil §3, Algorithm 2): it processes *two output
-//! rows × eight columns* per step, so every input row vector it loads is
-//! reused by all taps of both rows that touch it instead of being
-//! re-fetched once per tap the way the seed's tap-per-pass loop did.
+//! The SIMD paths are the in-register analogue of the paper's in-place
+//! accumulation (HStencil §3, Algorithm 2): each processes *two output
+//! rows* × a register-width-sized column block per step, so every input
+//! row vector it loads is reused by all taps of both rows that touch it
+//! instead of being re-fetched once per tap the way the seed's
+//! tap-per-pass loop did. The bodies live here; the band walk that
+//! drives them is the shared [`TileKernel::sweep_band`] default in
+//! [`super::kernel`].
+//!
+//! [`TileKernel::sweep_band`]: super::kernel::TileKernel::sweep_band
 
 use super::hybrid;
-use super::tile;
+use super::kernel::{NativeElement, TileKernel};
 use super::Dispatch;
+use crate::element::Element;
 use crate::stencil::StencilSpec;
 
-/// Preprocessed nonzero taps of a 2-D stencil.
-pub(crate) struct Taps2 {
+/// Preprocessed nonzero taps of a 2-D stencil, with coefficients
+/// narrowed to the kernel's element type (nonzero-ness is decided on
+/// the `f64` master value, so the tap *structure* is dtype-invariant).
+pub struct Taps2<E: Element> {
     /// Radius.
-    pub r: isize,
+    pub(crate) r: isize,
     /// Canonical `(di, dj, c)` chain — the bit-exactness contract.
-    pub flat: Vec<(isize, isize, f64)>,
+    pub(crate) flat: Vec<(isize, isize, E)>,
     /// Taps grouped by input row for one output row: `single[di + r]`
     /// lists `(dj, c)` ascending (nonzero only).
-    pub single: Vec<Vec<(isize, f64)>>,
+    pub(crate) single: Vec<Vec<(isize, E)>>,
     /// Taps grouped by input row for an output row *pair* `(i, i+1)`:
     /// `pair[e + r]` (input row `i + e`, `e` in `-r ..= r+1`) lists
     /// `(dj, c_row_i, c_row_i1)` merged ascending by `dj`; a zero
     /// coefficient means the tap does not touch that output row.
-    pub pair: Vec<Vec<(isize, f64, f64)>>,
+    pub(crate) pair: Vec<Vec<(isize, E, E)>>,
     /// The same taps split for the hybrid 8×8 register-tile schedule
     /// ([`super::hybrid`]): vertical rank-1 coefficients + inner MLA
     /// taps.
-    pub hybrid: hybrid::TapsHybrid,
+    pub(crate) hybrid: hybrid::TapsHybrid<E>,
 }
 
-impl Taps2 {
-    pub fn new(spec: &StencilSpec) -> Taps2 {
+impl<E: Element> Taps2<E> {
+    pub(crate) fn new(spec: &StencilSpec) -> Taps2<E> {
         assert_eq!(spec.dims(), 2);
         let r = spec.radius() as isize;
         let mut flat = Vec::new();
@@ -54,8 +64,8 @@ impl Taps2 {
             for dj in -r..=r {
                 let c = spec.c2(di, dj);
                 if c != 0.0 {
-                    flat.push((di, dj, c));
-                    single[(di + r) as usize].push((dj, c));
+                    flat.push((di, dj, E::from_f64(c)));
+                    single[(di + r) as usize].push((dj, E::from_f64(c)));
                 }
             }
         }
@@ -76,7 +86,7 @@ impl Taps2 {
         }
     }
 
-    fn row(single: &[Vec<(isize, f64)>], di: isize, r: isize) -> &[(isize, f64)] {
+    fn row(single: &[Vec<(isize, E)>], di: isize, r: isize) -> &[(isize, E)] {
         if di < -r || di > r {
             &[]
         } else {
@@ -86,7 +96,7 @@ impl Taps2 {
 
     /// Rows resident while the pair kernel streams one column tile
     /// (input rows of the pair plus the two output rows).
-    pub fn rows_in_flight(&self) -> usize {
+    pub(crate) fn rows_in_flight(&self) -> usize {
         (2 * self.r + 2) as usize + 2
     }
 }
@@ -96,8 +106,11 @@ impl Taps2 {
 /// by `dj` (a zero coefficient means the tap does not touch that output
 /// row). Shared by the 2-D pair tables and the 3-D `(dk, e)` pair
 /// grouping in [`super::kernel3d`].
-pub(crate) fn merge_pair_rows(a: &[(isize, f64)], b: &[(isize, f64)]) -> Vec<(isize, f64, f64)> {
-    let mut merged: Vec<(isize, f64, f64)> = Vec::new();
+pub(crate) fn merge_pair_rows<E: Element>(
+    a: &[(isize, E)],
+    b: &[(isize, E)],
+) -> Vec<(isize, E, E)> {
+    let mut merged: Vec<(isize, E, E)> = Vec::new();
     let (mut ia, mut ib) = (0usize, 0usize);
     while ia < a.len() || ib < b.len() {
         let next_a = a.get(ia).map(|t| t.0);
@@ -109,19 +122,19 @@ pub(crate) fn merge_pair_rows(a: &[(isize, f64)], b: &[(isize, f64)]) -> Vec<(is
                 ib += 1;
             }
             (Some(da), Some(db)) if da < db => {
-                merged.push((da, a[ia].1, 0.0));
+                merged.push((da, a[ia].1, E::ZERO));
                 ia += 1;
             }
             (Some(_), Some(db)) => {
-                merged.push((db, 0.0, b[ib].1));
+                merged.push((db, E::ZERO, b[ib].1));
                 ib += 1;
             }
             (Some(da), None) => {
-                merged.push((da, a[ia].1, 0.0));
+                merged.push((da, a[ia].1, E::ZERO));
                 ia += 1;
             }
             (None, Some(db)) => {
-                merged.push((db, 0.0, b[ib].1));
+                merged.push((db, E::ZERO, b[ib].1));
                 ib += 1;
             }
             (None, None) => unreachable!(),
@@ -132,8 +145,13 @@ pub(crate) fn merge_pair_rows(a: &[(isize, f64)], b: &[(isize, f64)]) -> Vec<(is
 
 /// The canonical scalar chain for one element; also the SIMD tail path.
 #[inline]
-fn scalar_point(flat: &[(isize, isize, f64)], a: &[f64], base: isize, stride: isize) -> f64 {
-    let mut acc = 0.0f64;
+pub(crate) fn scalar_point<E: Element>(
+    flat: &[(isize, isize, E)],
+    a: &[E],
+    base: isize,
+    stride: isize,
+) -> E {
+    let mut acc = E::ZERO;
     for &(di, dj, c) in flat {
         acc = c.mul_add(a[(base + di * stride + dj) as usize], acc);
     }
@@ -142,155 +160,85 @@ fn scalar_point(flat: &[(isize, isize, f64)], a: &[f64], base: isize, stride: is
 
 /// Scalar sweep of one row segment: `dst[jj]` = chain at `(i, j0 + jj)`
 /// where `base` is the flat index of `(i, j0)` in `a`.
-fn scalar_row(
-    flat: &[(isize, isize, f64)],
-    a: &[f64],
+pub(crate) fn scalar_row<E: Element>(
+    flat: &[(isize, isize, E)],
+    a: &[E],
     base: isize,
     stride: isize,
-    dst: &mut [f64],
+    dst: &mut [E],
 ) {
     for (jj, d) in dst.iter_mut().enumerate() {
         *d = scalar_point(flat, a, base + jj as isize, stride);
     }
 }
 
-/// Sweeps output rows `i_lo .. i_hi` of a band. `dst[0]` must be element
-/// `(i_lo, 0)` of the output grid and rows are `b_stride` apart; `a_org`
-/// is the flat index of `(0, 0)` in `a`. `lanes` is the number of pool
-/// lanes sweeping sibling bands concurrently (1 for a serial sweep) —
-/// it feeds the hybrid path's non-temporal store policy and can never
-/// change results.
-///
-/// Column tiles are sized so the rows in flight stay cache-resident
-/// ([`tile::col_block`]); within a tile the AVX2 path walks row pairs.
+/// Sweeps output rows `i_lo .. i_hi` of a band through the trait
+/// instance `dispatch` names for element type `E` (see
+/// [`super::kernel`] for the slice contract).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn sweep_band_2d(
+pub(crate) fn sweep_band_2d<E: NativeElement>(
     dispatch: Dispatch,
-    taps: &Taps2,
-    a: &[f64],
+    taps: &Taps2<E>,
+    a: &[E],
     a_org: isize,
     a_stride: isize,
     w: usize,
-    dst: &mut [f64],
+    dst: &mut [E],
     b_stride: usize,
     i_lo: usize,
     i_hi: usize,
     lanes: usize,
 ) {
-    if dispatch == Dispatch::Hybrid {
-        // The hybrid schedule owns its own column tiling (its
-        // rows-in-flight differ) and accumulation order; same
-        // band/slice contract.
-        return hybrid::sweep_band_hybrid(
-            &taps.hybrid,
-            a,
-            a_org,
-            a_stride,
-            w,
-            dst,
-            b_stride,
-            i_lo,
-            i_hi,
-            lanes,
-        );
+    match dispatch {
+        Dispatch::Scalar => E::KScalar::sweep_band(
+            taps, a, a_org, a_stride, w, dst, b_stride, i_lo, i_hi, lanes,
+        ),
+        Dispatch::Avx2Fma => E::KAvx2::sweep_band(
+            taps, a, a_org, a_stride, w, dst, b_stride, i_lo, i_hi, lanes,
+        ),
+        Dispatch::Avx512 => E::KAvx512::sweep_band(
+            taps, a, a_org, a_stride, w, dst, b_stride, i_lo, i_hi, lanes,
+        ),
+        Dispatch::Hybrid => E::KHybrid::sweep_band(
+            taps, a, a_org, a_stride, w, dst, b_stride, i_lo, i_hi, lanes,
+        ),
     }
-    let _ = lanes; // only the hybrid store policy is lane-aware
-    let cb = tile::col_block(w, taps.rows_in_flight());
-    let mut j0 = 0usize;
-    while j0 < w {
-        let jw = cb.min(w - j0);
-        match dispatch {
-            Dispatch::Hybrid => unreachable!("handled above"),
-            Dispatch::Scalar => {
-                for i in i_lo..i_hi {
-                    let base = a_org + i as isize * a_stride + j0 as isize;
-                    let off = (i - i_lo) * b_stride + j0;
-                    scalar_row(&taps.flat, a, base, a_stride, &mut dst[off..off + jw]);
-                }
-            }
-            Dispatch::Avx2Fma => {
-                assert!(
-                    Dispatch::avx2_available(),
-                    "AVX2+FMA dispatch forced on a machine without it"
-                );
-                #[cfg(target_arch = "x86_64")]
-                {
-                    let pf = super::prefetch::Prefetch::config();
-                    let mut i = i_lo;
-                    while i < i_hi {
-                        let base = a_org + i as isize * a_stride + j0 as isize;
-                        let off = (i - i_lo) * b_stride + j0;
-                        if i + 1 < i_hi {
-                            let (head, tail) = dst.split_at_mut(off + b_stride);
-                            // SAFETY: feature availability asserted above.
-                            unsafe {
-                                avx2::row_pair(
-                                    taps,
-                                    a,
-                                    base,
-                                    a_stride,
-                                    &mut head[off..off + jw],
-                                    &mut tail[..jw],
-                                    pf,
-                                );
-                            }
-                            i += 2;
-                        } else {
-                            // SAFETY: feature availability asserted above.
-                            unsafe {
-                                avx2::row_single(
-                                    taps,
-                                    a,
-                                    base,
-                                    a_stride,
-                                    &mut dst[off..off + jw],
-                                    pf,
-                                );
-                            }
-                            i += 1;
-                        }
-                    }
-                }
-                #[cfg(not(target_arch = "x86_64"))]
-                unreachable!("avx2_available() is false off x86-64");
-            }
+}
+
+/// Issues the Algorithm-3-style T0 prefetches for one main-loop step:
+/// the next `rows` input rows below the deepest tap row (the rows the
+/// following output pair will pull in) and the store stream `cols`
+/// ahead of the current destination cursor. Pointers are built with
+/// wrapping arithmetic — `_mm_prefetch` is a pure hint that never
+/// faults, so running past a slice edge is safe by construction.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn hint_step<E: Element>(
+    ap: *const E,
+    deep: isize,
+    stride: isize,
+    rows: usize,
+    dsts: &[*const E],
+    j: usize,
+    cols: usize,
+) {
+    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+    for q in 0..rows as isize {
+        let p = ap.wrapping_offset(deep + q * stride);
+        _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+    }
+    if cols > 0 {
+        for &d in dsts {
+            _mm_prefetch::<_MM_HINT_T0>(d.wrapping_add(j + cols) as *const i8);
         }
-        j0 += jw;
     }
 }
 
 #[cfg(target_arch = "x86_64")]
-mod avx2 {
+pub(crate) mod avx2 {
     use super::super::prefetch::Prefetch;
-    use super::{scalar_point, Taps2};
+    use super::{hint_step, scalar_point, Taps2};
     use std::arch::x86_64::*;
-
-    /// Issues the Algorithm-3-style T0 prefetches for one 8-column step:
-    /// the next `rows` input rows below the deepest tap row (the rows the
-    /// following output pair will pull in) and the store stream `cols`
-    /// ahead of the current destination cursor. Pointers are built with
-    /// wrapping arithmetic — `_mm_prefetch` is a pure hint that never
-    /// faults, so running past a slice edge is safe by construction.
-    #[inline(always)]
-    unsafe fn hint_step(
-        ap: *const f64,
-        deep: isize,
-        stride: isize,
-        rows: usize,
-        dsts: &[*const f64],
-        j: usize,
-        cols: usize,
-    ) {
-        for q in 0..rows as isize {
-            let p = ap.wrapping_offset(deep + q * stride);
-            _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
-        }
-        if cols > 0 {
-            for &d in dsts {
-                _mm_prefetch::<_MM_HINT_T0>(d.wrapping_add(j + cols) as *const i8);
-            }
-        }
-    }
 
     /// Two output rows, eight columns per step (four 4-lane
     /// accumulators live across the whole tap chain). `base` is the
@@ -300,8 +248,8 @@ mod avx2 {
     /// # Safety
     /// Caller must have verified AVX2 + FMA support.
     #[target_feature(enable = "avx2", enable = "fma")]
-    pub(super) unsafe fn row_pair(
-        taps: &Taps2,
+    pub(crate) unsafe fn row_pair(
+        taps: &Taps2<f64>,
         a: &[f64],
         base: isize,
         stride: isize,
@@ -391,8 +339,8 @@ mod avx2 {
     /// # Safety
     /// Caller must have verified AVX2 + FMA support.
     #[target_feature(enable = "avx2", enable = "fma")]
-    pub(super) unsafe fn row_single(
-        taps: &Taps2,
+    pub(crate) unsafe fn row_single(
+        taps: &Taps2<f64>,
         a: &[f64],
         base: isize,
         stride: isize,
@@ -449,6 +397,475 @@ mod avx2 {
             j += 1;
         }
     }
+
+    /// The `f32` row pair: same schedule as [`row_pair`] at double the
+    /// lane count — two output rows × sixteen columns per step, four
+    /// 8-lane accumulators. Same canonical chain per element, so it is
+    /// bit-identical to the `f32` scalar fallback.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA support.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn row_pair_f32(
+        taps: &Taps2<f32>,
+        a: &[f32],
+        base: isize,
+        stride: isize,
+        dst0: &mut [f32],
+        dst1: &mut [f32],
+        pf: Prefetch,
+    ) {
+        debug_assert_eq!(dst0.len(), dst1.len());
+        let jw = dst0.len();
+        let ap = a.as_ptr();
+        let r = taps.r;
+        let pf_deep = base + (r + 2) * stride;
+        let dst_ptrs = [dst0.as_ptr(), dst1.as_ptr()];
+        let mut j = 0usize;
+        while j + 16 <= jw {
+            hint_step(
+                ap,
+                pf_deep + j as isize,
+                stride,
+                pf.input_rows,
+                &dst_ptrs,
+                j,
+                pf.dst_cols,
+            );
+            let mut acc00 = _mm256_setzero_ps();
+            let mut acc01 = _mm256_setzero_ps();
+            let mut acc10 = _mm256_setzero_ps();
+            let mut acc11 = _mm256_setzero_ps();
+            for (p, row_taps) in taps.pair.iter().enumerate() {
+                let e = p as isize - r;
+                let row_base = base + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let v0 = _mm256_loadu_ps(ptr);
+                    let v1 = _mm256_loadu_ps(ptr.add(8));
+                    if c0 != 0.0 {
+                        let cv = _mm256_set1_ps(c0);
+                        acc00 = _mm256_fmadd_ps(cv, v0, acc00);
+                        acc01 = _mm256_fmadd_ps(cv, v1, acc01);
+                    }
+                    if c1 != 0.0 {
+                        let cv = _mm256_set1_ps(c1);
+                        acc10 = _mm256_fmadd_ps(cv, v0, acc10);
+                        acc11 = _mm256_fmadd_ps(cv, v1, acc11);
+                    }
+                }
+            }
+            _mm256_storeu_ps(dst0.as_mut_ptr().add(j), acc00);
+            _mm256_storeu_ps(dst0.as_mut_ptr().add(j + 8), acc01);
+            _mm256_storeu_ps(dst1.as_mut_ptr().add(j), acc10);
+            _mm256_storeu_ps(dst1.as_mut_ptr().add(j + 8), acc11);
+            j += 16;
+        }
+        while j + 8 <= jw {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            for (p, row_taps) in taps.pair.iter().enumerate() {
+                let e = p as isize - r;
+                let row_base = base + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let v = _mm256_loadu_ps(ap.offset(row_base + dj));
+                    if c0 != 0.0 {
+                        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(c0), v, acc0);
+                    }
+                    if c1 != 0.0 {
+                        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(c1), v, acc1);
+                    }
+                }
+            }
+            _mm256_storeu_ps(dst0.as_mut_ptr().add(j), acc0);
+            _mm256_storeu_ps(dst1.as_mut_ptr().add(j), acc1);
+            j += 8;
+        }
+        while j < jw {
+            dst0[j] = scalar_point(&taps.flat, a, base + j as isize, stride);
+            dst1[j] = scalar_point(&taps.flat, a, base + stride + j as isize, stride);
+            j += 1;
+        }
+    }
+
+    /// The `f32` odd last row, sixteen columns per step.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA support.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn row_single_f32(
+        taps: &Taps2<f32>,
+        a: &[f32],
+        base: isize,
+        stride: isize,
+        dst: &mut [f32],
+        pf: Prefetch,
+    ) {
+        let jw = dst.len();
+        let ap = a.as_ptr();
+        let r = taps.r;
+        let pf_deep = base + (r + 1) * stride;
+        let dst_ptrs = [dst.as_ptr()];
+        let mut j = 0usize;
+        while j + 16 <= jw {
+            hint_step(
+                ap,
+                pf_deep + j as isize,
+                stride,
+                pf.input_rows,
+                &dst_ptrs,
+                j,
+                pf.dst_cols,
+            );
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            for (p, row_taps) in taps.single.iter().enumerate() {
+                let di = p as isize - r;
+                let row_base = base + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let cv = _mm256_set1_ps(c);
+                    acc0 = _mm256_fmadd_ps(cv, _mm256_loadu_ps(ptr), acc0);
+                    acc1 = _mm256_fmadd_ps(cv, _mm256_loadu_ps(ptr.add(8)), acc1);
+                }
+            }
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j), acc0);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j + 8), acc1);
+            j += 16;
+        }
+        while j + 8 <= jw {
+            let mut acc = _mm256_setzero_ps();
+            for (p, row_taps) in taps.single.iter().enumerate() {
+                let di = p as isize - r;
+                let row_base = base + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let v = _mm256_loadu_ps(ap.offset(row_base + dj));
+                    acc = _mm256_fmadd_ps(_mm256_set1_ps(c), v, acc);
+                }
+            }
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j), acc);
+            j += 8;
+        }
+        while j < jw {
+            dst[j] = scalar_point(&taps.flat, a, base + j as isize, stride);
+            j += 1;
+        }
+    }
+}
+
+/// The AVX-512F bodies: the same two-row schedule as [`avx2`] at double
+/// the register width (8-wide `f64` / 16-wide `f32` lanes). Each lane
+/// still computes the canonical chain, so within one element type these
+/// are bit-identical to both the AVX2 and the scalar paths.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx512 {
+    use super::super::prefetch::Prefetch;
+    use super::{hint_step, scalar_point, Taps2};
+    use std::arch::x86_64::*;
+
+    /// Two `f64` output rows, sixteen columns per step (four 8-lane zmm
+    /// accumulators).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512F support.
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn row_pair_f64(
+        taps: &Taps2<f64>,
+        a: &[f64],
+        base: isize,
+        stride: isize,
+        dst0: &mut [f64],
+        dst1: &mut [f64],
+        pf: Prefetch,
+    ) {
+        debug_assert_eq!(dst0.len(), dst1.len());
+        let jw = dst0.len();
+        let ap = a.as_ptr();
+        let r = taps.r;
+        let pf_deep = base + (r + 2) * stride;
+        let dst_ptrs = [dst0.as_ptr(), dst1.as_ptr()];
+        let mut j = 0usize;
+        while j + 16 <= jw {
+            hint_step(
+                ap,
+                pf_deep + j as isize,
+                stride,
+                pf.input_rows,
+                &dst_ptrs,
+                j,
+                pf.dst_cols,
+            );
+            let mut acc00 = _mm512_setzero_pd();
+            let mut acc01 = _mm512_setzero_pd();
+            let mut acc10 = _mm512_setzero_pd();
+            let mut acc11 = _mm512_setzero_pd();
+            for (p, row_taps) in taps.pair.iter().enumerate() {
+                let e = p as isize - r;
+                let row_base = base + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let v0 = _mm512_loadu_pd(ptr);
+                    let v1 = _mm512_loadu_pd(ptr.add(8));
+                    if c0 != 0.0 {
+                        let cv = _mm512_set1_pd(c0);
+                        acc00 = _mm512_fmadd_pd(cv, v0, acc00);
+                        acc01 = _mm512_fmadd_pd(cv, v1, acc01);
+                    }
+                    if c1 != 0.0 {
+                        let cv = _mm512_set1_pd(c1);
+                        acc10 = _mm512_fmadd_pd(cv, v0, acc10);
+                        acc11 = _mm512_fmadd_pd(cv, v1, acc11);
+                    }
+                }
+            }
+            _mm512_storeu_pd(dst0.as_mut_ptr().add(j), acc00);
+            _mm512_storeu_pd(dst0.as_mut_ptr().add(j + 8), acc01);
+            _mm512_storeu_pd(dst1.as_mut_ptr().add(j), acc10);
+            _mm512_storeu_pd(dst1.as_mut_ptr().add(j + 8), acc11);
+            j += 16;
+        }
+        while j + 8 <= jw {
+            let mut acc0 = _mm512_setzero_pd();
+            let mut acc1 = _mm512_setzero_pd();
+            for (p, row_taps) in taps.pair.iter().enumerate() {
+                let e = p as isize - r;
+                let row_base = base + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let v = _mm512_loadu_pd(ap.offset(row_base + dj));
+                    if c0 != 0.0 {
+                        acc0 = _mm512_fmadd_pd(_mm512_set1_pd(c0), v, acc0);
+                    }
+                    if c1 != 0.0 {
+                        acc1 = _mm512_fmadd_pd(_mm512_set1_pd(c1), v, acc1);
+                    }
+                }
+            }
+            _mm512_storeu_pd(dst0.as_mut_ptr().add(j), acc0);
+            _mm512_storeu_pd(dst1.as_mut_ptr().add(j), acc1);
+            j += 8;
+        }
+        while j < jw {
+            dst0[j] = scalar_point(&taps.flat, a, base + j as isize, stride);
+            dst1[j] = scalar_point(&taps.flat, a, base + stride + j as isize, stride);
+            j += 1;
+        }
+    }
+
+    /// One `f64` output row, sixteen columns per step.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512F support.
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn row_single_f64(
+        taps: &Taps2<f64>,
+        a: &[f64],
+        base: isize,
+        stride: isize,
+        dst: &mut [f64],
+        pf: Prefetch,
+    ) {
+        let jw = dst.len();
+        let ap = a.as_ptr();
+        let r = taps.r;
+        let pf_deep = base + (r + 1) * stride;
+        let dst_ptrs = [dst.as_ptr()];
+        let mut j = 0usize;
+        while j + 16 <= jw {
+            hint_step(
+                ap,
+                pf_deep + j as isize,
+                stride,
+                pf.input_rows,
+                &dst_ptrs,
+                j,
+                pf.dst_cols,
+            );
+            let mut acc0 = _mm512_setzero_pd();
+            let mut acc1 = _mm512_setzero_pd();
+            for (p, row_taps) in taps.single.iter().enumerate() {
+                let di = p as isize - r;
+                let row_base = base + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let cv = _mm512_set1_pd(c);
+                    acc0 = _mm512_fmadd_pd(cv, _mm512_loadu_pd(ptr), acc0);
+                    acc1 = _mm512_fmadd_pd(cv, _mm512_loadu_pd(ptr.add(8)), acc1);
+                }
+            }
+            _mm512_storeu_pd(dst.as_mut_ptr().add(j), acc0);
+            _mm512_storeu_pd(dst.as_mut_ptr().add(j + 8), acc1);
+            j += 16;
+        }
+        while j + 8 <= jw {
+            let mut acc = _mm512_setzero_pd();
+            for (p, row_taps) in taps.single.iter().enumerate() {
+                let di = p as isize - r;
+                let row_base = base + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let v = _mm512_loadu_pd(ap.offset(row_base + dj));
+                    acc = _mm512_fmadd_pd(_mm512_set1_pd(c), v, acc);
+                }
+            }
+            _mm512_storeu_pd(dst.as_mut_ptr().add(j), acc);
+            j += 8;
+        }
+        while j < jw {
+            dst[j] = scalar_point(&taps.flat, a, base + j as isize, stride);
+            j += 1;
+        }
+    }
+
+    /// Two `f32` output rows, thirty-two columns per step (four 16-lane
+    /// zmm accumulators).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512F support.
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn row_pair_f32(
+        taps: &Taps2<f32>,
+        a: &[f32],
+        base: isize,
+        stride: isize,
+        dst0: &mut [f32],
+        dst1: &mut [f32],
+        pf: Prefetch,
+    ) {
+        debug_assert_eq!(dst0.len(), dst1.len());
+        let jw = dst0.len();
+        let ap = a.as_ptr();
+        let r = taps.r;
+        let pf_deep = base + (r + 2) * stride;
+        let dst_ptrs = [dst0.as_ptr(), dst1.as_ptr()];
+        let mut j = 0usize;
+        while j + 32 <= jw {
+            hint_step(
+                ap,
+                pf_deep + j as isize,
+                stride,
+                pf.input_rows,
+                &dst_ptrs,
+                j,
+                pf.dst_cols,
+            );
+            let mut acc00 = _mm512_setzero_ps();
+            let mut acc01 = _mm512_setzero_ps();
+            let mut acc10 = _mm512_setzero_ps();
+            let mut acc11 = _mm512_setzero_ps();
+            for (p, row_taps) in taps.pair.iter().enumerate() {
+                let e = p as isize - r;
+                let row_base = base + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let v0 = _mm512_loadu_ps(ptr);
+                    let v1 = _mm512_loadu_ps(ptr.add(16));
+                    if c0 != 0.0 {
+                        let cv = _mm512_set1_ps(c0);
+                        acc00 = _mm512_fmadd_ps(cv, v0, acc00);
+                        acc01 = _mm512_fmadd_ps(cv, v1, acc01);
+                    }
+                    if c1 != 0.0 {
+                        let cv = _mm512_set1_ps(c1);
+                        acc10 = _mm512_fmadd_ps(cv, v0, acc10);
+                        acc11 = _mm512_fmadd_ps(cv, v1, acc11);
+                    }
+                }
+            }
+            _mm512_storeu_ps(dst0.as_mut_ptr().add(j), acc00);
+            _mm512_storeu_ps(dst0.as_mut_ptr().add(j + 16), acc01);
+            _mm512_storeu_ps(dst1.as_mut_ptr().add(j), acc10);
+            _mm512_storeu_ps(dst1.as_mut_ptr().add(j + 16), acc11);
+            j += 32;
+        }
+        while j + 16 <= jw {
+            let mut acc0 = _mm512_setzero_ps();
+            let mut acc1 = _mm512_setzero_ps();
+            for (p, row_taps) in taps.pair.iter().enumerate() {
+                let e = p as isize - r;
+                let row_base = base + e * stride + j as isize;
+                for &(dj, c0, c1) in row_taps {
+                    let v = _mm512_loadu_ps(ap.offset(row_base + dj));
+                    if c0 != 0.0 {
+                        acc0 = _mm512_fmadd_ps(_mm512_set1_ps(c0), v, acc0);
+                    }
+                    if c1 != 0.0 {
+                        acc1 = _mm512_fmadd_ps(_mm512_set1_ps(c1), v, acc1);
+                    }
+                }
+            }
+            _mm512_storeu_ps(dst0.as_mut_ptr().add(j), acc0);
+            _mm512_storeu_ps(dst1.as_mut_ptr().add(j), acc1);
+            j += 16;
+        }
+        while j < jw {
+            dst0[j] = scalar_point(&taps.flat, a, base + j as isize, stride);
+            dst1[j] = scalar_point(&taps.flat, a, base + stride + j as isize, stride);
+            j += 1;
+        }
+    }
+
+    /// One `f32` output row, thirty-two columns per step.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512F support.
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn row_single_f32(
+        taps: &Taps2<f32>,
+        a: &[f32],
+        base: isize,
+        stride: isize,
+        dst: &mut [f32],
+        pf: Prefetch,
+    ) {
+        let jw = dst.len();
+        let ap = a.as_ptr();
+        let r = taps.r;
+        let pf_deep = base + (r + 1) * stride;
+        let dst_ptrs = [dst.as_ptr()];
+        let mut j = 0usize;
+        while j + 32 <= jw {
+            hint_step(
+                ap,
+                pf_deep + j as isize,
+                stride,
+                pf.input_rows,
+                &dst_ptrs,
+                j,
+                pf.dst_cols,
+            );
+            let mut acc0 = _mm512_setzero_ps();
+            let mut acc1 = _mm512_setzero_ps();
+            for (p, row_taps) in taps.single.iter().enumerate() {
+                let di = p as isize - r;
+                let row_base = base + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let ptr = ap.offset(row_base + dj);
+                    let cv = _mm512_set1_ps(c);
+                    acc0 = _mm512_fmadd_ps(cv, _mm512_loadu_ps(ptr), acc0);
+                    acc1 = _mm512_fmadd_ps(cv, _mm512_loadu_ps(ptr.add(16)), acc1);
+                }
+            }
+            _mm512_storeu_ps(dst.as_mut_ptr().add(j), acc0);
+            _mm512_storeu_ps(dst.as_mut_ptr().add(j + 16), acc1);
+            j += 32;
+        }
+        while j + 16 <= jw {
+            let mut acc = _mm512_setzero_ps();
+            for (p, row_taps) in taps.single.iter().enumerate() {
+                let di = p as isize - r;
+                let row_base = base + di * stride + j as isize;
+                for &(dj, c) in row_taps {
+                    let v = _mm512_loadu_ps(ap.offset(row_base + dj));
+                    acc = _mm512_fmadd_ps(_mm512_set1_ps(c), v, acc);
+                }
+            }
+            _mm512_storeu_ps(dst.as_mut_ptr().add(j), acc);
+            j += 16;
+        }
+        while j < jw {
+            dst[j] = scalar_point(&taps.flat, a, base + j as isize, stride);
+            j += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -458,7 +875,7 @@ mod tests {
 
     #[test]
     fn pair_merge_covers_both_rows_in_canonical_order() {
-        let taps = Taps2::new(&presets::star2d9p());
+        let taps = Taps2::<f64>::new(&presets::star2d9p());
         assert_eq!(taps.pair.len(), 2 * 2 + 2);
         let mut from_pair_row0 = Vec::new();
         let mut from_pair_row1 = Vec::new();
@@ -482,11 +899,24 @@ mod tests {
     #[test]
     fn flat_taps_are_sorted_and_nonzero() {
         for spec in presets::suite_2d() {
-            let taps = Taps2::new(&spec);
+            let taps = Taps2::<f64>::new(&spec);
             assert_eq!(taps.flat.len(), spec.points());
             let mut sorted = taps.flat.clone();
             sorted.sort_by_key(|&(di, dj, _)| (di, dj));
             assert_eq!(sorted, taps.flat, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn f32_taps_share_the_structure_and_narrow_the_coefficients() {
+        for spec in presets::suite_2d() {
+            let t64 = Taps2::<f64>::new(&spec);
+            let t32 = Taps2::<f32>::new(&spec);
+            assert_eq!(t32.flat.len(), t64.flat.len(), "{}", spec.name());
+            for (&(di32, dj32, c32), &(di64, dj64, c64)) in t32.flat.iter().zip(&t64.flat) {
+                assert_eq!((di32, dj32), (di64, dj64));
+                assert_eq!(c32, c64 as f32, "round-to-nearest narrowing");
+            }
         }
     }
 }

@@ -1,51 +1,60 @@
 //! 3-D micro-kernels with the same dispatch / bit-exactness contract as
 //! [`super::kernel2d`]: every output element is one FMA chain over the
-//! nonzero taps in canonical `(dk, di, dj)` ascending order, so the AVX2
-//! path and the `mul_add` scalar fallback agree bit-for-bit.
+//! nonzero taps in canonical `(dk, di, dj)` ascending order, so every
+//! dispatch path agrees bit-for-bit within one element type.
 //!
-//! The vector path register-blocks *two output rows × eight columns*
+//! The `f64` AVX2 path register-blocks *two output rows × eight columns*
 //! per step whenever the flattened `(k, i)` walk has two rows left in
 //! the same plane (the same register-blocking the 2-D kernel uses, so
 //! each input row vector is loaded once and reused by every tap of both
 //! rows that touches it); odd trailing rows and plane seams fall back
-//! to the single-row kernel. Input rows are walked grouped by
-//! `(dk, di)` so each pencil of loads stays within one cache line run.
+//! to the single-row kernel. Other (instance × dtype) combinations use
+//! the [`TileKernel::execute3`] scalar-chain default — bit-identical,
+//! just unvectorized (DESIGN.md §12 records the gap). Input rows are
+//! walked grouped by `(dk, di)` so each pencil of loads stays within
+//! one cache line run.
+//!
+//! [`TileKernel::execute3`]: super::kernel::TileKernel::execute3
 
+use super::kernel::{NativeElement, TileKernel};
 use super::kernel2d::merge_pair_rows;
 use super::tile;
 use super::Dispatch;
+use crate::element::Element;
 use crate::stencil::StencilSpec;
 
 /// One input row's taps: `(dk, di, [(dj, c)...])` in canonical order.
-pub(crate) type TapRow = (isize, isize, Vec<(isize, f64)>);
+pub(crate) type TapRow<E> = (isize, isize, Vec<(isize, E)>);
 
 /// `(dk, e, merged)` input-row entry for a fused output row pair; see
 /// [`Taps3::pairs`].
-pub(crate) type PairTapRow = (isize, isize, Vec<(isize, f64, f64)>);
+pub(crate) type PairTapRow<E> = (isize, isize, Vec<(isize, E, E)>);
 
-/// Preprocessed nonzero taps of a 3-D stencil.
-pub(crate) struct Taps3 {
+/// Preprocessed nonzero taps of a 3-D stencil, with coefficients
+/// narrowed to the kernel's element type (nonzero-ness is decided on
+/// the `f64` master value, so the tap *structure* is dtype-invariant).
+pub struct Taps3<E: Element> {
     /// Canonical `(dk, di, dj, c)` chain — the bit-exactness contract.
-    pub flat: Vec<(isize, isize, isize, f64)>,
+    pub(crate) flat: Vec<(isize, isize, isize, E)>,
     /// Taps grouped by input row in canonical order (rows with no
     /// nonzero taps omitted).
-    pub rows: Vec<TapRow>,
+    pub(crate) rows: Vec<TapRow<E>>,
     /// Taps grouped by input row for an output row *pair* `(k, i)`,
     /// `(k, i+1)` within one plane: entry `(dk, e, merged)` covers input
     /// row `(k + dk, i + e)` with `e` in `-r ..= r+1`; `merged` lists
     /// `(dj, c_row_i, c_row_i1)` ascending by `dj` (zero coefficient =
     /// tap does not touch that output row). `dk`-major so walking the
     /// list applies taps in canonical order for both rows.
-    pub pairs: Vec<PairTapRow>,
+    pub(crate) pairs: Vec<PairTapRow<E>>,
 }
 
-impl Taps3 {
-    pub fn new(spec: &StencilSpec) -> Taps3 {
+impl<E: Element> Taps3<E> {
+    pub(crate) fn new(spec: &StencilSpec) -> Taps3<E> {
         assert_eq!(spec.dims(), 3);
         let r = spec.radius() as isize;
         let n = (2 * r + 1) as usize;
         let mut flat = Vec::new();
-        let mut rows: Vec<TapRow> = Vec::new();
+        let mut rows: Vec<TapRow<E>> = Vec::new();
         let mut singles = vec![Vec::new(); n * n];
         for dk in -r..=r {
             for di in -r..=r {
@@ -53,8 +62,8 @@ impl Taps3 {
                 for dj in -r..=r {
                     let c = spec.c3(dk, di, dj);
                     if c != 0.0 {
-                        flat.push((dk, di, dj, c));
-                        row.push((dj, c));
+                        flat.push((dk, di, dj, E::from_f64(c)));
+                        row.push((dj, E::from_f64(c)));
                     }
                 }
                 singles[((dk + r) * (2 * r + 1) + (di + r)) as usize] = row.clone();
@@ -63,7 +72,7 @@ impl Taps3 {
                 }
             }
         }
-        let single = |dk: isize, di: isize| -> &[(isize, f64)] {
+        let single = |dk: isize, di: isize| -> &[(isize, E)] {
             if di < -r || di > r {
                 &[]
             } else {
@@ -87,21 +96,21 @@ impl Taps3 {
 
     /// Rows resident while one column tile streams (all input rows the
     /// chain touches plus the output row).
-    pub fn rows_in_flight(&self) -> usize {
+    pub(crate) fn rows_in_flight(&self) -> usize {
         self.rows.len() + 1
     }
 }
 
 /// The canonical scalar chain for one element; also the SIMD tail path.
 #[inline]
-fn scalar_point(
-    flat: &[(isize, isize, isize, f64)],
-    a: &[f64],
+fn scalar_point<E: Element>(
+    flat: &[(isize, isize, isize, E)],
+    a: &[E],
     base: isize,
     plane_stride: isize,
     stride: isize,
-) -> f64 {
-    let mut acc = 0.0f64;
+) -> E {
+    let mut acc = E::ZERO;
     for &(dk, di, dj, c) in flat {
         acc = c.mul_add(
             a[(base + dk * plane_stride + di * stride + dj) as usize],
@@ -111,103 +120,149 @@ fn scalar_point(
     acc
 }
 
+/// Scalar sweep of one row segment — the [`TileKernel::execute3`]
+/// default body.
+///
+/// [`TileKernel::execute3`]: super::kernel::TileKernel::execute3
+pub(crate) fn scalar_row3<E: Element>(
+    taps: &Taps3<E>,
+    a: &[E],
+    base: isize,
+    plane_stride: isize,
+    stride: isize,
+    dst: &mut [E],
+) {
+    for (jj, d) in dst.iter_mut().enumerate() {
+        *d = scalar_point(&taps.flat, a, base + jj as isize, plane_stride, stride);
+    }
+}
+
 /// Sweeps the flattened output rows `t_lo .. t_hi` (row `t` is plane
 /// `t / h`, row `t % h`). `dst[0]` must be element `(k_lo, i_lo, 0)`
 /// of the output grid where `t_lo = k_lo * h + i_lo`; `strides` are the
 /// output grid's `(plane_stride, stride)`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn sweep_band_3d(
+pub(crate) fn sweep_band_3d<E: NativeElement>(
     dispatch: Dispatch,
-    taps: &Taps3,
-    a: &[f64],
+    taps: &Taps3<E>,
+    a: &[E],
     a_org: isize,
     a_plane_stride: isize,
     a_stride: isize,
     h: usize,
     w: usize,
-    dst: &mut [f64],
+    dst: &mut [E],
     b_plane_stride: usize,
     b_stride: usize,
     t_lo: usize,
     t_hi: usize,
 ) {
+    match dispatch {
+        Dispatch::Scalar => drive3::<E, E::KScalar>(
+            taps,
+            a,
+            a_org,
+            a_plane_stride,
+            a_stride,
+            h,
+            w,
+            dst,
+            b_plane_stride,
+            b_stride,
+            t_lo,
+            t_hi,
+        ),
+        Dispatch::Avx2Fma => drive3::<E, E::KAvx2>(
+            taps,
+            a,
+            a_org,
+            a_plane_stride,
+            a_stride,
+            h,
+            w,
+            dst,
+            b_plane_stride,
+            b_stride,
+            t_lo,
+            t_hi,
+        ),
+        // The hybrid register tile and the AVX-512 instance are 2-D
+        // only; the 3-D entry points narrow them away before the
+        // kernel.
+        Dispatch::Hybrid | Dispatch::Avx512 => {
+            unreachable!("Dispatch::narrow_3d maps 2-D-only dispatches before kernel3d")
+        }
+    }
+}
+
+/// The 3-D band walk for one trait instance: column tiles sized by
+/// rows-in-flight, rows paired within a plane when the instance
+/// register-blocks (`tile_m >= 2`), single rows at plane seams and odd
+/// tails — exactly the pre-trait walk.
+#[allow(clippy::too_many_arguments)]
+fn drive3<E: Element, K: TileKernel<E>>(
+    taps: &Taps3<E>,
+    a: &[E],
+    a_org: isize,
+    a_plane_stride: isize,
+    a_stride: isize,
+    h: usize,
+    w: usize,
+    dst: &mut [E],
+    b_plane_stride: usize,
+    b_stride: usize,
+    t_lo: usize,
+    t_hi: usize,
+) {
+    assert!(
+        K::available(),
+        "{} dispatch forced on a machine without it",
+        K::NAME
+    );
+    let pair_rows = K::config().tile_m >= 2;
     let (k_lo, i_lo) = (t_lo / h, t_lo % h);
     let band_org = k_lo * b_plane_stride + i_lo * b_stride;
-    let cb = tile::col_block(w, taps.rows_in_flight());
+    let cb = tile::col_block(w, taps.rows_in_flight(), std::mem::size_of::<E>());
     let mut j0 = 0usize;
     while j0 < w {
         let jw = cb.min(w - j0);
-        match dispatch {
-            Dispatch::Scalar => {
-                for t in t_lo..t_hi {
-                    let (k, i) = (t / h, t % h);
-                    let base =
-                        a_org + k as isize * a_plane_stride + i as isize * a_stride + j0 as isize;
-                    let off = k * b_plane_stride + i * b_stride + j0 - band_org;
-                    for (jj, d) in dst[off..off + jw].iter_mut().enumerate() {
-                        *d = scalar_point(
-                            &taps.flat,
-                            a,
-                            base + jj as isize,
-                            a_plane_stride,
-                            a_stride,
-                        );
-                    }
+        let mut t = t_lo;
+        while t < t_hi {
+            let (k, i) = (t / h, t % h);
+            let base = a_org + k as isize * a_plane_stride + i as isize * a_stride + j0 as isize;
+            let off = k * b_plane_stride + i * b_stride + j0 - band_org;
+            // Register-block two rows whenever the next flattened row
+            // stays in the same plane.
+            if pair_rows && t + 1 < t_hi && i + 1 < h {
+                let (head, tail) = dst.split_at_mut(off + b_stride);
+                // SAFETY: availability asserted above; the slices
+                // cover both row segments of the pair.
+                unsafe {
+                    K::execute3(
+                        taps,
+                        a,
+                        base,
+                        a_plane_stride,
+                        a_stride,
+                        &mut head[off..off + jw],
+                        Some(&mut tail[..jw]),
+                    );
                 }
-            }
-            // The hybrid register tile is 2-D only; the 3-D entry
-            // points narrow it away before reaching the kernel.
-            Dispatch::Hybrid => unreachable!("Dispatch::narrow_3d maps Hybrid before kernel3d"),
-            Dispatch::Avx2Fma => {
-                assert!(
-                    Dispatch::avx2_available(),
-                    "AVX2+FMA dispatch forced on a machine without it"
-                );
-                #[cfg(target_arch = "x86_64")]
-                {
-                    let mut t = t_lo;
-                    while t < t_hi {
-                        let (k, i) = (t / h, t % h);
-                        let base = a_org
-                            + k as isize * a_plane_stride
-                            + i as isize * a_stride
-                            + j0 as isize;
-                        let off = k * b_plane_stride + i * b_stride + j0 - band_org;
-                        // Register-block two rows whenever the next
-                        // flattened row stays in the same plane.
-                        if t + 1 < t_hi && i + 1 < h {
-                            let (head, tail) = dst.split_at_mut(off + b_stride);
-                            // SAFETY: feature availability asserted above.
-                            unsafe {
-                                avx2::row_pair(
-                                    taps,
-                                    a,
-                                    base,
-                                    a_plane_stride,
-                                    a_stride,
-                                    &mut head[off..off + jw],
-                                    &mut tail[..jw],
-                                );
-                            }
-                            t += 2;
-                        } else {
-                            // SAFETY: feature availability asserted above.
-                            unsafe {
-                                avx2::row_single(
-                                    taps,
-                                    a,
-                                    base,
-                                    a_plane_stride,
-                                    a_stride,
-                                    &mut dst[off..off + jw],
-                                );
-                            }
-                            t += 1;
-                        }
-                    }
+                t += 2;
+            } else {
+                // SAFETY: as above, single-row case.
+                unsafe {
+                    K::execute3(
+                        taps,
+                        a,
+                        base,
+                        a_plane_stride,
+                        a_stride,
+                        &mut dst[off..off + jw],
+                        None,
+                    );
                 }
-                #[cfg(not(target_arch = "x86_64"))]
-                unreachable!("avx2_available() is false off x86-64");
+                t += 1;
             }
         }
         j0 += jw;
@@ -215,7 +270,7 @@ pub(crate) fn sweep_band_3d(
 }
 
 #[cfg(target_arch = "x86_64")]
-mod avx2 {
+pub(crate) mod avx2 {
     use super::{scalar_point, Taps3};
     use std::arch::x86_64::*;
 
@@ -227,8 +282,8 @@ mod avx2 {
     /// # Safety
     /// Caller must have verified AVX2 + FMA support.
     #[target_feature(enable = "avx2", enable = "fma")]
-    pub(super) unsafe fn row_pair(
-        taps: &Taps3,
+    pub(crate) unsafe fn row_pair(
+        taps: &Taps3<f64>,
         a: &[f64],
         base: isize,
         plane_stride: isize,
@@ -306,8 +361,8 @@ mod avx2 {
     /// # Safety
     /// Caller must have verified AVX2 + FMA support.
     #[target_feature(enable = "avx2", enable = "fma")]
-    pub(super) unsafe fn row_single(
-        taps: &Taps3,
+    pub(crate) unsafe fn row_single(
+        taps: &Taps3<f64>,
         a: &[f64],
         base: isize,
         plane_stride: isize,
@@ -360,7 +415,7 @@ mod tests {
     #[test]
     fn flat_taps_match_point_counts_and_order() {
         for spec in presets::suite_3d() {
-            let taps = Taps3::new(&spec);
+            let taps = Taps3::<f64>::new(&spec);
             assert_eq!(taps.flat.len(), spec.points(), "{}", spec.name());
             let mut sorted = taps.flat.clone();
             sorted.sort_by_key(|&(dk, di, dj, _)| (dk, di, dj));
@@ -376,7 +431,7 @@ mod tests {
         // for output row i (via c0) AND for row i+1 (via c1) — that is
         // the whole bit-identity argument for the 3-D pair kernel.
         for spec in presets::suite_3d() {
-            let taps = Taps3::new(&spec);
+            let taps = Taps3::<f64>::new(&spec);
             let mut row0 = Vec::new();
             let mut row1 = Vec::new();
             for &(dk, e, ref merged) in &taps.pairs {

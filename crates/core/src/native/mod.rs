@@ -10,7 +10,7 @@
 //! 2. **Runtime-dispatched micro-kernels** — on x86-64 with AVX2 + FMA
 //!    (checked once via `is_x86_feature_detected!`) a register-blocked
 //!    `std::arch` path processes two output rows × eight columns per
-//!    step; everywhere else a `f64::mul_add` scalar fallback runs the
+//!    step; everywhere else a `mul_add` scalar fallback runs the
 //!    *same* FMA chain, so both [`Dispatch`] paths are bit-identical.
 //! 3. **Cache-blocked sweep tiling** — bands are walked in column tiles
 //!    sized to keep the in-flight rows cache-resident on out-of-cache
@@ -23,7 +23,7 @@
 //!    next input rows and the destination store stream (the paper's
 //!    Algorithm 3 analogue); tunable via `HSTENCIL_PREFETCH`, never on
 //!    the scalar path.
-//! 6. **Hybrid 8×8 register-tile kernel** ([`hybrid`], DESIGN.md §10) —
+//! 6. **Hybrid 8×8 register-tile kernel** (`hybrid`, DESIGN.md §10) —
 //!    [`Dispatch::Hybrid`] keeps a full 8×8 output tile in sixteen ymm
 //!    accumulators, interleaving broadcast-FMA rank-1 updates (vertical
 //!    taps) with shifted-load vector MLA (inner taps) per the paper's
@@ -32,21 +32,33 @@
 //!    itself across every decomposition, ULP-bounded vs the canonical
 //!    chain.
 //! 7. **Seeded autotuner** ([`tune`]) — per (pattern, radius, shape
-//!    class, thread count) plan cache choosing kernel + temporal
+//!    class, dtype, thread count) plan cache choosing kernel + temporal
 //!    geometry from a deterministic seeded micro-benchmark, persisted
 //!    to `target/hstencil-tune.json`; `HSTENCIL_TUNE=off|force|<path>`
 //!    overrides, `off` restoring heuristic dispatch bit-for-bit.
 //! 8. **Multi-core scaling as a first-class axis** (DESIGN.md §11) —
 //!    band splits are balanced ([`lane_span`]: lane loads differ by at
 //!    most one row, never an idle lane), the hybrid kernel's NT-store
-//!    choice is lane-aware (`HSTENCIL_NT`, [`hybrid`]), and
+//!    choice is lane-aware (`HSTENCIL_NT`, `hybrid`), and
 //!    `HSTENCIL_THREADS` ([`threads`]) pins the lane count of every
 //!    auto entry point. Thread count can never change results — every
 //!    kernel is invariant to band decomposition.
+//! 9. **Backend-generic tile kernels** ([`kernel`], DESIGN.md §12) —
+//!    every micro-kernel is an instance of the `TileKernel<E>` trait
+//!    (scalar, AVX2+FMA, AVX-512, hybrid 8×8) over an
+//!    [`Element`] type (`f64` or `f32`), so
+//!    one generic band driver serves every (kernel × dtype) pair.
+//!    [`Dispatch::Avx512`] is runtime-detected and deliberately kept
+//!    *out* of the auto heuristics (recorded plans and goldens stay
+//!    byte-stable); it is reachable via [`Dispatch::candidates`], the
+//!    `HSTENCIL_KERNEL`/`HSTENCIL_DISPATCH` pins, the conformance
+//!    registry and the bench harness.
 //!
 //! Dispatch is size-aware ([`Dispatch::for_width`]) and can be pinned
-//! with `HSTENCIL_DISPATCH=scalar|avx2` — both paths stay bit-identical
-//! either way, the override only changes speed.
+//! with `HSTENCIL_DISPATCH=scalar|avx2|avx512|hybrid` (or the
+//! instance-named `HSTENCIL_KERNEL`, which takes precedence) — the
+//! canonical-chain paths stay bit-identical either way, the override
+//! only changes speed.
 //!
 //! The seed executor is preserved in [`baseline`] and timed side by side
 //! in `BENCH_native.json` (see `crates/bench/benches/native.rs`), the
@@ -57,39 +69,52 @@
 //! time-stepped workloads.
 
 pub mod baseline;
+pub mod kernel;
 pub mod pool;
 pub mod prefetch;
 pub mod temporal;
 pub mod threads;
 pub mod tune;
 
+mod env;
 mod hybrid;
 mod kernel2d;
 mod kernel3d;
 mod tile;
 
+pub use kernel::{NativeElement, TileKernel};
 pub use prefetch::Prefetch;
 pub use temporal::{time_steps_temporal, time_steps_temporal_in, Temporal};
 
-use crate::grid::{Grid2d, Grid3d, GridError};
+use crate::element::{Dtype, Element};
+use crate::grid::{Grid2dT, Grid3dT, GridError};
 use crate::stencil::StencilSpec;
 use kernel2d::Taps2;
 use kernel3d::Taps3;
 use pool::ThreadPool;
 use std::sync::{Mutex, OnceLock};
 
-/// Which micro-kernel family executes a sweep. [`Dispatch::Scalar`] and
-/// [`Dispatch::Avx2Fma`] compute the identical FMA chain per element,
-/// so they agree bit-for-bit; [`Dispatch::Hybrid`] uses the paper's
-/// Algorithm 2 accumulation order (see [`hybrid`]) — internally
-/// decomposition-invariant, but ULP-bounded (not bit-exact) against the
-/// canonical chain.
+/// Which micro-kernel family executes a sweep. [`Dispatch::Scalar`],
+/// [`Dispatch::Avx2Fma`] and [`Dispatch::Avx512`] compute the identical
+/// FMA chain per element, so they agree bit-for-bit within one element
+/// type; [`Dispatch::Hybrid`] uses the paper's Algorithm 2 accumulation
+/// order (see `hybrid`) — internally decomposition-invariant, but
+/// ULP-bounded (not bit-exact) against the canonical chain.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Dispatch {
-    /// Portable `f64::mul_add` chain (single rounding per tap).
+    /// Portable `mul_add` chain (single rounding per tap).
     Scalar,
     /// AVX2 + FMA register-blocked `std::arch` kernels (x86-64 only).
     Avx2Fma,
+    /// AVX-512F register-blocked kernels: 8-wide f64 / 16-wide f32
+    /// zmm lanes, same canonical FMA chain (x86-64 with `avx512f`
+    /// only). Deliberately excluded from the auto heuristics
+    /// ([`Dispatch::detect`] / [`Dispatch::for_width`] /
+    /// [`Dispatch::for_sweep`]) so recorded tune plans, goldens and
+    /// bench baselines stay byte-stable across hosts; pin it via
+    /// `HSTENCIL_KERNEL=avx512` or select it explicitly. 2-D only for
+    /// now (3-D narrows to [`Dispatch::detect`]).
+    Avx512,
     /// Hybrid 8×8 register-tile schedule (Algorithm 2: rank-1 vertical
     /// updates + inner MLA + in-place fold + store scattering). 2-D
     /// only; has a bit-identical scalar fallback, so it runs on every
@@ -110,8 +135,22 @@ impl Dispatch {
         }
     }
 
+    /// True if the AVX-512 path can run on this machine (`avx512f` is
+    /// all the kernels use: plain zmm loads, broadcasts and FMAs).
+    pub fn avx512_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            is_x86_feature_detected!("avx512f")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
     /// The best dispatch for this machine (what the plain `apply_*`
-    /// entry points use).
+    /// entry points use). AVX-512 is deliberately not auto-selected —
+    /// see [`Dispatch::Avx512`].
     pub fn detect() -> Dispatch {
         if Dispatch::avx2_available() {
             Dispatch::Avx2Fma
@@ -130,6 +169,9 @@ impl Dispatch {
         if Dispatch::avx2_available() {
             v.push(Dispatch::Avx2Fma);
         }
+        if Dispatch::avx512_available() {
+            v.push(Dispatch::Avx512);
+        }
         v
     }
 
@@ -138,19 +180,22 @@ impl Dispatch {
         match self {
             Dispatch::Scalar => "scalar",
             Dispatch::Avx2Fma => "avx2+fma",
+            Dispatch::Avx512 => "avx512",
             Dispatch::Hybrid => "hybrid8x8",
         }
     }
 
-    /// Parses an `HSTENCIL_DISPATCH` value: `scalar`, `avx2` and
-    /// `hybrid` pin the path, `auto` (or empty) keeps the size-aware
-    /// heuristic. Pinning `avx2` on a machine without AVX2 + FMA is
-    /// ignored rather than deferred to a later kernel panic (`hybrid`
-    /// is fine everywhere — it has a scalar fallback).
+    /// Parses an `HSTENCIL_DISPATCH` / `HSTENCIL_KERNEL` value:
+    /// `scalar`, `avx2`, `avx512` and `hybrid` pin the path, `auto` (or
+    /// empty) keeps the size-aware heuristic. Pinning `avx2` / `avx512`
+    /// on a machine without the ISA is ignored rather than deferred to
+    /// a later kernel panic (`hybrid` is fine everywhere — it has a
+    /// scalar fallback).
     pub fn from_env_str(v: &str) -> Option<Dispatch> {
         match v.trim().to_ascii_lowercase().as_str() {
             "scalar" => Some(Dispatch::Scalar),
             "avx2" | "avx2+fma" if Dispatch::avx2_available() => Some(Dispatch::Avx2Fma),
+            "avx512" | "avx512f" if Dispatch::avx512_available() => Some(Dispatch::Avx512),
             "hybrid" | "hybrid8x8" => Some(Dispatch::Hybrid),
             _ => None,
         }
@@ -161,6 +206,13 @@ impl Dispatch {
     /// "keep the heuristic" forms — so a typo in `HSTENCIL_DISPATCH`
     /// names itself on stderr instead of silently running the default.
     pub fn from_env_str_warn(v: &str) -> (Option<Dispatch>, Option<String>) {
+        Dispatch::pin_from_env_warn("HSTENCIL_DISPATCH", v)
+    }
+
+    /// [`Dispatch::from_env_str_warn`] with the knob name
+    /// parameterized, so `HSTENCIL_KERNEL` (the trait-instance pin) and
+    /// `HSTENCIL_DISPATCH` share one parser and one warning format.
+    pub fn pin_from_env_warn(var: &str, v: &str) -> (Option<Dispatch>, Option<String>) {
         let parsed = Dispatch::from_env_str(v);
         if parsed.is_some() {
             return (parsed, None);
@@ -168,28 +220,36 @@ impl Dispatch {
         let warn = match v.trim().to_ascii_lowercase().as_str() {
             "" | "auto" => None,
             "avx2" | "avx2+fma" => Some(format!(
-                "hstencil: HSTENCIL_DISPATCH={v:?} requests AVX2+FMA but this \
+                "hstencil: {var}={v:?} requests AVX2+FMA but this \
                  machine lacks it; using the size-aware heuristic"
             )),
+            "avx512" | "avx512f" => Some(format!(
+                "hstencil: {var}={v:?} requests AVX-512 but this \
+                 machine lacks avx512f; using the size-aware heuristic"
+            )),
             _ => Some(format!(
-                "hstencil: ignoring malformed HSTENCIL_DISPATCH={v:?} \
-                 (expected scalar|avx2|hybrid|auto); using the size-aware heuristic"
+                "hstencil: ignoring malformed {var}={v:?} \
+                 (expected scalar|avx2|avx512|hybrid|auto); using the size-aware heuristic"
             )),
         };
         (None, warn)
     }
 
-    /// The process-wide `HSTENCIL_DISPATCH` override (env read once;
-    /// malformed values warn on stderr once and keep the heuristic).
+    /// The process-wide kernel pin: `HSTENCIL_KERNEL` (the
+    /// trait-instance spelling) takes precedence over
+    /// `HSTENCIL_DISPATCH`; both are read once through
+    /// [`env::cached`] and warn once on malformed values.
     fn env_override() -> Option<Dispatch> {
+        static KERNEL_PIN: OnceLock<Option<Dispatch>> = OnceLock::new();
+        let pin = env::cached(&KERNEL_PIN, "HSTENCIL_KERNEL", |v| {
+            Dispatch::pin_from_env_warn("HSTENCIL_KERNEL", v.unwrap_or(""))
+        });
+        if pin.is_some() {
+            return pin;
+        }
         static OVERRIDE: OnceLock<Option<Dispatch>> = OnceLock::new();
-        *OVERRIDE.get_or_init(|| {
-            let v = std::env::var("HSTENCIL_DISPATCH").ok()?;
-            let (parsed, warn) = Dispatch::from_env_str_warn(&v);
-            if let Some(w) = warn {
-                eprintln!("{w}");
-            }
-            parsed
+        env::cached(&OVERRIDE, "HSTENCIL_DISPATCH", |v| {
+            Dispatch::from_env_str_warn(v.unwrap_or(""))
         })
     }
 
@@ -212,32 +272,43 @@ impl Dispatch {
         }
     }
 
-    /// Dispatch for one 2-D sweep of `spec` over an `h x w` grid split
-    /// across `threads` lanes, in precedence order:
+    /// Dispatch for one 2-D sweep of `spec` over an `h x w` grid of
+    /// `dtype` elements split across `threads` lanes, in precedence
+    /// order:
     ///
-    /// 1. the `HSTENCIL_DISPATCH` env pin,
+    /// 1. the `HSTENCIL_KERNEL` / `HSTENCIL_DISPATCH` env pin,
     /// 2. the autotuner's cached plan for this (pattern, radius,
-    ///    shape-class, thread-count) key ([`tune::plan_for`]) — a
-    ///    dispatch tuned single-threaded never silently governs a
+    ///    shape-class, dtype, thread-count) key ([`tune::plan_for`]) —
+    ///    a dispatch tuned single-threaded never silently governs a
     ///    saturated sweep,
     /// 3. with tuning enabled but no plan recorded: the hybrid 8×8
-    ///    kernel for streaming (out-of-cache) shapes wide enough to
-    ///    vector-tile — the measured win on the recorded bench host,
+    ///    kernel for streaming (out-of-cache) f64 shapes wide enough to
+    ///    vector-tile — the measured win on the recorded bench host.
+    ///    f32 sweeps skip this arm: the hybrid tile has no f32 vector
+    ///    body yet (DESIGN.md §12), so the canonical AVX2 kernel is the
+    ///    faster choice there,
     /// 4. the PR 4 width heuristic ([`Dispatch::for_width`]).
     ///
     /// `HSTENCIL_TUNE=off` disables steps 2 *and* 3, restoring the PR 4
     /// decision tree bit-for-bit.
-    pub fn for_sweep(spec: &StencilSpec, h: usize, w: usize, threads: usize) -> Dispatch {
+    pub fn for_sweep_dtype(
+        spec: &StencilSpec,
+        h: usize,
+        w: usize,
+        threads: usize,
+        dtype: Dtype,
+    ) -> Dispatch {
         if let Some(d) = Dispatch::env_override() {
             return d;
         }
         if spec.dims() == 2 && tune::enabled() {
-            if let Some(plan) = tune::plan_for(spec, h, w, threads) {
+            if let Some(plan) = tune::plan_for(spec, h, w, threads, dtype) {
                 return plan.dispatch;
             }
-            if Dispatch::avx2_available()
+            if dtype == Dtype::F64
+                && Dispatch::avx2_available()
                 && w >= 8
-                && tune::ShapeClass::of(h, w) == tune::ShapeClass::Streaming
+                && tune::ShapeClass::of_dtype(h, w, dtype) == tune::ShapeClass::Streaming
             {
                 return Dispatch::Hybrid;
             }
@@ -245,44 +316,57 @@ impl Dispatch {
         Dispatch::for_width(w)
     }
 
+    /// [`Dispatch::for_sweep_dtype`] at the reference `f64` precision —
+    /// the decision every pre-existing call site takes, byte-identical
+    /// to its pre-dtype behavior.
+    pub fn for_sweep(spec: &StencilSpec, h: usize, w: usize, threads: usize) -> Dispatch {
+        Dispatch::for_sweep_dtype(spec, h, w, threads, Dtype::F64)
+    }
+
     /// Maps 2-D-only dispatches to their 3-D equivalent: the hybrid
-    /// register tile has no 3-D body, so a `Hybrid` pin or plan falls
-    /// back to the best canonical kernel. The 3-D entry points apply
-    /// this, keeping [`kernel3d`]'s dispatch match two-way.
+    /// register tile has no 3-D body, and the AVX-512 instance is 2-D
+    /// only as well, so a `Hybrid`/`Avx512` pin or plan falls back to
+    /// the best canonical kernel. The 3-D entry points apply this,
+    /// keeping [`kernel3d`]'s dispatch match two-way.
     fn narrow_3d(self) -> Dispatch {
         match self {
-            Dispatch::Hybrid => Dispatch::detect(),
+            Dispatch::Hybrid | Dispatch::Avx512 => Dispatch::detect(),
             d => d,
         }
     }
 }
 
-fn assert_shapes_2d(spec: &StencilSpec, a: &Grid2d, b: &Grid2d) {
+fn assert_shapes_2d<E: Element>(spec: &StencilSpec, a: &Grid2dT<E>, b: &Grid2dT<E>) {
     assert_eq!(spec.dims(), 2);
     a.check_stencil(spec.radius(), b)
         .unwrap_or_else(|e| panic!("native 2-D sweep: {e}"));
 }
 
-fn assert_shapes_3d(spec: &StencilSpec, a: &Grid3d, b: &Grid3d) {
+fn assert_shapes_3d<E: Element>(spec: &StencilSpec, a: &Grid3dT<E>, b: &Grid3dT<E>) {
     assert_eq!(spec.dims(), 3);
     a.check_stencil(spec.radius(), b)
         .unwrap_or_else(|e| panic!("native 3-D sweep: {e}"));
 }
 
 /// One sweep of a 2-D stencil, single-threaded, best dispatch for the
-/// stencil and grid shape ([`Dispatch::for_sweep`] — tuned plan or
-/// heuristic).
-pub fn apply_2d(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
-    apply_2d_with(Dispatch::for_sweep(spec, a.h(), a.w(), 1), spec, a, b);
+/// stencil, grid shape and element type ([`Dispatch::for_sweep_dtype`]
+/// — tuned plan or heuristic).
+pub fn apply_2d<E: NativeElement>(spec: &StencilSpec, a: &Grid2dT<E>, b: &mut Grid2dT<E>) {
+    apply_2d_with(
+        Dispatch::for_sweep_dtype(spec, a.h(), a.w(), 1, E::DTYPE),
+        spec,
+        a,
+        b,
+    );
 }
 
 /// [`apply_2d_with`] with degenerate shapes rejected as a typed
 /// [`GridError`] instead of a panic.
-pub fn try_apply_2d_with(
+pub fn try_apply_2d_with<E: NativeElement>(
     dispatch: Dispatch,
     spec: &StencilSpec,
-    a: &Grid2d,
-    b: &mut Grid2d,
+    a: &Grid2dT<E>,
+    b: &mut Grid2dT<E>,
 ) -> Result<(), GridError> {
     assert_eq!(spec.dims(), 2);
     a.check_stencil(spec.radius(), b)?;
@@ -293,11 +377,16 @@ pub fn try_apply_2d_with(
 /// One single-threaded 2-D sweep on an explicit dispatch path.
 ///
 /// # Panics
-/// Panics on shape/halo mismatch or if `Avx2Fma` is forced on a machine
-/// without AVX2 + FMA.
-pub fn apply_2d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d) {
+/// Panics on shape/halo mismatch or if an ISA-specific dispatch is
+/// forced on a machine without that ISA.
+pub fn apply_2d_with<E: NativeElement>(
+    dispatch: Dispatch,
+    spec: &StencilSpec,
+    a: &Grid2dT<E>,
+    b: &mut Grid2dT<E>,
+) {
     assert_shapes_2d(spec, a, b);
-    let taps = Taps2::new(spec);
+    let taps = Taps2::<E>::new(spec);
     let (h, w) = (a.h(), a.w());
     let (a_org, a_stride) = (a.origin() as isize, a.stride() as isize);
     let (b_org, b_stride) = (b.origin(), b.stride());
@@ -326,11 +415,16 @@ pub fn lane_span(total: usize, lanes: usize, lane: usize) -> (usize, usize) {
 /// One sweep of a 2-D stencil with rows distributed over `threads`
 /// lanes of the shared persistent pool (`HSTENCIL_THREADS` pins the
 /// lane count process-wide, trumping `threads`).
-pub fn apply_2d_parallel(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d, threads: usize) {
+pub fn apply_2d_parallel<E: NativeElement>(
+    spec: &StencilSpec,
+    a: &Grid2dT<E>,
+    b: &mut Grid2dT<E>,
+    threads: usize,
+) {
     let threads = threads::resolve(threads);
     apply_2d_parallel_in(
         ThreadPool::global(),
-        Dispatch::for_sweep(spec, a.h(), a.w(), threads),
+        Dispatch::for_sweep_dtype(spec, a.h(), a.w(), threads, E::DTYPE),
         spec,
         a,
         b,
@@ -341,12 +435,12 @@ pub fn apply_2d_parallel(spec: &StencilSpec, a: &Grid2d, b: &mut Grid2d, threads
 /// One parallel 2-D sweep on an explicit pool and dispatch path.
 /// Workers own contiguous row bands (disjoint `split_at_mut` slices of
 /// the output); tiny grids fall back to the serial kernel.
-pub fn apply_2d_parallel_in(
+pub fn apply_2d_parallel_in<E: NativeElement>(
     pool: &ThreadPool,
     dispatch: Dispatch,
     spec: &StencilSpec,
-    a: &Grid2d,
-    b: &mut Grid2d,
+    a: &Grid2dT<E>,
+    b: &mut Grid2dT<E>,
     threads: usize,
 ) {
     assert!(threads >= 1);
@@ -355,19 +449,19 @@ pub fn apply_2d_parallel_in(
         return;
     }
     assert_shapes_2d(spec, a, b);
-    let taps = Taps2::new(spec);
+    let taps = Taps2::<E>::new(spec);
     let (h, w) = (a.h(), a.w());
     let (a_org, a_stride) = (a.origin() as isize, a.stride() as isize);
     let (b_org, b_stride) = (b.origin(), b.stride());
     let a_raw = a.raw();
 
-    struct Band<'a> {
-        dst: &'a mut [f64],
+    struct Band<'a, E> {
+        dst: &'a mut [E],
         i_lo: usize,
         i_hi: usize,
     }
 
-    let mut bands: Vec<Option<Band>> = Vec::with_capacity(threads);
+    let mut bands: Vec<Option<Band<E>>> = Vec::with_capacity(threads);
     let mut rest = b.raw_mut();
     let mut consumed = 0usize;
     for t in 0..threads {
@@ -404,17 +498,17 @@ pub fn apply_2d_parallel_in(
 
 /// One sweep of a 3-D stencil, single-threaded, best dispatch for the
 /// grid's shape ([`Dispatch::for_width`]).
-pub fn apply_3d(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
+pub fn apply_3d<E: NativeElement>(spec: &StencilSpec, a: &Grid3dT<E>, b: &mut Grid3dT<E>) {
     apply_3d_with(Dispatch::for_width(a.w()), spec, a, b);
 }
 
 /// [`apply_3d_with`] with degenerate shapes rejected as a typed
 /// [`GridError`] instead of a panic.
-pub fn try_apply_3d_with(
+pub fn try_apply_3d_with<E: NativeElement>(
     dispatch: Dispatch,
     spec: &StencilSpec,
-    a: &Grid3d,
-    b: &mut Grid3d,
+    a: &Grid3dT<E>,
+    b: &mut Grid3dT<E>,
 ) -> Result<(), GridError> {
     assert_eq!(spec.dims(), 3);
     a.check_stencil(spec.radius(), b)?;
@@ -423,11 +517,16 @@ pub fn try_apply_3d_with(
 }
 
 /// One single-threaded 3-D sweep on an explicit dispatch path (2-D-only
-/// dispatches are narrowed via [`Dispatch::narrow_3d`]).
-pub fn apply_3d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d) {
+/// dispatches are narrowed via `Dispatch::narrow_3d`).
+pub fn apply_3d_with<E: NativeElement>(
+    dispatch: Dispatch,
+    spec: &StencilSpec,
+    a: &Grid3dT<E>,
+    b: &mut Grid3dT<E>,
+) {
     let dispatch = dispatch.narrow_3d();
     assert_shapes_3d(spec, a, b);
-    let taps = Taps3::new(spec);
+    let taps = Taps3::<E>::new(spec);
     let (d, h, w) = (a.d(), a.h(), a.w());
     let (b_org, b_ps, b_stride) = (b.origin(), b.plane_stride(), b.stride());
     let a_raw = a.raw();
@@ -459,7 +558,12 @@ pub fn apply_3d_with(dispatch: Dispatch, spec: &StencilSpec, a: &Grid3d, b: &mut
 /// over `threads` lanes of the shared persistent pool
 /// (`HSTENCIL_THREADS` pins the lane count process-wide, trumping
 /// `threads`).
-pub fn apply_3d_parallel(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d, threads: usize) {
+pub fn apply_3d_parallel<E: NativeElement>(
+    spec: &StencilSpec,
+    a: &Grid3dT<E>,
+    b: &mut Grid3dT<E>,
+    threads: usize,
+) {
     let threads = threads::resolve(threads);
     apply_3d_parallel_in(
         ThreadPool::global(),
@@ -474,12 +578,12 @@ pub fn apply_3d_parallel(spec: &StencilSpec, a: &Grid3d, b: &mut Grid3d, threads
 /// One parallel 3-D sweep on an explicit pool and dispatch path. Bands
 /// are contiguous ranges of the flattened `(k, i)` row index, so the
 /// split stays balanced even when the grid has few planes.
-pub fn apply_3d_parallel_in(
+pub fn apply_3d_parallel_in<E: NativeElement>(
     pool: &ThreadPool,
     dispatch: Dispatch,
     spec: &StencilSpec,
-    a: &Grid3d,
-    b: &mut Grid3d,
+    a: &Grid3dT<E>,
+    b: &mut Grid3dT<E>,
     threads: usize,
 ) {
     let dispatch = dispatch.narrow_3d();
@@ -489,7 +593,7 @@ pub fn apply_3d_parallel_in(
         return;
     }
     assert_shapes_3d(spec, a, b);
-    let taps = Taps3::new(spec);
+    let taps = Taps3::<E>::new(spec);
     let (d, h, w) = (a.d(), a.h(), a.w());
     let (b_org, b_ps, b_stride) = (b.origin(), b.plane_stride(), b.stride());
     let a_raw = a.raw();
@@ -499,15 +603,15 @@ pub fn apply_3d_parallel_in(
         a.stride() as isize,
     );
 
-    struct Band<'a> {
-        dst: &'a mut [f64],
+    struct Band<'a, E> {
+        dst: &'a mut [E],
         t_lo: usize,
         t_hi: usize,
     }
 
     let rows = d * h;
     let flat_row = |t: usize| b_org + (t / h) * b_ps + (t % h) * b_stride;
-    let mut bands: Vec<Option<Band>> = Vec::with_capacity(threads);
+    let mut bands: Vec<Option<Band<E>>> = Vec::with_capacity(threads);
     let mut rest = b.raw_mut();
     let mut consumed = 0usize;
     for t in 0..threads {
@@ -553,7 +657,12 @@ pub fn apply_3d_parallel_in(
 /// [`apply_2d`] calls, and both use the shared persistent pool (worker
 /// threads spawned at most once per process). `HSTENCIL_THREADS` pins
 /// the lane count process-wide, trumping `threads`.
-pub fn time_steps(spec: &StencilSpec, init: &Grid2d, sweeps: usize, threads: usize) -> Grid2d {
+pub fn time_steps<E: NativeElement>(
+    spec: &StencilSpec,
+    init: &Grid2dT<E>,
+    sweeps: usize,
+    threads: usize,
+) -> Grid2dT<E> {
     temporal::time_steps_temporal(spec, init, sweeps, threads)
 }
 
@@ -563,16 +672,16 @@ pub fn time_steps(spec: &StencilSpec, init: &Grid2d, sweeps: usize, threads: usi
 /// cache-resident working sets, the multi-sweep benchmark uses it as
 /// the traffic-bound baseline, and the spawn-count tests assert the
 /// pool contract against it. The ping buffer is the only extra
-/// allocation beyond the returned grid (a cheap [`Grid2d::halo_image`],
-/// not a full interior copy).
-pub fn time_steps_in(
+/// allocation beyond the returned grid (a cheap
+/// [`Grid2dT::halo_image`], not a full interior copy).
+pub fn time_steps_in<E: NativeElement>(
     pool: &ThreadPool,
     dispatch: Dispatch,
     spec: &StencilSpec,
-    init: &Grid2d,
+    init: &Grid2dT<E>,
     sweeps: usize,
     threads: usize,
-) -> Grid2d {
+) -> Grid2dT<E> {
     if sweeps == 0 {
         return init.clone();
     }
@@ -592,6 +701,7 @@ pub fn time_steps_in(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grid::{Grid2d, Grid3d};
     use crate::reference;
     use crate::stencil::presets;
 
@@ -649,6 +759,96 @@ mod tests {
                     d
                 );
             }
+        }
+    }
+
+    #[test]
+    fn f32_dispatch_paths_are_bit_identical() {
+        // The same bit-identity contract holds per element type: every
+        // canonical-chain instance of one dtype agrees exactly with the
+        // scalar chain at that dtype (candidates() includes the AVX-512
+        // instances when the host has them).
+        for spec in presets::suite_2d() {
+            let a = Grid2dT::<f32>::convert_from(&random_grid(33, 47, spec.radius(), 13));
+            let mut scalar = Grid2dT::<f32>::zeros(33, 47, spec.radius());
+            apply_2d_with(Dispatch::Scalar, &spec, &a, &mut scalar);
+            for d in Dispatch::candidates() {
+                let mut got = Grid2dT::<f32>::zeros(33, 47, spec.radius());
+                apply_2d_with(d, &spec, &a, &mut got);
+                assert_eq!(
+                    scalar.max_interior_diff(&got),
+                    0.0,
+                    "{} under {:?}",
+                    spec.name(),
+                    d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_sweep_tracks_the_f64_reference_within_f32_precision() {
+        // Inputs in [-1, 1] and presets with O(1) tap sums: the f32
+        // sweep differs from the f64 reference only by input narrowing
+        // plus per-tap rounding — well inside 1e-4 absolute here, and
+        // far outside what an indexing bug would produce.
+        for spec in presets::suite_2d() {
+            let a64 = random_grid(24, 40, spec.radius(), 7);
+            let mut want = Grid2d::zeros(24, 40, spec.radius());
+            reference::apply_2d(&spec, &a64, &mut want);
+            let a32 = Grid2dT::<f32>::convert_from(&a64);
+            let mut got32 = Grid2dT::<f32>::zeros(24, 40, spec.radius());
+            apply_2d(&spec, &a32, &mut got32);
+            let got = Grid2d::convert_from(&got32);
+            let diff = got.max_interior_diff(&want);
+            assert!(diff < 1e-4, "{}: f32 drifted {diff:e}", spec.name());
+            assert!(diff > 0.0 || spec.points() == 1, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn f32_parallel_and_hybrid_match_their_serial_chains() {
+        let spec = presets::box2d25p();
+        let a = Grid2dT::<f32>::convert_from(&random_grid(64, 48, 2, 11));
+        let mut serial = Grid2dT::<f32>::zeros(64, 48, 2);
+        apply_2d(&spec, &a, &mut serial);
+        for threads in [2, 3, 7] {
+            let mut par = Grid2dT::<f32>::zeros(64, 48, 2);
+            apply_2d_parallel(&spec, &a, &mut par, threads);
+            assert_eq!(serial.max_interior_diff(&par), 0.0, "threads={threads}");
+        }
+        // The f32 hybrid path (scalar chain + generic staged stores) is
+        // decomposition-invariant too.
+        let mut hy1 = Grid2dT::<f32>::zeros(64, 48, 2);
+        apply_2d_with(Dispatch::Hybrid, &spec, &a, &mut hy1);
+        for threads in [2, 5] {
+            let mut hyn = Grid2dT::<f32>::zeros(64, 48, 2);
+            apply_2d_parallel_in(
+                ThreadPool::global(),
+                Dispatch::Hybrid,
+                &spec,
+                &a,
+                &mut hyn,
+                threads,
+            );
+            assert_eq!(hy1.max_interior_diff(&hyn), 0.0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn avx512_narrows_to_a_canonical_3d_kernel() {
+        // A 3-D sweep forced onto the 2-D-only AVX-512 dispatch must
+        // narrow instead of hitting kernel3d's unreachable arm — and
+        // stay bit-identical to scalar (it narrows to a canonical
+        // chain).
+        let spec = presets::star3d7p();
+        let a = random_grid_3d(5, 9, 13, 1, 23);
+        let mut scalar = Grid3d::zeros(5, 9, 13, 1);
+        apply_3d_with(Dispatch::Scalar, &spec, &a, &mut scalar);
+        for d in [Dispatch::Avx512, Dispatch::Hybrid] {
+            let mut got = Grid3d::zeros(5, 9, 13, 1);
+            apply_3d_with(d, &spec, &a, &mut got);
+            assert_eq!(scalar.max_interior_diff(&got), 0.0, "{d:?}");
         }
     }
 
@@ -804,6 +1004,7 @@ mod tests {
     fn dispatch_for_width_prefers_scalar_below_one_vector() {
         // Without an env override (none is set under `cargo test`),
         // sub-vector rows go scalar; wide rows take SIMD when present.
+        // AVX-512 is never the auto pick even where available.
         assert_eq!(Dispatch::for_width(2), Dispatch::Scalar);
         assert_eq!(Dispatch::for_width(3), Dispatch::Scalar);
         if Dispatch::avx2_available() {
@@ -831,6 +1032,13 @@ mod tests {
             // later kernel panic.
             assert_eq!(avx2, None);
         }
+        let avx512 = Dispatch::from_env_str("avx512");
+        if Dispatch::avx512_available() {
+            assert_eq!(avx512, Some(Dispatch::Avx512));
+            assert_eq!(Dispatch::from_env_str("AVX512F"), Some(Dispatch::Avx512));
+        } else {
+            assert_eq!(avx512, None);
+        }
     }
 
     #[test]
@@ -852,6 +1060,44 @@ mod tests {
             assert_eq!(p, None);
             assert!(w.unwrap().contains("AVX2"));
         }
+        if !Dispatch::avx512_available() {
+            let (p, w) = Dispatch::from_env_str_warn("avx512");
+            assert_eq!(p, None);
+            assert!(w.unwrap().contains("avx512f"));
+        }
+    }
+
+    #[test]
+    fn kernel_pin_parser_names_its_own_knob() {
+        // HSTENCIL_KERNEL shares the dispatch parser but must warn
+        // under its own name, so a typo in either knob is attributable.
+        assert_eq!(
+            Dispatch::pin_from_env_warn("HSTENCIL_KERNEL", "scalar"),
+            (Some(Dispatch::Scalar), None)
+        );
+        assert_eq!(
+            Dispatch::pin_from_env_warn("HSTENCIL_KERNEL", "hybrid8x8").0,
+            Some(Dispatch::Hybrid)
+        );
+        let (p, w) = Dispatch::pin_from_env_warn("HSTENCIL_KERNEL", "b?gus");
+        assert_eq!(p, None);
+        let w = w.expect("malformed pin must warn");
+        assert!(w.contains("HSTENCIL_KERNEL"), "{w}");
+        assert!(w.contains("b?gus"), "{w}");
+        // Silence contract: unset-equivalent spellings stay quiet.
+        assert_eq!(
+            Dispatch::pin_from_env_warn("HSTENCIL_KERNEL", ""),
+            (None, None)
+        );
+        assert_eq!(
+            Dispatch::pin_from_env_warn("HSTENCIL_KERNEL", "auto"),
+            (None, None)
+        );
+        // ISA pins resolve exactly like HSTENCIL_DISPATCH.
+        assert_eq!(
+            Dispatch::pin_from_env_warn("HSTENCIL_KERNEL", "avx512").0,
+            Dispatch::from_env_str("avx512")
+        );
     }
 
     #[test]

@@ -89,18 +89,12 @@ impl Prefetch {
         }
     }
 
-    /// The process-wide configuration (env read once, then cached;
-    /// malformed values warn on stderr once and keep the default).
+    /// The process-wide configuration (env read once through
+    /// `super::env::cached`; malformed values warn on stderr once and
+    /// keep the default).
     pub fn config() -> Prefetch {
         static CONFIG: OnceLock<Prefetch> = OnceLock::new();
-        *CONFIG.get_or_init(|| {
-            let (pf, warn) =
-                Prefetch::from_env_str_warn(std::env::var("HSTENCIL_PREFETCH").ok().as_deref());
-            if let Some(w) = warn {
-                eprintln!("{w}");
-            }
-            pf
-        })
+        super::env::cached(&CONFIG, "HSTENCIL_PREFETCH", Prefetch::from_env_str_warn)
     }
 }
 

@@ -35,7 +35,7 @@
 //! Level 1 reads the global `cur` grid directly; level `steps` writes
 //! its base region straight into the global `next` grid; the
 //! intermediate levels ping-pong between two per-lane scratch buffers
-//! ([`Scratch`]) sized by `tile::temporal_block` to stay L2-resident.
+//! (`Scratch`) sized by `tile::temporal_block` to stay L2-resident.
 //!
 //! ## Dirichlet frame
 //!
@@ -49,7 +49,7 @@
 //! ## Bit-identity
 //!
 //! Every cell at every level is produced by the *same* canonical FMA
-//! chain ([`kernel2d::sweep_band_2d`]) reading bit-identical inputs —
+//! chain (`kernel2d::sweep_band_2d`) reading bit-identical inputs —
 //! the kernels are already invariant to band/tile decomposition (pinned
 //! by the dispatch bit-identity suite) — so by induction over levels a
 //! superstep is **bit-identical** to `steps` sequential
@@ -64,11 +64,12 @@
 //! mid-superstep halo exchange, and the pool barrier between supersteps
 //! is the only synchronisation.
 
+use super::kernel::NativeElement;
 use super::kernel2d::{self, Taps2};
 use super::pool::ThreadPool;
 use super::tile;
 use super::Dispatch;
-use crate::grid::Grid2d;
+use crate::grid::Grid2dT;
 use crate::stencil::StencilSpec;
 use lx2_isa::VLEN;
 use std::sync::Mutex;
@@ -99,13 +100,13 @@ const PIPELINE_MIN_WORKING_SET: usize = 4 * 1024 * 1024;
 /// One lane's pair of scratch ping-pong buffers for the intermediate
 /// time levels, sized for the widest (level-1) extent of a tile plus
 /// the `r`-wide Dirichlet frame, rows `stride` elements apart.
-struct Scratch {
+struct Scratch<E> {
     stride: usize,
-    bufs: [Vec<f64>; 2],
+    bufs: [Vec<E>; 2],
 }
 
-impl Scratch {
-    fn new(h: usize, w: usize, r: usize, t: usize, th: usize, tw: usize) -> Scratch {
+impl<E: NativeElement> Scratch<E> {
+    fn new(h: usize, w: usize, r: usize, t: usize, th: usize, tw: usize) -> Scratch<E> {
         if t <= 1 {
             return Scratch {
                 stride: 0,
@@ -119,7 +120,7 @@ impl Scratch {
         let len = rows * stride;
         Scratch {
             stride,
-            bufs: [vec![0.0; len], vec![0.0; len]],
+            bufs: [vec![E::ZERO; len], vec![E::ZERO; len]],
         }
     }
 }
@@ -130,21 +131,21 @@ impl Scratch {
 /// region into `band_dst` (`band_dst[0]` = element `(band_lo, 0)`, rows
 /// `dst_stride` apart).
 #[allow(clippy::too_many_arguments)]
-fn tile_pipeline(
+fn tile_pipeline<E: NativeElement>(
     dispatch: Dispatch,
-    taps: &Taps2,
-    src: &[f64],
+    taps: &Taps2<E>,
+    src: &[E],
     src_org: isize,
     src_stride: isize,
     h: usize,
     w: usize,
-    band_dst: &mut [f64],
+    band_dst: &mut [E],
     dst_stride: usize,
     band_lo: usize,
     (tr0, tr1): (isize, isize),
     (tc0, tc1): (isize, isize),
     steps: usize,
-    scratch: &mut Scratch,
+    scratch: &mut Scratch<E>,
     lanes: usize,
 ) {
     debug_assert!(steps >= 2);
@@ -264,21 +265,21 @@ fn tile_pipeline(
 /// element `(lo, 0)`, rows `dst_stride` apart), walking the band in
 /// `th x tw` trapezoid tiles.
 #[allow(clippy::too_many_arguments)]
-fn band_pipeline(
+fn band_pipeline<E: NativeElement>(
     dispatch: Dispatch,
-    taps: &Taps2,
-    src: &[f64],
+    taps: &Taps2<E>,
+    src: &[E],
     src_org: isize,
     src_stride: isize,
     h: usize,
     w: usize,
-    dst: &mut [f64],
+    dst: &mut [E],
     dst_stride: usize,
     lo: usize,
     hi: usize,
     steps: usize,
     (th, tw): (usize, usize),
-    scratch: &mut Scratch,
+    scratch: &mut Scratch<E>,
     lanes: usize,
 ) {
     debug_assert!(steps >= 1);
@@ -325,15 +326,15 @@ fn band_pipeline(
 /// ghost recomputation over the shared `src` rows its trapezoids
 /// cover).
 #[allow(clippy::too_many_arguments)]
-fn superstep(
+fn superstep<E: NativeElement>(
     pool: &ThreadPool,
     dispatch: Dispatch,
-    taps: &Taps2,
-    src: &Grid2d,
-    dst: &mut Grid2d,
+    taps: &Taps2<E>,
+    src: &Grid2dT<E>,
+    dst: &mut Grid2dT<E>,
     steps: usize,
     tile_hw: (usize, usize),
-    scratch: &[Mutex<Scratch>],
+    scratch: &[Mutex<Scratch<E>>],
 ) {
     let nb = scratch.len();
     let (h, w) = (src.h(), src.w());
@@ -351,13 +352,13 @@ fn superstep(
         return;
     }
 
-    struct Band<'a> {
-        dst: &'a mut [f64],
+    struct Band<'a, E> {
+        dst: &'a mut [E],
         lo: usize,
         hi: usize,
     }
 
-    let mut bands: Vec<Option<Band>> = Vec::with_capacity(nb);
+    let mut bands: Vec<Option<Band<E>>> = Vec::with_capacity(nb);
     let mut rest = dst.raw_mut();
     let mut consumed = 0usize;
     for t in 0..nb {
@@ -392,16 +393,16 @@ fn superstep(
 /// [`time_steps_temporal_in`] on the shared pool with auto-tuned
 /// settings — the default multi-sweep entry point
 /// ([`super::time_steps`] routes here).
-pub fn time_steps_temporal(
+pub fn time_steps_temporal<E: NativeElement>(
     spec: &StencilSpec,
-    init: &Grid2d,
+    init: &Grid2dT<E>,
     sweeps: usize,
     threads: usize,
-) -> Grid2d {
+) -> Grid2dT<E> {
     let threads = super::threads::resolve(threads);
     time_steps_temporal_in(
         ThreadPool::global(),
-        Dispatch::for_sweep(spec, init.h(), init.w(), threads),
+        Dispatch::for_sweep_dtype(spec, init.h(), init.w(), threads, E::DTYPE),
         spec,
         init,
         sweeps,
@@ -419,15 +420,15 @@ pub fn time_steps_temporal(
 ///
 /// Cache-resident working sets and depth-1 blocks are delegated to the
 /// naive ping-pong unless `cfg.force_pipeline` is set.
-pub fn time_steps_temporal_in(
+pub fn time_steps_temporal_in<E: NativeElement>(
     pool: &ThreadPool,
     dispatch: Dispatch,
     spec: &StencilSpec,
-    init: &Grid2d,
+    init: &Grid2dT<E>,
     sweeps: usize,
     threads: usize,
     cfg: Temporal,
-) -> Grid2d {
+) -> Grid2dT<E> {
     assert!(threads >= 1);
     assert_eq!(spec.dims(), 2);
     if sweeps == 0 {
@@ -442,7 +443,7 @@ pub fn time_steps_temporal_in(
     // knob is actually open, so callers that pin both (the tuner's own
     // measurement loop included) never touch the cache.
     let plan = if cfg.tile.is_none() || cfg.t_block.is_none() {
-        super::tune::plan_for(spec, h, w, threads)
+        super::tune::plan_for(spec, h, w, threads, E::DTYPE)
     } else {
         None
     };
@@ -456,18 +457,18 @@ pub fn time_steps_temporal_in(
         .or(plan.map(|p| p.t_block))
         .unwrap_or_else(|| tile::temporal_block(sweeps, r, th, tw))
         .clamp(1, sweeps);
-    let working_set = 2 * (h + 2 * init.halo()) * init.stride() * std::mem::size_of::<f64>();
+    let working_set = 2 * (h + 2 * init.halo()) * init.stride() * std::mem::size_of::<E>();
     if !cfg.force_pipeline && (t_block == 1 || working_set <= PIPELINE_MIN_WORKING_SET) {
         return super::time_steps_in(pool, dispatch, spec, init, sweeps, threads);
     }
 
-    let taps = Taps2::new(spec);
+    let taps = Taps2::<E>::new(spec);
     let nb = if threads == 1 || h < 2 * threads {
         1
     } else {
         threads
     };
-    let scratch: Vec<Mutex<Scratch>> = (0..nb)
+    let scratch: Vec<Mutex<Scratch<E>>> = (0..nb)
         .map(|_| Mutex::new(Scratch::new(h, w, r, t_block, th, tw)))
         .collect();
 
@@ -510,6 +511,7 @@ pub fn time_steps_temporal_in(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grid::Grid2d;
     use crate::native;
     use crate::stencil::presets;
 

@@ -51,18 +51,12 @@ pub fn from_env_str(v: Option<&str>) -> Option<usize> {
     from_env_str_warn(v).0
 }
 
-/// The process-wide `HSTENCIL_THREADS` override (env read once;
-/// malformed values warn on stderr once and keep the caller's count).
+/// The process-wide `HSTENCIL_THREADS` override (env read once through
+/// `super::env::cached`; malformed values warn on stderr once and
+/// keep the caller's count).
 pub fn env_override() -> Option<usize> {
     static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
-    *OVERRIDE.get_or_init(|| {
-        let v = std::env::var("HSTENCIL_THREADS").ok();
-        let (parsed, warn) = from_env_str_warn(v.as_deref());
-        if let Some(w) = warn {
-            eprintln!("{w}");
-        }
-        parsed
-    })
+    super::env::cached(&OVERRIDE, "HSTENCIL_THREADS", from_env_str_warn)
 }
 
 /// The lane count an auto entry point should run with: the

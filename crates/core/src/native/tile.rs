@@ -16,12 +16,15 @@
 const TILE_TARGET_BYTES: usize = 128 * 1024;
 
 /// Column-tile width (in elements) for a sweep whose kernel keeps
-/// `rows_in_flight` grid rows live per tile. Always a multiple of 8
-/// (one full AVX2 unroll) unless the grid itself is narrower, at least
-/// 64 columns so tile edges stay rare, and never wider than the grid.
-pub(crate) fn col_block(w: usize, rows_in_flight: usize) -> usize {
+/// `rows_in_flight` grid rows of `elem_bytes`-wide elements live per
+/// tile. Always a multiple of 8 (one full vector unroll at every
+/// supported width) unless the grid itself is narrower, at least 64
+/// columns so tile edges stay rare, and never wider than the grid.
+/// Narrower elements fit proportionally more columns in the same cache
+/// budget — an f32 sweep gets twice the f64 tile width.
+pub(crate) fn col_block(w: usize, rows_in_flight: usize, elem_bytes: usize) -> usize {
     let cap = w.max(1);
-    let bytes_per_col = rows_in_flight.max(1) * std::mem::size_of::<f64>();
+    let bytes_per_col = rows_in_flight.max(1) * elem_bytes.max(1);
     let raw = TILE_TARGET_BYTES / bytes_per_col;
     let aligned = raw - raw % 8;
     aligned.clamp(cap.min(64), cap)
@@ -96,15 +99,17 @@ mod tests {
     fn block_never_exceeds_width() {
         for w in [1, 7, 63, 64, 100, 4096, 1 << 20] {
             for rows in [3, 6, 30, 1000] {
-                let b = col_block(w, rows);
-                assert!(b >= 1 && b <= w, "w={w} rows={rows} b={b}");
+                for elem in [4usize, 8] {
+                    let b = col_block(w, rows, elem);
+                    assert!(b >= 1 && b <= w, "w={w} rows={rows} elem={elem} b={b}");
+                }
             }
         }
     }
 
     #[test]
     fn block_is_simd_aligned_when_wide() {
-        let b = col_block(1 << 20, 6);
+        let b = col_block(1 << 20, 6, 8);
         assert_eq!(b % 8, 0);
         assert!(b >= 64);
         // 6 rows * 8 B/col * block fits the tile budget.
@@ -112,15 +117,25 @@ mod tests {
     }
 
     #[test]
+    fn narrower_elements_widen_the_tile() {
+        // Same cache budget, half the bytes per column: the f32 tile
+        // is (up to 8-alignment) twice the f64 tile.
+        let b64 = col_block(1 << 20, 6, 8);
+        let b32 = col_block(1 << 20, 6, 4);
+        assert!(b32 >= 2 * b64 - 8, "b32={b32} b64={b64}");
+        assert!(6 * 4 * b32 <= TILE_TARGET_BYTES);
+    }
+
+    #[test]
     fn narrow_grids_get_one_tile() {
-        assert_eq!(col_block(40, 6), 40);
-        assert_eq!(col_block(3, 1000), 3);
+        assert_eq!(col_block(40, 6, 8), 40);
+        assert_eq!(col_block(3, 1000, 8), 3);
     }
 
     #[test]
     fn huge_stencils_still_get_a_minimum_tile() {
         // Even when rows_in_flight blows the budget, keep >= 64 cols.
-        assert_eq!(col_block(4096, 100_000), 64);
+        assert_eq!(col_block(4096, 100_000, 8), 64);
     }
 
     #[test]

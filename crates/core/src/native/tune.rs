@@ -4,15 +4,22 @@
 //! micro-kernel family runs a sweep ([`Dispatch::for_width`]), the
 //! temporal trapezoid tile and the fused depth (`tile.rs` defaults).
 //! This module makes them data-driven: a [`Plan`] per
-//! **(pattern, radius, shape class, thread count)** key records the
-//! dispatch, the temporal tile geometry and the `t_block` that measured
-//! fastest on *this* host, persisted as JSON so later processes (and
-//! the bench suite) reuse the decision without re-measuring. The thread
-//! count is part of the key because the winning schedule changes with
-//! lane count (concurrent NT streams, per-lane cache share): before
-//! schema v2 a dispatch tuned single-threaded silently governed
-//! saturated sweeps. v1 plan files (no thread dimension) are rejected
-//! as stale on load, never misapplied.
+//! **(pattern, radius, shape class, dtype, thread count)** key records
+//! the dispatch, the temporal tile geometry and the `t_block` that
+//! measured fastest on *this* host, persisted as JSON so later
+//! processes (and the bench suite) reuse the decision without
+//! re-measuring. The thread count is part of the key because the
+//! winning schedule changes with lane count (concurrent NT streams,
+//! per-lane cache share): before schema v2 a dispatch tuned
+//! single-threaded silently governed saturated sweeps. The element
+//! type is part of the key (schema v3) because the winning schedule
+//! changes with element width too — an f32 sweep crosses the
+//! streaming threshold at twice the grid area and has no hybrid
+//! vector body, so an f64 plan must never govern it. v1 files (no
+//! thread dimension) *and* v2 files (no dtype dimension) are rejected
+//! as stale on load and re-tuned, never misapplied; within a current
+//! document a row whose key carries a malformed dtype segment is
+//! dropped row-wise, not the whole file.
 //!
 //! # Modes (`HSTENCIL_TUNE`, read once per process)
 //!
@@ -48,6 +55,7 @@ use super::pool::ThreadPool;
 use super::temporal::{self, Temporal};
 use super::tile;
 use super::Dispatch;
+use crate::element::Dtype;
 use crate::grid::Grid2d;
 use crate::stencil::{Pattern, StencilSpec};
 use hstencil_testkit::{Json, Rng, Summary, ToJson, Xoshiro256};
@@ -67,13 +75,20 @@ pub enum ShapeClass {
 }
 
 impl ShapeClass {
-    /// Classifies an `h x w` double-buffered working set.
-    pub fn of(h: usize, w: usize) -> ShapeClass {
-        if 2 * h * w * std::mem::size_of::<f64>() > 4 * 1024 * 1024 {
+    /// Classifies an `h x w` double-buffered working set of `dtype`
+    /// elements. The boundary is in *bytes*, so an f32 grid stays
+    /// resident at twice the f64 area.
+    pub fn of_dtype(h: usize, w: usize, dtype: Dtype) -> ShapeClass {
+        if 2 * h * w * dtype.size() > 4 * 1024 * 1024 {
             ShapeClass::Streaming
         } else {
             ShapeClass::Resident
         }
+    }
+
+    /// [`ShapeClass::of_dtype`] at the reference `f64` width.
+    pub fn of(h: usize, w: usize) -> ShapeClass {
+        ShapeClass::of_dtype(h, w, Dtype::F64)
     }
 
     fn label(self) -> &'static str {
@@ -84,22 +99,34 @@ impl ShapeClass {
     }
 }
 
-/// The cache key: stencil pattern, radius, shape class, thread count.
-pub fn plan_key(spec: &StencilSpec, class: ShapeClass, threads: usize) -> String {
+/// The cache key: stencil pattern, radius, shape class, element type,
+/// thread count.
+pub fn plan_key(spec: &StencilSpec, class: ShapeClass, dtype: Dtype, threads: usize) -> String {
     let pattern = match spec.pattern() {
         Pattern::Star => "star",
         Pattern::Box => "box",
     };
-    format!("{pattern}/r{}/{}/t{threads}", spec.radius(), class.label())
+    format!(
+        "{pattern}/r{}/{}/{}/t{threads}",
+        spec.radius(),
+        class.label(),
+        dtype.label()
+    )
 }
 
-/// True when `key` carries the schema-v2 thread dimension (a trailing
-/// `/t<lanes>` segment). v1 keys fail this and are dropped on parse.
-fn key_has_thread_dim(key: &str) -> bool {
-    key.rsplit('/')
+/// True when `key` carries the full schema-v3 shape: a dtype segment
+/// that [`Dtype::from_label`] recognises, followed by the `/t<lanes>`
+/// thread dimension. v1 keys (neither), v2 keys (no dtype) and
+/// hand-edited keys with a malformed dtype all fail this and are
+/// dropped row-wise on parse.
+fn key_has_v3_shape(key: &str) -> bool {
+    let mut segs = key.rsplit('/');
+    let threads_ok = segs
         .next()
         .and_then(|seg| seg.strip_prefix('t'))
-        .is_some_and(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()))
+        .is_some_and(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()));
+    let dtype_ok = segs.next().is_some_and(|d| Dtype::from_label(d).is_some());
+    threads_ok && dtype_ok
 }
 
 /// One tuned decision: which kernel family sweeps, and the temporal
@@ -146,9 +173,11 @@ impl Plan {
 }
 
 /// The persisted schema version. v1 keys had no thread dimension, so a
-/// plan tuned at one lane count governed every other; v2 appends
-/// `/t<lanes>` to the key and v1 documents are rejected as stale.
-pub const SCHEMA_VERSION: u64 = 2;
+/// plan tuned at one lane count governed every other; v2 added
+/// `/t<lanes>` but no element type, so an f64 plan governed f32 sweeps;
+/// v3 inserts the dtype segment. v1 *and* v2 documents are rejected as
+/// stale (and re-tuned), never misapplied.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The persisted plan cache: key → [`Plan`], with a JSON round-trip via
 /// the testkit value model.
@@ -193,13 +222,14 @@ impl PlanSet {
     }
 
     /// Parses a rendered set. Documents from another schema version are
-    /// an error — in particular v1 files, whose keys carry no thread
-    /// dimension, are stale rather than portable: silently keeping them
-    /// would re-introduce the single-thread-plan-governs-parallel-sweep
-    /// bug this version exists to fix. Within a current document,
-    /// unknown keys are ignored, keyless (thread-dimension-free) rows
-    /// are dropped, and entries whose dispatch cannot run on this host
-    /// are dropped (a plan file is host-specific, not portable).
+    /// an error — v1 files (no thread dimension) and v2 files (no dtype
+    /// dimension) are stale rather than portable: silently keeping them
+    /// would let a plan tuned at one lane count or element width govern
+    /// every other. Within a current document, unknown keys are
+    /// ignored, rows whose key lacks the v3 shape (including a
+    /// malformed dtype segment) are dropped row-wise — never the whole
+    /// file — and entries whose dispatch cannot run on this host are
+    /// dropped (a plan file is host-specific, not portable).
     pub fn parse(text: &str) -> Result<PlanSet, String> {
         let doc = Json::parse(text).map_err(|e| e.to_string())?;
         if doc.get("tool").and_then(Json::as_str) != Some("hstencil-tune") {
@@ -208,7 +238,7 @@ impl PlanSet {
         let version = doc.get("version").and_then(Json::as_f64);
         if version != Some(SCHEMA_VERSION as f64) {
             return Err(format!(
-                "stale or unknown schema version {version:?} (want {SCHEMA_VERSION};                  pre-thread-key plans must be re-tuned, not reused)"
+                "stale or unknown schema version {version:?} (want {SCHEMA_VERSION};                  pre-dtype-key plans must be re-tuned, not reused)"
             ));
         }
         let rows = doc
@@ -218,7 +248,7 @@ impl PlanSet {
         let mut set = PlanSet::default();
         for row in rows {
             if let Some((key, plan)) = Plan::from_json(row) {
-                if key_has_thread_dim(&key) {
+                if key_has_v3_shape(&key) {
                     set.plans.insert(key, plan);
                 }
             }
@@ -425,12 +455,22 @@ fn persist(set: &PlanSet, path: &Path) {
     }
 }
 
-/// The cached plan for a 2-D sweep of `spec` over an `h x w` grid split
-/// across `threads` lanes, or `None` when tuning is off / nothing is
-/// recorded for the key. In `force` mode a miss runs the wall-clock
-/// tuner once (at the key's own lane count), memoizes the winner and
-/// persists the cache.
-pub fn plan_for(spec: &StencilSpec, h: usize, w: usize, threads: usize) -> Option<Plan> {
+/// The cached plan for a 2-D sweep of `spec` over an `h x w` grid of
+/// `dtype` elements split across `threads` lanes, or `None` when tuning
+/// is off / nothing is recorded for the key. In `force` mode an `f64`
+/// miss runs the wall-clock tuner once (at the key's own lane count),
+/// memoizes the winner and persists the cache; `f32` keys are consulted
+/// but never auto-tuned — the measurement loop runs the reference-width
+/// grids only, so an `f32` plan comes from an explicitly provided file
+/// (or a future tuner extension), never from an `f64` measurement
+/// mislabelled as `f32`.
+pub fn plan_for(
+    spec: &StencilSpec,
+    h: usize,
+    w: usize,
+    threads: usize,
+    dtype: Dtype,
+) -> Option<Plan> {
     if spec.dims() != 2 {
         return None;
     }
@@ -439,13 +479,13 @@ pub fn plan_for(spec: &StencilSpec, h: usize, w: usize, threads: usize) -> Optio
         Mode::Force => true,
         Mode::File(_) => false,
     };
-    let class = ShapeClass::of(h, w);
-    let key = plan_key(spec, class, threads);
+    let class = ShapeClass::of_dtype(h, w, dtype);
+    let key = plan_key(spec, class, dtype, threads);
     let mut set = cache().lock().unwrap_or_else(|e| e.into_inner());
     if let Some(plan) = set.get(&key) {
         return Some(plan);
     }
-    if !force {
+    if !force || dtype != Dtype::F64 {
         return None;
     }
     let mut measure = measure_wall_clock(spec, class, threads);
@@ -467,39 +507,66 @@ mod tests {
         // 2 * 512 * 512 * 8 = 4 MiB exactly — still resident.
         assert_eq!(ShapeClass::of(512, 512), ShapeClass::Resident);
         assert_eq!(ShapeClass::of(513, 512), ShapeClass::Streaming);
+        // The boundary is byte-denominated: f32 grids stay resident at
+        // twice the f64 area.
+        assert_eq!(
+            ShapeClass::of_dtype(513, 512, Dtype::F32),
+            ShapeClass::Resident
+        );
+        assert_eq!(
+            ShapeClass::of_dtype(1025, 512, Dtype::F32),
+            ShapeClass::Streaming
+        );
+        assert_eq!(
+            ShapeClass::of_dtype(513, 512, Dtype::F64),
+            ShapeClass::of(513, 512)
+        );
     }
 
     #[test]
-    fn plan_keys_are_stable_and_thread_aware() {
+    fn plan_keys_are_stable_dtype_and_thread_aware() {
         let star = presets::star2d5p();
         let boxs = presets::box2d25p();
         assert_eq!(
-            plan_key(&star, ShapeClass::Streaming, 1),
-            "star/r1/streaming/t1"
+            plan_key(&star, ShapeClass::Streaming, Dtype::F64, 1),
+            "star/r1/streaming/f64/t1"
         );
         assert_eq!(
-            plan_key(&star, ShapeClass::Streaming, 4),
-            "star/r1/streaming/t4"
+            plan_key(&star, ShapeClass::Streaming, Dtype::F32, 4),
+            "star/r1/streaming/f32/t4"
         );
         assert_eq!(
-            plan_key(&boxs, ShapeClass::Resident, 16),
-            "box/r2/resident/t16"
+            plan_key(&boxs, ShapeClass::Resident, Dtype::F64, 16),
+            "box/r2/resident/f64/t16"
         );
-        // Distinct lane counts are distinct cache entries.
+        // Distinct lane counts and distinct dtypes are distinct cache
+        // entries.
         assert_ne!(
-            plan_key(&star, ShapeClass::Streaming, 1),
-            plan_key(&star, ShapeClass::Streaming, 4)
+            plan_key(&star, ShapeClass::Streaming, Dtype::F64, 1),
+            plan_key(&star, ShapeClass::Streaming, Dtype::F64, 4)
+        );
+        assert_ne!(
+            plan_key(&star, ShapeClass::Streaming, Dtype::F64, 1),
+            plan_key(&star, ShapeClass::Streaming, Dtype::F32, 1)
         );
         for threads in [1usize, 2, 4, 96] {
-            assert!(key_has_thread_dim(&plan_key(
-                &star,
-                ShapeClass::Streaming,
-                threads
-            )));
+            for dtype in [Dtype::F32, Dtype::F64] {
+                assert!(key_has_v3_shape(&plan_key(
+                    &star,
+                    ShapeClass::Streaming,
+                    dtype,
+                    threads
+                )));
+            }
         }
-        assert!(!key_has_thread_dim("star/r1/streaming"));
-        assert!(!key_has_thread_dim("star/r1/streaming/t"));
-        assert!(!key_has_thread_dim("star/r1/streaming/tx4"));
+        // v1 (no thread dim), v2 (no dtype) and malformed-dtype keys
+        // all fail the v3 shape check.
+        assert!(!key_has_v3_shape("star/r1/streaming"));
+        assert!(!key_has_v3_shape("star/r1/streaming/t4"));
+        assert!(!key_has_v3_shape("star/r1/streaming/f64/t"));
+        assert!(!key_has_v3_shape("star/r1/streaming/f64/tx4"));
+        assert!(!key_has_v3_shape("star/r1/streaming/f16/t4"));
+        assert!(!key_has_v3_shape("star/r1/streaming/double/t4"));
     }
 
     #[test]
@@ -539,7 +606,7 @@ mod tests {
     fn plan_set_round_trips_byte_identically() {
         let mut set = PlanSet::default();
         set.insert(
-            "star/r1/streaming/t1".into(),
+            "star/r1/streaming/f64/t1".into(),
             Plan {
                 dispatch: Dispatch::Hybrid,
                 tile: (128, 512),
@@ -547,7 +614,7 @@ mod tests {
             },
         );
         set.insert(
-            "star/r1/streaming/t4".into(),
+            "star/r1/streaming/f32/t4".into(),
             Plan {
                 dispatch: Dispatch::Scalar,
                 tile: (128, 512),
@@ -555,7 +622,7 @@ mod tests {
             },
         );
         set.insert(
-            "box/r2/resident/t2".into(),
+            "box/r2/resident/f64/t2".into(),
             Plan {
                 dispatch: Dispatch::Scalar,
                 tile: (64, 512),
@@ -572,7 +639,7 @@ mod tests {
     fn parse_rejects_foreign_documents() {
         assert!(PlanSet::parse("{}").is_err());
         assert!(PlanSet::parse("not json").is_err());
-        assert!(PlanSet::parse("{\"tool\":\"hstencil-tune\",\"version\":2,\"plans\":4}").is_err());
+        assert!(PlanSet::parse("{\"tool\":\"hstencil-tune\",\"version\":3,\"plans\":4}").is_err());
     }
 
     #[test]
@@ -594,27 +661,49 @@ mod tests {
     }
 
     #[test]
-    fn parse_drops_keyless_rows_in_current_documents() {
-        // A current-version document smuggling a thread-dimension-free
-        // key (hand-edited, or merged from an old file) has that row
-        // dropped rather than misapplied to every lane count.
-        let text = "{\"tool\":\"hstencil-tune\",\"version\":2,\"plans\":[\
-                    {\"key\":\"star/r1/streaming\",\"dispatch\":\"scalar\",\
-                    \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8},\
+    fn parse_rejects_stale_v2_documents() {
+        // The exact shape PR 6 persisted: version 2, thread-keyed but
+        // dtype-free. An f64-tuned plan must not govern f32 sweeps, so
+        // the whole document is stale — the loader warns once, falls
+        // back to an empty set, and `force` mode re-tunes from scratch.
+        let v2 = "{\"tool\":\"hstencil-tune\",\"version\":2,\"plans\":[\
+                  {\"key\":\"star/r1/streaming/t4\",\"dispatch\":\"hybrid8x8\",\
+                  \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8}]}";
+        let err = PlanSet::parse(v2).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+        assert!(err.contains("version"), "{err}");
+        assert!(err.contains("re-tuned"), "{err}");
+    }
+
+    #[test]
+    fn parse_drops_malformed_dtype_rows_row_wise() {
+        // A current-version document smuggling dtype-free or
+        // unknown-dtype keys (hand-edited, or merged from an old file)
+        // has those rows dropped individually — the well-formed rows in
+        // the same file survive.
+        let text = "{\"tool\":\"hstencil-tune\",\"version\":3,\"plans\":[\
                     {\"key\":\"star/r1/streaming/t2\",\"dispatch\":\"scalar\",\
+                    \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8},\
+                    {\"key\":\"star/r1/streaming/f16/t2\",\"dispatch\":\"scalar\",\
+                    \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8},\
+                    {\"key\":\"star/r1/streaming/f32/t2\",\"dispatch\":\"scalar\",\
+                    \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8},\
+                    {\"key\":\"star/r1/streaming/f64/t2\",\"dispatch\":\"scalar\",\
                     \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8}]}";
         let set = PlanSet::parse(text).unwrap();
-        assert_eq!(set.len(), 1);
-        assert!(set.get("star/r1/streaming").is_none());
-        assert!(set.get("star/r1/streaming/t2").is_some());
+        assert_eq!(set.len(), 2, "only the dtype-valid rows survive");
+        assert!(set.get("star/r1/streaming/t2").is_none());
+        assert!(set.get("star/r1/streaming/f16/t2").is_none());
+        assert!(set.get("star/r1/streaming/f32/t2").is_some());
+        assert!(set.get("star/r1/streaming/f64/t2").is_some());
     }
 
     #[test]
     fn parse_drops_unrunnable_entries() {
         // A dispatch label this host cannot run (or garbage) is dropped,
         // not an error — plan files are host-specific.
-        let text = "{\"tool\":\"hstencil-tune\",\"version\":2,\"plans\":[\
-                    {\"key\":\"star/r1/streaming/t1\",\"dispatch\":\"riscv-rvv\",\
+        let text = "{\"tool\":\"hstencil-tune\",\"version\":3,\"plans\":[\
+                    {\"key\":\"star/r1/streaming/f64/t1\",\"dispatch\":\"riscv-rvv\",\
                     \"tile_rows\":128,\"tile_cols\":512,\"t_block\":8}]}";
         let set = PlanSet::parse(text).unwrap();
         assert!(set.is_empty());
@@ -626,7 +715,7 @@ mod tests {
         // rejection above must never bite the current writer.
         let mut set = PlanSet::default();
         set.insert(
-            "box/r1/streaming/t8".into(),
+            "box/r1/streaming/f64/t8".into(),
             Plan {
                 dispatch: Dispatch::Scalar,
                 tile: (64, 256),
@@ -634,7 +723,7 @@ mod tests {
             },
         );
         let text = set.render();
-        assert!(text.contains("\"version\": 2"), "{text}");
+        assert!(text.contains("\"version\": 3"), "{text}");
         assert_eq!(PlanSet::parse(&text).unwrap(), set);
     }
 }

@@ -210,7 +210,7 @@ fn tuner_is_deterministic_for_a_fixed_seed() {
         assert_eq!(p1, p2, "same seed must pick the same plan");
 
         // ... and the *persisted* artifact is byte-identical too.
-        let key = "star/r1/streaming/t1".to_string();
+        let key = "star/r1/streaming/f64/t1".to_string();
         let mut s1 = tune::PlanSet::default();
         let mut s2 = tune::PlanSet::default();
         s1.insert(key.clone(), p1);
@@ -224,11 +224,11 @@ fn plan_cache_round_trips_through_disk_with_identical_decisions() {
     let mut set = tune::PlanSet::default();
     let mut m = |c: &tune::Candidate| synthetic_cost(7, c);
     set.insert(
-        "star/r1/streaming/t1".into(),
+        "star/r1/streaming/f64/t1".into(),
         tune::run_tuner_with(tune::ShapeClass::Streaming, &mut m),
     );
     set.insert(
-        "box/r2/resident/t4".into(),
+        "box/r2/resident/f64/t4".into(),
         tune::run_tuner_with(tune::ShapeClass::Resident, &mut m),
     );
     let path = std::env::temp_dir().join(format!("hstencil-tune-rt-{}.json", std::process::id()));
@@ -236,7 +236,7 @@ fn plan_cache_round_trips_through_disk_with_identical_decisions() {
     let back = tune::PlanSet::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
     std::fs::remove_file(&path).ok();
     assert_eq!(back, set);
-    for key in ["star/r1/streaming/t1", "box/r2/resident/t4"] {
+    for key in ["star/r1/streaming/f64/t1", "box/r2/resident/f64/t4"] {
         let (a, b) = (set.get(key).unwrap(), back.get(key).unwrap());
         assert_eq!(a.dispatch, b.dispatch, "{key}: dispatch decision drifted");
         assert_eq!((a.tile, a.t_block), (b.tile, b.t_block), "{key}");

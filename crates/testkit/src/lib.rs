@@ -6,14 +6,14 @@
 //! access** (see DESIGN.md "Hermetic / offline build"):
 //!
 //! * [`rng`] — SplitMix64 + Xoshiro256\*\* with a `rand`-like
-//!   [`Rng::gen_range`](rng::Rng::gen_range) API (replaces `rand`),
+//!   [`Rng::gen_range`] API (replaces `rand`),
 //! * [`prop`] — a seeded property-testing harness with configurable case
 //!   counts, failing-seed reporting and bounded shrinking (replaces
 //!   `proptest`),
 //! * [`json`] — a hand-rolled JSON value model with a writer, a
 //!   [`ToJson`] trait and a [`Json::parse`](json::Json::parse) reader
 //!   (replaces `serde` + `serde_json`),
-//! * [`bench`] — a `std::time` bench harness with warmup, sampling and
+//! * [`mod@bench`] — a `std::time` bench harness with warmup, sampling and
 //!   median/p10/p90 summaries (replaces `criterion`).
 //!
 //! The crate deliberately has **no dependencies** — it is the leaf of the

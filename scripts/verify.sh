@@ -7,11 +7,31 @@ cd "$(dirname "$0")/.."
 
 WORKSPACE_CRATES="hstencil hstencil-testkit hstencil-core hstencil-bench hstencil-conformance lx2-isa lx2-sim"
 
+# The gates below change meaning with the host's ISA: the avx512
+# conformance variants and bench group register only where avx512f
+# exists, and check_bench_json skips width gates whose rows are absent.
+# Print what this host has so a log line explains any skip notices.
+host_features() {
+    local flags have=""
+    flags="$(grep -m1 '^flags' /proc/cpuinfo 2>/dev/null || true)"
+    for f in avx2 fma avx512f; do
+        case " $flags " in
+            *" $f "*) have="$have $f" ;;
+            *) have="$have !$f" ;;
+        esac
+    done
+    echo "$have"
+}
+echo "==> host CPU features:$(host_features)"
+
 echo "==> formatting gate"
 cargo fmt --check
 
 echo "==> clippy gate (all targets, warnings are errors)"
 cargo clippy -q --workspace --offline --all-targets -- -D warnings
+
+echo "==> rustdoc gate (no-deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace --offline
 
 echo "==> offline release build"
 cargo build --release --workspace --offline
@@ -67,8 +87,11 @@ fi
 # catastrophic regression class (e.g. write-combining thrash, ~0.1x).
 # The threads gate is equally loose in smoke (4 lanes must merely not
 # be catastrophically slower than 1 on one noisy sample) and skips
-# automatically on hosts with fewer than 4 cores.
-cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- "$SMOKE_JSON" --gate-temporal=2048:0.91 --gate-hybrid=4096:0.4 --gate-threads=4096:4:0.5
+# automatically on hosts with fewer than 4 cores. The f32 gate asks
+# only that one noisy f32 sample not be slower than f64 at the
+# in-cache size; it skips with a notice if the artifact has no f32
+# rows at 256².
+cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- "$SMOKE_JSON" --gate-temporal=2048:0.91 --gate-hybrid=4096:0.4 --gate-threads=4096:4:0.5 --gate-f32=256:1.0
 # The committed baseline must still exist, parse, and keep the recorded
 # speedups on the out-of-cache acceptance cases: the temporal fusion
 # gate (ISSUE 4 — re-pinned at the ISSUE-6 baseline refresh: the
@@ -80,12 +103,15 @@ cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- "$S
 # avx2+fma on single-sweep 4096² star2d5p), and the multi-core scaling
 # gate (ISSUE 6, >= 1.6x at 4 threads vs 1 on the same case — strict
 # only when the baseline was recorded on a host that actually has
-# >= 4 cores; check_bench_json skips it otherwise).
+# >= 4 cores; check_bench_json skips it otherwise). The f32 width gate
+# (ISSUE 7) holds the recorded in-cache 256² star2d5p f32 throughput
+# at >= 1.3x the f64 ratio in the same artifact; it skips with a
+# notice on baselines recorded before the dtype axis existed.
 if [ ! -f BENCH_native.json ]; then
     echo "ERROR: recorded baseline BENCH_native.json is missing" >&2
     exit 1
 fi
-cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- BENCH_native.json --gate-temporal=4096:1.15 --gate-hybrid=4096:1.10 --gate-threads=4096:4:1.6
+cargo run -q --release --offline -p hstencil-bench --bin check_bench_json -- BENCH_native.json --gate-temporal=4096:1.15 --gate-hybrid=4096:1.10 --gate-threads=4096:4:1.6 --gate-f32=256:1.3
 
 echo "==> perf diff vs committed baseline (report-only)"
 # Smoke samples are too noisy to gate on; this is a human-readable
